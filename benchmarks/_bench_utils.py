@@ -1,0 +1,13 @@
+"""Reporting helpers shared by the paper-reproduction benchmarks."""
+
+from __future__ import annotations
+
+
+def paper_row(label: str, paper, measured, note: str = "") -> str:
+    return f"  {label:<42} paper: {paper!s:<14} measured: {measured!s:<14} {note}"
+
+
+def print_table(title: str, rows: list[str]) -> None:
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print(row)

@@ -1,0 +1,108 @@
+"""Fig. 13 — reduction of time-to-solution per AWP-ODC version on Jaguar.
+
+The figure shows successive optimizations shaving the per-step time of the
+M8 configuration.  We regenerate the staircase by switching optimization
+sets on cumulatively, in the order the paper introduced them, and assert
+each stated gain: arithmetic 31%, unrolling 2%, cache blocking 7%,
+reduced communication 15%, overlap 11% (65K cores; not in v7.2).
+"""
+
+import pytest
+
+from repro.parallel.machine import jaguar
+from repro.parallel.perfmodel import AWPRunModel, OptimizationSet
+
+from _bench_utils import paper_row, print_table
+
+M8 = (20250, 10125, 2125)
+CORES = 223_074
+
+#: cumulative optimization staircase in introduction order
+LADDER = [
+    ("pre-async (v4-era)", OptimizationSet(io_aggregation=True)),
+    ("+async (v5.0)", OptimizationSet(io_aggregation=True, async_comm=True)),
+    ("+arithmetic (v6.0)", OptimizationSet(io_aggregation=True,
+                                           async_comm=True, arithmetic=True)),
+    ("+unrolling (v7.0)", OptimizationSet(io_aggregation=True,
+                                          async_comm=True, arithmetic=True,
+                                          unrolling=True)),
+    ("+cache blocking (v7.1)", OptimizationSet(io_aggregation=True,
+                                               async_comm=True,
+                                               arithmetic=True,
+                                               unrolling=True,
+                                               cache_blocking=True)),
+    ("+reduced comm (v7.2)", OptimizationSet.v7_2()),
+]
+
+
+def _ladder_times():
+    return {label: AWPRunModel(jaguar(), M8, CORES, opts=o).time_per_step()
+            for label, o in LADDER}
+
+
+def test_fig13_staircase_monotone(benchmark):
+    times = benchmark(_ladder_times)
+    rows = []
+    prev = None
+    for label, t in times.items():
+        gain = "" if prev is None else f"(-{(1 - t / prev) * 100:.1f}%)"
+        rows.append(paper_row(label, "monotone decrease",
+                              f"{t:.3f} s/step {gain}"))
+        if prev is not None:
+            assert t <= prev * 1.0001, label
+        prev = t
+    print_table("Fig. 13: time-to-solution per version", rows)
+    benchmark.extra_info["ladder"] = {k: round(v, 4)
+                                      for k, v in times.items()}
+
+
+def test_fig13_individual_gains_match_section_iv(benchmark):
+    """The Section IV.B/V.A percentages, measured as single-flag deltas."""
+    def gains():
+        base = OptimizationSet(io_aggregation=True, async_comm=True)
+        t0 = AWPRunModel(jaguar(), M8, CORES, opts=base)
+        out = {}
+        for flag, in (("arithmetic",), ("unrolling",), ("cache_blocking",),
+                      ("reduced_comm",)):
+            opts = OptimizationSet(**{**base.__dict__, flag: True})
+            t1 = AWPRunModel(jaguar(), M8, CORES, opts=opts)
+            out[flag] = 1.0 - t1.compute_coefficient() / t0.compute_coefficient() \
+                if flag != "reduced_comm" else \
+                1.0 - t1.comm_seconds() / t0.comm_seconds()
+        return out
+
+    g = benchmark(gains)
+    rows = [
+        paper_row("arithmetic optimization", "31%", f"{g['arithmetic'] * 100:.0f}%"),
+        paper_row("loop unrolling", "2%", f"{g['unrolling'] * 100:.0f}%"),
+        paper_row("cache blocking", "7% (+cache fit)",
+                  f"{g['cache_blocking'] * 100:.0f}%"),
+        paper_row("reduced communication (volume)", "message cut",
+                  f"{g['reduced_comm'] * 100:.0f}%"),
+    ]
+    print_table("Fig. 13 / Section IV: per-optimization gains", rows)
+    assert g["arithmetic"] == pytest.approx(0.31, abs=0.02)
+    assert g["unrolling"] == pytest.approx(0.02, abs=0.01)
+    assert g["cache_blocking"] >= 0.07
+    assert g["reduced_comm"] > 0.2
+
+
+def test_fig13_overlap_gain_at_65k(benchmark):
+    """IV.C: overlap gained 11%/21% elapsed time on 65,610 XT5 cores."""
+    def measure():
+        base = AWPRunModel(jaguar(), M8, 65_610,
+                           opts=OptimizationSet(io_aggregation=True,
+                                                async_comm=True,
+                                                arithmetic=True))
+        over = AWPRunModel(jaguar(), M8, 65_610,
+                           opts=OptimizationSet(io_aggregation=True,
+                                                async_comm=True,
+                                                arithmetic=True,
+                                                overlap=True))
+        return 1.0 - over.comm_seconds() / base.comm_seconds()
+
+    g = benchmark(measure)
+    rows = [paper_row("overlap: hidden exchange fraction",
+                      "11-21% elapsed gain", f"{g * 100:.0f}% of Tcomm")]
+    print_table("Section IV.C: computation/communication overlap", rows)
+    assert 0.3 < g < 0.8

@@ -1,0 +1,142 @@
+"""Fig. 14 — strong scaling of AWP-ODC on TeraGrid and DOE INCITE systems.
+
+The figure shows: TeraShake (1.8e9 points) on DataStar, ShakeOut (14.4e9)
+on Intrepid/Ranger/Kraken before and after optimization, and M8 (436e9) on
+Jaguar with v6.0 and v7.2 — the latter super-linear.  Solid lines = after
+optimization; dotted = before.  We regenerate every curve from the machine
+catalog + performance model and assert the paper's qualitative structure.
+"""
+
+import pytest
+
+from repro.parallel.machine import (datastar, intrepid, jaguar, kraken,
+                                    ranger)
+from repro.parallel.perfmodel import AWPRunModel, OptimizationSet
+
+from _bench_utils import paper_row, print_table
+
+TERASHAKE = (3000, 1500, 400)
+SHAKEOUT = (6000, 3000, 800)
+M8 = (20250, 10125, 2125)
+
+CURVES = {
+    # label: (machine, mesh, before-opts, after-opts, core counts)
+    "TeraShake/DataStar": (
+        datastar(), TERASHAKE,
+        OptimizationSet.none(), OptimizationSet(io_aggregation=True),
+        (240, 512, 1024, 2048)),
+    "ShakeOut/Intrepid": (
+        intrepid(), SHAKEOUT,
+        OptimizationSet(io_aggregation=True),
+        OptimizationSet(io_aggregation=True, async_comm=True, arithmetic=True),
+        (8192, 16384, 40000, 128000)),
+    "ShakeOut/Ranger": (
+        ranger(), SHAKEOUT,
+        OptimizationSet(io_aggregation=True),
+        OptimizationSet(io_aggregation=True, async_comm=True),
+        (8192, 16000, 32000, 60000)),
+    "ShakeOut/Kraken": (
+        kraken(), SHAKEOUT,
+        OptimizationSet(io_aggregation=True),
+        OptimizationSet(io_aggregation=True, async_comm=True),
+        (16000, 32000, 64000, 96000)),
+    "M8/Jaguar": (
+        jaguar(), M8,
+        OptimizationSet.v6_0(), OptimizationSet.v7_2(),
+        (32768, 65610, 131072, 223074)),
+}
+
+
+def _speedups(machine, mesh, opts, cores_list):
+    base = AWPRunModel(machine, mesh, cores_list[0], opts=opts)
+    out = {}
+    for c in cores_list:
+        mod = AWPRunModel(machine, mesh, c, opts=opts)
+        out[c] = base.time_per_step() / mod.time_per_step()
+    return out
+
+
+def test_fig14_all_curves(benchmark):
+    def build():
+        curves = {}
+        for label, (m, mesh, before, after, cores) in CURVES.items():
+            curves[label] = {
+                "before": _speedups(m, mesh, before, cores),
+                "after": _speedups(m, mesh, after, cores),
+                "cores": cores,
+            }
+        return curves
+
+    curves = benchmark(build)
+    rows = []
+    for label, data in curves.items():
+        cores = data["cores"]
+        ideal = cores[-1] / cores[0]
+        sb = data["before"][cores[-1]]
+        sa = data["after"][cores[-1]]
+        rows.append(paper_row(
+            f"{label} ({cores[0]}->{cores[-1]})",
+            "solid >= dotted", f"after {sa:.1f}x vs before {sb:.1f}x "
+            f"(ideal {ideal:.1f}x)"))
+        # the optimized curve scales at least as well as the unoptimized
+        assert sa >= sb * 0.999, label
+    print_table("Fig. 14: strong scaling, before/after optimization", rows)
+    benchmark.extra_info["curves"] = {
+        k: {"after": {str(c): round(v, 2) for c, v in d["after"].items()}}
+        for k, d in curves.items()}
+
+
+def test_fig14_m8_superlinear(benchmark):
+    """'Super-linear speedup occurs for M8 on NCCS Jaguar.'"""
+    def measure():
+        s = _speedups(jaguar(), M8, OptimizationSet.v7_2(),
+                      (65610, 223074))
+        return s[223074], 223074 / 65610
+
+    speedup, ideal = benchmark(measure)
+    rows = [paper_row("M8 speedup 65,610 -> 223,074", f"> ideal ({ideal:.2f})",
+                      f"{speedup:.2f}")]
+    print_table("Fig. 14: M8 super-linearity", rows)
+    assert speedup > ideal
+
+
+def test_fig14_numa_machines_need_async(benchmark):
+    """The Ranger/Intrepid dotted lines flatten hard (sync on NUMA);
+    async restores scaling — the IV.A story in scaling form."""
+    def measure():
+        before = _speedups(ranger(), SHAKEOUT,
+                           OptimizationSet(io_aggregation=True),
+                           (8192, 60000))
+        after = _speedups(ranger(), SHAKEOUT,
+                          OptimizationSet(io_aggregation=True,
+                                          async_comm=True),
+                          (8192, 60000))
+        return before[60000], after[60000]
+
+    sb, sa = benchmark(measure)
+    ideal = 60000 / 8192
+    rows = [
+        paper_row("Ranger sync speedup @60K", "flattened", f"{sb:.2f}x"),
+        paper_row("Ranger async speedup @60K", f"-> ideal ({ideal:.1f})",
+                  f"{sa:.2f}x"),
+    ]
+    print_table("Fig. 14: NUMA flattening", rows)
+    assert sa > 1.5 * sb
+
+
+def test_fig14_weak_scaling_90_percent(benchmark):
+    """V.A: '90% parallel efficiency for weak scaling between 200 and 204K
+    processor cores' on Jaguar."""
+    def weak(cores):
+        n = 1.953e6 * cores
+        nx = int(round((n * 4) ** (1 / 3)))
+        ny = nx // 2
+        nz = max(64, int(n / (nx * ny)))
+        return AWPRunModel(jaguar(), (nx, ny, nz), cores,
+                           opts=OptimizationSet.v7_2()).time_per_step()
+
+    eff = benchmark(lambda: weak(200) / weak(204_000))
+    rows = [paper_row("weak-scaling efficiency 200 -> 204K", "90%",
+                      f"{eff * 100:.1f}%")]
+    print_table("Section V.A: weak scaling", rows)
+    assert eff == pytest.approx(0.90, abs=0.07)

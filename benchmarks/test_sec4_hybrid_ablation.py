@@ -1,0 +1,64 @@
+"""Section IV.D — MPI/OpenMP hybrid ablation.
+
+"the hybrid approach reduces the load imbalance [by >35%] ... [but] for the
+large-scale runs where communication and synchronization overhead dominate
+... the pure MPI code still performs better than the MPI/OpenMP hybrid."
+"""
+
+import pytest
+
+from repro.parallel.hybrid import HybridRunModel, hybrid_vs_pure_sweep
+from repro.parallel.machine import jaguar
+
+from _bench_utils import paper_row, print_table
+
+M8 = (20250, 10125, 2125)
+
+
+def test_sec4_hybrid_skew_reduction(benchmark):
+    def measure():
+        cores = 65_610 // 6 * 6
+        pure = HybridRunModel(jaguar(), M8, cores, threads=1)
+        hyb = HybridRunModel(jaguar(), M8, cores, threads=6)
+        return 1.0 - hyb.sync_seconds() / pure.sync_seconds()
+
+    red = benchmark(measure)
+    rows = [paper_row("load-imbalance (sync) reduction", "> 35%",
+                      f"{red * 100:.0f}%")]
+    print_table("Section IV.D: hybrid skew reduction", rows)
+    assert red > 0.25
+
+
+def test_sec4_pure_mpi_wins_at_production_scale(benchmark):
+    def measure():
+        cores = 223_074 // 6 * 6
+        pure = HybridRunModel(jaguar(), M8, cores, threads=1)
+        hyb = HybridRunModel(jaguar(), M8, cores, threads=6)
+        return pure.time_per_step(), hyb.time_per_step()
+
+    t_pure, t_hyb = benchmark(measure)
+    rows = [
+        paper_row("pure MPI @223K", "production choice", f"{t_pure:.3f} s/step"),
+        paper_row("hybrid (6 threads) @223K", "slower at scale",
+                  f"{t_hyb:.3f} s/step"),
+    ]
+    print_table("Section IV.D: full-scale comparison", rows)
+    assert t_pure < t_hyb
+
+
+def test_sec4_hybrid_relative_cost_grows_with_scale(benchmark):
+    def measure():
+        sweep = hybrid_vs_pure_sweep(jaguar(), M8,
+                                     [6_000, 24_000, 96_000, 222_000])
+        return {c: sweep[c]["hybrid"] / sweep[c]["pure_mpi"]
+                for c in sorted(sweep)}
+
+    rel = benchmark(measure)
+    rows = [paper_row(f"hybrid/pure time @ {c} cores",
+                      "overhead grows with scale", f"{r:.3f}x")
+            for c, r in rel.items()]
+    print_table("Section IV.D: the idle-thread trade", rows)
+    vals = list(rel.values())
+    assert vals[-1] > vals[0]
+    benchmark.extra_info["hybrid_over_pure"] = {
+        str(c): round(r, 3) for c, r in rel.items()}

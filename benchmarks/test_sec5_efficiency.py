@@ -1,0 +1,109 @@
+"""Section V.A — parallel efficiency (Eq. 8) and its measured anchors."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.machine import bgw, intrepid, jaguar, ranger
+from repro.parallel.perfmodel import (AWPRunModel, OptimizationSet,
+                                      eq8_efficiency, eq8_speedup)
+from repro.parallel.topology import balanced_dims
+
+from _bench_utils import paper_row, print_table
+
+M8 = (20250, 10125, 2125)
+
+
+def test_sec5_eq8_headline(benchmark):
+    """'This calculation ... demonstrates a 2.20e5 speedup or 98.6% parallel
+    efficiency on 223K Jaguar cores.'"""
+    def measure():
+        p = balanced_dims(223_074, 3)
+        return eq8_speedup(jaguar(), M8, p), eq8_efficiency(jaguar(), M8, p)
+
+    s, e = benchmark(measure)
+    rows = [
+        paper_row("Eq. 8 speedup at 223,074 cores", "2.20e5", f"{s:.3e}"),
+        paper_row("Eq. 8 parallel efficiency", "98.6%", f"{e * 100:.1f}%"),
+        paper_row("alpha, beta, tau", "5.5e-6, 2.5e-10, 9.62e-11",
+                  f"{jaguar().alpha}, {jaguar().beta}, {jaguar().tau}"),
+    ]
+    print_table("Section V.A: Eq. 8", rows)
+    assert s == pytest.approx(2.20e5, rel=0.02)
+    assert e == pytest.approx(0.986, abs=0.01)
+
+
+def test_sec5_bgl_vs_bgp(benchmark):
+    """'a drop of parallel efficiency from 96% on BG/L to 40% on BG/P on
+    40K cores' under the synchronous model."""
+    def measure():
+        opts = OptimizationSet(io_aggregation=True)
+        ts = (3000, 1500, 400)
+        return (AWPRunModel(bgw(), ts, 40_000, opts=opts).parallel_efficiency(),
+                AWPRunModel(intrepid(), ts, 40_000, opts=opts).parallel_efficiency())
+
+    e_bgl, e_bgp = benchmark(measure)
+    rows = [
+        paper_row("BG/L sync efficiency @40K", "96%", f"{e_bgl * 100:.0f}%"),
+        paper_row("BG/P sync efficiency @40K", "40%", f"{e_bgp * 100:.0f}%"),
+        paper_row("contrast BG/L : BG/P", "2.4x", f"{e_bgl / e_bgp:.1f}x"),
+    ]
+    print_table("Section IV.A: NUMA contrast", rows)
+    assert e_bgl > 0.75
+    assert e_bgp < 0.45
+
+
+def test_sec5_ranger_async_gain(benchmark):
+    """'The optimized communication code run on Ranger with 60K cores
+    reduced the total time to 1/3 ...  The parallel efficiency increased
+    from 28% to 75%.'"""
+    def measure():
+        sync = AWPRunModel(ranger(), (6000, 3000, 800), 60_000,
+                           opts=OptimizationSet(io_aggregation=True))
+        asyn = AWPRunModel(ranger(), (6000, 3000, 800), 60_000,
+                           opts=OptimizationSet(io_aggregation=True,
+                                                async_comm=True))
+        return (sync.time_per_step() / asyn.time_per_step(),
+                sync.parallel_efficiency(), asyn.parallel_efficiency())
+
+    ratio, e_s, e_a = benchmark(measure)
+    rows = [
+        paper_row("total time sync / async", "3x", f"{ratio:.2f}x"),
+        paper_row("efficiency sync -> async", "28% -> 75%",
+                  f"{e_s * 100:.0f}% -> {e_a * 100:.0f}%"),
+    ]
+    print_table("Section IV.A: Ranger asynchronous gain", rows)
+    assert ratio == pytest.approx(3.0, rel=0.25)
+    assert e_s == pytest.approx(0.28, abs=0.08)
+    assert e_a > 0.70
+
+
+def test_sec5_jaguar_async_direction(benchmark):
+    """The '~7x wall-clock reduction on 223K Jaguar cores' claim: our model
+    reproduces the direction but not the magnitude (see EXPERIMENTS.md)."""
+    def measure():
+        base = OptimizationSet(io_aggregation=True, arithmetic=True)
+        js = AWPRunModel(jaguar(), M8, 223_074, opts=base)
+        ja = AWPRunModel(jaguar(), M8, 223_074,
+                         opts=OptimizationSet(io_aggregation=True,
+                                              arithmetic=True,
+                                              async_comm=True))
+        return js.time_per_step() / ja.time_per_step()
+
+    r = benchmark(measure)
+    rows = [paper_row("Jaguar sync / async wall clock", "~7x (paper)",
+                      f"{r:.2f}x (model; under-reproduced)")]
+    print_table("Section V.A: Jaguar asynchronous gain", rows)
+    assert r > 1.3
+
+
+def test_sec5_point_to_point_tiny_fraction(benchmark):
+    """'pure point-to-point communication time is only 0.2% of the total
+    execution time' (the Tcomm of Fig. 12 is mostly MPI_Waitall)."""
+    def measure():
+        mod = AWPRunModel(jaguar(), M8, 223_074)
+        return mod.comm_seconds() / mod.time_per_step()
+
+    frac = benchmark(measure)
+    rows = [paper_row("point-to-point / total", "0.2%", f"{frac * 100:.2f}%")]
+    print_table("Section V.A: communication fraction", rows)
+    assert frac < 0.01

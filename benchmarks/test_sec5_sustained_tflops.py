@@ -1,0 +1,92 @@
+"""Section V.B — sustained performance: 220 Tflop/s (M8 production) and
+260 Tflop/s (the 1.4-trillion-point Blue Waters preparation benchmark).
+"""
+
+import pytest
+
+from repro.parallel.machine import jaguar
+from repro.parallel.perfmodel import AWPRunModel, OptimizationSet
+
+from _bench_utils import paper_row, print_table
+
+M8 = (20250, 10125, 2125)
+#: the 750 x 375 x 79 km / 25 m benchmark: 1.4 trillion points
+BENCH = (30000, 15000, 3160)
+
+
+def test_sec5_m8_sustained_220(benchmark):
+    def measure():
+        mod = AWPRunModel(jaguar(), M8, 223_074)
+        return mod.sustained_tflops(), mod.time_per_step()
+
+    tflops, t_step = benchmark(measure)
+    rows = [
+        paper_row("M8 sustained rate", "220 Tflop/s", f"{tflops:.1f} Tflop/s"),
+        paper_row("time per step (24 h / ~144K steps)", "~0.6 s",
+                  f"{t_step:.3f} s"),
+        paper_row("fraction of peak", "~10%",
+                  f"{tflops / jaguar().peak_tflops_total * 100:.1f}%"),
+    ]
+    print_table("Section V.B: M8 sustained performance", rows)
+    assert tflops == pytest.approx(220.0, rel=0.05)
+    assert t_step == pytest.approx(0.6, rel=0.1)
+    benchmark.extra_info["sustained_tflops"] = round(tflops, 1)
+
+
+def test_sec5_benchmark_run_260(benchmark):
+    """The 2,000-step 1.4-trillion-point benchmark: no source reinit, no
+    production output.  Paper: 260 Tflop/s; the model lands in the same
+    regime but slightly below the M8 rate because the larger per-core
+    working set forfeits the cache-fit bonus (recorded as a deviation in
+    EXPERIMENTS.md)."""
+    def measure():
+        mod = AWPRunModel(jaguar(), BENCH, 223_074,
+                          opts=OptimizationSet.v7_2(),
+                          output_bytes_per_step=0.0, reinit_seconds=0.0)
+        return mod.sustained_tflops(), mod.points_per_core
+
+    tflops, ppc = benchmark(measure)
+    rows = [
+        paper_row("benchmark mesh", "1.4 trillion points",
+                  f"{BENCH[0] * BENCH[1] * BENCH[2]:.3g}"),
+        paper_row("benchmark sustained rate", "260 Tflop/s",
+                  f"{tflops:.1f} Tflop/s"),
+        paper_row("points per core", "6.4e6 (above cache fit)",
+                  f"{ppc:.2g}"),
+    ]
+    print_table("Section V.B: Blue Waters preparation benchmark", rows)
+    assert 150.0 < tflops < 300.0
+
+
+def test_sec5_flops_accounting(benchmark):
+    """PAPI accounting: sustained = FP_OPS / wall clock.  The calibrated
+    ~300 flops/point/step is consistent with 220 Tflop/s x 0.6 s / 436e9."""
+    from repro.parallel.perfmodel import FLOPS_PER_POINT_STEP
+
+    def measure():
+        implied = 220e12 * 0.6 / (M8[0] * M8[1] * M8[2])
+        return implied, FLOPS_PER_POINT_STEP
+
+    implied, used = benchmark(measure)
+    rows = [paper_row("flops per point step (PAPI-implied)",
+                      f"{implied:.0f}", f"{used:.0f} (model constant)")]
+    print_table("Section V.B: flop accounting", rows)
+    assert used == pytest.approx(implied, rel=0.05)
+
+
+def test_sec5_production_not_benchmark(benchmark):
+    """'the sustained performance is based on the 24-hour M8 production
+    simulation with 6.9 TB input and 4.5 TB output, not a benchmark run' —
+    i.e. the 220 Tflop/s includes I/O and source handling.  Verify those
+    terms are present but small in the production configuration."""
+    def measure():
+        mod = AWPRunModel(jaguar(), M8, 223_074)
+        bd = mod.breakdown()
+        return bd.output > 0, bd.reinit > 0, (bd.output + bd.reinit) / bd.total
+
+    has_io, has_reinit, frac = benchmark(measure)
+    rows = [paper_row("I/O + reinit present in production total",
+                      "yes, < 3%", f"{frac * 100:.2f}%")]
+    print_table("Section V.B: production accounting", rows)
+    assert has_io and has_reinit
+    assert frac < 0.03

@@ -1,0 +1,55 @@
+"""Table 1 — computers used by model for production runs.
+
+Regenerates the machine-characteristics table and checks the catalog's
+derived quantities against the paper's stated facts.
+"""
+
+import pytest
+
+from repro.parallel.machine import MACHINES, jaguar
+
+from _bench_utils import paper_row, print_table
+
+#: Table 1 of the paper: (peak Gflops/core, cores used).
+PAPER_TABLE1 = {
+    "datastar": (6.8, 2_048),
+    "ranger": (9.2, 60_000),
+    "bgw": (2.8, 40_000),
+    "intrepid": (3.4, 128_000),
+    "kraken": (10.4, 96_000),
+    "jaguar": (10.4, 223_074),
+}
+
+
+def test_table1_machine_catalog(benchmark):
+    def build():
+        return {name: (m.peak_gflops_per_core, m.cores_used)
+                for name, m in MACHINES.items()}
+
+    got = benchmark(build)
+    rows = []
+    for name, (gflops, cores) in PAPER_TABLE1.items():
+        rows.append(paper_row(f"{name}: peak Gflops/core", gflops,
+                              got[name][0]))
+        rows.append(paper_row(f"{name}: cores used", cores, got[name][1]))
+        assert got[name] == (gflops, cores)
+    print_table("Table 1: machines", rows)
+    benchmark.extra_info["machines"] = got
+
+
+def test_table1_jaguar_node_architecture(benchmark):
+    """Section IV: 'Jaguar's compute node contains two hex-core AMD Opteron
+    processors, 16GB of memory'."""
+    m = benchmark(jaguar)
+    rows = [
+        paper_row("cores per node (2 x hex-core)", 12, m.cores_per_node),
+        paper_row("memory per node (GB)", 16, m.memory_per_node_gb),
+        paper_row("interconnect", "SeaStar2+ torus",
+                  f"{m.interconnect} {m.topology_kind}"),
+        paper_row("peak total (Tflop/s)", "~2300",
+                  round(m.peak_tflops_total)),
+    ]
+    print_table("Table 1: Jaguar node detail", rows)
+    assert m.cores_per_node == 12
+    assert m.memory_per_node_gb == 16.0
+    assert m.peak_tflops_total == pytest.approx(2320, rel=0.01)

@@ -1,0 +1,76 @@
+"""Table 3 — SCEC milestone simulations by name, frequency, source, year.
+
+Regenerates the milestone catalog and checks the mesh arithmetic the paper
+quotes for each campaign (1.8e9 TeraShake, 14.4e9 ShakeOut, 436e9 M8).
+"""
+
+import pytest
+
+from repro.scenarios.catalog import SCENARIOS, m8_resource_summary, scenario
+
+from _bench_utils import paper_row, print_table
+
+PAPER_ROWS = {
+    # name: (Mw, f_max, source, mesh points)
+    "TeraShake-K": (7.7, 0.5, "kinematic", 1.8e9),
+    "TeraShake-D": (7.7, 0.5, "dynamic", 1.8e9),
+    "ShakeOut-K": (7.8, 1.0, "kinematic", 14.4e9),
+    "ShakeOut-D": (7.8, 1.0, "dynamic", 14.4e9),
+    "W2W": (8.0, 1.0, "dynamic", None),
+    "M8": (8.0, 2.0, "dynamic", 436e9),
+}
+
+
+def test_table3_milestone_catalog(benchmark):
+    def build():
+        return {name: (s.magnitude, s.f_max_hz, s.source_type, s.mesh_points)
+                for name, s in SCENARIOS.items()}
+
+    got = benchmark(build)
+    rows = []
+    for name, (mw, f, src, points) in PAPER_ROWS.items():
+        g = got[name]
+        rows.append(paper_row(
+            f"{name}", f"Mw{mw} {f}Hz {src}",
+            f"Mw{g[0]} {g[1]}Hz {g[2]}"))
+        assert (g[0], g[1], g[2]) == (mw, f, src)
+        if points is not None:
+            rows.append(paper_row(f"{name} mesh points", f"{points:.2g}",
+                                  f"{g[3]:.3g}"))
+            assert g[3] == pytest.approx(points, rel=0.01)
+    print_table("Table 3: SCEC milestones", rows)
+
+
+def test_table3_m8_resources(benchmark):
+    """Section VII.B resource facts for the M8 production run."""
+    r = benchmark(m8_resource_summary)
+    rows = [
+        paper_row("mesh points", "436 billion", f"{r['mesh_points']:.3g}"),
+        paper_row("mesh file", "4.8 TB", f"{r['mesh_file_tb']:.1f} TB"),
+        paper_row("surface output", "4.5 TB",
+                  f"{r['surface_output_tb']:.1f} TB"),
+        paper_row("checkpoint epoch", "49 TB",
+                  f"{r['checkpoint_tb']:.1f} TB"),
+        paper_row("cores", 223_074, r["cores"]),
+        paper_row("time steps (360 s)", "~144,000", f"{r['timesteps']}"),
+    ]
+    print_table("Table 3 / Section VII.B: M8 resources", rows)
+    assert r["mesh_points"] == pytest.approx(436e9, rel=0.01)
+    assert r["surface_output_tb"] == pytest.approx(4.5, rel=0.2)
+    assert r["checkpoint_tb"] == pytest.approx(49.0, rel=0.15)
+
+
+def test_table3_m8_consumed_30x_shakeout(benchmark):
+    """Section VII.B: 'M8 consumed thirty times the computational resources
+    that were required by each of the ShakeOut-D simulations.'"""
+    def ratio():
+        m8 = scenario("M8")
+        so = scenario("ShakeOut-D")
+        # cost ~ mesh points x steps ~ points x 1/h (CFL): points^(4/3)-ish;
+        # compare point-steps for the two configurations
+        return (m8.mesh_points / so.mesh_points) * (so.spacing_m / m8.spacing_m)
+
+    r = benchmark(ratio)
+    rows = [paper_row("M8 / ShakeOut-D point-steps", "~30x", f"{r:.0f}x")]
+    print_table("Section VI: M8 vs ShakeOut cost", rows)
+    assert 30 <= r <= 100

@@ -1,0 +1,28 @@
+"""Analysis: PGV metrics, GMPEs, seismogram tools, rupture diagnostics."""
+
+from .basins import (basin_amplification, bin_by_distance,
+                     joyner_boore_distance, rock_site_mask)
+from .derived import (DerivedProducts, arrival_time_map,
+                      cumulative_intensity_map, decimate_vector_field,
+                      shaking_duration_map)
+from .gmpe import GmpeResult, ba08_pgv, cb08_pgv
+from .pgv import (geometric_mean_pgv, pgv_components, pgvh_from_frames,
+                  pgvh_timeseries, starburst_score)
+from .rupturemetrics import (classify_rupture_speed, mach_angle,
+                             mach_cone_alignment, rayleigh_speed)
+from .seismogram import (amplitude_spectrum, bandpass, dominant_period,
+                         l2_misfit, lowpass, pick_arrival)
+
+__all__ = [
+    "basin_amplification", "bin_by_distance", "joyner_boore_distance",
+    "rock_site_mask",
+    "DerivedProducts", "arrival_time_map", "cumulative_intensity_map",
+    "decimate_vector_field", "shaking_duration_map",
+    "GmpeResult", "ba08_pgv", "cb08_pgv",
+    "geometric_mean_pgv", "pgv_components", "pgvh_from_frames",
+    "pgvh_timeseries", "starburst_score",
+    "classify_rupture_speed", "mach_angle", "mach_cone_alignment",
+    "rayleigh_speed",
+    "amplitude_spectrum", "bandpass", "dominant_period", "l2_misfit",
+    "lowpass", "pick_arrival",
+]

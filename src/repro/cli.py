@@ -1,0 +1,262 @@
+"""Command-line tools mirroring the AWP-ODC component executables (Fig. 4).
+
+The paper's package ships pre-processing tools (CVM2MESH, PetaMeshP,
+dSrcG/PetaSrcP), solvers (DFR, AWM), and post-processing (aVal, dPDA).
+This module exposes the same operations as subcommands::
+
+    python -m repro mesh-extract --nx 32 --ny 16 --nz 12 --h 1000 --out mesh.npy
+    python -m repro partition    --nx 32 --ny 16 --nz 12 --ranks 8
+    python -m repro run-quake    --n 40 --steps 200 --out pgv.npy
+    python -m repro rupture      --strike 40 --depth 16 --steps 200
+    python -m repro perf-report  --machine jaguar --cores 223074
+    python -m repro aval         [--update-reference ref.npz]
+    python -m repro m8           --extent 48 --duration 12
+
+Each subcommand prints a short human-readable report and (where an ``--out``
+is given) writes NumPy artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser with all subcommands."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="AWP-ODC reproduction tools (SC'10 petascale "
+                    "earthquake simulation)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    m = sub.add_parser("mesh-extract", help="CVM2MESH: extract a mesh from "
+                                            "the synthetic CVM")
+    m.add_argument("--nx", type=int, default=32)
+    m.add_argument("--ny", type=int, default=16)
+    m.add_argument("--nz", type=int, default=12)
+    m.add_argument("--h", type=float, default=1000.0)
+    m.add_argument("--ranks", type=int, default=4)
+    m.add_argument("--out", type=str, default=None)
+
+    pa = sub.add_parser("partition", help="PetaMeshP: partition a mesh over "
+                                          "a rank grid (both I/O models)")
+    pa.add_argument("--nx", type=int, default=32)
+    pa.add_argument("--ny", type=int, default=16)
+    pa.add_argument("--nz", type=int, default=12)
+    pa.add_argument("--h", type=float, default=1000.0)
+    pa.add_argument("--ranks", type=int, default=8)
+    pa.add_argument("--readers", type=int, default=2)
+
+    r = sub.add_parser("run-quake", help="AWM: point-source wave propagation")
+    r.add_argument("--n", type=int, default=40)
+    r.add_argument("--h", type=float, default=100.0)
+    r.add_argument("--steps", type=int, default=200)
+    r.add_argument("--f0", type=float, default=2.0)
+    r.add_argument("--out", type=str, default=None)
+
+    d = sub.add_parser("rupture", help="DFR: spontaneous dynamic rupture")
+    d.add_argument("--strike", type=int, default=40, help="fault cells")
+    d.add_argument("--depth", type=int, default=16)
+    d.add_argument("--h", type=float, default=200.0)
+    d.add_argument("--steps", type=int, default=200)
+    d.add_argument("--tau", type=float, default=70e6)
+
+    pf = sub.add_parser("perf-report", help="Eq. 7/8 performance report")
+    pf.add_argument("--machine", type=str, default="jaguar")
+    pf.add_argument("--cores", type=int, default=223_074)
+    pf.add_argument("--nx", type=int, default=20250)
+    pf.add_argument("--ny", type=int, default=10125)
+    pf.add_argument("--nz", type=int, default=2125)
+
+    a = sub.add_parser("aval", help="acceptance test against a reference")
+    a.add_argument("--update-reference", type=str, default=None)
+    a.add_argument("--reference", type=str, default=None)
+
+    m8 = sub.add_parser("m8", help="the scaled M8 two-step pipeline")
+    m8.add_argument("--extent", type=float, default=48.0, help="domain km")
+    m8.add_argument("--duration", type=float, default=12.0)
+
+    return p
+
+
+# ----------------------------------------------------------------------
+def _cmd_mesh_extract(args) -> int:
+    from .core.grid import Grid3D
+    from .mesh import extract_mesh_parallel, southern_california_like
+    cvm = southern_california_like(x_extent=args.nx * args.h,
+                                   y_extent=args.ny * args.h)
+    grid = Grid3D(args.nx, args.ny, args.nz, h=args.h)
+    mesh, elapsed = extract_mesh_parallel(cvm, grid, nranks=args.ranks)
+    vol = mesh.as_volume()
+    print(f"extracted {grid.ncells} cells on {args.ranks} ranks "
+          f"(virtual {elapsed * 1e3:.2f} ms)")
+    print(f"vs range: {vol[..., 1].min():.0f} - {vol[..., 1].max():.0f} m/s")
+    if args.out:
+        np.save(args.out, vol)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    from .core.grid import Grid3D
+    from .mesh import (extract_mesh_serial, on_demand_partition, prepartition,
+                       southern_california_like)
+    from .parallel import Decomposition3D
+    cvm = southern_california_like(x_extent=args.nx * args.h,
+                                   y_extent=args.ny * args.h)
+    grid = Grid3D(args.nx, args.ny, args.nz, h=args.h)
+    mesh = extract_mesh_serial(cvm, grid)
+    decomp = Decomposition3D.auto(grid, args.ranks)
+    pre = prepartition(mesh, decomp)
+    ond = on_demand_partition(mesh, decomp, n_readers=args.readers)
+    same = all(np.array_equal(pre.blocks[r], ond.blocks[r])
+               for r in range(decomp.nranks))
+    print(f"decomposition {decomp.dims} over {decomp.nranks} ranks")
+    print(f"pre-partitioned model:   {pre.elapsed * 1e3:.2f} virtual ms")
+    print(f"on-demand MPI-IO model:  {ond.elapsed * 1e3:.2f} virtual ms "
+          f"({args.readers} readers)")
+    print(f"blocks identical: {same}")
+    return 0 if same else 1
+
+
+def _cmd_run_quake(args) -> int:
+    from .core import (Grid3D, Medium, MomentTensorSource, SolverConfig,
+                       WaveSolver)
+    from .core.pml import PMLConfig
+    from .core.source import double_couple_strike_slip, gaussian_pulse
+    from .analysis.pgv import pgvh_from_frames
+    grid = Grid3D(args.n, args.n, max(12, args.n // 2), h=args.h)
+    med = Medium.homogeneous(grid, vp=4000.0, vs=2300.0, rho=2500.0)
+    pml_width = int(np.clip(args.n // 6, 3, 10))
+    solver = WaveSolver(grid, med, SolverConfig(
+        absorbing="pml", pml=PMLConfig(width=pml_width)))
+    c = args.n * args.h / 2
+    solver.add_source(MomentTensorSource(
+        position=(c, c, grid.extent[2] / 2),
+        moment=double_couple_strike_slip(1e15),
+        stf=lambda t: gaussian_pulse(np.array([t]), f0=args.f0)[0]))
+    rec = solver.record_surface(dec_time=5)
+    solver.run(args.steps)
+    pgv = pgvh_from_frames(rec.frames)
+    print(f"ran {args.steps} steps (dt = {solver.dt * 1e3:.2f} ms), "
+          f"t = {solver.t:.2f} s")
+    print(f"surface PGVH: max {pgv.max():.3e} m/s")
+    if args.out:
+        np.save(args.out, pgv)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_rupture(args) -> int:
+    from .core import Grid3D, Medium
+    from .rupture import (FaultModel, InitialStress, RuptureSolver,
+                          SlipWeakeningFriction)
+    ns, nd, h = args.strike, args.depth, args.h
+    grid = Grid3D(ns + 30, 40, nd + 10, h=h)
+    med = Medium.homogeneous(grid, vp=6000.0, vs=3464.0, rho=2670.0)
+    fr = SlipWeakeningFriction.uniform((ns, nd), mu_s=0.677, mu_d=0.525,
+                                       dc=max(0.4, 0.4 * h / 200.0),
+                                       cohesion=0.0)
+    tau0 = np.full((ns, nd), args.tau)
+    xs = (np.arange(ns) + 0.5) * h
+    zs = (np.arange(nd) + 0.5) * h
+    patch = ((xs[:, None] - ns // 2 * h) ** 2
+             + (zs[None, :] - nd // 2 * h) ** 2 <= (7 * h) ** 2)
+    tau0 = np.where(patch, 0.677 * 120e6 * 1.01, tau0)
+    fm = FaultModel(j0=20, i0=15, i1=15 + ns, n_depth=nd, friction=fr,
+                    initial=InitialStress(tau0_x=tau0,
+                                          tau0_z=np.zeros_like(tau0),
+                                          sigma_n=np.full((ns, nd), 120e6)))
+    rs = RuptureSolver(grid, med, fm, sponge_width=8)
+    rs.run(args.steps)
+    ruptured = np.isfinite(rs.rupture_time_region()).mean()
+    print(f"ruptured {ruptured * 100:.0f}% of the fault in "
+          f"{rs.t:.2f} s simulated")
+    print(f"Mw {rs.magnitude():.2f}, peak slip "
+          f"{rs.final_slip().max():.2f} m, peak rate "
+          f"{rs.peak_slip_rate_region().max():.1f} m/s, super-shear "
+          f"{rs.supershear_fraction() * 100:.0f}%")
+    return 0
+
+
+def _cmd_perf_report(args) -> int:
+    from .parallel import AWPRunModel, machine_by_name
+    from .parallel.autotune import tune
+    from .parallel.perfmodel import eq8_efficiency
+    from .parallel.topology import balanced_dims
+    m = machine_by_name(args.machine)
+    shape = (args.nx, args.ny, args.nz)
+    mod = AWPRunModel(m, shape, args.cores)
+    bd = mod.breakdown()
+    cfg = tune(m, shape, args.cores)
+    print(f"{m.name} ({m.site}): {args.cores} cores over "
+          f"{shape[0]}x{shape[1]}x{shape[2]} points")
+    print(f"  time/step:       {bd.total:.3f} s "
+          f"(comp {bd.comp:.3f}, comm {bd.comm:.4f}, sync {bd.sync:.3f})")
+    print(f"  sustained:       {mod.sustained_tflops():.1f} Tflop/s "
+          f"({mod.sustained_tflops() / m.peak_tflops_total * 100:.1f}% of peak)")
+    print(f"  Eq. 8 efficiency: "
+          f"{eq8_efficiency(m, shape, balanced_dims(args.cores, 3)) * 100:.1f}%")
+    print(f"  tuned config:    {cfg.communication}, overlap={cfg.overlap}, "
+          f"blocks={cfg.cache_blocking}, io={cfg.io_model}")
+    return 0
+
+
+def _cmd_aval(args) -> int:
+    from .workflow.aval import AcceptanceTest, ReferenceProblem
+    problem = ReferenceProblem()
+    if args.update_reference:
+        ref = problem.run()
+        np.savez(args.update_reference, **ref)
+        print(f"reference written to {args.update_reference}")
+        return 0
+    if args.reference:
+        data = np.load(args.reference)
+        test = AcceptanceTest(reference={k: data[k] for k in data.files})
+    else:
+        test = AcceptanceTest.bootstrap(problem)
+    report = test.evaluate(problem.run())
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+def _cmd_m8(args) -> int:
+    from .scenarios.m8 import M8Config, run_m8_scaled
+    cfg = M8Config(x_extent=args.extent * 1e3,
+                   h_wave=max(400.0, args.extent * 1e3 / 60),
+                   h_rupture=max(350.0, args.extent * 1e3 / 80),
+                   duration=args.duration,
+                   rupture_duration=args.duration)
+    res = run_m8_scaled(cfg)
+    rup = res.rupture
+    print(f"M8 (scaled to {args.extent:.0f} km): Mw {rup.magnitude():.2f}, "
+          f"super-shear {rup.supershear_fraction() * 100:.0f}%")
+    for name, v in sorted(res.site_pgvh().items(), key=lambda kv: -kv[1]):
+        print(f"  {name:18s} {v * 100:8.2f} cm/s")
+    return 0
+
+
+_COMMANDS = {
+    "mesh-extract": _cmd_mesh_extract,
+    "partition": _cmd_partition,
+    "run-quake": _cmd_run_quake,
+    "rupture": _cmd_rupture,
+    "perf-report": _cmd_perf_report,
+    "aval": _cmd_aval,
+    "m8": _cmd_m8,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro`` / the ``repro`` console script."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

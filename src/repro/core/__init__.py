@@ -1,0 +1,28 @@
+"""Core physics: the AWP-ODC staggered-grid velocity–stress FD solver."""
+
+from .fd import C1, C2, NGHOST
+from .grid import Grid3D, WaveField
+from .medium import Medium
+from .solver import Receiver, SolverConfig, SurfaceRecorder, WaveSolver
+from .source import (
+    BodyForceSource,
+    FiniteFaultSource,
+    MomentTensorSource,
+    SubFault,
+    double_couple_strike_slip,
+    magnitude_to_moment,
+    moment_to_magnitude,
+)
+from .stability import cfl_dt, max_frequency
+from .pml import PML, PMLConfig
+from .boundary import FreeSurfaceFS2, SpongeLayer
+
+__all__ = [
+    "C1", "C2", "NGHOST",
+    "Grid3D", "WaveField", "Medium",
+    "WaveSolver", "SolverConfig", "Receiver", "SurfaceRecorder",
+    "MomentTensorSource", "BodyForceSource", "FiniteFaultSource", "SubFault",
+    "double_couple_strike_slip", "moment_to_magnitude", "magnitude_to_moment",
+    "cfl_dt", "max_frequency",
+    "PML", "PMLConfig", "FreeSurfaceFS2", "SpongeLayer",
+]

@@ -1,0 +1,157 @@
+"""Free-surface and sponge-layer boundary conditions (Sections II.D–E).
+
+* :class:`FreeSurfaceFS2` — the paper's zero-stress condition "FS2"
+  (Gottschammer & Olsen 2001), defined at the vertical level of the
+  ``sxz``/``syz`` stresses: those stresses vanish on the surface plane and
+  are imaged antisymmetrically above it, ``szz`` is imaged antisymmetrically
+  about the surface, and ghost velocities above the surface are filled so the
+  discrete zero-traction conditions are preserved.
+
+* :class:`SpongeLayer` — Cerjan et al. (1985) absorbing layers: an
+  unconditionally stable exponential taper applied to the full (un-split)
+  wavefield inside frame regions.  Poorer absorption than PML but never
+  unstable — exactly the trade-off described in the paper, which falls back
+  to sponge layers when strong medium gradients destabilise split PMLs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fd import NGHOST, interior
+from .grid import ALL_FIELDS, WaveField
+from .medium import Medium
+
+__all__ = ["FreeSurfaceFS2", "SpongeLayer", "sponge_profile"]
+
+
+class FreeSurfaceFS2:
+    """FS2 zero-stress free surface at the top of the grid (z max).
+
+    The surface plane coincides with the ``sxz``/``syz`` level of the
+    top-most interior cell, i.e. ``z = (nz - 1/2) * h`` above the grid
+    origin.  Apply :meth:`apply_stress` after each stress update and
+    :meth:`apply_velocity` after each velocity update.
+    """
+
+    def __init__(self, medium: Medium):
+        self.medium = medium
+
+    def apply_stress(self, wf: WaveField) -> None:
+        """Zero surface shear tractions and image stresses antisymmetrically."""
+        kt = NGHOST + wf.grid.nz - 1  # padded index of top interior plane
+        # sxz, syz live on the surface plane itself: traction-free.
+        wf.sxz[:, :, kt] = 0.0
+        wf.syz[:, :, kt] = 0.0
+        wf.sxz[:, :, kt + 1] = -wf.sxz[:, :, kt - 1]
+        wf.syz[:, :, kt + 1] = -wf.syz[:, :, kt - 1]
+        wf.sxz[:, :, kt + 2] = -wf.sxz[:, :, kt - 2]
+        wf.syz[:, :, kt + 2] = -wf.syz[:, :, kt - 2]
+        # szz sits half a cell below the surface; antisymmetric imaging makes
+        # the traction vanish exactly on the surface plane.
+        wf.szz[:, :, kt + 1] = -wf.szz[:, :, kt]
+        wf.szz[:, :, kt + 2] = -wf.szz[:, :, kt - 1]
+
+    def apply_velocity(self, wf: WaveField) -> None:
+        """Fill ghost velocities above the surface from zero-traction rates.
+
+        The ghost planes are chosen so the discrete time derivative of the
+        surface tractions remains zero: ``d(sxz)/dt = 0`` and ``d(syz)/dt = 0``
+        on the surface give the horizontal ghosts; ``d(szz)/dt`` antisymmetry
+        gives the vertical ghost (2nd-order one-sided, the usual reduction of
+        order at the boundary).
+        """
+        kt = NGHOST + wf.grid.nz - 1
+        lam = self.medium.lam
+        lam2mu = self.medium.lam2mu
+        # mu(dvx/dz + dvz/dx) = 0 on surface -> vx ghost.
+        # vx is at (i+1/2, j, k); dvz/dx at (i+1/2, ..., surface) is forward.
+        dvz_dx = np.empty_like(wf.vz[:, :, kt])
+        dvz_dx[:-1, :] = wf.vz[1:, :, kt] - wf.vz[:-1, :, kt]
+        dvz_dx[-1, :] = 0.0
+        wf.vx[:, :, kt + 1] = wf.vx[:, :, kt] - dvz_dx
+        dvz_dy = np.empty_like(wf.vz[:, :, kt])
+        dvz_dy[:, :-1] = wf.vz[:, 1:, kt] - wf.vz[:, :-1, kt]
+        dvz_dy[:, -1] = 0.0
+        wf.vy[:, :, kt + 1] = wf.vy[:, :, kt] - dvz_dy
+
+        # d(szz)/dt antisymmetry about the surface -> vz ghost (2nd order):
+        #   lam2mu*(vz[kt+1]-vz[kt])/h + lam*A[kt+1]
+        #     = -( lam2mu*(vz[kt]-vz[kt-1])/h + lam*A[kt] )
+        # with A = dvx/dx + dvy/dy evaluated with the ghosts just filled.
+        def horiz_div(k: int) -> np.ndarray:
+            d = np.zeros_like(wf.vx[:, :, k])
+            d[1:, :] += wf.vx[1:, :, k] - wf.vx[:-1, :, k]
+            d[:, 1:] += wf.vy[:, 1:, k] - wf.vy[:, :-1, k]
+            return d
+
+        a_sum = horiz_div(kt + 1) + horiz_div(kt)
+        ratio = lam[:, :, kt] / lam2mu[:, :, kt]
+        wf.vz[:, :, kt + 1] = (2.0 * wf.vz[:, :, kt] - wf.vz[:, :, kt - 1]
+                               - ratio * a_sum)
+
+
+def sponge_profile(width: int, amp: float = 0.92) -> np.ndarray:
+    """Cerjan damping multipliers for a layer of ``width`` cells.
+
+    ``out[0]`` is the outermost (most damped) cell.  The classic profile is
+    ``exp(-(a * (W - d) / W)^2)`` with ``a`` set so the outermost multiplier
+    equals ``amp``-derived damping; we use the standard parametrisation with
+    ``a = sqrt(-ln(amp))`` giving ``out[0] = amp``.
+    """
+    if width < 1:
+        return np.ones(0)
+    a = np.sqrt(-np.log(amp))
+    d = np.arange(width, dtype=np.float64)
+    return np.exp(-(a * (width - d) / width) ** 2)
+
+
+class SpongeLayer:
+    """Cerjan sponge frame on x/y sides and the bottom (top = free surface).
+
+    Damping multipliers are the product of per-axis profiles, applied to all
+    nine field components every time step.  ``damp_top=True`` adds a top
+    layer for runs without a free surface.
+    """
+
+    def __init__(self, grid, width: int = 20, amp: float = 0.92,
+                 damp_top: bool = False,
+                 global_shape: tuple[int, int, int] | None = None,
+                 index_origin: tuple[int, int, int] = (0, 0, 0)):
+        gshape = global_shape if global_shape is not None else grid.shape
+        if width >= min(gshape):
+            raise ValueError("sponge width must be smaller than the grid")
+        self.grid = grid
+        self.width = width
+        self.amp = amp
+        prof = sponge_profile(width, amp)
+
+        def axis_profile(n: int, both: bool) -> np.ndarray:
+            p = np.ones(n, dtype=np.float64)
+            p[:width] = prof
+            if both:
+                p[n - width:] = prof[::-1]
+            return p
+
+        # Profiles are defined on the *global* grid, then sliced to this
+        # (sub)grid, so decomposed runs damp exactly like serial runs.
+        gx = axis_profile(gshape[0], both=True)
+        gy = axis_profile(gshape[1], both=True)
+        gz = np.ones(gshape[2], dtype=np.float64)
+        gz[:width] = prof  # bottom
+        if damp_top:
+            gz[gshape[2] - width:] = prof[::-1]
+        ox, oy, oz = index_origin
+        gx = gx[ox:ox + grid.nx]
+        gy = gy[oy:oy + grid.ny]
+        gz = gz[oz:oz + grid.nz]
+        self.gx, self.gy, self.gz = gx, gy, gz
+        self._g3 = (gx[:, None, None] * gy[None, :, None] * gz[None, None, :])
+
+    def apply(self, wf: WaveField) -> None:
+        for name in ALL_FIELDS:
+            interior(getattr(wf, name))[...] *= self._g3
+
+    def reflection_estimate(self) -> float:
+        """Crude two-way amplitude multiplier through the layer (diagnostic)."""
+        return float(np.prod(sponge_profile(self.width, self.amp)) ** 2)

@@ -1,0 +1,163 @@
+"""Staggered-grid finite-difference operators (paper Section II.B).
+
+AWP-ODC approximates spatial derivatives with the 4th-order accurate
+staggered-grid operator of Eq. (3):
+
+    d/dx F(i,j,k) ~= [ c1*(F(i+1/2) - F(i-1/2)) + c2*(F(i+3/2) - F(i-3/2)) ] / h
+
+with ``c1 = 9/8`` and ``c2 = -1/24``.  On the discrete array (one sample per
+cell in each direction), a staggered derivative either moves a quantity from
+integer positions to half-integer positions ("forward") or the reverse
+("backward").  Both are the same operator applied with a half-cell shift of
+the output location:
+
+* ``diff*_fwd`` — output lives half a cell *up* from the input samples::
+
+      out[i] = (c1*(f[i+1] - f[i]) + c2*(f[i+2] - f[i-1])) / h
+
+* ``diff*_bwd`` — output lives half a cell *down* from the input samples::
+
+      out[i] = (c1*(f[i] - f[i-1]) + c2*(f[i+1] - f[i-2])) / h
+
+All operators act on *padded* arrays: every field array carries ``NGHOST = 2``
+ghost cells on each side of every axis (the "two-cell padding layer" used for
+halo exchange in the paper, Section III.A).  Derivatives are written into the
+interior region only; ghost cells of the output are left untouched.
+
+Second-order variants (``c1 = 1, c2 = 0``) are provided for the independent
+verification solver and for the reduced-accuracy stencils used adjacent to the
+fault plane by the SGSN scheme (Eq. 4b/4c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "C1",
+    "C2",
+    "NGHOST",
+    "diff4_fwd",
+    "diff4_bwd",
+    "diff2_fwd",
+    "diff2_bwd",
+    "interior",
+    "diff_fwd",
+    "diff_bwd",
+]
+
+#: 4th-order staggered-grid coefficients of Eq. (3).
+C1: float = 9.0 / 8.0
+C2: float = -1.0 / 24.0
+
+#: Ghost-cell padding width required by the 4th-order stencil (Section III.A).
+NGHOST: int = 2
+
+
+def interior(a: np.ndarray) -> np.ndarray:
+    """Return a view of the interior (non-ghost) region of a padded array."""
+    sl = tuple(slice(NGHOST, -NGHOST) for _ in range(a.ndim))
+    return a[sl]
+
+
+def _shift(axis: int, lo: int, hi: int, ndim: int) -> tuple[slice, ...]:
+    """Interior slice shifted by ``lo`` cells at the low end along ``axis``.
+
+    ``lo``/``hi`` are offsets relative to the interior window ``[NGHOST,
+    -NGHOST)``; e.g. ``_shift(0, 1, 1, 3)`` selects ``[NGHOST+1 : -NGHOST+1)``
+    along axis 0 and the plain interior on other axes.
+    """
+    out: list[slice] = []
+    for ax in range(ndim):
+        if ax == axis:
+            stop = -NGHOST + hi
+            out.append(slice(NGHOST + lo, stop if stop != 0 else None))
+        else:
+            out.append(slice(NGHOST, -NGHOST))
+    return tuple(out)
+
+
+def diff4_fwd(f: np.ndarray, axis: int, h: float, out: np.ndarray | None = None) -> np.ndarray:
+    """4th-order staggered derivative; output half a cell up along ``axis``.
+
+    ``out[i] = (c1*(f[i+1]-f[i]) + c2*(f[i+2]-f[i-1])) / h`` over the interior.
+    If ``out`` is given, the interior of ``out`` is overwritten and ``out`` is
+    returned; otherwise a zero-initialised array of the same shape is created.
+    """
+    if out is None:
+        out = np.zeros_like(f)
+    nd = f.ndim
+    p1 = f[_shift(axis, 1, 1, nd)]
+    p0 = f[_shift(axis, 0, 0, nd)]
+    p2 = f[_shift(axis, 2, 2, nd)]
+    m1 = f[_shift(axis, -1, -1, nd)]
+    dst = interior(out)
+    np.multiply(p1, C1, out=dst)
+    dst -= C1 * p0
+    dst += C2 * p2
+    dst -= C2 * m1
+    dst /= h
+    return out
+
+
+def diff4_bwd(f: np.ndarray, axis: int, h: float, out: np.ndarray | None = None) -> np.ndarray:
+    """4th-order staggered derivative; output half a cell down along ``axis``.
+
+    ``out[i] = (c1*(f[i]-f[i-1]) + c2*(f[i+1]-f[i-2])) / h`` over the interior.
+    """
+    if out is None:
+        out = np.zeros_like(f)
+    nd = f.ndim
+    p0 = f[_shift(axis, 0, 0, nd)]
+    m1 = f[_shift(axis, -1, -1, nd)]
+    p1 = f[_shift(axis, 1, 1, nd)]
+    m2 = f[_shift(axis, -2, -2, nd)]
+    dst = interior(out)
+    np.multiply(p0, C1, out=dst)
+    dst -= C1 * m1
+    dst += C2 * p1
+    dst -= C2 * m2
+    dst /= h
+    return out
+
+
+def diff2_fwd(f: np.ndarray, axis: int, h: float, out: np.ndarray | None = None) -> np.ndarray:
+    """2nd-order staggered derivative, output half a cell up (Eq. 4b form)."""
+    if out is None:
+        out = np.zeros_like(f)
+    nd = f.ndim
+    dst = interior(out)
+    np.subtract(f[_shift(axis, 1, 1, nd)], f[_shift(axis, 0, 0, nd)], out=dst)
+    dst /= h
+    return out
+
+
+def diff2_bwd(f: np.ndarray, axis: int, h: float, out: np.ndarray | None = None) -> np.ndarray:
+    """2nd-order staggered derivative, output half a cell down (Eq. 4c form)."""
+    if out is None:
+        out = np.zeros_like(f)
+    nd = f.ndim
+    dst = interior(out)
+    np.subtract(f[_shift(axis, 0, 0, nd)], f[_shift(axis, -1, -1, nd)], out=dst)
+    dst /= h
+    return out
+
+
+def diff_fwd(f: np.ndarray, axis: int, h: float, order: int = 4,
+             out: np.ndarray | None = None) -> np.ndarray:
+    """Forward staggered derivative of the requested ``order`` (2 or 4)."""
+    if order == 4:
+        return diff4_fwd(f, axis, h, out)
+    if order == 2:
+        return diff2_fwd(f, axis, h, out)
+    raise ValueError(f"unsupported FD order: {order!r} (expected 2 or 4)")
+
+
+def diff_bwd(f: np.ndarray, axis: int, h: float, order: int = 4,
+             out: np.ndarray | None = None) -> np.ndarray:
+    """Backward staggered derivative of the requested ``order`` (2 or 4)."""
+    if order == 4:
+        return diff4_bwd(f, axis, h, out)
+    if order == 2:
+        return diff2_bwd(f, axis, h, out)
+    raise ValueError(f"unsupported FD order: {order!r} (expected 2 or 4)")

@@ -1,0 +1,194 @@
+"""Staggered-grid geometry and wavefield storage (paper Sections II.B, III.A).
+
+The AWP-ODC unit cell follows the standard Levander/Graves velocity–stress
+staggering.  With ``(i, j, k)`` the integer cell index and ``h`` the uniform
+spacing (40 m for M8):
+
+====================  =========================
+field                 position
+====================  =========================
+``sxx, syy, szz``     ``(i,      j,      k)``
+``vx``                ``(i+1/2,  j,      k)``
+``vy``                ``(i,      j+1/2,  k)``
+``vz``                ``(i,      j,      k+1/2)``
+``sxy``               ``(i+1/2,  j+1/2,  k)``
+``sxz``               ``(i+1/2,  j,      k+1/2)``
+``syz``               ``(i,      j+1/2,  k+1/2)``
+====================  =========================
+
+Axis convention: axis 0 = x (along strike for the scenario runs), axis 1 = y
+(fault-normal), axis 2 = z, with ``k`` increasing *upward*; the free surface
+sits at the top of the grid.  All arrays are padded with ``NGHOST = 2`` ghost
+cells per side ("two-cell padding layer", Section III.A) so a subgrid of an
+MPI-decomposed run and a standalone run share identical array layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .fd import NGHOST, interior
+
+__all__ = ["Grid3D", "WaveField", "VELOCITY_FIELDS", "STRESS_FIELDS", "ALL_FIELDS"]
+
+VELOCITY_FIELDS: tuple[str, ...] = ("vx", "vy", "vz")
+STRESS_FIELDS: tuple[str, ...] = ("sxx", "syy", "szz", "sxy", "sxz", "syz")
+ALL_FIELDS: tuple[str, ...] = VELOCITY_FIELDS + STRESS_FIELDS
+
+#: Staggered half-cell offsets of each field, in cell units.
+FIELD_OFFSETS: dict[str, tuple[float, float, float]] = {
+    "sxx": (0.0, 0.0, 0.0),
+    "syy": (0.0, 0.0, 0.0),
+    "szz": (0.0, 0.0, 0.0),
+    "vx": (0.5, 0.0, 0.0),
+    "vy": (0.0, 0.5, 0.0),
+    "vz": (0.0, 0.0, 0.5),
+    "sxy": (0.5, 0.5, 0.0),
+    "sxz": (0.5, 0.0, 0.5),
+    "syz": (0.0, 0.5, 0.5),
+}
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """A uniform Cartesian staggered grid of ``nx x ny x nz`` cells.
+
+    Parameters
+    ----------
+    nx, ny, nz:
+        Interior cell counts along x, y, z (ghosts excluded).
+    h:
+        Uniform grid spacing in metres (the paper's M8 run used 40 m).
+    origin:
+        Physical coordinates of cell ``(0, 0, 0)``'s corner, metres.
+    """
+
+    nx: int
+    ny: int
+    nz: int
+    h: float
+    origin: tuple[float, float, float] = (0.0, 0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if min(self.nx, self.ny, self.nz) < 1:
+            raise ValueError("grid dimensions must be positive")
+        if self.h <= 0:
+            raise ValueError("grid spacing must be positive")
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Interior shape (without ghost cells)."""
+        return (self.nx, self.ny, self.nz)
+
+    @property
+    def padded_shape(self) -> tuple[int, int, int]:
+        """Array shape including ghost cells."""
+        return (self.nx + 2 * NGHOST, self.ny + 2 * NGHOST, self.nz + 2 * NGHOST)
+
+    @property
+    def ncells(self) -> int:
+        """Total interior cell count (the paper's "mesh points")."""
+        return self.nx * self.ny * self.nz
+
+    @property
+    def extent(self) -> tuple[float, float, float]:
+        """Physical size of the domain in metres."""
+        return (self.nx * self.h, self.ny * self.h, self.nz * self.h)
+
+    def coords(self, name: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Physical coordinates (1-D per axis) of interior samples of ``name``.
+
+        The returned arrays respect the staggered offset of the field, e.g.
+        ``vx`` samples lie at ``origin_x + (i + 1/2) * h``.
+        """
+        ox, oy, oz = FIELD_OFFSETS[name]
+        x = self.origin[0] + (np.arange(self.nx) + ox) * self.h
+        y = self.origin[1] + (np.arange(self.ny) + oy) * self.h
+        z = self.origin[2] + (np.arange(self.nz) + oz) * self.h
+        return x, y, z
+
+    def index_of(self, x: float, y: float, z: float) -> tuple[int, int, int]:
+        """Cell index containing physical point ``(x, y, z)``; bounds-checked."""
+        ijk = []
+        for v, o, n in zip((x, y, z), self.origin, (self.nx, self.ny, self.nz)):
+            i = int(np.floor((v - o) / self.h))
+            if not 0 <= i < n:
+                raise ValueError(f"point {(x, y, z)} is outside the grid")
+            ijk.append(i)
+        return tuple(ijk)  # type: ignore[return-value]
+
+
+@dataclass
+class WaveField:
+    """All nine velocity/stress component arrays for one (sub)grid.
+
+    Every array has the grid's *padded* shape; the interior is the physical
+    subdomain and the 2-cell rim is the ghost/halo region.
+    """
+
+    grid: Grid3D
+    dtype: np.dtype = field(default_factory=lambda: np.dtype(np.float64))
+    vx: np.ndarray = field(init=False, repr=False)
+    vy: np.ndarray = field(init=False, repr=False)
+    vz: np.ndarray = field(init=False, repr=False)
+    sxx: np.ndarray = field(init=False, repr=False)
+    syy: np.ndarray = field(init=False, repr=False)
+    szz: np.ndarray = field(init=False, repr=False)
+    sxy: np.ndarray = field(init=False, repr=False)
+    sxz: np.ndarray = field(init=False, repr=False)
+    syz: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        shape = self.grid.padded_shape
+        for name in ALL_FIELDS:
+            setattr(self, name, np.zeros(shape, dtype=self.dtype))
+
+    def fields(self) -> dict[str, np.ndarray]:
+        """Name → padded array mapping for all nine components."""
+        return {name: getattr(self, name) for name in ALL_FIELDS}
+
+    def velocity(self) -> dict[str, np.ndarray]:
+        return {name: getattr(self, name) for name in VELOCITY_FIELDS}
+
+    def stress(self) -> dict[str, np.ndarray]:
+        return {name: getattr(self, name) for name in STRESS_FIELDS}
+
+    def interior(self, name: str) -> np.ndarray:
+        """Interior (ghost-free) view of one component."""
+        return interior(getattr(self, name))
+
+    def copy(self) -> "WaveField":
+        other = WaveField(self.grid, dtype=self.dtype)
+        for name in ALL_FIELDS:
+            getattr(other, name)[...] = getattr(self, name)
+        return other
+
+    def zero(self) -> None:
+        for name in ALL_FIELDS:
+            getattr(self, name).fill(0.0)
+
+    def max_velocity(self) -> float:
+        """Peak particle-velocity magnitude bound (max over components)."""
+        return float(max(np.abs(self.interior(n)).max() for n in VELOCITY_FIELDS))
+
+    def energy_proxy(self) -> float:
+        """Cheap monotone proxy for wavefield energy (sum of squared fields).
+
+        Used by stability watchdogs: exponential blow-up is detected by this
+        proxy long before overflow.
+        """
+        return float(sum((self.interior(n) ** 2).sum() for n in ALL_FIELDS))
+
+    def state_vector(self) -> np.ndarray:
+        """Concatenate all interior fields into one flat vector (checkpoints)."""
+        return np.concatenate([self.interior(n).ravel() for n in ALL_FIELDS])
+
+    def load_state_vector(self, vec: np.ndarray) -> None:
+        """Inverse of :meth:`state_vector`."""
+        n = self.grid.ncells
+        if vec.size != n * len(ALL_FIELDS):
+            raise ValueError("state vector size mismatch")
+        for idx, name in enumerate(ALL_FIELDS):
+            self.interior(name)[...] = vec[idx * n:(idx + 1) * n].reshape(self.grid.shape)

@@ -1,0 +1,279 @@
+"""Velocity–stress update kernels (paper Sections II.A–B, IV.B).
+
+The nine governing scalar equations (three velocity components, six stress
+components; Eq. 1a/1b decomposed component-wise) are advanced with the
+explicit staggered-grid leapfrog scheme: 2nd-order in time (Eq. 2), 4th-order
+in space (Eq. 3).
+
+Each component's time derivative is computed as up to three *axis terms* —
+the x-, y-, z- derivative contributions.  Keeping the terms separate serves
+two masters:
+
+* the interior update simply sums them (``f += dt * (tx + ty + tz)``);
+* the PML absorbing boundaries (Section II.D) damp each directional part
+  independently, exactly the equation-splitting of Eq. (5)–(6).
+
+Two kernel families are provided, mirroring the paper's single-CPU
+optimization study (Section IV.B):
+
+* :class:`VelocityStressKernel` — the production kernel: reciprocal
+  (buoyancy) arrays and pre-averaged moduli, multiplication-only inner loops.
+* :func:`baseline_velocity_update` / :func:`baseline_stress_update` — the
+  pre-optimization formulation with divisions by density and per-step
+  harmonic averaging of moduli, kept as the measurable "before" case for the
+  kernel-optimization benchmark.
+
+A cache-blocked driver (:meth:`VelocityStressKernel.step_blocked`) applies
+the same updates in k/j panels, mirroring the paper's kblock/jblock scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import fd
+from .fd import NGHOST, interior
+from .grid import WaveField
+from .medium import Medium
+
+__all__ = [
+    "VelocityStressKernel",
+    "baseline_velocity_update",
+    "baseline_stress_update",
+]
+
+# (component, [(axis, stress_field, direction), ...]) for velocity updates.
+# direction 'f' = forward staggered derivative, 'b' = backward; determined by
+# the relative staggering of the velocity component and the stress field.
+_VEL_TERMS: dict[str, tuple[tuple[int, str, str], ...]] = {
+    "vx": ((0, "sxx", "f"), (1, "sxy", "b"), (2, "sxz", "b")),
+    "vy": ((0, "sxy", "b"), (1, "syy", "f"), (2, "syz", "b")),
+    "vz": ((0, "sxz", "b"), (1, "syz", "b"), (2, "szz", "f")),
+}
+
+_VEL_BUOYANCY = {"vx": "bx", "vy": "by", "vz": "bz"}
+
+# Shear stress components: (axis term) -> (axis, velocity field, direction).
+_SHEAR_TERMS: dict[str, tuple[tuple[int, str, str], ...]] = {
+    "sxy": ((0, "vy", "f"), (1, "vx", "f")),
+    "sxz": ((0, "vz", "f"), (2, "vx", "f")),
+    "syz": ((1, "vz", "f"), (2, "vy", "f")),
+}
+
+_SHEAR_MOD = {"sxy": "mu_xy", "sxz": "mu_xz", "syz": "mu_yz"}
+
+
+class VelocityStressKernel:
+    """Optimized elastic update kernel bound to one wavefield and medium.
+
+    Scratch arrays are allocated once; :meth:`velocity_terms` and
+    :meth:`stress_terms` overwrite and return them, so callers must consume
+    a component's terms before requesting the next component's.
+    """
+
+    def __init__(self, wf: WaveField, medium: Medium, dt: float, order: int = 4):
+        if medium.grid.padded_shape != wf.grid.padded_shape:
+            raise ValueError("medium and wavefield grids differ")
+        self.wf = wf
+        self.medium = medium
+        self.dt = float(dt)
+        self.order = order
+        shape = wf.grid.padded_shape
+        self._scratch = [np.zeros(shape, dtype=wf.dtype) for _ in range(3)]
+        self.h = wf.grid.h
+
+    # ------------------------------------------------------------------
+    # Axis-term computation
+    # ------------------------------------------------------------------
+    def velocity_terms(self, comp: str) -> list[np.ndarray]:
+        """Per-axis contributions to ``d(comp)/dt`` (buoyancy included)."""
+        med = self.medium
+        b = getattr(med, _VEL_BUOYANCY[comp])
+        out: list[np.ndarray] = []
+        for (axis, sname, dirn), scr in zip(_VEL_TERMS[comp], self._scratch):
+            s = getattr(self.wf, sname)
+            if dirn == "f":
+                fd.diff_fwd(s, axis, self.h, order=self.order, out=scr)
+            else:
+                fd.diff_bwd(s, axis, self.h, order=self.order, out=scr)
+            interior(scr)[...] *= interior(b)
+            out.append(scr)
+        return out
+
+    def stress_terms(self, comp: str) -> list[np.ndarray]:
+        """Per-axis contributions to ``d(comp)/dt`` (moduli included).
+
+        Normal components produce three terms (x, y, z strain-rate parts);
+        shear components produce two (the third axis does not contribute).
+        """
+        med = self.medium
+        wf = self.wf
+        if comp in ("sxx", "syy", "szz"):
+            dvx = fd.diff_bwd(wf.vx, 0, self.h, order=self.order, out=self._scratch[0])
+            dvy = fd.diff_bwd(wf.vy, 1, self.h, order=self.order, out=self._scratch[1])
+            dvz = fd.diff_bwd(wf.vz, 2, self.h, order=self.order, out=self._scratch[2])
+            own = {"sxx": dvx, "syy": dvy, "szz": dvz}[comp]
+            for t in (dvx, dvy, dvz):
+                if t is own:
+                    interior(t)[...] *= interior(med.lam2mu)
+                else:
+                    interior(t)[...] *= interior(med.lam)
+            return [dvx, dvy, dvz]
+        mod = getattr(med, _SHEAR_MOD[comp])
+        out = []
+        for (axis, vname, _), scr in zip(_SHEAR_TERMS[comp], self._scratch):
+            v = getattr(wf, vname)
+            fd.diff_fwd(v, axis, self.h, order=self.order, out=scr)
+            interior(scr)[...] *= interior(mod)
+            out.append(scr)
+        return out
+
+    # ------------------------------------------------------------------
+    # Plain interior updates
+    # ------------------------------------------------------------------
+    def update_velocity(self, comp: str) -> list[np.ndarray]:
+        """Advance one velocity component over the whole interior.
+
+        Returns the axis terms (still valid views) for boundary modules.
+        """
+        terms = self.velocity_terms(comp)
+        dst = interior(getattr(self.wf, comp))
+        for t in terms:
+            dst += self.dt * interior(t)
+        return terms
+
+    def update_stress(self, comp: str,
+                      rate_hook=None) -> list[np.ndarray]:
+        """Advance one stress component over the whole interior.
+
+        ``rate_hook(comp, rate_interior) -> rate_interior`` lets the
+        attenuation module transform the elastic stress rate (adding memory
+        variable relaxation) before integration.  Returns the axis terms.
+        """
+        terms = self.stress_terms(comp)
+        rate = interior(terms[0]).copy()
+        for t in terms[1:]:
+            rate += interior(t)
+        if rate_hook is not None:
+            rate = rate_hook(comp, rate)
+        interior(getattr(self.wf, comp))[...] += self.dt * rate
+        return terms
+
+    def step_velocity(self) -> None:
+        for comp in ("vx", "vy", "vz"):
+            self.update_velocity(comp)
+
+    def step_stress(self, rate_hook=None) -> None:
+        for comp in ("sxx", "syy", "szz", "sxy", "sxz", "syz"):
+            self.update_stress(comp, rate_hook=rate_hook)
+
+    # ------------------------------------------------------------------
+    # Cache-blocked driver (Section IV.B)
+    # ------------------------------------------------------------------
+    def step_blocked(self, kblock: int = 16, jblock: int = 8) -> None:
+        """One full elastic step applied in (k, j) panels.
+
+        Mirrors the paper's kblock/jblock cache-blocking: the same arithmetic
+        is applied panel by panel so operands of adjacent planes stay
+        cache-resident.  Results are identical to the unblocked step (the
+        update of each component only reads the *other* family of fields).
+        """
+        g = self.wf.grid
+        panels = [
+            (slice(NGHOST, -NGHOST),
+             slice(NGHOST + j0, NGHOST + min(j0 + jblock, g.ny)),
+             slice(NGHOST + k0, NGHOST + min(k0 + kblock, g.nz)))
+            for k0 in range(0, g.nz, kblock)
+            for j0 in range(0, g.ny, jblock)
+        ]
+        for comp in ("vx", "vy", "vz"):
+            terms = self.velocity_terms(comp)
+            arr = getattr(self.wf, comp)
+            for sl in panels:
+                for t in terms:
+                    arr[sl] += self.dt * t[sl]
+        for comp in ("sxx", "syy", "szz", "sxy", "sxz", "syz"):
+            terms = self.stress_terms(comp)
+            # Sum the rate exactly as update_stress does, so blocked and
+            # unblocked stepping are bitwise identical (ghost regions of the
+            # scratch arrays are zero and never read through the panels).
+            rate = terms[0].copy()
+            for t in terms[1:]:
+                rate += t
+            arr = getattr(self.wf, comp)
+            for sl in panels:
+                arr[sl] += self.dt * rate[sl]
+
+
+# ----------------------------------------------------------------------
+# Pre-optimization ("version <= 6.x") kernels for the Section IV.B study
+# ----------------------------------------------------------------------
+
+def _harmonic4(a: np.ndarray, ax1: int, ax2: int) -> np.ndarray:
+    """Per-step 4-point harmonic mean, as the unoptimized kernel computed it."""
+    nd = a.ndim
+
+    def sh(d1: int, d2: int) -> np.ndarray:
+        sl = [slice(None)] * nd
+        sl[ax1] = slice(d1, None) if d1 else slice(None)
+        sl[ax2] = slice(d2, None) if d2 else slice(None)
+        v = a[tuple(sl)]
+        pad = [(0, 0)] * nd
+        if d1:
+            pad[ax1] = (0, d1)
+        if d2:
+            pad[ax2] = (0, d2)
+        return np.pad(v, pad, mode="edge")
+
+    return 4.0 / (1.0 / sh(0, 0) + 1.0 / sh(1, 0) + 1.0 / sh(0, 1) + 1.0 / sh(1, 1))
+
+
+def baseline_velocity_update(wf: WaveField, medium: Medium, dt: float,
+                             order: int = 4) -> None:
+    """Velocity update with in-loop divisions by density (pre-IV.B code).
+
+    Numerically equivalent to the optimized kernel up to floating-point
+    reassociation; kept for the kernel-optimization benchmark.
+    """
+    h = wf.grid.h
+    rho_at = {"vx": 0, "vy": 1, "vz": 2}
+    for comp, terms in _VEL_TERMS.items():
+        total = np.zeros(wf.grid.padded_shape, dtype=wf.dtype)
+        for axis, sname, dirn in terms:
+            s = getattr(wf, sname)
+            d = (fd.diff_fwd if dirn == "f" else fd.diff_bwd)(s, axis, h, order=order)
+            interior(total)[...] += interior(d)
+        ax = rho_at[comp]
+        nd = medium.rho.ndim
+        lo = [slice(None)] * nd
+        hi = [slice(None)] * nd
+        lo[ax] = slice(0, -1)
+        hi[ax] = slice(1, None)
+        rho_avg = medium.rho.copy()
+        rho_avg[tuple(lo)] = 0.5 * (medium.rho[tuple(lo)] + medium.rho[tuple(hi)])
+        # Division in the inner loop: the expensive form the paper removed.
+        interior(getattr(wf, comp))[...] += dt * interior(total) / interior(rho_avg)
+
+
+def baseline_stress_update(wf: WaveField, medium: Medium, dt: float,
+                           order: int = 4) -> None:
+    """Stress update recomputing harmonic moduli every step (pre-IV.B code)."""
+    h = wf.grid.h
+    dvx = fd.diff_bwd(wf.vx, 0, h, order=order)
+    dvy = fd.diff_bwd(wf.vy, 1, h, order=order)
+    dvz = fd.diff_bwd(wf.vz, 2, h, order=order)
+    lam, mu = medium.lam, medium.mu
+    div = interior(dvx) + interior(dvy) + interior(dvz)
+    for comp, own in (("sxx", dvx), ("syy", dvy), ("szz", dvz)):
+        interior(getattr(wf, comp))[...] += dt * (
+            interior(lam) * div + 2.0 * interior(mu) * interior(own))
+    for comp, terms in _SHEAR_TERMS.items():
+        ax1, ax2 = {"sxy": (0, 1), "sxz": (0, 2), "syz": (1, 2)}[comp]
+        mod = _harmonic4(mu, ax1, ax2)
+        total = np.zeros(wf.grid.padded_shape, dtype=wf.dtype)
+        for axis, vname, _ in terms:
+            d = fd.diff_fwd(getattr(wf, vname), axis, h, order=order)
+            interior(total)[...] += interior(d)
+        interior(getattr(wf, comp))[...] += dt * interior(mod) * interior(total)

@@ -1,0 +1,245 @@
+"""Material model: Lamé parameters, density, and staggered averaging.
+
+The mesh produced by CVM2MESH stores ``(vp, vs, rho)`` per cell (paper Section
+VII.B); the solver consumes Lamé parameters on staggered positions:
+
+* ``lam`` and ``mu`` at normal-stress (cell-centre) points;
+* ``mu`` harmonically averaged to the shear-stress positions (the paper's
+  "harmonic mean of the Lamé parameter" kernel, Section IV.B);
+* ``rho`` arithmetically averaged to the three velocity positions.
+
+Following the single-CPU optimization of Section IV.B ("we store the
+reciprocals of mu and lam rather than the arrays themselves"), this module
+precomputes *reciprocal* density (``bx, by, bz`` buoyancies) and keeps the
+averaged moduli ready for multiplication-only inner loops.
+
+Anelastic quality factors follow the paper's empirical on-the-fly rule
+(Section VII.B): ``Qs = 50 * Vs`` with Vs in km/s, and ``Qp = 2 * Qs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .fd import NGHOST, interior
+from .grid import Grid3D
+
+__all__ = ["Medium", "qs_from_vs", "qp_from_qs", "harmonic_mean", "arithmetic_mean"]
+
+
+def qs_from_vs(vs: np.ndarray | float) -> np.ndarray | float:
+    """Empirical S-wave quality factor: ``Qs = 50 * Vs[km/s]`` (Section VII.B)."""
+    return 50.0 * np.asarray(vs) / 1000.0
+
+
+def qp_from_qs(qs: np.ndarray | float) -> np.ndarray | float:
+    """Empirical P-wave quality factor: ``Qp = 2 * Qs`` (Section VII.B)."""
+    return 2.0 * np.asarray(qs)
+
+
+def harmonic_mean(*arrays: np.ndarray) -> np.ndarray:
+    """Harmonic mean of equal-shape arrays (moduli averaging across cells)."""
+    acc = np.zeros_like(arrays[0], dtype=np.float64)
+    for a in arrays:
+        acc += 1.0 / a
+    return len(arrays) / acc
+
+
+def arithmetic_mean(*arrays: np.ndarray) -> np.ndarray:
+    """Arithmetic mean of equal-shape arrays (density averaging)."""
+    acc = np.zeros_like(arrays[0], dtype=np.float64)
+    for a in arrays:
+        acc += a
+    return acc / len(arrays)
+
+
+def _pad_edge(a: np.ndarray) -> np.ndarray:
+    """Pad interior-shaped property array with NGHOST edge-replicated cells."""
+    return np.pad(a, NGHOST, mode="edge")
+
+
+def _avg_fwd(a: np.ndarray, axis: int) -> np.ndarray:
+    """Two-point arithmetic mean toward +1/2 along ``axis`` (padded arrays)."""
+    nd = a.ndim
+    lo = [slice(None)] * nd
+    hi = [slice(None)] * nd
+    lo[axis] = slice(0, -1)
+    hi[axis] = slice(1, None)
+    out = np.empty_like(a)
+    out[tuple(lo)] = 0.5 * (a[tuple(lo)] + a[tuple(hi)])
+    # Last plane has no +1 neighbour: replicate.
+    last = [slice(None)] * nd
+    last[axis] = slice(-1, None)
+    out[tuple(last)] = a[tuple(last)]
+    return out
+
+
+def _hmean_fwd2(a: np.ndarray, ax1: int, ax2: int) -> np.ndarray:
+    """Four-point harmonic mean toward (+1/2, +1/2) along two axes."""
+    nd = a.ndim
+
+    def shifted(d1: int, d2: int) -> np.ndarray:
+        sl = [slice(None)] * nd
+        sl[ax1] = slice(d1, None) if d1 else slice(None)
+        sl[ax2] = slice(d2, None) if d2 else slice(None)
+        v = a[tuple(sl)]
+        pad = [(0, 0)] * nd
+        if d1:
+            pad[ax1] = (0, d1)
+        if d2:
+            pad[ax2] = (0, d2)
+        return np.pad(v, pad, mode="edge")
+
+    inv = (1.0 / shifted(0, 0) + 1.0 / shifted(1, 0)
+           + 1.0 / shifted(0, 1) + 1.0 / shifted(1, 1))
+    return 4.0 / inv
+
+
+@dataclass
+class Medium:
+    """Staggered material model for one (sub)grid.
+
+    Construct with :meth:`from_velocity_model` (vp/vs/rho volumes) or
+    :meth:`homogeneous`.  All stored arrays are padded to the grid's padded
+    shape with edge-replicated ghost values, so kernels can index them exactly
+    like wavefield arrays.
+
+    Attributes
+    ----------
+    lam, mu:
+        Lamé parameters at cell centres (normal-stress points), Pa.
+    lam2mu:
+        ``lam + 2*mu`` at cell centres.
+    mu_xy, mu_xz, mu_yz:
+        Harmonically averaged rigidity at the shear-stress positions.
+    bx, by, bz:
+        Buoyancy (reciprocal density) at the three velocity positions
+        (the Section IV.B reciprocal-array optimization).
+    qs, qp:
+        Quality factors at cell centres (unitless).
+    """
+
+    grid: Grid3D
+    lam: np.ndarray = field(repr=False)
+    mu: np.ndarray = field(repr=False)
+    rho: np.ndarray = field(repr=False)
+    qs: np.ndarray = field(repr=False)
+    qp: np.ndarray = field(repr=False)
+    lam2mu: np.ndarray = field(init=False, repr=False)
+    mu_xy: np.ndarray = field(init=False, repr=False)
+    mu_xz: np.ndarray = field(init=False, repr=False)
+    mu_yz: np.ndarray = field(init=False, repr=False)
+    bx: np.ndarray = field(init=False, repr=False)
+    by: np.ndarray = field(init=False, repr=False)
+    bz: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        shape = self.grid.padded_shape
+        for name in ("lam", "mu", "rho", "qs", "qp"):
+            a = getattr(self, name)
+            if a.shape == self.grid.shape:
+                a = _pad_edge(np.asarray(a, dtype=np.float64))
+                setattr(self, name, a)
+            elif a.shape != shape:
+                raise ValueError(f"{name} has shape {a.shape}, expected "
+                                 f"{self.grid.shape} or padded {shape}")
+        if np.any(self.rho <= 0):
+            raise ValueError("density must be positive everywhere")
+        if np.any(self.mu < 0):
+            raise ValueError("rigidity must be non-negative")
+        self.lam2mu = self.lam + 2.0 * self.mu
+        self.mu_xy = _hmean_fwd2(self.mu, 0, 1)
+        self.mu_xz = _hmean_fwd2(self.mu, 0, 2)
+        self.mu_yz = _hmean_fwd2(self.mu, 1, 2)
+        self.bx = 1.0 / _avg_fwd(self.rho, 0)
+        self.by = 1.0 / _avg_fwd(self.rho, 1)
+        self.bz = 1.0 / _avg_fwd(self.rho, 2)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_velocity_model(cls, grid: Grid3D, vp: np.ndarray, vs: np.ndarray,
+                            rho: np.ndarray, qs: np.ndarray | None = None,
+                            qp: np.ndarray | None = None) -> "Medium":
+        """Build from seismic velocities (m/s) and density (kg/m^3).
+
+        If quality factors are omitted they follow the paper's on-the-fly
+        empirical rule (``Qs = 50 Vs[km/s]``, ``Qp = 2 Qs``).
+        """
+        vp = np.asarray(vp, dtype=np.float64)
+        vs = np.asarray(vs, dtype=np.float64)
+        rho = np.asarray(rho, dtype=np.float64)
+        if np.any(vp < np.sqrt(2.0) * vs - 1e-9):
+            raise ValueError("vp must satisfy vp >= sqrt(2)*vs (positive lambda)")
+        mu = rho * vs ** 2
+        lam = rho * vp ** 2 - 2.0 * mu
+        if qs is None:
+            qs = np.asarray(qs_from_vs(vs))
+        if qp is None:
+            qp = np.asarray(qp_from_qs(qs))
+        return cls(grid=grid, lam=lam, mu=mu, rho=rho,
+                   qs=np.asarray(qs, dtype=np.float64),
+                   qp=np.asarray(qp, dtype=np.float64))
+
+    @classmethod
+    def homogeneous(cls, grid: Grid3D, vp: float = 6000.0, vs: float = 3464.0,
+                    rho: float = 2700.0, qs: float | None = None,
+                    qp: float | None = None) -> "Medium":
+        """Uniform medium (defaults: crustal granite with Poisson ratio 0.25)."""
+        shape = grid.shape
+        kw = {}
+        if qs is not None:
+            kw["qs"] = np.full(shape, float(qs))
+        if qp is not None:
+            kw["qp"] = np.full(shape, float(qp))
+        return cls.from_velocity_model(
+            grid, np.full(shape, float(vp)), np.full(shape, float(vs)),
+            np.full(shape, float(rho)), **kw)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def vp(self) -> np.ndarray:
+        """P-wave speed at cell centres (padded array), m/s."""
+        return np.sqrt(self.lam2mu / self.rho)
+
+    @property
+    def vs(self) -> np.ndarray:
+        """S-wave speed at cell centres (padded array), m/s."""
+        return np.sqrt(self.mu / self.rho)
+
+    @property
+    def vp_max(self) -> float:
+        return float(interior(self.vp).max())
+
+    @property
+    def vs_min(self) -> float:
+        return float(interior(self.vs).min())
+
+    def subgrid(self, grid: Grid3D, sl: tuple[slice, slice, slice]) -> "Medium":
+        """Extract the medium for a subdomain given interior-coordinate slices.
+
+        The sub-medium's ghost rim is filled with the *true* neighbouring
+        values from this (global) medium, so staggered-averaged properties in
+        the subdomain interior are bitwise identical to the global ones — a
+        prerequisite for the distributed-equals-serial solver guarantee.
+        """
+        for s in sl:
+            if s.start is None or s.stop is None or (s.step not in (None, 1)):
+                raise ValueError("subgrid slices must have explicit start/stop and unit step")
+        if (sl[0].stop - sl[0].start, sl[1].stop - sl[1].start,
+                sl[2].stop - sl[2].start) != grid.shape:
+            raise ValueError("slice extents do not match target grid shape")
+
+        def cut(a: np.ndarray) -> np.ndarray:
+            # Interior coordinate i maps to padded coordinate i + NGHOST; a
+            # padded window therefore spans [start, stop + 2*NGHOST).
+            psl = tuple(slice(s.start, s.stop + 2 * NGHOST) for s in sl)
+            return a[psl].copy()
+
+        return Medium(grid=grid, lam=cut(self.lam), mu=cut(self.mu),
+                      rho=cut(self.rho), qs=cut(self.qs), qp=cut(self.qp))

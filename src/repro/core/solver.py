@@ -1,0 +1,301 @@
+"""AWM — the anelastic wave propagation solver ("wave mode", Fig. 6).
+
+:class:`WaveSolver` assembles the pieces of Section II into the explicit
+leapfrog loop:
+
+1. velocity update (4th-order staggered FD; PML split parts in the frame);
+2. free-surface velocity ghosts (FS2);
+3. body-force source injection;
+4. stress update (with the coarse-grained attenuation rate hook and PML);
+5. moment-rate source injection;
+6. free-surface stress imaging;
+7. sponge taper (if configured);
+8. receiver / surface-output recording.
+
+The solver is deliberately single-domain: the distributed version
+(:class:`repro.parallel.distributed.DistributedWaveSolver`) runs this exact
+update on each subgrid and exchanges halos, and is tested to reproduce this
+solver bitwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .attenuation import CoarseGrainedAttenuation
+from .boundary import FreeSurfaceFS2, SpongeLayer
+from .fd import NGHOST
+from .grid import FIELD_OFFSETS, Grid3D, WaveField
+from .kernels import VelocityStressKernel
+from .medium import Medium
+from .pml import PML, PMLConfig, SHEAR_TERM_AXES
+from .stability import cfl_dt
+
+__all__ = ["SolverConfig", "Receiver", "SurfaceRecorder", "WaveSolver"]
+
+
+@dataclass
+class SolverConfig:
+    """Run-time solver configuration (the Section III.G adaptation knobs)."""
+
+    dt: float | None = None              #: time step; None = CFL-derived
+    order: int = 4                       #: FD order (4 = production, 2 = verification)
+    free_surface: bool = True            #: FS2 at the top of the grid
+    absorbing: str = "pml"               #: 'pml' | 'sponge' | 'none'
+    pml: PMLConfig = field(default_factory=PMLConfig)
+    sponge_width: int = 20
+    sponge_amp: float = 0.92
+    attenuation_band: tuple[float, float] | None = None  #: (f_min, f_max) or None
+    n_mechanisms: int = 8
+    cache_blocking: bool = False         #: use the blocked kernel driver
+    kblock: int = 16
+    jblock: int = 8
+    dtype: type = np.float64
+    stability_check_interval: int = 50   #: steps between blow-up checks
+    stability_limit: float = 1e9         #: max |v| before declaring divergence
+
+
+@dataclass
+class Receiver:
+    """Velocity time-series recorder at a physical position."""
+
+    position: tuple[float, float, float]
+    name: str = ""
+    _cells: dict[str, tuple[int, int, int]] = field(default_factory=dict, repr=False)
+    data: dict[str, list[float]] = field(default_factory=lambda: {
+        "vx": [], "vy": [], "vz": []}, repr=False)
+
+    def bind(self, grid: Grid3D) -> None:
+        for comp in ("vx", "vy", "vz"):
+            offs = FIELD_OFFSETS[comp]
+            idx = []
+            for axis in range(3):
+                pos = (self.position[axis] - grid.origin[axis]) / grid.h - offs[axis]
+                i = int(round(np.clip(pos, 0, grid.shape[axis] - 1)))
+                idx.append(i + NGHOST)
+            self._cells[comp] = tuple(idx)
+
+    def record(self, wf: WaveField) -> None:
+        for comp, cell in self._cells.items():
+            self.data[comp].append(float(getattr(wf, comp)[cell]))
+
+    def series(self, comp: str) -> np.ndarray:
+        return np.asarray(self.data[comp])
+
+
+class SurfaceRecorder:
+    """Decimated free-surface velocity output (Section VII.B: M8 saved the
+    surface velocity vector every 20th step on an 80 m grid, i.e. every 2nd
+    point of the 40 m mesh)."""
+
+    def __init__(self, dec_space: int = 1, dec_time: int = 1):
+        self.dec_space = dec_space
+        self.dec_time = dec_time
+        self.frames: list[tuple[float, np.ndarray, np.ndarray, np.ndarray]] = []
+        self._step = 0
+
+    def maybe_record(self, wf: WaveField, t: float) -> None:
+        if self._step % self.dec_time == 0:
+            kt = NGHOST + wf.grid.nz - 1
+            g = NGHOST
+            d = self.dec_space
+            vx = wf.vx[g:-g:d, g:-g:d, kt].copy()
+            vy = wf.vy[g:-g:d, g:-g:d, kt].copy()
+            vz = wf.vz[g:-g:d, g:-g:d, kt].copy()
+            self.frames.append((t, vx, vy, vz))
+        self._step += 1
+
+    def peak_horizontal(self) -> np.ndarray:
+        """Running peak of sqrt(vx^2 + vy^2) over all recorded frames."""
+        if not self.frames:
+            raise RuntimeError("no frames recorded")
+        peak = np.zeros_like(self.frames[0][1])
+        for _, vx, vy, _ in self.frames:
+            np.maximum(peak, np.sqrt(vx ** 2 + vy ** 2), out=peak)
+        return peak
+
+    def output_bytes(self) -> int:
+        return sum(vx.nbytes + vy.nbytes + vz.nbytes
+                   for _, vx, vy, vz in self.frames)
+
+
+class SimulationDiverged(RuntimeError):
+    """Raised when the wavefield exceeds the configured stability limit."""
+
+
+class WaveSolver:
+    """Single-domain anelastic wave propagation solver (AWM)."""
+
+    def __init__(self, grid: Grid3D, medium: Medium,
+                 config: SolverConfig | None = None,
+                 index_origin: tuple[int, int, int] = (0, 0, 0),
+                 global_shape: tuple[int, int, int] | None = None,
+                 global_vp_max: float | None = None):
+        """``index_origin``/``global_shape``/``global_vp_max`` place this
+        solver as a subdomain of a larger grid (used by the distributed
+        solver); defaults treat the grid as the whole domain."""
+        self.grid = grid
+        self.medium = medium
+        self.config = cfg = config or SolverConfig()
+        vp_ref = global_vp_max if global_vp_max is not None else medium.vp_max
+        self.dt = cfg.dt if cfg.dt is not None else cfl_dt(
+            grid.h, vp_ref, order=cfg.order)
+        self.wf = WaveField(grid, dtype=np.dtype(cfg.dtype))
+        self.kernel = VelocityStressKernel(self.wf, medium, self.dt, order=cfg.order)
+        self.free_surface = FreeSurfaceFS2(medium) if cfg.free_surface else None
+        self.pml: PML | None = None
+        self.sponge: SpongeLayer | None = None
+        if cfg.absorbing == "pml":
+            pml_cfg = cfg.pml
+            if cfg.free_surface and pml_cfg.damp_top:
+                raise ValueError("PML damp_top conflicts with a free surface")
+            self.pml = PML(grid, medium, pml_cfg, dtype=cfg.dtype,
+                           global_shape=global_shape,
+                           index_origin=index_origin,
+                           cmax=global_vp_max)
+        elif cfg.absorbing == "sponge":
+            self.sponge = SpongeLayer(grid, cfg.sponge_width, cfg.sponge_amp,
+                                      damp_top=False,
+                                      global_shape=global_shape,
+                                      index_origin=index_origin)
+        elif cfg.absorbing != "none":
+            raise ValueError(f"unknown absorbing boundary: {cfg.absorbing!r}")
+        self.attenuation: CoarseGrainedAttenuation | None = None
+        if cfg.attenuation_band is not None:
+            self.attenuation = CoarseGrainedAttenuation(
+                grid, medium, *cfg.attenuation_band, n_mech=cfg.n_mechanisms,
+                index_origin=index_origin, dtype=cfg.dtype)
+        self.moment_sources: list = []
+        self.force_sources: list = []
+        self.receivers: list[Receiver] = []
+        self.surface_recorder: SurfaceRecorder | None = None
+        self.t = 0.0
+        self.nstep = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add_source(self, source) -> None:
+        """Add a moment-tensor or body-force source (bound immediately)."""
+        from .source import BodyForceSource, FiniteFaultSource, MomentTensorSource
+        if isinstance(source, FiniteFaultSource):
+            for ps in source.point_sources():
+                self.add_source(ps)
+            return
+        if isinstance(source, MomentTensorSource):
+            source.bind(self.grid)
+            self.moment_sources.append(source)
+        elif isinstance(source, BodyForceSource):
+            source.bind(self.grid, self.medium.rho)
+            self.force_sources.append(source)
+        else:
+            raise TypeError(f"unsupported source type: {type(source).__name__}")
+
+    def add_receiver(self, receiver: Receiver) -> Receiver:
+        receiver.bind(self.grid)
+        self.receivers.append(receiver)
+        return receiver
+
+    def record_surface(self, dec_space: int = 1, dec_time: int = 1) -> SurfaceRecorder:
+        self.surface_recorder = SurfaceRecorder(dec_space, dec_time)
+        return self.surface_recorder
+
+    # ------------------------------------------------------------------
+    # Time stepping
+    # ------------------------------------------------------------------
+    def _step_velocity(self) -> None:
+        cfg = self.config
+        if self.pml is None and cfg.cache_blocking:
+            # Blocked driver advances velocity and stress together; handled
+            # in step() — this branch never runs.
+            raise AssertionError("blocked stepping bypasses _step_velocity")
+        for comp in ("vx", "vy", "vz"):
+            terms = self.kernel.update_velocity(comp)
+            if self.pml is not None:
+                self.pml.update(self.wf, comp, terms, self.dt)
+
+    def _step_stress(self) -> None:
+        hook = self.attenuation.rate_hook(self.dt) if self.attenuation else None
+        for comp in ("sxx", "syy", "szz"):
+            terms = self.kernel.update_stress(comp, rate_hook=hook)
+            if self.pml is not None:
+                self.pml.update(self.wf, comp, terms, self.dt)
+        for comp in ("sxy", "sxz", "syz"):
+            terms = self.kernel.update_stress(comp, rate_hook=hook)
+            if self.pml is not None:
+                self.pml.update(self.wf, comp, terms, self.dt,
+                                term_axes=SHEAR_TERM_AXES[comp])
+
+    def step(self) -> None:
+        """Advance the wavefield by one time step."""
+        cfg = self.config
+        if cfg.cache_blocking and self.pml is None and self.attenuation is None \
+                and not self.moment_sources and not self.force_sources:
+            self.kernel.step_blocked(cfg.kblock, cfg.jblock)
+        else:
+            self._step_velocity()
+            if self.free_surface is not None:
+                self.free_surface.apply_velocity(self.wf)
+            for src in self.force_sources:
+                src.inject(self.wf, self.t, self.dt)
+            self._step_stress()
+            for src in self.moment_sources:
+                src.inject(self.wf, self.t, self.dt)
+            if self.free_surface is not None:
+                self.free_surface.apply_stress(self.wf)
+        if self.sponge is not None:
+            self.sponge.apply(self.wf)
+        self.t += self.dt
+        self.nstep += 1
+        for r in self.receivers:
+            r.record(self.wf)
+        if self.surface_recorder is not None:
+            self.surface_recorder.maybe_record(self.wf, self.t)
+        if (cfg.stability_check_interval
+                and self.nstep % cfg.stability_check_interval == 0):
+            vmax = self.wf.max_velocity()
+            if not np.isfinite(vmax) or vmax > cfg.stability_limit:
+                raise SimulationDiverged(
+                    f"|v|max = {vmax:.3g} at step {self.nstep} (t = {self.t:.3f} s)")
+
+    def run(self, nsteps: int, progress=None) -> None:
+        """Advance ``nsteps`` steps; ``progress(step, solver)`` if given."""
+        for i in range(nsteps):
+            self.step()
+            if progress is not None:
+                progress(i, self)
+
+    # ------------------------------------------------------------------
+    # State (checkpointing support)
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Complete restartable state (Section III.F).
+
+        Fields are saved with their ghost rims: the free-surface images live
+        in the top ghost planes and must survive a restart for the resumed
+        run to be bitwise identical.
+        """
+        st = {"t": self.t, "nstep": self.nstep,
+              "fields": {name: arr.copy()
+                         for name, arr in self.wf.fields().items()}}
+        if self.attenuation is not None:
+            st["attenuation"] = {k: v.copy() for k, v in
+                                 self.attenuation.state_arrays().items()}
+        if self.pml is not None:
+            st["pml"] = {key: [p.copy() for p in parts]
+                         for key, parts in self.pml.parts.items()}
+        return st
+
+    def load_state(self, st: dict) -> None:
+        self.t = st["t"]
+        self.nstep = st["nstep"]
+        for name, arr in st["fields"].items():
+            getattr(self.wf, name)[...] = arr
+        if self.attenuation is not None:
+            self.attenuation.load_state(st["attenuation"])
+        if self.pml is not None:
+            for key, parts in st["pml"].items():
+                for dst, src in zip(self.pml.parts[key], parts):
+                    dst[...] = src

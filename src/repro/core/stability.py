@@ -1,0 +1,58 @@
+"""Stability and accuracy limits for the staggered-grid scheme.
+
+The explicit leapfrog scheme is conditionally stable.  For the 4th-order
+staggered stencil with coefficients ``c1 = 9/8, c2 = -1/24`` the 3-D CFL
+condition is
+
+    dt <= h / (vp_max * sqrt(3) * (|c1| + |c2|)) = 6 h / (7 sqrt(3) vp_max)
+
+Accuracy is governed by grid dispersion: AWP-ODC practice resolves the
+minimum S wavelength with at least 5 points, which fixes the maximum usable
+frequency ``f_max = vs_min / (ppw * h)``.  The paper's M8 parameters satisfy
+this exactly: vs_min = 400 m/s, h = 40 m, 5 points/wavelength -> 2 Hz.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cfl_dt",
+    "max_frequency",
+    "required_spacing",
+    "points_per_wavelength",
+    "courant_number",
+]
+
+#: Sum of absolute stencil coefficients by order.
+_COEFF_SUM = {2: 1.0, 4: 9.0 / 8.0 + 1.0 / 24.0}
+
+#: Default points-per-minimum-wavelength rule for 4th-order staggered grids.
+DEFAULT_PPW = 5.0
+
+
+def cfl_dt(h: float, vp_max: float, order: int = 4, safety: float = 0.95) -> float:
+    """Largest stable time step for spacing ``h`` and peak P speed ``vp_max``."""
+    if h <= 0 or vp_max <= 0:
+        raise ValueError("h and vp_max must be positive")
+    return safety * h / (vp_max * np.sqrt(3.0) * _COEFF_SUM[order])
+
+
+def courant_number(dt: float, h: float, vp_max: float) -> float:
+    """Dimensionless Courant number ``vp_max * dt / h``."""
+    return vp_max * dt / h
+
+
+def max_frequency(h: float, vs_min: float, ppw: float = DEFAULT_PPW) -> float:
+    """Maximum frequency resolvable at ``ppw`` points per S wavelength."""
+    return vs_min / (ppw * h)
+
+
+def required_spacing(f_max: float, vs_min: float, ppw: float = DEFAULT_PPW) -> float:
+    """Grid spacing needed to model up to ``f_max`` (inverse of max_frequency)."""
+    return vs_min / (ppw * f_max)
+
+
+def points_per_wavelength(h: float, vs_min: float, f: float) -> float:
+    """Grid points per S wavelength at frequency ``f``."""
+    return vs_min / (f * h)

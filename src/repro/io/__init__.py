@@ -1,0 +1,17 @@
+"""Parallel I/O substrate: filesystem models, MPI-IO, aggregation, checkpoints."""
+
+from .aggregation import OutputAggregator
+from .checkpoint import CheckpointCorrupt, CheckpointManager
+from .checksum import ChecksumManifest, md5_digest, parallel_checksums
+from .lustre import (FilesystemConfig, LustreModel, MDSOverloadError,
+                     bgp_gpfs, jaguar_lustre)
+from .mpiio import FileView, VirtualFile, collective_read, collective_write
+
+__all__ = [
+    "OutputAggregator",
+    "CheckpointCorrupt", "CheckpointManager",
+    "ChecksumManifest", "md5_digest", "parallel_checksums",
+    "FilesystemConfig", "LustreModel", "MDSOverloadError",
+    "bgp_gpfs", "jaguar_lustre",
+    "FileView", "VirtualFile", "collective_read", "collective_write",
+]

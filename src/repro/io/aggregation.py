@@ -1,0 +1,96 @@
+"""Output buffer aggregation (Section III.E).
+
+"To reduce I/O overhead, we set up a run-time environment that controls the
+frequency of I/O transactions at their lowest level.  Consequently, the
+required velocity results are aggregated in memory buffers as much as
+possible before being flushed. ... in most cases, we have reduced the I/O
+overhead from 49% to less than 2%."
+
+:class:`OutputAggregator` buffers per-step output arrays and flushes them to
+a :class:`~repro.io.mpiio.VirtualFile` every ``flush_interval`` recorded
+steps, tracking both the data and the modelled I/O seconds, so benches can
+compare aggregated vs unaggregated overhead directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .lustre import LustreModel
+from .mpiio import VirtualFile
+
+__all__ = ["OutputAggregator"]
+
+
+@dataclass
+class OutputAggregator:
+    """Buffered writer for decimated wavefield output.
+
+    Parameters
+    ----------
+    vfile:
+        Destination file image (None = discard data, keep cost accounting).
+    model:
+        Filesystem model used for cost accounting.
+    flush_interval:
+        Recorded steps per flush (M8: outputs "written every 20K time
+        steps"; 1 = unaggregated).
+    n_clients:
+        Ranks participating in each flush.
+    """
+
+    vfile: VirtualFile | None
+    model: LustreModel
+    flush_interval: int = 20_000
+    n_clients: int = 1
+    _buffer: list[np.ndarray] = field(default_factory=list, repr=False)
+    _cursor: int = 0
+    io_seconds: float = 0.0
+    flushes: int = 0
+    bytes_written: int = 0
+
+    def __post_init__(self) -> None:
+        if self.flush_interval < 1:
+            raise ValueError("flush_interval must be >= 1")
+
+    @property
+    def buffered_bytes(self) -> int:
+        return sum(a.nbytes for a in self._buffer)
+
+    def record(self, array: np.ndarray) -> None:
+        """Buffer one output record; flush when the interval is reached."""
+        self._buffer.append(np.ascontiguousarray(array))
+        if len(self._buffer) >= self.flush_interval:
+            self.flush()
+
+    def flush(self) -> float:
+        """Write all buffered records; returns the modelled seconds."""
+        if not self._buffer:
+            return 0.0
+        nbytes = self.buffered_bytes
+        # One large contiguous request per client per flush: the whole point
+        # of aggregation is turning many small writes into few large ones.
+        t = self.model.transfer(nbytes,
+                                stripe_count=(self.vfile.stripe_count
+                                              if self.vfile else
+                                              self.model.config.n_osts),
+                                n_clients=self.n_clients,
+                                n_requests=self.n_clients)
+        if self.vfile is not None:
+            raw = np.concatenate([a.view(np.uint8).ravel()
+                                  for a in self._buffer])
+            end = min(self._cursor + raw.size, self.vfile.size)
+            self.vfile.data[self._cursor:end] = raw[:end - self._cursor]
+            self._cursor = end
+        self.io_seconds += t
+        self.flushes += 1
+        self.bytes_written += nbytes
+        self._buffer.clear()
+        return t
+
+    def overhead_fraction(self, compute_seconds: float) -> float:
+        """I/O overhead relative to total (compute + I/O) time."""
+        total = compute_seconds + self.io_seconds
+        return self.io_seconds / total if total > 0 else 0.0

@@ -1,0 +1,83 @@
+"""Parallel MD5 checksumming of mesh sub-arrays (Section III.E).
+
+"To track and verify the integrity of the simulation data collections, we
+generate MD5 checksums in parallel at each processor for each mesh
+sub-array.  The parallelized MD5 approach substantially decreases the time
+needed to generate the checksums for several terabytes of data."
+
+Each rank hashes its own sub-array; a manifest maps rank -> digest; the
+verification step (the E2EaW pipeline's integrity check) re-hashes and
+compares.  A tree-combined "collection digest" gives a single fingerprint
+for the whole distributed dataset.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["md5_digest", "ChecksumManifest", "parallel_checksums"]
+
+
+def md5_digest(array: np.ndarray) -> str:
+    """MD5 hex digest of an array's raw bytes (C-contiguous canonical form)."""
+    return hashlib.md5(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+@dataclass
+class ChecksumManifest:
+    """Per-chunk digests plus a combined collection digest."""
+
+    digests: dict[int, str] = field(default_factory=dict)
+
+    def add(self, chunk_id: int, digest: str) -> None:
+        if chunk_id in self.digests:
+            raise ValueError(f"duplicate chunk id {chunk_id}")
+        self.digests[chunk_id] = digest
+
+    def collection_digest(self) -> str:
+        """Order-independent-of-insertion combined digest (sorted by id)."""
+        h = hashlib.md5()
+        for cid in sorted(self.digests):
+            h.update(f"{cid}:{self.digests[cid]};".encode())
+        return h.hexdigest()
+
+    def verify(self, chunk_id: int, array: np.ndarray) -> bool:
+        return self.digests.get(chunk_id) == md5_digest(array)
+
+    def diff(self, other: "ChecksumManifest") -> list[int]:
+        """Chunk ids whose digests disagree (or exist on one side only)."""
+        ids = set(self.digests) | set(other.digests)
+        return sorted(cid for cid in ids
+                      if self.digests.get(cid) != other.digests.get(cid))
+
+    def to_lines(self) -> list[str]:
+        """Serialise as `md5sum`-style lines."""
+        return [f"{self.digests[cid]}  chunk{cid:06d}"
+                for cid in sorted(self.digests)]
+
+    @classmethod
+    def from_lines(cls, lines: list[str]) -> "ChecksumManifest":
+        m = cls()
+        for line in lines:
+            digest, name = line.split()
+            m.add(int(name.replace("chunk", "")), digest)
+        return m
+
+
+def parallel_checksums(chunks: dict[int, np.ndarray],
+                       hash_rate: float = 400e6) -> tuple[ChecksumManifest, float]:
+    """Hash all chunks "in parallel": returns (manifest, modelled seconds).
+
+    The modelled time is the *slowest single chunk* at ``hash_rate``
+    bytes/s — all ranks hash concurrently, which is why the parallel MD5
+    "substantially decreases the time" vs one rank hashing terabytes.
+    """
+    manifest = ChecksumManifest()
+    slowest = 0.0
+    for cid, arr in chunks.items():
+        manifest.add(cid, md5_digest(arr))
+        slowest = max(slowest, arr.nbytes / hash_rate)
+    return manifest, slowest

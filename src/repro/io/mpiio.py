@@ -1,0 +1,132 @@
+"""Simulated MPI-IO: a shared file image with views and collective writes.
+
+Section III.E: "AWP-ODC uses MPI-IO, allowing the velocity output to be
+concurrently written to a single file.  To obtain efficient MPI-IO
+performance, we define new indexed data types ... that represent segmented
+output blocks, and set logical file views for individual processors ...
+Instead of using individual file handles and associated offsets, we use
+explicit displacements to perform data accesses."
+
+:class:`VirtualFile` is a byte-addressable in-memory file image shared by
+all ranks of a SimMPI program.  :class:`FileView` is the indexed-datatype
+analogue: a list of (file_offset, length) blocks per rank.  Collective
+writes validate non-overlap, move the data, and charge filesystem time on
+each participating rank's virtual clock via the Lustre model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .lustre import LustreModel
+
+__all__ = ["VirtualFile", "FileView", "collective_write", "collective_read"]
+
+
+@dataclass
+class VirtualFile:
+    """In-memory file image (the single global mesh/output file)."""
+
+    size: int
+    stripe_count: int = 4
+    data: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("file size must be non-negative")
+        self.data = np.zeros(self.size, dtype=np.uint8)
+
+    def write_at(self, offset: int, payload: np.ndarray) -> None:
+        """Explicit-displacement write (no file pointer, Section III.E)."""
+        raw = np.ascontiguousarray(payload).view(np.uint8).ravel()
+        if offset < 0 or offset + raw.size > self.size:
+            raise ValueError(f"write [{offset}, {offset + raw.size}) outside "
+                             f"file of size {self.size}")
+        self.data[offset:offset + raw.size] = raw
+
+    def read_at(self, offset: int, nbytes: int) -> np.ndarray:
+        if offset < 0 or offset + nbytes > self.size:
+            raise ValueError("read outside file")
+        return self.data[offset:offset + nbytes].copy()
+
+    def as_array(self, dtype, shape) -> np.ndarray:
+        return self.data.view(dtype).reshape(shape)
+
+
+@dataclass(frozen=True)
+class FileView:
+    """One rank's indexed file view: (offset, length) byte blocks."""
+
+    blocks: tuple[tuple[int, int], ...]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(length for _, length in self.blocks)
+
+    @property
+    def n_fragments(self) -> int:
+        return len(self.blocks)
+
+    def validate_within(self, size: int) -> None:
+        for off, length in self.blocks:
+            if off < 0 or length < 0 or off + length > size:
+                raise ValueError(f"view block ({off}, {length}) outside file")
+
+    @classmethod
+    def contiguous(cls, offset: int, nbytes: int) -> "FileView":
+        return cls(blocks=((offset, nbytes),))
+
+    @classmethod
+    def strided(cls, start: int, block: int, stride: int, count: int) -> "FileView":
+        """The MPI_Type_create_vector analogue."""
+        return cls(blocks=tuple((start + i * stride, block)
+                                for i in range(count)))
+
+
+def _charge(comm, model: LustreModel | None, nbytes: int, n_fragments: int,
+            stripe_count: int) -> None:
+    if model is None or comm is None:
+        return
+    t = model.transfer(nbytes, stripe_count=stripe_count,
+                       n_clients=comm.size, n_requests=n_fragments)
+    comm.compute(seconds=t)
+
+
+def collective_write(comm, vfile: VirtualFile, view: FileView,
+                     payload: np.ndarray, model: LustreModel | None = None):
+    """Collective write through a rank's file view (generator; yield from).
+
+    Every rank calls this with its own view/payload; a barrier closes the
+    collective, matching MPI-IO ``write_all`` semantics.  Filesystem time is
+    charged per rank from the Lustre model (fragmented views cost more —
+    exactly why PetaMeshP restructures its access pattern).
+    """
+    view.validate_within(vfile.size)
+    raw = np.ascontiguousarray(payload).view(np.uint8).ravel()
+    if raw.size != view.nbytes:
+        raise ValueError(f"payload has {raw.size} bytes, view expects "
+                         f"{view.nbytes}")
+    pos = 0
+    for off, length in view.blocks:
+        vfile.data[off:off + length] = raw[pos:pos + length]
+        pos += length
+    _charge(comm, model, raw.size, view.n_fragments, vfile.stripe_count)
+    if comm is not None:
+        yield comm.barrier()
+
+
+def collective_read(comm, vfile: VirtualFile, view: FileView,
+                    model: LustreModel | None = None):
+    """Collective read through a view; returns the concatenated bytes."""
+    view.validate_within(vfile.size)
+    out = np.empty(view.nbytes, dtype=np.uint8)
+    pos = 0
+    for off, length in view.blocks:
+        out[pos:pos + length] = vfile.data[off:off + length]
+        pos += length
+    _charge(comm, model, out.size, view.n_fragments, vfile.stripe_count)
+    if comm is not None:
+        yield comm.barrier()
+    return out

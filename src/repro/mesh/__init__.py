@@ -1,0 +1,15 @@
+"""Mesh pipeline: synthetic CVM, CVM2MESH extraction, PetaMeshP partitioning."""
+
+from .cvm import (Basin, SyntheticCVM, brocher_density, brocher_vp,
+                  southern_california_like)
+from .cvm2mesh import (MeshFile, extract_mesh_parallel, extract_mesh_serial,
+                       mesh_to_medium)
+from .partition import PartitionedMesh, on_demand_partition, prepartition
+
+__all__ = [
+    "Basin", "SyntheticCVM", "brocher_density", "brocher_vp",
+    "southern_california_like",
+    "MeshFile", "extract_mesh_parallel", "extract_mesh_serial",
+    "mesh_to_medium",
+    "PartitionedMesh", "on_demand_partition", "prepartition",
+]

@@ -1,0 +1,28 @@
+"""Simulated petascale runtime: SimMPI, decomposition, machines, perf model."""
+
+from .autotune import TunedConfiguration, tune
+from .decomp import Decomposition3D, Subdomain
+from .distributed import DistributedWaveSolver
+from .halo import GHOST_NEEDS, exchange_halos, exchange_halos_sync
+from .hybrid import HybridRunModel, hybrid_vs_pure_sweep
+from .resilience import ResilientDistributedSolver
+from .machine import MACHINES, Machine, jaguar, kraken, machine_by_name, ranger
+from .perfmodel import (AWPRunModel, OptimizationSet, TimeBreakdown, VERSIONS,
+                        eq8_efficiency, eq8_speedup, version)
+from .simmpi import (ANY_SOURCE, ANY_TAG, DeadlockError, RankContext,
+                     SPMDResult, allreduce, alltoall, bcast, gather, run_spmd)
+from .topology import FatTree, Torus3D, balanced_dims
+
+__all__ = [
+    "TunedConfiguration", "tune",
+    "HybridRunModel", "hybrid_vs_pure_sweep",
+    "ResilientDistributedSolver",
+    "Decomposition3D", "Subdomain", "DistributedWaveSolver",
+    "GHOST_NEEDS", "exchange_halos", "exchange_halos_sync",
+    "MACHINES", "Machine", "jaguar", "kraken", "ranger", "machine_by_name",
+    "AWPRunModel", "OptimizationSet", "TimeBreakdown", "VERSIONS",
+    "eq8_efficiency", "eq8_speedup", "version",
+    "ANY_SOURCE", "ANY_TAG", "DeadlockError", "RankContext", "SPMDResult",
+    "allreduce", "alltoall", "bcast", "gather", "run_spmd",
+    "FatTree", "Torus3D", "balanced_dims",
+]

@@ -1,0 +1,215 @@
+"""Distributed AWM solver over SimMPI (Sections III.A, IV.A).
+
+:class:`DistributedWaveSolver` runs the exact serial update of
+:class:`repro.core.solver.WaveSolver` on each subdomain of a 3-D domain
+decomposition and exchanges two-cell halos between neighbours.  Because halo
+exchange is a pure copy and every boundary module (free surface, sponge,
+PML, attenuation) evaluates its coefficients at *global* positions, the
+decomposed run is **bitwise identical** to the serial run for any processor
+grid — the strongest possible form of the paper's aVal acceptance test, and
+the property the whole performance-optimization story (asynchronous
+messaging, reduced communication, overlap) relies on: optimizations must not
+change the numerics.
+
+Constraints inherited from the ordering analysis (asserted at add time):
+
+* body-force sources must sit at least two planes below the free surface so
+  that free-surface ghost filling and force injection commute.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import replace
+
+import numpy as np
+
+from ..core.fd import NGHOST
+from ..core.grid import Grid3D
+from ..core.medium import Medium
+from ..core.solver import Receiver, SolverConfig, WaveSolver
+from ..core.source import BodyForceSource, FiniteFaultSource, MomentTensorSource
+from .decomp import Decomposition3D
+from .halo import exchange_halos, exchange_halos_sync
+from .simmpi import RankContext, SPMDResult, run_spmd
+
+__all__ = ["DistributedWaveSolver"]
+
+
+class DistributedWaveSolver:
+    """AWM wave solver decomposed over a virtual rank grid.
+
+    Parameters
+    ----------
+    grid, medium:
+        The *global* grid and material model.
+    decomp:
+        A :class:`Decomposition3D`, or pass ``nranks`` to factor one
+        automatically.
+    config:
+        Shared solver configuration (dt is derived from the global CFL).
+    halo_mode:
+        'reduced' (Section IV.A directional exchange, default) or 'full'.
+    sync_comm:
+        Use the legacy synchronous rendezvous exchange (for the performance
+        studies; results are identical, virtual time is not).
+    machine:
+        Optional machine model for virtual-time accounting.
+    """
+
+    def __init__(self, grid: Grid3D, medium: Medium,
+                 decomp: Decomposition3D | None = None,
+                 nranks: int | None = None,
+                 config: SolverConfig | None = None,
+                 halo_mode: str = "reduced",
+                 sync_comm: bool = False,
+                 machine=None):
+        if decomp is None:
+            if nranks is None:
+                raise ValueError("pass decomp= or nranks=")
+            decomp = Decomposition3D.auto(grid, nranks)
+        self.grid = grid
+        self.medium = medium
+        self.decomp = decomp
+        self.config = cfg = config or SolverConfig()
+        self.halo_mode = halo_mode
+        self.sync_comm = sync_comm
+        self.machine = machine
+        self.topology = machine.topology(decomp.nranks) if machine else None
+        global_vp = medium.vp_max
+        pz = decomp.dims[2]
+        self.solvers: list[WaveSolver] = []
+        for sub in decomp.subdomains():
+            local_med = medium.subgrid(sub.grid, sub.slices)
+            is_top = sub.coords[2] == pz - 1
+            local_cfg = replace(cfg, free_surface=cfg.free_surface and is_top,
+                                stability_check_interval=0)
+            sol = WaveSolver(sub.grid, local_med, local_cfg,
+                             index_origin=sub.origin_index,
+                             global_shape=grid.shape,
+                             global_vp_max=global_vp)
+            self.solvers.append(sol)
+        self.dt = self.solvers[0].dt
+        self._receiver_map: list[tuple[Receiver, str, int, Receiver]] = []
+        self.receivers: list[Receiver] = []
+        self.last_result: SPMDResult | None = None
+
+    # ------------------------------------------------------------------
+    # Sources and receivers
+    # ------------------------------------------------------------------
+    def add_source(self, source) -> None:
+        if isinstance(source, FiniteFaultSource):
+            for ps in source.point_sources():
+                self.add_source(ps)
+            return
+        if isinstance(source, MomentTensorSource):
+            source.bind(self.grid)
+            for rank, sub in enumerate(self.decomp.subdomains()):
+                local_plan = {}
+                local_cells = {}
+                for name, (idx, w) in source._plan.items():
+                    gidx = idx - NGHOST  # global interior coordinates
+                    mask = np.ones(len(gidx), dtype=bool)
+                    for axis in range(3):
+                        a, b = sub.ranges[axis]
+                        mask &= (gidx[:, axis] >= a) & (gidx[:, axis] < b)
+                    if not mask.any():
+                        continue
+                    lidx = gidx[mask] - np.array(sub.origin_index) + NGHOST
+                    local_plan[name] = (lidx, w[mask])
+                    local_cells[name] = tuple(lidx[0])
+                if local_plan:
+                    local = copy.copy(source)
+                    local._plan = local_plan
+                    local._cells = local_cells
+                    self.solvers[rank].moment_sources.append(local)
+        elif isinstance(source, BodyForceSource):
+            i, j, k = self.grid.index_of(*source.position)
+            if k >= self.grid.nz - 2:
+                raise ValueError("body-force sources must lie at least two "
+                                 "planes below the free surface in a "
+                                 "distributed run")
+            rank = self.decomp.owner_of_cell(i, j, k)
+            sub = self.decomp.subdomain(rank)
+            local = copy.copy(source)
+            local._cell = None
+            # bind against the local grid (positions are physical, so the
+            # subdomain origin handles the rebasing)
+            local.bind(sub.grid, self.solvers[rank].medium.rho)
+            self.solvers[rank].force_sources.append(local)
+        else:
+            raise TypeError(f"unsupported source type: {type(source).__name__}")
+
+    def add_receiver(self, receiver: Receiver) -> Receiver:
+        """Register a receiver; data is merged back after :meth:`run`."""
+        receiver.bind(self.grid)
+        self.receivers.append(receiver)
+        for comp, cell in receiver._cells.items():
+            gi = tuple(c - NGHOST for c in cell)
+            rank = self.decomp.owner_of_cell(*gi)
+            sub = self.decomp.subdomain(rank)
+            local = Receiver(position=receiver.position, name=receiver.name)
+            local._cells = {comp: tuple(g - o + NGHOST for g, o
+                                        in zip(gi, sub.origin_index))}
+            local.data = {comp: []}
+            self._receiver_map.append((receiver, comp, rank, local))
+        return receiver
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _rank_program(self, comm: RankContext, nsteps: int):
+        rank = comm.rank
+        sol = self.solvers[rank]
+        decomp = self.decomp
+        exchange = exchange_halos_sync if self.sync_comm else exchange_halos
+        locals_ = [loc for (_, _, r, loc) in self._receiver_map if r == rank]
+        for _ in range(nsteps):
+            sol._step_velocity()
+            for src in sol.force_sources:
+                src.inject(sol.wf, sol.t, sol.dt)
+            yield from exchange(comm, decomp, rank, sol.wf,
+                                group="velocity", mode=self.halo_mode)
+            if sol.free_surface is not None:
+                sol.free_surface.apply_velocity(sol.wf)
+            sol._step_stress()
+            for src in sol.moment_sources:
+                src.inject(sol.wf, sol.t, sol.dt)
+            # Serial semantics: image the free surface from *undamped* values,
+            # damp the interior, and only then publish stresses to neighbours
+            # so their ghost copies carry this step's damped values.
+            if sol.free_surface is not None:
+                sol.free_surface.apply_stress(sol.wf)
+            if sol.sponge is not None:
+                sol.sponge.apply(sol.wf)
+            yield from exchange(comm, decomp, rank, sol.wf,
+                                group="stress", mode=self.halo_mode)
+            sol.t += sol.dt
+            sol.nstep += 1
+            for loc in locals_:
+                loc.record(sol.wf)
+
+    def run(self, nsteps: int) -> SPMDResult:
+        """Advance all subdomains ``nsteps`` steps; merge receiver data."""
+        result = run_spmd(self.decomp.nranks, self._rank_program,
+                          machine=self.machine, topology=self.topology,
+                          args=(nsteps,))
+        self.last_result = result
+        for recv, comp, _rank, local in self._receiver_map:
+            recv.data[comp].extend(local.data[comp])
+            local.data[comp] = []
+        return result
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def gather_field(self, name: str) -> np.ndarray:
+        """Assemble a global interior field array from all subdomains."""
+        out = np.zeros(self.grid.shape)
+        for rank, sub in enumerate(self.decomp.subdomains()):
+            out[sub.slices] = self.solvers[rank].wf.interior(name)
+        return out
+
+    @property
+    def t(self) -> float:
+        return self.solvers[0].t

@@ -1,0 +1,141 @@
+"""Machine models — Table 1 of the paper plus measured model constants.
+
+Each :class:`Machine` carries the Table 1 facts (processor, clock, peak
+Gflops/core, interconnect, cores used by the study) plus the three constants
+of the paper's performance model (Section V.A):
+
+* ``alpha`` — average message latency (s); the paper estimates
+  ``alpha = 5.5e-6 s`` on Jaguar;
+* ``beta``  — average inverse bandwidth (s/byte); Jaguar: ``2.5e-10 s``;
+* ``tau``   — machine time per flop for this application (s/flop); Jaguar:
+  ``9.62e-11 s`` (i.e. ~10.4 Gflop/s peak with AWP-ODC sustaining ~10%).
+
+For the other systems the constants are derived from their clock rates,
+interconnects, and the paper's qualitative statements (BG/L's single-socket
+torus communicates at low contention; Ranger's NUMA InfiniBand suffers in
+the synchronous model).  ``numa_factor`` multiplies effective latency to
+model multi-socket injection contention (Section IV.A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .topology import FatTree, Torus3D
+
+__all__ = ["Machine", "MACHINES", "jaguar", "kraken", "ranger", "intrepid",
+           "bgw", "datastar", "machine_by_name"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One row of Table 1 plus performance-model constants."""
+
+    name: str
+    site: str
+    processor: str
+    clock_ghz: float
+    interconnect: str
+    topology_kind: str              #: 'torus' | 'fattree'
+    peak_gflops_per_core: float     #: Table 1 "Peak Gflops"
+    cores_used: int                 #: Table 1 "Cores used"
+    cores_per_node: int
+    sockets_per_node: int
+    memory_per_node_gb: float
+    alpha: float                    #: message latency, s
+    beta: float                     #: inverse bandwidth, s/byte
+    tau: float                      #: application seconds per flop
+    hop_latency: float = 5.0e-8     #: per-hop latency, s
+    filesystem: str = "lustre"
+
+    @property
+    def numa_factor(self) -> float:
+        """Latency multiplier for multi-socket injection contention (IV.A)."""
+        return float(self.sockets_per_node)
+
+    @property
+    def peak_tflops_total(self) -> float:
+        return self.peak_gflops_per_core * self.cores_used / 1000.0
+
+    def topology(self, nranks: int | None = None):
+        n = nranks if nranks is not None else self.cores_used
+        if self.topology_kind == "torus":
+            return Torus3D.for_ranks(max(1, n))
+        return FatTree()
+
+    def with_cores(self, cores: int) -> "Machine":
+        return replace(self, cores_used=cores)
+
+
+def jaguar() -> Machine:
+    """NCCS Jaguar Cray XT5 — the M8 production system (Top500 #1, 2010)."""
+    return Machine(
+        name="Jaguar", site="ORNL", processor="2.6-GHz AMD Istanbul",
+        clock_ghz=2.6, interconnect="SeaStar2+", topology_kind="torus",
+        peak_gflops_per_core=10.4, cores_used=223_074,
+        cores_per_node=12, sockets_per_node=2, memory_per_node_gb=16.0,
+        alpha=5.5e-6, beta=2.5e-10, tau=9.62e-11)
+
+
+def kraken() -> Machine:
+    """NICS Kraken Cray XT5 (W2W ran here on 96K cores)."""
+    return Machine(
+        name="Kraken", site="NICS", processor="2.6-GHz AMD Istanbul",
+        clock_ghz=2.6, interconnect="SeaStar2+", topology_kind="torus",
+        peak_gflops_per_core=10.4, cores_used=96_000,
+        cores_per_node=12, sockets_per_node=2, memory_per_node_gb=16.0,
+        alpha=6.0e-6, beta=2.8e-10, tau=9.62e-11)
+
+
+def ranger() -> Machine:
+    """TACC Ranger Sun Constellation (ShakeOut on 60K cores; strong NUMA)."""
+    return Machine(
+        name="Ranger", site="TACC", processor="2.3-GHz AMD Barcelona",
+        clock_ghz=2.3, interconnect="InfiniBand", topology_kind="fattree",
+        peak_gflops_per_core=9.2, cores_used=60_000,
+        cores_per_node=16, sockets_per_node=4, memory_per_node_gb=32.0,
+        alpha=8.0e-6, beta=6.0e-10, tau=1.1e-10)
+
+
+def intrepid() -> Machine:
+    """ANL Intrepid BG/P (FD3T; NUMA-era quad-core torus)."""
+    return Machine(
+        name="Intrepid", site="ANL", processor="850-MHz PowerPC",
+        clock_ghz=0.85, interconnect="3D Torus", topology_kind="torus",
+        peak_gflops_per_core=3.4, cores_used=128_000,
+        cores_per_node=4, sockets_per_node=4, memory_per_node_gb=2.0,
+        alpha=4.0e-6, beta=2.4e-9, tau=3.0e-10, filesystem="gpfs")
+
+
+def bgw() -> Machine:
+    """IBM BG/L Watson (single-socket torus; 96% efficiency at 40K cores)."""
+    return Machine(
+        name="BGW", site="IBM Watson", processor="700-MHz PowerPC",
+        clock_ghz=0.7, interconnect="3D Torus", topology_kind="torus",
+        peak_gflops_per_core=2.8, cores_used=40_000,
+        cores_per_node=2, sockets_per_node=1, memory_per_node_gb=0.5,
+        alpha=3.5e-6, beta=2.9e-9, tau=3.6e-10, filesystem="gpfs")
+
+
+def datastar() -> Machine:
+    """SDSC DataStar Power4 — the 2004 TeraShake platform (240–2K cores)."""
+    return Machine(
+        name="DataStar", site="SDSC", processor="1.5/1.7-GHz Power4",
+        clock_ghz=1.7, interconnect="IBM Federation", topology_kind="fattree",
+        peak_gflops_per_core=6.8, cores_used=2_048,
+        cores_per_node=8, sockets_per_node=4, memory_per_node_gb=16.0,
+        alpha=1.2e-5, beta=9.0e-10, tau=1.5e-10, filesystem="gpfs")
+
+
+MACHINES: dict[str, Machine] = {
+    m().name.lower(): m() for m in (jaguar, kraken, ranger, intrepid, bgw,
+                                    datastar)
+}
+
+
+def machine_by_name(name: str) -> Machine:
+    """Look up a Table 1 machine by (case-insensitive) name."""
+    try:
+        return MACHINES[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown machine {name!r}; known: {sorted(MACHINES)}")

@@ -1,0 +1,503 @@
+"""SimMPI — an in-process SPMD message-passing runtime with virtual time.
+
+The paper's scalability story is about *which messages are sent and what
+blocks on what*: the synchronous send/recv cascades whose latency accumulates
+along communication paths (Section IV.A), the asynchronous tagged exchange
+that removes the interdependence, overlap of computation with communication
+(IV.C), and barrier synchronisation costs (Fig. 12's ``Tsync``).  No real MPI
+is available in this environment, so this module provides the substitute
+substrate: rank programs written as Python generators, scheduled
+cooperatively in one process, with every communication event costed on a
+per-rank *virtual clock* using the ``alpha + k*beta`` model the paper itself
+uses (their Eq. 8, after Minkoff [33]).
+
+Programming model::
+
+    def program(comm: RankContext):
+        comm.compute(flops=1e6)                     # advance local clock
+        comm.isend(dest, tag, payload)              # eager buffered send
+        data = yield comm.recv(src, tag)            # blocking receive
+        yield comm.ssend(dest, tag, payload)        # synchronous (rendezvous)
+        yield comm.barrier()
+        return result
+
+    result = run_spmd(nranks, program, machine=jaguar())
+
+Blocking operations are ``yield``-ed; the scheduler resumes the generator
+with the received payload.  Collectives (:func:`bcast`, :func:`gather`,
+:func:`allreduce`, :func:`alltoall`) are generator helpers built from
+point-to-point messages, so their cost emerges from the same model.
+
+Clock semantics:
+
+* ``compute(seconds=...)`` or ``compute(flops=...)`` advances the local clock
+  (flops are converted via the machine's ``tau`` seconds/flop);
+* an eager ``isend`` stamps the message with ``sender_clock + alpha +
+  nbytes*beta + hops*hop_latency`` as its arrival time and advances the
+  sender by the injection overhead ``alpha``;
+* ``recv`` completes at ``max(receiver_clock, arrival_time)``;
+* ``ssend`` is a rendezvous: the sender blocks until the matching ``recv`` is
+  posted, then both clocks advance to the transfer completion — chains of
+  ssends therefore *cascade*, reproducing the paper's synchronous-model
+  pathology;
+* ``barrier`` sets every clock to ``max(clocks) + alpha * ceil(log2(P))``.
+
+Determinism: ranks are scheduled round-robin in rank order and message
+queues are FIFO per (source, tag), so a program's results and virtual times
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+import numpy as np
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CommStats",
+    "DeadlockError",
+    "RankContext",
+    "Request",
+    "SPMDResult",
+    "run_spmd",
+    "bcast",
+    "gather",
+    "allreduce",
+    "alltoall",
+]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class DeadlockError(RuntimeError):
+    """No rank can make progress and not all ranks have finished."""
+
+
+def _payload_nbytes(payload: Any) -> int:
+    if payload is None:
+        return 0
+    if hasattr(payload, "nbytes"):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, (list, tuple)):
+        return sum(_payload_nbytes(p) for p in payload)
+    return 64  # nominal envelope for small scalars/objects
+
+
+@dataclass
+class _Message:
+    source: int
+    tag: int
+    payload: Any
+    arrival: float
+    seq: int
+
+
+@dataclass
+class Request:
+    """Handle for a non-blocking operation (eager sends complete at once)."""
+
+    done: bool = True
+    payload: Any = None
+
+
+# Operation descriptors yielded by rank programs -------------------------
+
+@dataclass
+class _RecvOp:
+    source: int
+    tag: int
+
+
+@dataclass
+class _SsendOp:
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+
+
+@dataclass
+class _BarrierOp:
+    pass
+
+
+@dataclass
+class CommStats:
+    """Per-rank communication accounting (drives the Eq. 7 decomposition)."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_received: int = 0
+    bytes_received: int = 0
+    compute_time: float = 0.0
+    comm_time: float = 0.0     # time spent blocked in recv/ssend
+    sync_time: float = 0.0     # time spent blocked in barriers
+
+
+class RankContext:
+    """The per-rank handle passed to SPMD programs (the 'comm')."""
+
+    def __init__(self, rank: int, size: int, scheduler: "_Scheduler"):
+        self.rank = rank
+        self.size = size
+        self._sched = scheduler
+        self.stats = CommStats()
+
+    @property
+    def clock(self) -> float:
+        """This rank's virtual time in seconds."""
+        return self._sched.clocks[self.rank]
+
+    # -- local work ----------------------------------------------------
+    def compute(self, seconds: float | None = None,
+                flops: float | None = None) -> None:
+        """Advance the local clock by explicit seconds or modelled flops."""
+        if (seconds is None) == (flops is None):
+            raise ValueError("pass exactly one of seconds= or flops=")
+        if seconds is None:
+            seconds = flops * self._sched.tau
+        if seconds < 0:
+            raise ValueError("time cannot be negative")
+        self._sched.clocks[self.rank] += seconds
+        self.stats.compute_time += seconds
+
+    # -- point to point --------------------------------------------------
+    def isend(self, dest: int, tag: int, payload: Any,
+              nbytes: int | None = None) -> Request:
+        """Eager buffered send: completes immediately, costed on arrival."""
+        self._sched.post_send(self.rank, dest, tag, payload,
+                              _payload_nbytes(payload) if nbytes is None else nbytes)
+        return Request(done=True)
+
+    def send(self, dest: int, tag: int, payload: Any,
+             nbytes: int | None = None) -> Request:
+        """Alias of :meth:`isend` (buffered standard send)."""
+        return self.isend(dest, tag, payload, nbytes)
+
+    def ssend(self, dest: int, tag: int, payload: Any,
+              nbytes: int | None = None) -> _SsendOp:
+        """Synchronous send op — must be ``yield``-ed; blocks until matched."""
+        return _SsendOp(dest, tag, payload,
+                        _payload_nbytes(payload) if nbytes is None else nbytes)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> _RecvOp:
+        """Blocking receive op — must be ``yield``-ed; returns the payload."""
+        return _RecvOp(source, tag)
+
+    def barrier(self) -> _BarrierOp:
+        """Barrier op — must be ``yield``-ed."""
+        return _BarrierOp()
+
+
+# Collective helpers (generator functions: use with ``yield from``) -------
+
+def bcast(comm: RankContext, value: Any, root: int = 0):
+    """Binomial-tree broadcast; returns the value on every rank."""
+    size, rank = comm.size, comm.rank
+    vrank = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank < mask:
+            partner = vrank | mask
+            if partner < size:
+                comm.isend((partner + root) % size, tag=-10 - mask, payload=value)
+        elif vrank < mask * 2:
+            value = yield comm.recv(((vrank ^ mask) + root) % size, tag=-10 - mask)
+        mask <<= 1
+    return value
+
+
+def gather(comm: RankContext, value: Any, root: int = 0):
+    """Gather values to ``root``; returns the list there, None elsewhere."""
+    if comm.rank == root:
+        out: list[Any] = [None] * comm.size
+        out[root] = value
+        for _ in range(comm.size - 1):
+            # deterministic: receive in rank order
+            pass
+        for src in range(comm.size):
+            if src != root:
+                out[src] = yield comm.recv(src, tag=-20)
+        return out
+    comm.isend(root, tag=-20, payload=value)
+    return None
+
+
+def allreduce(comm: RankContext, value: Any, op: Callable[[Any, Any], Any]):
+    """Reduce-to-root then broadcast; returns the reduction on every rank."""
+    gathered = yield from gather(comm, value, root=0)
+    if comm.rank == 0:
+        acc = gathered[0]
+        for v in gathered[1:]:
+            acc = op(acc, v)
+    else:
+        acc = None
+    result = yield from bcast(comm, acc, root=0)
+    return result
+
+
+def alltoall(comm: RankContext, values: list[Any]):
+    """Personalised all-to-all; ``values[d]`` goes to rank ``d``."""
+    if len(values) != comm.size:
+        raise ValueError("alltoall needs one value per rank")
+    for d in range(comm.size):
+        if d != comm.rank:
+            comm.isend(d, tag=-30, payload=values[d])
+    out: list[Any] = [None] * comm.size
+    out[comm.rank] = values[comm.rank]
+    for s in range(comm.size):
+        if s != comm.rank:
+            out[s] = yield comm.recv(s, tag=-30)
+    return out
+
+
+# Scheduler ----------------------------------------------------------------
+
+@dataclass
+class SPMDResult:
+    """Outcome of an SPMD run."""
+
+    results: list[Any]
+    clocks: list[float]
+    stats: list[CommStats]
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual wall-clock of the run (slowest rank)."""
+        return max(self.clocks) if self.clocks else 0.0
+
+
+class _Scheduler:
+    def __init__(self, nranks: int, machine=None, topology=None):
+        self.n = nranks
+        self.clocks = [0.0] * nranks
+        self.machine = machine
+        self.topology = topology
+        if machine is not None:
+            self.alpha = machine.alpha
+            self.beta = machine.beta
+            self.tau = machine.tau
+            self.hop_latency = machine.hop_latency
+        else:
+            self.alpha = self.beta = self.tau = self.hop_latency = 0.0
+        self.queues: list[dict[tuple[int, int], deque[_Message]]] = [
+            defaultdict(deque) for _ in range(nranks)]
+        self._seq = 0
+        self.contexts: list[RankContext] = []
+        # pending synchronous sends: (dest) -> list of (src, tag, op)
+        self.pending_ssends: list[list[tuple[int, _SsendOp]]] = [
+            [] for _ in range(nranks)]
+
+    # -- messaging -------------------------------------------------------
+    def _transfer_time(self, src: int, dest: int, nbytes: int) -> float:
+        t = self.alpha + nbytes * self.beta
+        if self.topology is not None and self.hop_latency:
+            t += self.topology.hops(src, dest) * self.hop_latency
+        return t
+
+    def post_send(self, src: int, dest: int, tag: int, payload: Any,
+                  nbytes: int) -> None:
+        if not 0 <= dest < self.n:
+            raise ValueError(f"invalid destination rank {dest}")
+        ctx = self.contexts[src]
+        ctx.stats.messages_sent += 1
+        ctx.stats.bytes_sent += nbytes
+        arrival = self.clocks[src] + self._transfer_time(src, dest, nbytes)
+        # injection overhead on the sender
+        self.clocks[src] += self.alpha
+        self._seq += 1
+        self.queues[dest][(src, tag)].append(
+            _Message(src, tag, payload, arrival, self._seq))
+
+    def match_recv(self, rank: int, op: _RecvOp) -> _Message | None:
+        q = self.queues[rank]
+        if op.source != ANY_SOURCE and op.tag != ANY_TAG:
+            dq = q.get((op.source, op.tag))
+            return dq.popleft() if dq else None
+        # wildcard: deterministic pick = smallest (seq) among matching keys
+        best_key, best = None, None
+        for (src, tag), dq in q.items():
+            if not dq:
+                continue
+            if op.source != ANY_SOURCE and src != op.source:
+                continue
+            if op.tag != ANY_TAG and tag != op.tag:
+                continue
+            if best is None or dq[0].seq < best.seq:
+                best, best_key = dq[0], (src, tag)
+        if best_key is not None:
+            return q[best_key].popleft()
+        return None
+
+
+def run_spmd(nranks: int, program: Callable[..., Generator],
+             machine=None, topology=None, args: tuple = (),
+             kwargs: dict | None = None, max_rounds: int = 10_000_000
+             ) -> SPMDResult:
+    """Run ``program(comm, *args, **kwargs)`` on ``nranks`` virtual ranks.
+
+    ``program`` must be a generator function (it may simply ``return`` early
+    or never yield — plain SPMD compute is fine).  Returns per-rank results,
+    final virtual clocks, and communication statistics.
+    """
+    if nranks < 1:
+        raise ValueError("need at least one rank")
+    kwargs = kwargs or {}
+    sched = _Scheduler(nranks, machine=machine, topology=topology)
+    contexts = [RankContext(r, nranks, sched) for r in range(nranks)]
+    sched.contexts = contexts
+
+    gens: list[Generator | None] = []
+    results: list[Any] = [None] * nranks
+    for r in range(nranks):
+        g = program(contexts[r], *args, **kwargs)
+        if not hasattr(g, "send"):
+            # plain function: ran to completion already
+            results[r] = g
+            gens.append(None)
+        else:
+            gens.append(g)
+
+    # blocked[r] = the op rank r is waiting on (None = ready to run)
+    blocked: list[Any] = [None] * nranks
+    barrier_waiting: set[int] = set()
+    # value to feed into gen.send() when resumed
+    resume_value: list[Any] = [None] * nranks
+    started = [False] * nranks
+
+    def finish(r: int, stop: StopIteration) -> None:
+        results[r] = stop.value
+        gens[r] = None
+        blocked[r] = None
+
+    remaining = sum(1 for g in gens if g is not None)
+    rounds = 0
+    while remaining > 0:
+        rounds += 1
+        if rounds > max_rounds:
+            raise DeadlockError("max scheduling rounds exceeded")
+        progress = False
+        for r in range(nranks):
+            g = gens[r]
+            if g is None:
+                continue
+            # Try to unblock
+            if blocked[r] is not None:
+                op = blocked[r]
+                if isinstance(op, _RecvOp):
+                    msg = sched.match_recv(r, op)
+                    if msg is None:
+                        continue
+                    wait_start = sched.clocks[r]
+                    sched.clocks[r] = max(sched.clocks[r], msg.arrival)
+                    st = contexts[r].stats
+                    st.comm_time += sched.clocks[r] - wait_start
+                    st.messages_received += 1
+                    st.bytes_received += _payload_nbytes(msg.payload)
+                    resume_value[r] = msg.payload
+                    blocked[r] = None
+                elif isinstance(op, _SsendOp):
+                    continue  # matched from the receiver side
+                elif isinstance(op, _BarrierOp):
+                    continue  # resolved collectively below
+            # Run until next block
+            try:
+                if not started[r]:
+                    started[r] = True
+                    op = g.send(None)
+                else:
+                    op = g.send(resume_value[r])
+                resume_value[r] = None
+                progress = True
+            except StopIteration as stop:
+                finish(r, stop)
+                remaining -= 1
+                progress = True
+                continue
+            # Interpret the yielded op
+            if isinstance(op, _RecvOp):
+                # fast path: check pending ssends targeting this rank
+                matched = None
+                for i, (src, sop) in enumerate(sched.pending_ssends[r]):
+                    if ((op.source in (ANY_SOURCE, src))
+                            and (op.tag in (ANY_TAG, sop.tag))):
+                        matched = i
+                        break
+                if matched is not None:
+                    src, sop = sched.pending_ssends[r].pop(matched)
+                    t_match = max(sched.clocks[r], sched.clocks[src])
+                    t_done = t_match + sched._transfer_time(src, r, sop.nbytes)
+                    contexts[src].stats.comm_time += t_done - sched.clocks[src]
+                    contexts[r].stats.comm_time += t_done - sched.clocks[r]
+                    sched.clocks[src] = t_done
+                    sched.clocks[r] = t_done
+                    contexts[src].stats.messages_sent += 1
+                    contexts[src].stats.bytes_sent += sop.nbytes
+                    contexts[r].stats.messages_received += 1
+                    contexts[r].stats.bytes_received += sop.nbytes
+                    resume_value[r] = sop.payload
+                    blocked[r] = None
+                    # unblock the sender
+                    blocked[src] = None
+                    resume_value[src] = None
+                else:
+                    blocked[r] = op
+            elif isinstance(op, _SsendOp):
+                sched.pending_ssends[op.dest].append((r, op))
+                blocked[r] = op
+                # If the destination is already blocked on a matching recv,
+                # complete the rendezvous now.
+                dop = blocked[op.dest]
+                if isinstance(dop, _RecvOp) and (
+                        dop.source in (ANY_SOURCE, r)) and (
+                        dop.tag in (ANY_TAG, op.tag)):
+                    sched.pending_ssends[op.dest].remove((r, op))
+                    dest = op.dest
+                    t_match = max(sched.clocks[r], sched.clocks[dest])
+                    t_done = t_match + sched._transfer_time(r, dest, op.nbytes)
+                    contexts[r].stats.comm_time += t_done - sched.clocks[r]
+                    contexts[dest].stats.comm_time += t_done - sched.clocks[dest]
+                    sched.clocks[r] = t_done
+                    sched.clocks[dest] = t_done
+                    contexts[r].stats.messages_sent += 1
+                    contexts[r].stats.bytes_sent += op.nbytes
+                    contexts[dest].stats.messages_received += 1
+                    contexts[dest].stats.bytes_received += op.nbytes
+                    resume_value[dest] = op.payload
+                    blocked[dest] = None
+                    blocked[r] = None
+            elif isinstance(op, _BarrierOp):
+                blocked[r] = op
+                barrier_waiting.add(r)
+            elif op is None:
+                pass  # bare yield: cooperative re-schedule point
+            else:
+                raise TypeError(f"rank {r} yielded unsupported op {op!r}")
+
+        # Resolve a completed barrier (all live ranks waiting on it).
+        live = [r for r in range(nranks) if gens[r] is not None]
+        if live and all(isinstance(blocked[r], _BarrierOp) for r in live):
+            t = max(sched.clocks[r] for r in live)
+            cost = sched.alpha * max(1, int(np.ceil(np.log2(max(2, len(live))))))
+            for r in live:
+                contexts[r].stats.sync_time += (t + cost) - sched.clocks[r]
+                sched.clocks[r] = t + cost
+                blocked[r] = None
+                barrier_waiting.discard(r)
+            progress = True
+
+        if not progress:
+            live_state = {r: blocked[r] for r in range(nranks)
+                          if gens[r] is not None}
+            raise DeadlockError(f"no rank can progress; blocked ops: {live_state}")
+
+    return SPMDResult(results=results, clocks=sched.clocks,
+                      stats=[c.stats for c in contexts])

@@ -1,0 +1,107 @@
+"""Interconnect topology models (Table 1's "Interconnect" column).
+
+The machines in the paper's study use two families of interconnects:
+
+* 3-D torus (BG/L, BG/P, Cray XT5 SeaStar2+) — hop count is the Manhattan
+  distance with wrap-around in each dimension;
+* fat tree (DataStar's IBM Federation, Ranger's InfiniBand) — hop count is
+  the tree distance between leaf switches.
+
+The NUMA contention factor captures the Section IV.A observation that "the
+number of sockets accessing the 3D torus network tends to increase the
+communication latency": per-node injection is shared by ``sockets_per_node``
+sockets, so effective point-to-point latency grows on multi-socket nodes
+(96% parallel efficiency on single-socket BG/L vs 40% on BG/P at 40K cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Torus3D", "FatTree", "balanced_dims"]
+
+
+def balanced_dims(n: int, ndim: int = 3) -> tuple[int, ...]:
+    """Factor ``n`` into ``ndim`` near-equal factors (largest first).
+
+    Used both for torus shapes and for processor-grid decompositions.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    dims = [1] * ndim
+    # greedy: repeatedly assign the largest prime factor to the smallest dim
+    factors = []
+    m = n
+    p = 2
+    while p * p <= m:
+        while m % p == 0:
+            factors.append(p)
+            m //= p
+        p += 1
+    if m > 1:
+        factors.append(m)
+    for f in sorted(factors, reverse=True):
+        dims[int(np.argmin(dims))] *= f
+    return tuple(sorted(dims, reverse=True))
+
+
+@dataclass(frozen=True)
+class Torus3D:
+    """3-D torus over ``nx*ny*nz`` nodes; ranks mapped lexicographically."""
+
+    nx: int
+    ny: int
+    nz: int
+
+    @classmethod
+    def for_ranks(cls, n: int) -> "Torus3D":
+        return cls(*balanced_dims(n, 3))
+
+    @property
+    def size(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    def coords(self, rank: int) -> tuple[int, int, int]:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside torus of {self.size}")
+        z = rank % self.nz
+        y = (rank // self.nz) % self.ny
+        x = rank // (self.nz * self.ny)
+        return x, y, z
+
+    def hops(self, a: int, b: int) -> int:
+        """Minimal hop count with per-dimension wrap-around."""
+        ca, cb = self.coords(a), self.coords(b)
+        total = 0
+        for d, n in zip(range(3), (self.nx, self.ny, self.nz)):
+            diff = abs(ca[d] - cb[d])
+            total += min(diff, n - diff)
+        return total
+
+    def diameter(self) -> int:
+        return self.nx // 2 + self.ny // 2 + self.nz // 2
+
+
+@dataclass(frozen=True)
+class FatTree:
+    """Fat tree with ``radix``-port leaf switches; hop = up-down distance."""
+
+    radix: int = 16
+
+    def hops(self, a: int, b: int) -> int:
+        if a == b:
+            return 0
+        # same leaf switch: 2 hops (up to switch, down); otherwise climb
+        # until the subtree roots coincide.
+        la, lb = a // self.radix, b // self.radix
+        level = 1
+        while la != lb:
+            la //= self.radix
+            lb //= self.radix
+            level += 1
+        return 2 * level
+
+    def diameter(self) -> int:
+        return 6  # typical 3-level fat tree

@@ -1,0 +1,117 @@
+"""Slip-weakening friction with the M8 shallow velocity-strengthening zone.
+
+Section VII.A: "Friction in our model followed a slip-weakening law, with
+static and dynamic friction coefficients of 0.75 and 0.5, respectively, and a
+slip-weakening distance dc of 0.3 m.  In the top 2 km of the fault, we
+emulated velocity strengthening by forcing mu_d > mu_s, with a linear
+transition between 2 km and 3 km ...  Additionally dc was increased to 1 m at
+the free surface using a cosine taper in the top 3 km.  ...  We also included
+cohesion of 1 MPa on the fault."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SlipWeakeningFriction", "m8_friction_profiles"]
+
+
+@dataclass
+class SlipWeakeningFriction:
+    """Linear slip-weakening friction on a gridded fault plane.
+
+    All arrays share the fault-plane shape ``(n_strike, n_depth)``.
+
+    Attributes
+    ----------
+    mu_s, mu_d:
+        Static and dynamic friction coefficients.
+    dc:
+        Slip-weakening distance, metres.
+    cohesion:
+        Cohesive strength, Pa.
+    """
+
+    mu_s: np.ndarray
+    mu_d: np.ndarray
+    dc: np.ndarray
+    cohesion: np.ndarray
+
+    def __post_init__(self) -> None:
+        shapes = {a.shape for a in (self.mu_s, self.mu_d, self.dc,
+                                    self.cohesion)}
+        if len(shapes) != 1:
+            raise ValueError("friction arrays must share one shape")
+        if np.any(self.dc <= 0):
+            raise ValueError("slip-weakening distance must be positive")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.mu_s.shape  # type: ignore[return-value]
+
+    def coefficient(self, slip: np.ndarray) -> np.ndarray:
+        """Friction coefficient after accumulated slip ``slip`` (metres)."""
+        frac = np.clip(slip / self.dc, 0.0, 1.0)
+        return self.mu_s - (self.mu_s - self.mu_d) * frac
+
+    def strength(self, slip: np.ndarray, normal_stress: np.ndarray) -> np.ndarray:
+        """Shear strength ``c + mu(s) * max(sigma_n, 0)`` (Pa).
+
+        ``normal_stress`` is effective *compressive* stress (positive in
+        compression); tensile patches retain only cohesion.
+        """
+        return self.cohesion + self.coefficient(slip) * np.clip(
+            normal_stress, 0.0, None)
+
+    def strength_drop(self, normal_stress: np.ndarray) -> np.ndarray:
+        """Static-minus-dynamic strength (the available stress drop)."""
+        return (self.mu_s - self.mu_d) * np.clip(normal_stress, 0.0, None)
+
+    @classmethod
+    def uniform(cls, shape: tuple[int, int], mu_s: float = 0.75,
+                mu_d: float = 0.5, dc: float = 0.3,
+                cohesion: float = 1e6) -> "SlipWeakeningFriction":
+        return cls(mu_s=np.full(shape, mu_s), mu_d=np.full(shape, mu_d),
+                   dc=np.full(shape, dc), cohesion=np.full(shape, cohesion))
+
+
+def m8_friction_profiles(depths: np.ndarray, n_strike: int,
+                         mu_s: float = 0.75, mu_d: float = 0.5,
+                         dc_deep: float = 0.3, dc_surface: float = 1.0,
+                         cohesion: float = 1e6,
+                         vs_top: float = 2000.0, vs_taper: float = 3000.0
+                         ) -> SlipWeakeningFriction:
+    """The M8 depth profiles of Section VII.A on a fault grid.
+
+    ``depths`` (metres, positive down) is the 1-D depth coordinate of the
+    fault columns; profiles are broadcast along strike.
+
+    * above ``vs_top`` (2 km): velocity strengthening emulated with
+      ``mu_d > mu_s`` (negative stress drop);
+    * linear transition between 2 and 3 km;
+    * ``dc`` tapers from 1 m at the surface to 0.3 m below 3 km with a
+      cosine shape.
+    """
+    depths = np.asarray(depths, dtype=np.float64)
+    mu_d_prof = np.full_like(depths, mu_d)
+    strengthening = mu_s + 0.1  # forced mu_d > mu_s in the shallow zone
+    shallow = depths <= vs_top
+    trans = (depths > vs_top) & (depths < vs_taper)
+    mu_d_prof[shallow] = strengthening
+    frac = (depths[trans] - vs_top) / (vs_taper - vs_top)
+    mu_d_prof[trans] = strengthening + frac * (mu_d - strengthening)
+
+    dc_prof = np.full_like(depths, dc_deep)
+    taper = depths < vs_taper
+    dc_prof[taper] = dc_deep + (dc_surface - dc_deep) * 0.5 * (
+        1.0 + np.cos(np.pi * depths[taper] / vs_taper))
+
+    def tile(prof: np.ndarray) -> np.ndarray:
+        return np.broadcast_to(prof[None, :], (n_strike, depths.size)).copy()
+
+    return SlipWeakeningFriction(
+        mu_s=np.full((n_strike, depths.size), mu_s),
+        mu_d=tile(mu_d_prof), dc=tile(dc_prof),
+        cohesion=np.full((n_strike, depths.size), cohesion))

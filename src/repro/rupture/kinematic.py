@@ -1,0 +1,176 @@
+"""Kinematic source descriptions (TeraShake-K / ShakeOut-K style).
+
+Section VI: "Kinematic source descriptions are often strong simplifications
+of the earthquake rupture process" — prescribed slip, constant rupture
+velocity, and a fixed source-time-function shape.  TS-K used a smooth slip
+model scaled from the 2002 Denali rupture; the dynamic TS-D/SO-D sources are
+produced by the :mod:`repro.rupture.solver` instead, and Figs. 16–17 contrast
+the two.
+
+:class:`KinematicRupture` builds a gridded fault with
+
+* a slip distribution (smooth elliptical taper by default, or user-supplied),
+* rupture times from a constant rupture speed away from the hypocentre,
+* a rise-time law ``T_r ~ slip / v_peak`` (bounded), and
+* a choice of source-time function.
+
+and converts it to the :class:`~repro.core.source.FiniteFaultSource` the AWM
+consumes, or resamples it onto an arbitrary segmented fault trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.source import (FiniteFaultSource, SubFault, cosine_stf,
+                           magnitude_to_moment, triangle_stf)
+
+__all__ = ["KinematicRupture", "elliptical_slip", "denali_like_slip"]
+
+
+def elliptical_slip(n_strike: int, n_depth: int, peak: float = 1.0) -> np.ndarray:
+    """Smooth elliptical slip taper (the classic kinematic simplification)."""
+    x = np.linspace(-1, 1, n_strike)
+    z = np.linspace(-1, 1, n_depth)
+    r2 = x[:, None] ** 2 + z[None, :] ** 2
+    return peak * np.sqrt(np.clip(1.0 - r2, 0.0, None))
+
+
+def denali_like_slip(n_strike: int, n_depth: int, peak: float = 1.0,
+                     n_patches: int = 3, seed: int = 7) -> np.ndarray:
+    """Smooth multi-patch slip reminiscent of the Denali-scaled TS-K source.
+
+    A few broad Gaussian asperities along strike — "relatively smooth in its
+    slip distribution ... owing to resolution limits of the Denali source
+    inversion" (Section VI).
+    """
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 1, n_strike)
+    z = np.linspace(0, 1, n_depth)
+    slip = np.zeros((n_strike, n_depth))
+    for _ in range(n_patches):
+        cx = rng.uniform(0.15, 0.85)
+        cz = rng.uniform(0.3, 0.7)
+        wx = rng.uniform(0.1, 0.25)
+        wz = rng.uniform(0.2, 0.4)
+        amp = rng.uniform(0.5, 1.0)
+        slip += amp * np.exp(-((x[:, None] - cx) / wx) ** 2
+                             - ((z[None, :] - cz) / wz) ** 2)
+    slip *= peak / slip.max()
+    # taper to zero at the down-dip edge and fault ends
+    taper_x = np.minimum(np.linspace(0, 1, n_strike) * 8, 1.0)
+    taper_x = np.minimum(taper_x, taper_x[::-1])
+    taper_z = np.minimum(np.linspace(1, 0, n_depth) * 4, 1.0)
+    return slip * taper_x[:, None] * taper_z[None, :]
+
+
+@dataclass
+class KinematicRupture:
+    """A kinematic finite-fault description on a strike x depth grid.
+
+    Parameters
+    ----------
+    length, depth:
+        Fault dimensions in metres.
+    spacing:
+        Subfault spacing in metres.
+    magnitude:
+        Target moment magnitude; slip is scaled to match.
+    hypocenter:
+        (along-strike, down-dip) position of nucleation, metres.
+    rupture_velocity:
+        Constant rupture speed, m/s (the kinematic simplification whose
+        "limited variation" suppresses the star-burst pattern of Fig. 17).
+    rise_time:
+        Subfault rise time, seconds.
+    slip:
+        Optional slip distribution (defaults to a Denali-like smooth model).
+    stf:
+        'triangle' or 'cosine'.
+    """
+
+    length: float
+    depth: float
+    spacing: float
+    magnitude: float
+    hypocenter: tuple[float, float]
+    rupture_velocity: float = 2800.0
+    rise_time: float = 2.0
+    slip: np.ndarray | None = None
+    stf: str = "triangle"
+    rigidity: float = 3.0e10
+
+    def __post_init__(self) -> None:
+        self.n_strike = max(2, int(round(self.length / self.spacing)))
+        self.n_depth = max(2, int(round(self.depth / self.spacing)))
+        if self.slip is None:
+            self.slip = denali_like_slip(self.n_strike, self.n_depth)
+        elif self.slip.shape != (self.n_strike, self.n_depth):
+            raise ValueError("slip grid does not match fault discretisation")
+        if self.rupture_velocity <= 0:
+            raise ValueError("rupture velocity must be positive")
+        # scale slip to the target moment
+        area = self.spacing ** 2
+        m0_target = magnitude_to_moment(self.magnitude)
+        m0_now = float(self.rigidity * self.slip.sum() * area)
+        if m0_now <= 0:
+            raise ValueError("slip distribution has zero moment")
+        self.slip = self.slip * (m0_target / m0_now)
+
+    # ------------------------------------------------------------------
+    def rupture_times(self) -> np.ndarray:
+        """Constant-speed rupture time from the hypocentre, seconds."""
+        xs = (np.arange(self.n_strike) + 0.5) * self.spacing
+        zs = (np.arange(self.n_depth) + 0.5) * self.spacing
+        d = np.hypot(xs[:, None] - self.hypocenter[0],
+                     zs[None, :] - self.hypocenter[1])
+        return d / self.rupture_velocity
+
+    def total_moment(self) -> float:
+        return float(self.rigidity * self.slip.sum() * self.spacing ** 2)
+
+    def to_finite_fault(self, origin: tuple[float, float, float],
+                        strike_axis: int = 0, y_plane: float = 0.0,
+                        surface_z: float = 0.0, dt: float = 0.05,
+                        rake_z: float = 0.0) -> FiniteFaultSource:
+        """Expand into subfault moment-rate histories on a vertical plane.
+
+        ``origin`` is the physical position of the fault's top-left corner
+        (strike 0, depth 0); the fault extends along x with normal y; depth
+        increases downward from ``surface_z`` (grid top).  ``rake_z`` adds a
+        down-dip slip fraction.
+        """
+        times = self.rupture_times()
+        stf_fn = {"triangle": triangle_stf, "cosine": cosine_stf}[self.stf]
+        n_t = int(np.ceil(self.rise_time / dt)) + 2
+        t_samples = np.arange(n_t) * dt
+        rate = stf_fn(t_samples, self.rise_time)
+        area = self.spacing ** 2
+        subs: list[SubFault] = []
+        for i in range(self.n_strike):
+            for j in range(self.n_depth):
+                if self.slip[i, j] <= 0:
+                    continue
+                m0 = self.rigidity * self.slip[i, j] * area
+                x = origin[0] + (i + 0.5) * self.spacing
+                z = surface_z - (j + 0.5) * self.spacing
+                m = np.zeros((3, 3))
+                cos_r = np.sqrt(max(0.0, 1.0 - rake_z ** 2))
+                m[0, 1] = m[1, 0] = m0 * cos_r          # strike-slip part
+                m[1, 2] = m[2, 1] = m0 * rake_z          # dip-slip part
+                subs.append(SubFault(position=(x, y_plane, z), moment=m,
+                                     rate_samples=rate.copy(), dt=dt,
+                                     t_start=float(times[i, j])))
+        return FiniteFaultSource(subfaults=subs)
+
+    def reversed(self) -> "KinematicRupture":
+        """The same rupture propagating from the opposite end (the Fig. 15
+        SE-NW vs NW-SE directivity experiment)."""
+        hx = self.length - self.hypocenter[0]
+        return KinematicRupture(
+            length=self.length, depth=self.depth, spacing=self.spacing,
+            magnitude=self.magnitude, hypocenter=(hx, self.hypocenter[1]),
+            rupture_velocity=self.rupture_velocity, rise_time=self.rise_time,
+            slip=self.slip[::-1].copy(), stf=self.stf, rigidity=self.rigidity)

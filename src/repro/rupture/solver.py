@@ -1,0 +1,467 @@
+"""DFR — spontaneous dynamic rupture on a planar vertical fault ("SGSN mode").
+
+Implements the staggered-grid split-node treatment of Dalguer & Day [14] in
+the traction-at-split-node form: the fault divides the domain into (+) and
+(-) subregions along a vertical plane of constant y; the velocity nodes on
+the plane (``vx`` and ``vz``) are split into plus/minus halves that interact
+only through the shear traction at the node, bounded by slip-weakening
+friction.  Spatial accuracy near the fault is reduced to 2nd order via the
+one-sided operators of the paper's Eq. (4a–c), exactly as described
+("the accuracy of the FD equations is reduced to 2nd-order" within two grid
+points of the plane).
+
+Simplifications relative to the full Dalguer–Day scheme (documented in
+DESIGN.md): the in-plane stresses on the fault plane are not split (their
+split contributions are antisymmetric for in-plane shear ruptures and vanish
+to leading order for the planar strike-slip sources used here), and the
+along-strike/down-dip traction components are colocated per cell for the
+vector friction bound (a half-cell registration approximation).
+
+The solver exposes the quantities Fig. 19 is built from: final slip, peak
+slip rate, rupture time, and the rupture-velocity classification
+(sub-Rayleigh vs super-shear).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.boundary import FreeSurfaceFS2, SpongeLayer
+from ..core.fd import C1, C2, NGHOST
+from ..core.grid import Grid3D, WaveField
+from ..core.kernels import VelocityStressKernel
+from ..core.medium import Medium
+from ..core.stability import cfl_dt
+from .friction import SlipWeakeningFriction
+from .stress import InitialStress
+
+__all__ = ["FaultModel", "RuptureSolver"]
+
+#: slip-rate threshold defining rupture arrival (m/s)
+RUPTURE_THRESHOLD = 1e-3
+
+
+@dataclass
+class FaultModel:
+    """A planar, vertical fault embedded in the grid (the SGSN geometry).
+
+    The plane sits at grid y-index ``j0`` (the ``vx``/``vz`` node plane).
+    The *breakable* region spans strike cells ``[i0, i1)`` and the top
+    ``n_depth`` cells below the free surface; outside it the plane is
+    welded.  ``friction`` and ``initial`` are indexed ``[strike, depth]``
+    with depth index 0 at the surface.
+    """
+
+    j0: int
+    i0: int
+    i1: int
+    n_depth: int
+    friction: SlipWeakeningFriction
+    initial: InitialStress
+
+    def __post_init__(self) -> None:
+        shape = (self.i1 - self.i0, self.n_depth)
+        if self.friction.shape != shape:
+            raise ValueError(f"friction arrays have shape "
+                             f"{self.friction.shape}, expected {shape}")
+        if self.initial.tau0_x.shape != shape:
+            raise ValueError("initial stress shape does not match fault")
+
+
+class RuptureSolver:
+    """Spontaneous-rupture solver: bulk FD + split-node fault plane."""
+
+    def __init__(self, grid: Grid3D, medium: Medium, fault: FaultModel,
+                 dt: float | None = None, free_surface: bool = True,
+                 sponge_width: int = 10):
+        if not NGHOST + 2 <= fault.j0 < grid.ny - 2:
+            raise ValueError("fault plane too close to the y boundary")
+        if fault.n_depth >= grid.nz:
+            raise ValueError("fault deeper than the grid")
+        if not 0 <= fault.i0 < fault.i1 <= grid.nx:
+            raise ValueError("invalid strike extent")
+        self.grid = grid
+        self.medium = medium
+        self.fault = fault
+        self.dt = dt if dt is not None else cfl_dt(grid.h, medium.vp_max)
+        self.wf = WaveField(grid)
+        self.kernel = VelocityStressKernel(self.wf, medium, self.dt)
+        self.free_surface = FreeSurfaceFS2(medium) if free_surface else None
+        self.sponge = (SpongeLayer(grid, sponge_width, damp_top=False)
+                       if sponge_width else None)
+        h = grid.h
+        self.area = h * h
+        nx, nz = grid.nx, grid.nz
+
+        # Full-plane fault state (welded outside the breakable region).
+        shape = (nx, nz)
+        self.vxp = np.zeros(shape)
+        self.vxm = np.zeros(shape)
+        self.vzp = np.zeros(shape)
+        self.vzm = np.zeros(shape)
+        self.slip_x = np.zeros(shape)
+        self.slip_z = np.zeros(shape)
+        self.slip_path = np.zeros(shape)
+        self.rupture_time = np.full(shape, np.inf)
+        self.peak_slip_rate = np.zeros(shape)
+        self.t = 0.0
+        self.nstep = 0
+        self._slip_rate_history: list[tuple[float, np.ndarray, np.ndarray]] | None = None
+        self._history_decimate = 1
+
+        # Expand fault-region arrays onto the full plane; welded elsewhere.
+        big = 1e12  # effectively infinite strength outside the fault
+        self.tau0_x = np.zeros(shape)
+        self.tau0_z = np.zeros(shape)
+        self.sigma_n0 = np.zeros(shape)
+        self.mu_s = np.full(shape, 1e9)
+        self.mu_d = np.full(shape, 1e9)
+        self.dc = np.ones(shape)
+        self.cohesion = np.full(shape, big)
+        region = self._region_mask()
+        # depth index d -> grid k = nz-1-d
+        ks = nz - 1 - np.arange(fault.n_depth)
+        isl = slice(fault.i0, fault.i1)
+        self.tau0_x[isl, ks] = fault.initial.tau0_x
+        self.tau0_z[isl, ks] = fault.initial.tau0_z
+        self.sigma_n0[isl, ks] = fault.initial.sigma_n
+        self.mu_s[isl, ks] = fault.friction.mu_s
+        self.mu_d[isl, ks] = fault.friction.mu_d
+        self.dc[isl, ks] = fault.friction.dc
+        self.cohesion[isl, ks] = fault.friction.cohesion
+        self._region = region
+
+        # Split in-plane stresses on the fault plane (Dalguer & Day split
+        # sigma_xx, sigma_zz, sigma_xz as well as the velocities): these are
+        # only ever consumed by the fault-plane dynamics itself — the bulk
+        # grid never takes a y-derivative of them — so they live as private
+        # 2-D planes integrated from the split velocities.
+        self.sxxp = np.zeros(shape)
+        self.sxxm = np.zeros(shape)
+        self.szzp = np.zeros(shape)
+        self.szzm = np.zeros(shape)
+        self.sxzp = np.zeros(shape)
+        self.sxzm = np.zeros(shape)
+
+        # Split-node masses from each side's density (rho at cell centres
+        # adjacent to the plane).
+        j0p = fault.j0 + NGHOST
+        from ..core.fd import interior
+        rho = interior(medium.rho)
+        half_vol = h ** 3 / 2.0
+        self.m_plus = rho[:, min(fault.j0, grid.ny - 1), :] * half_vol
+        self.m_minus = rho[:, max(fault.j0 - 1, 0), :] * half_vol
+        self._j0p = j0p
+        # Fault-plane material for the split in-plane stress updates.
+        self._lam_f = interior(medium.lam)[:, fault.j0, :]
+        self._lam2mu_f = interior(medium.lam2mu)[:, fault.j0, :]
+        self._mu_xz_f = interior(medium.mu_xz)[:, fault.j0, :]
+
+    # ------------------------------------------------------------------
+    def _region_mask(self) -> np.ndarray:
+        mask = np.zeros((self.grid.nx, self.grid.nz), dtype=bool)
+        ks = self.grid.nz - 1 - np.arange(self.fault.n_depth)
+        mask[self.fault.i0:self.fault.i1, ks] = True
+        return mask
+
+    def record_slip_rate(self, decimate: int = 1) -> None:
+        """Keep (t, slip-rate-x, slip-rate-z) snapshots every ``decimate``
+        steps — the raw material dSrcG turns into moment-rate histories."""
+        self._slip_rate_history = []
+        self._history_decimate = decimate
+
+    # ------------------------------------------------------------------
+    # Fault-plane dynamics
+    # ------------------------------------------------------------------
+    def _split_node_update(self) -> None:
+        wf, g, h, dt = self.wf, self.grid, self.grid.h, self.dt
+        j0p = self._j0p
+        A = self.area
+        gi = slice(NGHOST, NGHOST + g.nx)
+        gk = slice(NGHOST, NGHOST + g.nz)
+
+        # --- vx split nodes at (i+1/2, j0, k) --------------------------
+        def dx_fwd(a: np.ndarray) -> np.ndarray:
+            out = np.zeros_like(a)
+            out[:-1] = (a[1:] - a[:-1]) / h
+            return out
+
+        def dx_bwd(a: np.ndarray) -> np.ndarray:
+            out = np.zeros_like(a)
+            out[1:] = (a[1:] - a[:-1]) / h
+            return out
+
+        def dz_fwd(a: np.ndarray) -> np.ndarray:
+            out = np.zeros_like(a)
+            out[:, :-1] = (a[:, 1:] - a[:, :-1]) / h
+            return out
+
+        def dz_bwd(a: np.ndarray) -> np.ndarray:
+            out = np.zeros_like(a)
+            out[:, 1:] = (a[:, 1:] - a[:, :-1]) / h
+            return out
+
+        # Bulk restoring force per side from that side's split in-plane
+        # stresses (the Dalguer–Day split of sigma_xx/sigma_zz/sigma_xz).
+        bulk_x_p = (h ** 3 / 2.0) * (dx_fwd(self.sxxp) + dz_bwd(self.sxzp))
+        bulk_x_m = (h ** 3 / 2.0) * (dx_fwd(self.sxxm) + dz_bwd(self.sxzm))
+        r_plus_x = bulk_x_p + A * wf.sxy[gi, j0p, gk]
+        r_minus_x = bulk_x_m - A * wf.sxy[gi, j0p - 1, gk]
+
+        # --- vz split nodes at (i, j0, k+1/2) ---------------------------
+        bulk_z_p = (h ** 3 / 2.0) * (dx_bwd(self.sxzp) + dz_fwd(self.szzp))
+        bulk_z_m = (h ** 3 / 2.0) * (dx_bwd(self.sxzm) + dz_fwd(self.szzm))
+        r_plus_z = bulk_z_p + A * wf.syz[gi, j0p, gk]
+        r_minus_z = bulk_z_m - A * wf.syz[gi, j0p - 1, gk]
+
+        mp, mm = self.m_plus, self.m_minus
+        inv = 1.0 / mp + 1.0 / mm
+        # Traction that would freeze the slip rate this step (the trial).
+        sdot_x = self.vxp - self.vxm
+        sdot_z = self.vzp - self.vzm
+        t_lock_x = (sdot_x / dt + (r_plus_x / mp - r_minus_x / mm)) / (A * inv)
+        t_lock_z = (sdot_z / dt + (r_plus_z / mp - r_minus_z / mm)) / (A * inv)
+        trial_x = self.tau0_x + t_lock_x
+        trial_z = self.tau0_z + t_lock_z
+        # Effective normal stress including the dynamic perturbation syy.
+        syy_fault = wf.syy[gi, j0p, gk]
+        sigma_eff = self.sigma_n0 - syy_fault
+        mu = self.mu_s - (self.mu_s - self.mu_d) * np.clip(
+            self.slip_path / self.dc, 0.0, 1.0)
+        strength = self.cohesion + mu * np.clip(sigma_eff, 0.0, None)
+        mag = np.hypot(trial_x, trial_z)
+        scale = np.where(mag > strength, strength / np.maximum(mag, 1e-30), 1.0)
+        t_x = trial_x * scale - self.tau0_x
+        t_z = trial_z * scale - self.tau0_z
+
+        self.vxp += dt * (r_plus_x - A * t_x) / mp
+        self.vxm += dt * (r_minus_x + A * t_x) / mm
+        self.vzp += dt * (r_plus_z - A * t_z) / mp
+        self.vzm += dt * (r_minus_z + A * t_z) / mm
+
+        sdot_x = self.vxp - self.vxm
+        sdot_z = self.vzp - self.vzm
+        self.slip_x += dt * sdot_x
+        self.slip_z += dt * sdot_z
+        rate = np.hypot(sdot_x, sdot_z)
+        self.slip_path += dt * rate
+        np.maximum(self.peak_slip_rate, rate, out=self.peak_slip_rate)
+        arriving = (rate > RUPTURE_THRESHOLD) & np.isinf(self.rupture_time)
+        self.rupture_time[arriving] = self.t
+        if self._slip_rate_history is not None \
+                and self.nstep % self._history_decimate == 0:
+            self._slip_rate_history.append((self.t, sdot_x.copy(),
+                                            sdot_z.copy()))
+
+        # Publish the node-average motion to the bulk grid.
+        wf.vx[gi, j0p, gk] = 0.5 * (self.vxp + self.vxm)
+        wf.vz[gi, j0p, gk] = 0.5 * (self.vzp + self.vzm)
+
+    def _update_split_inplane_stresses(self) -> None:
+        """Integrate the split sigma_xx/sigma_zz/sigma_xz planes from the
+        split velocities (one per fault side; 2nd-order in-plane operators).
+
+        d(vy)/dy across the fault uses the centred difference of the two
+        adjacent continuous vy planes (vy is continuous across a
+        non-opening fault).
+        """
+        wf, g, h, dt = self.wf, self.grid, self.grid.h, self.dt
+        j0p = self._j0p
+        gi = slice(NGHOST, NGHOST + g.nx)
+        gk = slice(NGHOST, NGHOST + g.nz)
+        dyvy = (wf.vy[gi, j0p, gk] - wf.vy[gi, j0p - 1, gk]) / h
+
+        def dx_bwd(a):
+            out = np.zeros_like(a)
+            out[1:] = (a[1:] - a[:-1]) / h
+            return out
+
+        def dz_bwd(a):
+            out = np.zeros_like(a)
+            out[:, 1:] = (a[:, 1:] - a[:, :-1]) / h
+            return out
+
+        def dx_fwd(a):
+            out = np.zeros_like(a)
+            out[:-1] = (a[1:] - a[:-1]) / h
+            return out
+
+        def dz_fwd(a):
+            out = np.zeros_like(a)
+            out[:, :-1] = (a[:, 1:] - a[:, :-1]) / h
+            return out
+
+        lam, l2m, mu = self._lam_f, self._lam2mu_f, self._mu_xz_f
+        for vx_s, vz_s, sxx, szz, sxz in (
+                (self.vxp, self.vzp, self.sxxp, self.szzp, self.sxzp),
+                (self.vxm, self.vzm, self.sxxm, self.szzm, self.sxzm)):
+            dxvx = dx_bwd(vx_s)
+            dzvz = dz_bwd(vz_s)
+            sxx += dt * (l2m * dxvx + lam * (dyvy + dzvz))
+            szz += dt * (l2m * dzvz + lam * (dxvx + dyvy))
+            sxz += dt * mu * (dz_fwd(vx_s) + dx_fwd(vz_s))
+
+    def _fault_stress_corrections(self) -> None:
+        """Re-derive the four shear-stress planes adjacent to the fault with
+        the one-sided operators of Eq. (4a–c), undoing the kernel's
+        across-fault 4th-order stencils."""
+        wf, g, h, dt = self.wf, self.grid, self.grid.h, self.dt
+        j0p = self._j0p
+        gi = slice(NGHOST, NGHOST + g.nx)
+        gk = slice(NGHOST, NGHOST + g.nz)
+        mu_xy = self.medium.mu_xy
+        mu_yz = self.medium.mu_yz
+
+        vx = wf.vx
+        vy = wf.vy
+        vz = wf.vz
+        # d(vy)/dx at sxy positions (forward in x) — unchanged by the fault.
+        def dx_vy(j: int) -> np.ndarray:
+            return (vy[NGHOST + 1:NGHOST + g.nx + 1, j, gk]
+                    - vy[gi, j, gk]) / h
+
+        def dz_vy(j: int) -> np.ndarray:
+            return (vy[gi, j, NGHOST + 1:NGHOST + g.nz + 1]
+                    - vy[gi, j, gk]) / h
+
+        # sxy(j0+1/2): Eq. 4c with the + side split value.
+        dyvx = (vx[gi, j0p + 1, gk] - self.vxp) / h
+        wf.sxy[gi, j0p, gk] = (self._sxy_before[:, 1, :]
+                               + dt * mu_xy[gi, j0p, gk] * (dx_vy(j0p) + dyvx))
+        # sxy(j0-1/2): minus side.
+        dyvx = (self.vxm - vx[gi, j0p - 1, gk]) / h
+        wf.sxy[gi, j0p - 1, gk] = (self._sxy_before[:, 0, :]
+                                   + dt * mu_xy[gi, j0p - 1, gk]
+                                   * (dx_vy(j0p - 1) + dyvx))
+        # sxy(j0+3/2): Eq. 4a using the + split value as the j0 sample.
+        dyvx = (C1 * (vx[gi, j0p + 2, gk] - vx[gi, j0p + 1, gk])
+                + C2 * (vx[gi, j0p + 3, gk] - self.vxp)) / h
+        wf.sxy[gi, j0p + 1, gk] = (self._sxy_before[:, 2, :]
+                                   + dt * mu_xy[gi, j0p + 1, gk]
+                                   * (dx_vy(j0p + 1) + dyvx))
+        # sxy(j0-3/2): mirrored Eq. 4a with the - split value.
+        dyvx = (C1 * (vx[gi, j0p - 1, gk] - vx[gi, j0p - 2, gk])
+                + C2 * (self.vxm - vx[gi, j0p - 3, gk])) / h
+        wf.sxy[gi, j0p - 2, gk] = (self._sxy_before[:, 3, :]
+                                   + dt * mu_xy[gi, j0p - 2, gk]
+                                   * (dx_vy(j0p - 2) + dyvx))
+
+        # syz planes: same structure with vz splits.
+        dyvz = (vz[gi, j0p + 1, gk] - self.vzp) / h
+        wf.syz[gi, j0p, gk] = (self._syz_before[:, 1, :]
+                               + dt * mu_yz[gi, j0p, gk] * (dz_vy(j0p) + dyvz))
+        dyvz = (self.vzm - vz[gi, j0p - 1, gk]) / h
+        wf.syz[gi, j0p - 1, gk] = (self._syz_before[:, 0, :]
+                                   + dt * mu_yz[gi, j0p - 1, gk]
+                                   * (dz_vy(j0p - 1) + dyvz))
+        dyvz = (C1 * (vz[gi, j0p + 2, gk] - vz[gi, j0p + 1, gk])
+                + C2 * (vz[gi, j0p + 3, gk] - self.vzp)) / h
+        wf.syz[gi, j0p + 1, gk] = (self._syz_before[:, 2, :]
+                                   + dt * mu_yz[gi, j0p + 1, gk]
+                                   * (dz_vy(j0p + 1) + dyvz))
+        dyvz = (C1 * (vz[gi, j0p - 1, gk] - vz[gi, j0p - 2, gk])
+                + C2 * (self.vzm - vz[gi, j0p - 3, gk])) / h
+        wf.syz[gi, j0p - 2, gk] = (self._syz_before[:, 3, :]
+                                   + dt * mu_yz[gi, j0p - 2, gk]
+                                   * (dz_vy(j0p - 2) + dyvz))
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        wf, g = self.wf, self.grid
+        j0p = self._j0p
+        gi = slice(NGHOST, NGHOST + g.nx)
+        gk = slice(NGHOST, NGHOST + g.nz)
+        self.kernel.step_velocity()
+        self._split_node_update()
+        if self.free_surface is not None:
+            self.free_surface.apply_velocity(wf)
+        # Snapshot the four fault-adjacent shear planes so the corrections
+        # can replace the kernel's across-fault increments.
+        self._sxy_before = np.stack([wf.sxy[gi, j, gk]
+                                     for j in (j0p - 1, j0p, j0p + 1, j0p - 2)],
+                                    axis=1)
+        self._syz_before = np.stack([wf.syz[gi, j, gk]
+                                     for j in (j0p - 1, j0p, j0p + 1, j0p - 2)],
+                                    axis=1)
+        self.kernel.step_stress()
+        self._update_split_inplane_stresses()
+        self._fault_stress_corrections()
+        if self.free_surface is not None:
+            self.free_surface.apply_stress(wf)
+        if self.sponge is not None:
+            self.sponge.apply(wf)
+        self.t += self.dt
+        self.nstep += 1
+
+    def run(self, nsteps: int, progress=None) -> None:
+        for i in range(nsteps):
+            self.step()
+            if progress is not None:
+                progress(i, self)
+
+    # ------------------------------------------------------------------
+    # Derived source quantities (Fig. 19 material)
+    # ------------------------------------------------------------------
+    def _region_view(self, arr: np.ndarray) -> np.ndarray:
+        """Fault-region view indexed [strike, depth] (depth 0 = surface)."""
+        ks = self.grid.nz - 1 - np.arange(self.fault.n_depth)
+        return arr[self.fault.i0:self.fault.i1][:, ks]
+
+    def final_slip(self) -> np.ndarray:
+        return self._region_view(np.hypot(self.slip_x, self.slip_z))
+
+    def peak_slip_rate_region(self) -> np.ndarray:
+        return self._region_view(self.peak_slip_rate)
+
+    def rupture_time_region(self) -> np.ndarray:
+        return self._region_view(self.rupture_time)
+
+    def seismic_moment(self) -> float:
+        """M0 = integral of mu * slip over the ruptured area."""
+        from ..core.fd import interior
+        mu = interior(self.medium.mu)[:, self.fault.j0, :]
+        slip = np.hypot(self.slip_x, self.slip_z)
+        return float((mu * slip).sum() * self.area)
+
+    def magnitude(self) -> float:
+        from ..core.source import moment_to_magnitude
+        return moment_to_magnitude(max(self.seismic_moment(), 1.0))
+
+    def rupture_velocity(self) -> np.ndarray:
+        """Local rupture speed |grad T_r|^-1 on the fault region (m/s)."""
+        tr = self.rupture_time_region().copy()
+        unbroken = ~np.isfinite(tr)
+        tr[unbroken] = np.nan
+        with np.errstate(invalid="ignore", divide="ignore"):
+            gx, gz = np.gradient(tr, self.grid.h)
+            v = 1.0 / np.hypot(gx, gz)
+        v[unbroken] = np.nan
+        return v
+
+    def supershear_fraction(self) -> float:
+        """Fraction of the ruptured area with rupture speed above the local
+        S speed (the red/blue patches of Fig. 19c)."""
+        from ..core.fd import interior
+        vs3 = np.sqrt(interior(self.medium.mu) / interior(self.medium.rho))
+        ks = self.grid.nz - 1 - np.arange(self.fault.n_depth)
+        vs = vs3[self.fault.i0:self.fault.i1, self.fault.j0][:, ks]
+        v = self.rupture_velocity()
+        ruptured = np.isfinite(self.rupture_time_region())
+        if not ruptured.any():
+            return 0.0
+        ss = (v > vs) & ruptured
+        return float(ss.sum() / ruptured.sum())
+
+    def moment_rate_history(self) -> tuple[np.ndarray, np.ndarray]:
+        """(t, Mdot) from recorded slip-rate snapshots (needs record_slip_rate)."""
+        if not self._slip_rate_history:
+            raise RuntimeError("call record_slip_rate() before run()")
+        from ..core.fd import interior
+        mu = interior(self.medium.mu)[:, self.fault.j0, :]
+        ts, rates = [], []
+        for t, sx, sz in self._slip_rate_history:
+            ts.append(t)
+            rates.append(float((mu * np.hypot(sx, sz)).sum() * self.area))
+        return np.asarray(ts), np.asarray(rates)

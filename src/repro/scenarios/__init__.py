@@ -1,0 +1,9 @@
+"""Scenario catalog (Table 3) and the scaled M8 pipeline."""
+
+from .catalog import SCENARIOS, Scenario, m8_resource_summary, scenario
+from .m8 import M8Config, M8Result, SITE_FRACTIONS, run_m8_scaled
+
+__all__ = [
+    "SCENARIOS", "Scenario", "m8_resource_summary", "scenario",
+    "M8Config", "M8Result", "SITE_FRACTIONS", "run_m8_scaled",
+]

@@ -1,0 +1,153 @@
+"""SCEC milestone simulation catalog (Tables 2–3, Section VI).
+
+Each :class:`Scenario` records the production run's full-scale facts (for
+the resource calculators and Table 3 bench) and knows how to build a
+*scaled-down* runnable configuration preserving the physics regime: domain
+aspect ratio, source type, frequency band scaled with the mesh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.grid import Grid3D
+from ..core.stability import cfl_dt, max_frequency
+
+__all__ = ["Scenario", "SCENARIOS", "scenario", "m8_resource_summary"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One SCEC milestone simulation (a Table 3 row)."""
+
+    name: str
+    year: int
+    magnitude: float
+    f_max_hz: float
+    source_type: str          #: 'kinematic' | 'dynamic'
+    description: str
+    domain_km: tuple[float, float, float]
+    spacing_m: float
+    machine: str
+    cores: int
+    fault_length_km: float
+    vs_min: float = 400.0
+
+    @property
+    def mesh_points(self) -> int:
+        nx = int(self.domain_km[0] * 1000 / self.spacing_m)
+        ny = int(self.domain_km[1] * 1000 / self.spacing_m)
+        nz = int(self.domain_km[2] * 1000 / self.spacing_m)
+        return nx * ny * nz
+
+    @property
+    def mesh_dims(self) -> tuple[int, int, int]:
+        return tuple(int(d * 1000 / self.spacing_m)
+                     for d in self.domain_km)  # type: ignore[return-value]
+
+    def consistent_f_max(self, ppw: float = 5.0) -> float:
+        """f_max implied by the mesh (5 points per minimum S wavelength)."""
+        return max_frequency(self.spacing_m, self.vs_min, ppw)
+
+    def mesh_file_bytes(self) -> int:
+        """Size of the (vp, vs, rho) float32 mesh file."""
+        return self.mesh_points * 3 * 4
+
+    def scaled_grid(self, nx: int = 120) -> Grid3D:
+        """A laptop-scale grid preserving the domain aspect ratio."""
+        ax, ay, az = self.domain_km
+        ny = max(16, int(round(nx * ay / ax)))
+        nz = max(12, int(round(nx * az / ax)))
+        # keep total cells modest; spacing follows from the x extent
+        h = ax * 1000.0 / nx
+        return Grid3D(nx, ny, nz, h=h)
+
+    def timesteps_for(self, duration_s: float, vp_max: float = 7600.0) -> int:
+        dt = cfl_dt(self.spacing_m, vp_max)
+        return int(np.ceil(duration_s / dt))
+
+
+SCENARIOS: dict[str, Scenario] = {s.name: s for s in [
+    Scenario(
+        name="TeraShake-K", year=2004, magnitude=7.7, f_max_hz=0.5,
+        source_type="kinematic",
+        description=("Mw7.7 on a 200-km stretch of the southern SAF; "
+                     "kinematic source scaled from the 2002 Denali rupture; "
+                     "1.8-billion-point mesh, 53 TB of output"),
+        domain_km=(600.0, 300.0, 80.0), spacing_m=200.0,
+        machine="datastar", cores=240, fault_length_km=200.0),
+    Scenario(
+        name="TeraShake-D", year=2005, magnitude=7.7, f_max_hz=0.5,
+        source_type="dynamic",
+        description=("TeraShake with a spontaneous-rupture source based on "
+                     "1992 Landers initial stress; star-burst PGV pattern"),
+        domain_km=(600.0, 300.0, 80.0), spacing_m=200.0,
+        machine="datastar", cores=1024, fault_length_km=200.0),
+    Scenario(
+        name="PNW-MegaThrust", year=2007, magnitude=9.0, f_max_hz=0.5,
+        source_type="kinematic",
+        description=("M8.5-9.0 Cascadia megathrust scenarios; basin "
+                     "amplification and 5-minute durations in Seattle"),
+        domain_km=(800.0, 400.0, 100.0), spacing_m=250.0,
+        machine="bgw", cores=6000, fault_length_km=450.0),
+    Scenario(
+        name="ShakeOut-K", year=2007, magnitude=7.8, f_max_hz=1.0,
+        source_type="kinematic",
+        description=("The Great Southern California ShakeOut drill source: "
+                     "300-km SAF rupture from the Salton Sea toward the NW"),
+        domain_km=(600.0, 300.0, 80.0), spacing_m=100.0,
+        machine="ranger", cores=16000, fault_length_km=300.0),
+    Scenario(
+        name="ShakeOut-D", year=2008, magnitude=7.8, f_max_hz=1.0,
+        source_type="dynamic",
+        description=("Seven SGSN dynamic source realisations quantifying "
+                     "site-specific peak-motion uncertainty"),
+        domain_km=(600.0, 300.0, 80.0), spacing_m=100.0,
+        machine="ranger", cores=16000, fault_length_km=300.0),
+    Scenario(
+        name="W2W", year=2009, magnitude=8.0, f_max_hz=1.0,
+        source_type="dynamic",
+        description=("Preliminary wall-to-wall SAF scenario at 100 m "
+                     "spacing on 96K Kraken cores"),
+        domain_km=(810.0, 405.0, 85.0), spacing_m=100.0,
+        machine="kraken", cores=96000, fault_length_km=545.0),
+    Scenario(
+        name="M8", year=2010, magnitude=8.0, f_max_hz=2.0,
+        source_type="dynamic",
+        description=("The record run: 436-billion-point, 40-m mesh, 0-2 Hz, "
+                     "545-km wall-to-wall SAF rupture, 223,074 Jaguar cores, "
+                     "220 sustained Tflop/s for 24 h"),
+        domain_km=(810.0, 405.0, 85.0), spacing_m=40.0,
+        machine="jaguar", cores=223_074, fault_length_km=545.0),
+]}
+
+
+def scenario(name: str) -> Scenario:
+    """Look up a Table 3 milestone scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; known: "
+                       f"{sorted(SCENARIOS)}") from None
+
+
+def m8_resource_summary() -> dict[str, float]:
+    """The M8 run's headline resource numbers (Section VII.B)."""
+    s = scenario("M8")
+    nx, ny, nz = s.mesh_dims
+    # dt from the 2 Hz / 40 m configuration; M8 simulated 360 s
+    dt = cfl_dt(s.spacing_m, 7600.0)
+    nsteps = int(360.0 / dt)
+    surface_points = (nx // 2) * (ny // 2)     # 80 m output decimation
+    frames = nsteps // 20                      # every 20th step
+    return {
+        "mesh_points": s.mesh_points,
+        "mesh_file_tb": s.mesh_file_bytes() / 1e12,
+        "timesteps": nsteps,
+        "surface_output_tb": surface_points * 3 * 4 * frames / 1e12,
+        "cores": s.cores,
+        # 9 wavefield + 6 memory-variable arrays, double precision
+        "checkpoint_tb": s.mesh_points * 15 * 8 / 1e12,
+    }

@@ -1,0 +1,11 @@
+"""Source pipeline: dynamic source generation (dSrcG) and partitioning (PetaSrcP)."""
+
+from .dsrcg import (FaultSegment, dynamic_source_from_rupture,
+                    lowpass_resample, segmented_trace)
+from .petasrcp import SourcePartition, partition_source
+
+__all__ = [
+    "FaultSegment", "dynamic_source_from_rupture", "lowpass_resample",
+    "segmented_trace",
+    "SourcePartition", "partition_source",
+]

@@ -1,0 +1,119 @@
+"""PetaSrcP — source partitioner with spatial + temporal locality (III.D).
+
+"In general, the sources are highly clustered, and tens of thousands of
+sources can be concentrated in a given grid area, resulting in hundreds of
+gigabytes of source data assigned to a single core.  To fit the large data
+into the processor memory, we further decompose the spatially partitioned
+source files by time.  The scheme with both temporal and spatial locality
+significantly reduces the system memory requirements."
+
+(M8: the 2.1 TB source was split into 526 spatial grids and 36 temporal
+loops of 3000 steps each, lowering the per-core high-water mark to 228 MB.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.grid import Grid3D
+from ..core.source import FiniteFaultSource, SubFault
+from ..parallel.decomp import Decomposition3D
+
+__all__ = ["SourcePartition", "partition_source"]
+
+
+@dataclass
+class TemporalWindow:
+    """One time loop of one rank's source data."""
+
+    t_start: float
+    t_stop: float
+    nbytes: int
+
+
+@dataclass
+class SourcePartition:
+    """Spatially + temporally partitioned source description."""
+
+    decomp: Decomposition3D
+    by_rank: dict[int, list[SubFault]]
+    windows: dict[int, list[TemporalWindow]]
+    n_loops: int
+
+    def ranks_with_sources(self) -> list[int]:
+        return sorted(r for r, subs in self.by_rank.items() if subs)
+
+    def unsplit_bytes(self, rank: int) -> int:
+        """Memory to hold the rank's full time histories at once."""
+        return sum(sf.rate_samples.nbytes + 64 for sf in self.by_rank[rank])
+
+    def high_water_bytes(self, rank: int) -> int:
+        """Peak memory with temporal splitting: the largest single window."""
+        ws = self.windows.get(rank, [])
+        return max((w.nbytes for w in ws), default=0)
+
+    def max_high_water(self) -> int:
+        return max((self.high_water_bytes(r) for r in self.by_rank), default=0)
+
+    def max_unsplit(self) -> int:
+        return max((self.unsplit_bytes(r) for r in self.by_rank), default=0)
+
+    def clustering_ratio(self) -> float:
+        """Max over ranks of subfault count / mean count — the paper's
+        'highly clustered' pathology measure (1.0 = perfectly uniform)."""
+        counts = [len(s) for s in self.by_rank.values() if s]
+        if not counts:
+            return 0.0
+        occupied = len(counts)
+        mean = sum(counts) / max(1, self.decomp.nranks)
+        return max(counts) / mean if mean else 0.0
+
+    def subfaults_in_window(self, rank: int, loop: int
+                            ) -> list[tuple[SubFault, np.ndarray]]:
+        """(subfault, samples-in-window) pairs for one rank's loop."""
+        w = self.windows[rank][loop]
+        out = []
+        for sf in self.by_rank[rank]:
+            t = sf.t_start + np.arange(sf.rate_samples.size) * sf.dt
+            mask = (t >= w.t_start) & (t < w.t_stop)
+            if mask.any():
+                out.append((sf, sf.rate_samples[mask]))
+        return out
+
+
+def partition_source(source: FiniteFaultSource, grid: Grid3D,
+                     decomp: Decomposition3D, n_loops: int = 36
+                     ) -> SourcePartition:
+    """Assign subfaults to owner ranks and split their histories in time.
+
+    Subfaults outside the grid raise — a source/mesh mismatch is a setup
+    error the pipeline must catch before burning a petascale allocation.
+    """
+    if n_loops < 1:
+        raise ValueError("n_loops must be >= 1")
+    by_rank: dict[int, list[SubFault]] = {r: [] for r in range(decomp.nranks)}
+    t_end = 0.0
+    for sf in source.subfaults:
+        i, j, k = grid.index_of(*sf.position)
+        rank = decomp.owner_of_cell(i, j, k)
+        by_rank[rank].append(sf)
+        t_end = max(t_end, sf.t_start + sf.dt * sf.rate_samples.size)
+
+    edges = np.linspace(0.0, max(t_end, 1e-12), n_loops + 1)
+    windows: dict[int, list[TemporalWindow]] = {}
+    for rank, subs in by_rank.items():
+        ws = []
+        for li in range(n_loops):
+            t0, t1 = float(edges[li]), float(edges[li + 1])
+            nbytes = 0
+            for sf in subs:
+                t = sf.t_start + np.arange(sf.rate_samples.size) * sf.dt
+                n_in = int(((t >= t0) & (t < t1)).sum())
+                if n_in:
+                    nbytes += n_in * sf.rate_samples.itemsize + 64
+            ws.append(TemporalWindow(t0, t1, nbytes))
+        windows[rank] = ws
+    return SourcePartition(decomp=decomp, by_rank=by_rank, windows=windows,
+                           n_loops=n_loops)

@@ -1,0 +1,11 @@
+"""End-to-end workflow (E2EaW) and acceptance testing (aVal)."""
+
+from .aval import AcceptanceReport, AcceptanceTest, ReferenceProblem
+from .e2eaw import (IngestionService, StageRecord, TransferRecord,
+                    TransferService, Workflow, WorkflowError)
+
+__all__ = [
+    "AcceptanceReport", "AcceptanceTest", "ReferenceProblem",
+    "IngestionService", "StageRecord", "TransferRecord", "TransferService",
+    "Workflow", "WorkflowError",
+]

@@ -1,0 +1,105 @@
+"""aVal — automated acceptance testing (Section III.H).
+
+"We have developed a multi-step process of configuring a reference problem,
+running a simulation, and comparing results against a reference solution.
+This test uses a simple least-squares (L2 norm) fit of the waveforms from
+the new simulation and the 'correct' result in the reference solution."
+
+:class:`ReferenceProblem` runs a small, fixed scenario through the solver;
+:class:`AcceptanceTest` compares receiver waveforms against stored
+references with the L2 metric and a pass threshold.  This is exactly the
+machinery that lets the optimization work of Section IV proceed safely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.seismogram import l2_misfit
+from ..core import (Grid3D, Medium, MomentTensorSource, Receiver,
+                    SolverConfig, WaveSolver)
+from ..core.source import gaussian_pulse
+
+__all__ = ["ReferenceProblem", "AcceptanceTest", "AcceptanceReport"]
+
+
+@dataclass
+class ReferenceProblem:
+    """A small fixed scenario whose waveforms are reproducible bit-for-bit
+    given identical numerics (any FP-visible change shows up in the L2)."""
+
+    n: int = 24
+    h: float = 100.0
+    nsteps: int = 80
+    f0: float = 3.0
+
+    def run(self, config: SolverConfig | None = None,
+            solver_factory=None) -> dict[str, np.ndarray]:
+        """Run and return named waveforms (three receivers x vx/vz)."""
+        g = Grid3D(self.n, self.n, self.n, h=self.h)
+        med = Medium.homogeneous(g, vp=4000.0, vs=2310.0, rho=2500.0)
+        cfg = config or SolverConfig(absorbing="sponge", sponge_width=4,
+                                     free_surface=True)
+        solver = (solver_factory or WaveSolver)(g, med, cfg)
+        c = self.n * self.h / 2
+        solver.add_source(MomentTensorSource(
+            position=(c, c, c), moment=np.eye(3) * 1e13,
+            stf=lambda t: gaussian_pulse(np.array([t]), f0=self.f0)[0]))
+        recs = [solver.add_receiver(Receiver(position=p, name=n))
+                for n, p in (("near", (c + 600.0, c, c)),
+                             ("far", (c + 900.0, c + 300.0, c)),
+                             ("surface", (c, c, self.n * self.h - 150.0)))]
+        solver.run(self.nsteps)
+        out: dict[str, np.ndarray] = {}
+        for r in recs:
+            for comp in ("vx", "vz"):
+                out[f"{r.name}.{comp}"] = r.series(comp)
+        return out
+
+
+@dataclass
+class AcceptanceReport:
+    misfits: dict[str, float]
+    threshold: float
+
+    @property
+    def passed(self) -> bool:
+        return all(m <= self.threshold for m in self.misfits.values())
+
+    @property
+    def worst(self) -> tuple[str, float]:
+        name = max(self.misfits, key=self.misfits.get)
+        return name, self.misfits[name]
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        name, worst = self.worst
+        return (f"aVal {status}: worst L2 misfit {worst:.3e} ({name}), "
+                f"threshold {self.threshold:.1e}")
+
+
+@dataclass
+class AcceptanceTest:
+    """Compare candidate waveforms against a stored reference."""
+
+    reference: dict[str, np.ndarray]
+    threshold: float = 1e-6
+
+    def evaluate(self, candidate: dict[str, np.ndarray]) -> AcceptanceReport:
+        missing = set(self.reference) - set(candidate)
+        if missing:
+            raise ValueError(f"candidate lacks waveforms: {sorted(missing)}")
+        misfits = {name: l2_misfit(candidate[name], ref)
+                   for name, ref in self.reference.items()}
+        return AcceptanceReport(misfits=misfits, threshold=self.threshold)
+
+    @classmethod
+    def bootstrap(cls, problem: ReferenceProblem | None = None,
+                  threshold: float = 1e-6) -> "AcceptanceTest":
+        """Generate the reference by running the current code (then commit
+        the stored waveforms — the paper's 'configuring a reference
+        problem' step)."""
+        problem = problem or ReferenceProblem()
+        return cls(reference=problem.run(), threshold=threshold)

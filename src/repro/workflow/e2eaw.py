@@ -1,0 +1,214 @@
+"""E2EaW — the end-to-end workflow engine (Section III.I, Fig. 10).
+
+"We have developed an end-to-end workflow that executes the simulation and
+automates archival to the SCEC digital library.  The workflow uses GridFTP
+for high performance data transfer between sites and does not require human
+intervention. ... In the event of file transfer failures, the transaction
+records are maintained to allow automatic recovery and retransfer."
+
+Components:
+
+* :class:`Workflow` — a DAG of named stages executed in dependency order,
+  with per-stage records and failure propagation;
+* :class:`TransferService` — GridFTP-like multi-stream transfers with a
+  deterministic failure injector, transaction logging, automatic retry, and
+  MD5 verification (M8 era: "average transfer rate is above 200 MB/sec");
+* :class:`IngestionService` — the iRODS/PIPUT analogue: parallel-stream
+  ingestion reaching ~177 MB/s aggregated, "more than ten times faster than
+  direct use of single iRODS iPUT".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..io.checksum import ChecksumManifest, md5_digest
+
+__all__ = ["StageRecord", "Workflow", "WorkflowError", "TransferService",
+           "IngestionService", "TransferRecord"]
+
+
+class WorkflowError(RuntimeError):
+    """A stage failed (after retries, where applicable)."""
+
+
+@dataclass
+class StageRecord:
+    name: str
+    status: str = "pending"     #: pending | running | done | failed | skipped
+    elapsed: float = 0.0
+    result: object = None
+    error: str | None = None
+
+
+class Workflow:
+    """Dependency-ordered execution of named stages.
+
+    Stages are callables ``stage(context) -> result``; ``context`` is a
+    shared dict where stages deposit products for their dependents (the
+    partition -> solve -> archive chain of Fig. 10).
+    """
+
+    def __init__(self) -> None:
+        self._stages: dict[str, tuple[Callable, tuple[str, ...]]] = {}
+        self.records: dict[str, StageRecord] = {}
+
+    def add_stage(self, name: str, fn: Callable, after: tuple[str, ...] = ()
+                  ) -> None:
+        if name in self._stages:
+            raise ValueError(f"duplicate stage {name!r}")
+        for dep in after:
+            if dep not in self._stages:
+                raise ValueError(f"stage {name!r} depends on unknown {dep!r}")
+        self._stages[name] = (fn, tuple(after))
+        self.records[name] = StageRecord(name=name)
+
+    def _order(self) -> list[str]:
+        order: list[str] = []
+        visited: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in visited:
+                return
+            for dep in self._stages[name][1]:
+                visit(dep)
+            visited.add(name)
+            order.append(name)
+
+        for name in self._stages:
+            visit(name)
+        return order
+
+    def run(self, context: dict | None = None) -> dict:
+        """Execute all stages; failed dependencies skip their dependents."""
+        context = context if context is not None else {}
+        for name in self._order():
+            fn, deps = self._stages[name]
+            rec = self.records[name]
+            if any(self.records[d].status != "done" for d in deps):
+                rec.status = "skipped"
+                continue
+            rec.status = "running"
+            try:
+                rec.result = fn(context)
+                rec.status = "done"
+            except Exception as exc:  # noqa: BLE001 - recorded, not hidden
+                rec.status = "failed"
+                rec.error = f"{type(exc).__name__}: {exc}"
+        context["_records"] = self.records
+        return context
+
+    def succeeded(self) -> bool:
+        return all(r.status == "done" for r in self.records.values())
+
+    def failures(self) -> list[StageRecord]:
+        return [r for r in self.records.values()
+                if r.status in ("failed", "skipped")]
+
+
+# ----------------------------------------------------------------------
+# GridFTP-like transfers
+# ----------------------------------------------------------------------
+
+@dataclass
+class TransferRecord:
+    """One transaction-log entry (enables automatic recovery)."""
+
+    name: str
+    nbytes: int
+    attempts: int
+    seconds: float
+    digest: str
+    verified: bool
+
+
+@dataclass
+class TransferService:
+    """Multi-stream wide-area transfer with retry and MD5 verification.
+
+    ``failure_rate`` is the per-attempt probability of a (deterministic,
+    seeded) transfer failure; failed attempts are logged and retried up to
+    ``max_attempts``.
+    """
+
+    rate: float = 200e6           #: bytes/s aggregate (the paper's >200 MB/s)
+    streams: int = 8
+    failure_rate: float = 0.0
+    max_attempts: int = 3
+    seed: int = 0
+    log: list[TransferRecord] = field(default_factory=list)
+    destination: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def transfer(self, name: str, payload: np.ndarray) -> TransferRecord:
+        """Move one file; raises WorkflowError after exhausting retries."""
+        digest = md5_digest(payload)
+        attempts = 0
+        seconds = 0.0
+        while attempts < self.max_attempts:
+            attempts += 1
+            seconds += payload.nbytes / self.rate
+            if self._rng.random() < self.failure_rate:
+                continue  # logged failure; retransfer
+            self.destination[name] = np.array(payload, copy=True)
+            verified = md5_digest(self.destination[name]) == digest
+            rec = TransferRecord(name=name, nbytes=payload.nbytes,
+                                 attempts=attempts, seconds=seconds,
+                                 digest=digest, verified=verified)
+            self.log.append(rec)
+            if not verified:
+                raise WorkflowError(f"checksum mismatch for {name!r}")
+            return rec
+        rec = TransferRecord(name=name, nbytes=payload.nbytes,
+                             attempts=attempts, seconds=seconds,
+                             digest=digest, verified=False)
+        self.log.append(rec)
+        raise WorkflowError(f"transfer of {name!r} failed after "
+                            f"{attempts} attempts")
+
+    def manifest(self) -> ChecksumManifest:
+        m = ChecksumManifest()
+        for i, rec in enumerate(r for r in self.log if r.verified):
+            m.add(i, rec.digest)
+        return m
+
+    def average_rate(self) -> float:
+        """Achieved bytes/s over successful transfers (includes retries)."""
+        done = [r for r in self.log if r.verified]
+        total_t = sum(r.seconds for r in done)
+        return sum(r.nbytes for r in done) / total_t if total_t else 0.0
+
+
+@dataclass
+class IngestionService:
+    """PIPUT: parallel ingestion into the digital library (Section III.I).
+
+    Single-stream iRODS iPUT runs at ``single_stream_rate``; PIPUT drives
+    ``streams`` concurrent transfers, aggregating to ~10x and change —
+    capped by the library's server-side limit.
+    """
+
+    single_stream_rate: float = 16e6      #: bytes/s for one iPUT
+    streams: int = 16
+    server_cap: float = 177e6             #: bytes/s (the paper's 177 MB/s)
+    ingested: dict[str, str] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    @property
+    def aggregate_rate(self) -> float:
+        return min(self.streams * self.single_stream_rate, self.server_cap)
+
+    def ingest(self, name: str, payload: np.ndarray) -> float:
+        """Register one product; returns elapsed seconds."""
+        t = payload.nbytes / self.aggregate_rate
+        self.ingested[name] = md5_digest(payload)
+        self.seconds += t
+        return t
+
+    def speedup_vs_single_stream(self) -> float:
+        return self.aggregate_rate / self.single_stream_rate

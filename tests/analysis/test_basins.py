@@ -1,0 +1,75 @@
+"""Tests for site classification and distance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.basins import (basin_amplification, bin_by_distance,
+                                   joyner_boore_distance, rock_site_mask)
+
+
+class TestRockSites:
+    def test_paper_threshold(self):
+        vs = np.array([[900.0, 1100.0], [400.0, 2000.0]])
+        mask = rock_site_mask(vs)
+        assert mask.tolist() == [[False, True], [False, True]]
+
+
+class TestJoynerBoore:
+    def test_distance_to_straight_trace(self):
+        trace = [(0.0, 0.0), (10e3, 0.0)]
+        d = joyner_boore_distance(np.array([5e3]), np.array([3e3]), trace)
+        assert d[0] == pytest.approx(3e3)
+
+    def test_beyond_trace_end(self):
+        trace = [(0.0, 0.0), (10e3, 0.0)]
+        d = joyner_boore_distance(np.array([13e3]), np.array([4e3]), trace)
+        assert d[0] == pytest.approx(5e3)  # 3-4-5 triangle from the end
+
+    def test_multi_segment(self):
+        trace = [(0.0, 0.0), (5e3, 0.0), (5e3, 5e3)]
+        d = joyner_boore_distance(np.array([6e3]), np.array([3e3]), trace)
+        assert d[0] == pytest.approx(1e3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            joyner_boore_distance(np.array([0.0]), np.array([0.0]), [(0, 0)])
+
+
+class TestBinning:
+    def test_median_per_bin(self):
+        d = np.array([1.0, 1.5, 2.0, 11.0, 12.0, 13.0])
+        v = np.array([10.0, 20.0, 30.0, 1.0, 2.0, 3.0])
+        edges = np.array([0.0, 10.0, 20.0])
+        centres, med, lmean, lstd = bin_by_distance(d, v, edges)
+        assert med[0] == 20.0
+        assert med[1] == 2.0
+        assert np.isfinite(lstd).all()
+
+    def test_sparse_bins_are_nan(self):
+        d = np.array([1.0, 15.0])
+        v = np.array([5.0, 5.0])
+        edges = np.array([0.0, 10.0, 20.0])
+        _, med, _, _ = bin_by_distance(d, v, edges)
+        assert np.isnan(med).all()  # fewer than 3 samples per bin
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bin_by_distance(np.ones(3), np.ones(4), np.array([0.0, 1.0]))
+
+
+class TestBasinAmplification:
+    def test_amplified_basin_detected(self):
+        rng = np.random.default_rng(0)
+        n = 400
+        dist = rng.uniform(10.0, 50.0, n)
+        basin = np.zeros(n, dtype=bool)
+        basin[:80] = True
+        pgv = 100.0 / dist
+        pgv[basin] *= 3.0  # basin sites amplified 3x
+        ratio = basin_amplification(pgv, basin, dist)
+        assert ratio == pytest.approx(3.0, rel=0.2)
+
+    def test_no_pairs_raises(self):
+        with pytest.raises(ValueError):
+            basin_amplification(np.ones(4), np.array([True] * 4),
+                                np.ones(4))

@@ -1,0 +1,82 @@
+"""Tests for the BA08 / CB08 PGV attenuation relations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gmpe import ba08_pgv, cb08_pgv
+
+
+class TestBA08:
+    def test_decays_with_distance(self):
+        r = np.array([1.0, 10.0, 50.0, 200.0])
+        med = ba08_pgv(8.0, r).median
+        assert np.all(np.diff(med) < 0)
+
+    def test_grows_with_magnitude(self):
+        r = np.array([20.0])
+        assert ba08_pgv(8.0, r).median > ba08_pgv(6.0, r).median
+
+    def test_m8_near_fault_tens_of_cm_per_s(self):
+        """Fig. 23's rock-site medians: tens of cm/s near the fault for
+        Mw 8, a few cm/s at 200 km."""
+        near = ba08_pgv(8.0, np.array([2.0])).median[0]
+        far = ba08_pgv(8.0, np.array([200.0])).median[0]
+        assert 20.0 < near < 300.0
+        assert 1.0 < far < 20.0
+        assert near / far > 5.0
+
+    def test_softer_site_amplifies(self):
+        r = np.array([30.0])
+        soft = ba08_pgv(7.0, r, vs30=360.0).median
+        rock = ba08_pgv(7.0, r, vs30=760.0).median
+        assert soft > rock
+
+    def test_sigma_band(self):
+        res = ba08_pgv(7.5, np.array([10.0]))
+        lo, hi = res.band()
+        assert lo < res.median < hi
+        assert hi / res.median == pytest.approx(np.exp(res.sigma_ln))
+
+    def test_poe_at_median_is_half(self):
+        res = ba08_pgv(7.5, np.array([10.0]))
+        assert res.poe(res.median)[0] == pytest.approx(0.5)
+
+    def test_poe_monotone(self):
+        res = ba08_pgv(7.5, np.array([10.0]))
+        assert res.poe(res.median * 10) < 0.05
+        assert res.poe(res.median / 10) > 0.95
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(ValueError):
+            ba08_pgv(7.0, np.array([10.0]), mechanism="oblique")
+
+
+class TestCB08:
+    def test_decays_with_distance(self):
+        r = np.array([1.0, 10.0, 50.0, 200.0])
+        assert np.all(np.diff(cb08_pgv(8.0, r).median) < 0)
+
+    def test_agrees_with_ba08_within_factor(self):
+        """The two NGA relations agree within a factor ~2 on rock — the
+        premise that lets Fig. 23 plot them as one family."""
+        r = np.array([5.0, 20.0, 80.0])
+        ba = ba08_pgv(8.0, r).median
+        cb = cb08_pgv(8.0, r).median
+        assert np.all((0.4 < cb / ba) & (cb / ba < 2.5))
+
+    def test_basin_term(self):
+        r = np.array([20.0])
+        shallow = cb08_pgv(7.5, r, z25_km=0.4).median
+        deep = cb08_pgv(7.5, r, z25_km=5.0).median
+        assert deep > shallow
+
+    def test_paper_rock_site_definition(self):
+        """Rock sites: Vs30 = 760, Z2.5 = 0.4 km — must evaluate cleanly."""
+        res = cb08_pgv(8.0, np.array([10.0]), vs30=760.0, z25_km=0.4)
+        assert np.isfinite(res.median).all()
+        assert res.median[0] > 10.0
+
+    def test_magnitude_hinges(self):
+        r = np.array([20.0])
+        m5, m6, m7 = (cb08_pgv(m, r).median[0] for m in (5.4, 6.4, 7.4))
+        assert m5 < m6 < m7

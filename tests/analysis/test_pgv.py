@@ -1,0 +1,67 @@
+"""Tests for PGV metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pgv import (geometric_mean_pgv, pgv_components,
+                                pgvh_from_frames, pgvh_timeseries,
+                                starburst_score)
+
+
+def _frames(n=5, shape=(10, 12), seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        vx = rng.standard_normal(shape)
+        vy = rng.standard_normal(shape)
+        vz = rng.standard_normal(shape)
+        out.append((0.1 * i, vx, vy, vz))
+    return out
+
+
+class TestPGVH:
+    def test_is_running_max(self):
+        frames = _frames()
+        pgvh = pgvh_from_frames(frames)
+        manual = np.max([np.hypot(vx, vy) for _, vx, vy, _ in frames], axis=0)
+        assert np.array_equal(pgvh, manual)
+
+    def test_empty_frames_rejected(self):
+        with pytest.raises(ValueError):
+            pgvh_from_frames([])
+
+    def test_geometric_mean_smaller_than_rss(self):
+        """The paper: geometric mean 'typically 1.5-2 times smaller' than
+        the root sum of squares."""
+        frames = _frames(n=20)
+        gm = geometric_mean_pgv(frames)
+        rss = pgvh_from_frames(frames)
+        assert np.all(gm <= rss + 1e-12)
+        assert (rss / gm).mean() > 1.1
+
+    def test_components(self):
+        frames = _frames()
+        px, py = pgv_components(frames)
+        assert px.shape == py.shape == (10, 12)
+        assert np.all(px >= 0)
+
+    def test_timeseries_pgvh(self):
+        vx = np.array([0.0, 3.0, 0.0])
+        vy = np.array([0.0, 4.0, 1.0])
+        assert pgvh_timeseries(vx, vy) == 5.0
+
+
+class TestStarburst:
+    def test_radial_rays_score_higher_than_smooth(self):
+        n = 64
+        ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        r = np.hypot(ii - n // 2, jj - n // 2) + 1.0
+        smooth = 1.0 / r
+        angle = np.arctan2(jj - n // 2, ii - n // 2)
+        bursts = smooth * (1.0 + 2.0 * np.cos(6 * angle) ** 8)
+        rows = slice(n // 2 - 1, n // 2 + 1)
+        assert starburst_score(bursts, rows) > 1.5 * starburst_score(smooth, rows)
+
+    def test_too_small_map_rejected(self):
+        with pytest.raises(ValueError, match="small"):
+            starburst_score(np.ones((6, 6)), slice(2, 3))

@@ -1,0 +1,81 @@
+"""Tests for seismogram utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.seismogram import (amplitude_spectrum, bandpass,
+                                       dominant_period, l2_misfit, lowpass,
+                                       pick_arrival)
+
+
+class TestFilters:
+    dt = 0.01
+    t = np.arange(0, 20, 0.01)
+
+    def test_lowpass_removes_high(self):
+        slow = np.sin(2 * np.pi * 0.3 * self.t)
+        fast = np.sin(2 * np.pi * 10.0 * self.t)
+        out = lowpass(slow + fast, self.dt, f_cut=1.0)
+        assert np.abs(out[300:-300] - slow[300:-300]).max() < 0.05
+
+    def test_lowpass_above_nyquist_identity(self):
+        x = np.sin(self.t)
+        assert np.array_equal(lowpass(x, self.dt, f_cut=1000.0), x)
+
+    def test_bandpass_isolates(self):
+        x = (np.sin(2 * np.pi * 0.1 * self.t)
+             + np.sin(2 * np.pi * 2.0 * self.t)
+             + np.sin(2 * np.pi * 20.0 * self.t))
+        out = bandpass(x, self.dt, 1.0, 4.0)
+        want = np.sin(2 * np.pi * 2.0 * self.t)
+        assert np.corrcoef(out[300:-300], want[300:-300])[0, 1] > 0.98
+
+    def test_bandpass_validation(self):
+        with pytest.raises(ValueError):
+            bandpass(np.ones(100), 0.01, 2.0, 1.0)
+
+
+class TestSpectra:
+    def test_spectrum_peak_at_signal_frequency(self):
+        dt = 0.005
+        t = np.arange(0, 50, dt)
+        x = np.sin(2 * np.pi * 0.4 * t)
+        f, a = amplitude_spectrum(x, dt)
+        assert f[np.argmax(a[1:]) + 1] == pytest.approx(0.4, abs=0.03)
+
+    def test_dominant_period(self):
+        """The San Bernardino basin response check: 2-4 s peaks."""
+        dt = 0.01
+        t = np.arange(0, 60, dt)
+        x = np.sin(2 * np.pi * t / 3.0)  # 3-second period
+        assert dominant_period(x, dt) == pytest.approx(3.0, rel=0.05)
+
+
+class TestPicking:
+    def test_arrival_time(self):
+        dt = 0.01
+        x = np.zeros(1000)
+        x[500:] = 1.0
+        assert pick_arrival(x, dt) == pytest.approx(5.01, abs=0.02)
+
+    def test_flat_series_rejected(self):
+        with pytest.raises(ValueError):
+            pick_arrival(np.zeros(100), 0.01)
+
+
+class TestL2:
+    def test_identical_zero(self):
+        x = np.random.default_rng(0).standard_normal(100)
+        assert l2_misfit(x, x) == 0.0
+
+    def test_scaled(self):
+        x = np.ones(10)
+        assert l2_misfit(1.1 * x, x) == pytest.approx(0.1)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            l2_misfit(np.ones(5), np.ones(6))
+
+    def test_zero_reference(self):
+        assert l2_misfit(np.ones(5), np.zeros(5)) == 1.0
+        assert l2_misfit(np.zeros(5), np.zeros(5)) == 0.0

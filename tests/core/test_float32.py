@@ -1,0 +1,70 @@
+"""Single-precision runs — the production AWP-ODC configuration.
+
+The production code computes in float32 (the M8 memory budget of 285 MB/core
+assumes 4-byte fields); this repo defaults to float64 for test precision but
+must support float32 cleanly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (Grid3D, Medium, MomentTensorSource, Receiver,
+                        SolverConfig, WaveSolver)
+from repro.core.source import gaussian_pulse
+
+
+def _solver(dtype, absorbing="sponge"):
+    g = Grid3D(24, 20, 16, h=100.0)
+    med = Medium.homogeneous(g, vp=3000.0, vs=1732.0, rho=2400.0)
+    cfg = SolverConfig(absorbing=absorbing, sponge_width=4,
+                       free_surface=True, dtype=dtype)
+    s = WaveSolver(g, med, cfg)
+    s.add_source(MomentTensorSource(
+        position=(1200.0, 1000.0, 800.0), moment=np.eye(3) * 1e13,
+        stf=lambda t: gaussian_pulse(np.array([t]), f0=3.0)[0]))
+    return s
+
+
+class TestFloat32:
+    def test_fields_allocated_single_precision(self):
+        s = _solver(np.float32)
+        assert s.wf.vx.dtype == np.float32
+        assert s.wf.syz.dtype == np.float32
+
+    def test_stable_run(self):
+        s = _solver(np.float32)
+        s.run(120)
+        assert np.isfinite(s.wf.max_velocity())
+        assert s.wf.max_velocity() < 1.0
+
+    def test_matches_double_precision_physics(self):
+        """Single and double precision agree to single-precision accuracy."""
+        s32 = _solver(np.float32)
+        s64 = _solver(np.float64)
+        r32 = s32.add_receiver(Receiver(position=(1800.0, 1200.0, 1500.0)))
+        r64 = s64.add_receiver(Receiver(position=(1800.0, 1200.0, 1500.0)))
+        s32.run(80)
+        s64.run(80)
+        a, b = r32.series("vz"), r64.series("vz")
+        scale = max(np.abs(b).max(), 1e-30)
+        assert np.abs(a - b).max() < 2e-4 * scale
+
+    def test_pml_in_float32(self):
+        from repro.core.pml import PMLConfig
+        g = Grid3D(24, 20, 16, h=100.0)
+        med = Medium.homogeneous(g, vp=3000.0, vs=1732.0, rho=2400.0)
+        cfg = SolverConfig(absorbing="pml", pml=PMLConfig(width=4),
+                           free_surface=True, dtype=np.float32)
+        s = WaveSolver(g, med, cfg)
+        s.add_source(MomentTensorSource(
+            position=(1200.0, 1000.0, 800.0), moment=np.eye(3) * 1e13,
+            stf=lambda t: gaussian_pulse(np.array([t]), f0=3.0)[0]))
+        s.run(100)
+        assert np.isfinite(s.wf.max_velocity())
+
+    def test_memory_halved(self):
+        g = Grid3D(24, 20, 16, h=100.0)
+        from repro.core.grid import WaveField
+        w32 = WaveField(g, dtype=np.dtype(np.float32))
+        w64 = WaveField(g, dtype=np.dtype(np.float64))
+        assert w32.vx.nbytes * 2 == w64.vx.nbytes

@@ -1,0 +1,120 @@
+"""Tests for staggered-grid geometry and wavefield storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fd import NGHOST
+from repro.core.grid import ALL_FIELDS, FIELD_OFFSETS, Grid3D, WaveField
+
+
+class TestGrid3D:
+    def test_shapes(self):
+        g = Grid3D(10, 20, 30, h=40.0)
+        assert g.shape == (10, 20, 30)
+        assert g.padded_shape == (14, 24, 34)
+        assert g.ncells == 6000
+        assert g.extent == (400.0, 800.0, 1200.0)
+
+    def test_m8_mesh_point_count(self):
+        """The M8 grid: 810 km x 405 km x 85 km at 40 m = ~436 billion cells."""
+        g = Grid3D(int(810e3 / 40), int(405e3 / 40), int(85e3 / 40), h=40.0)
+        assert g.ncells == pytest.approx(436e9, rel=0.01)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Grid3D(0, 5, 5, h=1.0)
+        with pytest.raises(ValueError):
+            Grid3D(5, 5, 5, h=-1.0)
+
+    def test_staggered_coords(self):
+        g = Grid3D(4, 4, 4, h=2.0, origin=(10.0, 0.0, 0.0))
+        x, y, z = g.coords("vx")
+        assert x[0] == pytest.approx(11.0)   # i + 1/2 offset
+        assert y[0] == pytest.approx(0.0)
+        xc, _, _ = g.coords("sxx")
+        assert xc[0] == pytest.approx(10.0)
+
+    def test_all_fields_have_offsets(self):
+        assert set(FIELD_OFFSETS) == set(ALL_FIELDS)
+        for offs in FIELD_OFFSETS.values():
+            assert all(o in (0.0, 0.5) for o in offs)
+
+    def test_index_of(self):
+        g = Grid3D(10, 10, 10, h=100.0)
+        assert g.index_of(50.0, 950.0, 0.0) == (0, 9, 0)
+        with pytest.raises(ValueError, match="outside"):
+            g.index_of(-1.0, 0.0, 0.0)
+        with pytest.raises(ValueError, match="outside"):
+            g.index_of(0.0, 1000.0, 0.0)
+
+
+class TestWaveField:
+    def test_allocation(self):
+        g = Grid3D(5, 6, 7, h=1.0)
+        wf = WaveField(g)
+        assert wf.vx.shape == g.padded_shape
+        assert wf.syz.dtype == np.float64
+        assert wf.interior("vx").shape == g.shape
+
+    def test_dtype_override(self):
+        g = Grid3D(4, 4, 4, h=1.0)
+        wf = WaveField(g, dtype=np.dtype(np.float32))
+        assert wf.sxx.dtype == np.float32
+
+    def test_interior_is_view(self):
+        g = Grid3D(4, 4, 4, h=1.0)
+        wf = WaveField(g)
+        wf.interior("vx")[...] = 5.0
+        assert wf.vx[NGHOST, NGHOST, NGHOST] == 5.0
+        assert wf.vx[0, 0, 0] == 0.0
+
+    def test_copy_is_deep(self):
+        g = Grid3D(4, 4, 4, h=1.0)
+        wf = WaveField(g)
+        wf.vx[...] = 1.0
+        other = wf.copy()
+        other.vx[...] = 2.0
+        assert np.all(wf.vx == 1.0)
+
+    def test_zero(self):
+        g = Grid3D(4, 4, 4, h=1.0)
+        wf = WaveField(g)
+        for name in ALL_FIELDS:
+            getattr(wf, name)[...] = 3.0
+        wf.zero()
+        assert wf.energy_proxy() == 0.0
+
+    def test_max_velocity(self):
+        g = Grid3D(4, 4, 4, h=1.0)
+        wf = WaveField(g)
+        wf.interior("vy")[1, 2, 3] = -7.5
+        assert wf.max_velocity() == 7.5
+
+    def test_ghost_values_ignored_by_diagnostics(self):
+        g = Grid3D(4, 4, 4, h=1.0)
+        wf = WaveField(g)
+        wf.vx[0, 0, 0] = 1e9   # ghost corner
+        assert wf.max_velocity() == 0.0
+        assert wf.energy_proxy() == 0.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 6), st.integers(2, 6), st.integers(2, 6))
+    def test_state_vector_roundtrip(self, nx, ny, nz):
+        g = Grid3D(nx, ny, nz, h=1.0)
+        wf = WaveField(g)
+        rng = np.random.default_rng(nx * 100 + ny * 10 + nz)
+        for name in ALL_FIELDS:
+            wf.interior(name)[...] = rng.standard_normal(g.shape)
+        vec = wf.state_vector()
+        other = WaveField(g)
+        other.load_state_vector(vec)
+        for name in ALL_FIELDS:
+            assert np.array_equal(wf.interior(name), other.interior(name))
+
+    def test_state_vector_size_mismatch(self):
+        g = Grid3D(4, 4, 4, h=1.0)
+        wf = WaveField(g)
+        with pytest.raises(ValueError, match="size mismatch"):
+            wf.load_state_vector(np.zeros(7))

@@ -1,0 +1,149 @@
+"""Property-based invariants of the core numerics (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (Grid3D, Medium, MomentTensorSource, SolverConfig,
+                        WaveSolver)
+from repro.core.attenuation import fit_q_weights, sls_q_inverse
+from repro.core.grid import ALL_FIELDS, WaveField
+from repro.core.kernels import VelocityStressKernel
+from repro.core.source import gaussian_pulse, magnitude_to_moment, \
+    moment_to_magnitude
+from repro.core.stability import cfl_dt
+
+
+class TestLinearityAndScaling:
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(0.1, 100.0))
+    def test_solution_scales_linearly_with_moment(self, scale):
+        """Elastodynamics is linear: scaling the source scales the field."""
+        g = Grid3D(14, 14, 12, h=100.0)
+        med = Medium.homogeneous(g)
+
+        def run(m0):
+            s = WaveSolver(g, med, SolverConfig(absorbing="none",
+                                                free_surface=False))
+            s.add_source(MomentTensorSource(
+                position=(700.0, 700.0, 600.0), moment=np.eye(3) * m0,
+                stf=lambda t: gaussian_pulse(np.array([t]), f0=4.0)[0]))
+            s.run(15)
+            return s.wf.interior("vx").copy()
+
+        base = run(1e12)
+        scaled = run(1e12 * scale)
+        assert np.allclose(scaled, base * scale, rtol=1e-9,
+                           atol=1e-12 * max(scale, 1.0) * np.abs(base).max())
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(4.0, 9.5))
+    def test_magnitude_moment_bijection(self, mw):
+        assert moment_to_magnitude(magnitude_to_moment(mw)) == \
+            pytest.approx(mw, abs=1e-9)
+
+
+class TestTimeReversal:
+    def test_elastic_leapfrog_is_reversible(self):
+        """Without damping/attenuation the update is time-reversible: running
+        the dynamics backward recovers the initial state to rounding."""
+        g = Grid3D(12, 12, 12, h=100.0)
+        med = Medium.homogeneous(g)
+        wf = WaveField(g)
+        rng = np.random.default_rng(0)
+        for name in ALL_FIELDS:
+            wf.interior(name)[...] = rng.standard_normal(g.shape)
+        start = {n: wf.interior(n).copy() for n in ALL_FIELDS}
+        dt = cfl_dt(100.0, med.vp_max)
+        k_fwd = VelocityStressKernel(wf, med, dt)
+        for _ in range(20):
+            k_fwd.step_velocity()
+            k_fwd.step_stress()
+        # reverse: negate dt and apply the adjoint-ordered update
+        k_bwd = VelocityStressKernel(wf, med, -dt)
+        for _ in range(20):
+            k_bwd.step_stress()
+            k_bwd.step_velocity()
+        for name in ALL_FIELDS:
+            scale = max(np.abs(start[name]).max(), 1.0)
+            assert np.allclose(wf.interior(name), start[name],
+                               atol=1e-8 * scale), name
+
+
+class TestCFLBoundary:
+    def test_stable_below_unstable_above(self):
+        """The computed CFL limit separates stability from blow-up."""
+        g = Grid3D(14, 14, 14, h=100.0)
+        med = Medium.homogeneous(g, vp=5000.0)
+        dt_max = cfl_dt(100.0, 5000.0, safety=1.0)
+
+        def energy_after(dt, nsteps=120):
+            wf = WaveField(g)
+            rng = np.random.default_rng(1)
+            wf.interior("vx")[...] = rng.standard_normal(g.shape)
+            k = VelocityStressKernel(wf, med, dt)
+            for _ in range(nsteps):
+                k.step_velocity()
+                k.step_stress()
+            return wf.energy_proxy()
+
+        stable = energy_after(0.9 * dt_max)
+        unstable = energy_after(1.2 * dt_max)
+        assert np.isfinite(stable)
+        assert (not np.isfinite(unstable)) or unstable > 1e6 * stable
+
+
+class TestAttenuationFitProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(0.02, 0.5), st.floats(2.0, 12.0), st.integers(2, 10))
+    def test_fit_always_flat_within_band(self, f_lo, ratio, n_mech):
+        f_hi = f_lo * ratio
+        tau, w = fit_q_weights(f_lo, f_hi, n_mech=n_mech)
+        f = np.logspace(np.log10(f_lo), np.log10(f_hi), 40)
+        inv_q = sls_q_inverse(2 * np.pi * f, tau, w)
+        assert np.all(inv_q > 0)
+        # flatness degrades gracefully with fewer mechanisms
+        spread = inv_q.max() / inv_q.min()
+        assert spread < (4.0 if n_mech < 4 else 1.6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(0.05, 0.5), st.floats(3.0, 10.0))
+    def test_weights_nonnegative_and_bounded(self, f_lo, ratio):
+        _, w = fit_q_weights(f_lo, f_lo * ratio)
+        assert np.all(w >= 0)
+        assert np.all(w < 50)
+
+
+class TestEnergyBehaviour:
+    def test_sponge_monotonically_removes_energy(self):
+        g = Grid3D(20, 20, 16, h=100.0)
+        med = Medium.homogeneous(g)
+        s = WaveSolver(g, med, SolverConfig(absorbing="sponge",
+                                            sponge_width=5,
+                                            free_surface=False))
+        s.add_source(MomentTensorSource(
+            position=(1000.0, 1000.0, 800.0), moment=np.eye(3) * 1e13,
+            stf=lambda t: gaussian_pulse(np.array([t]), f0=4.0)[0]))
+        s.run(40)  # source done, wave propagating
+        peaks = []
+        for _ in range(6):
+            s.run(40)
+            peaks.append(s.wf.max_velocity())
+        # once the wavefront enters the sponges, peaks decay
+        assert peaks[-1] < peaks[0]
+
+    def test_attenuation_never_amplifies(self):
+        g = Grid3D(16, 16, 14, h=100.0)
+        med = Medium.homogeneous(g, qs=20.0, qp=40.0)
+        runs = {}
+        for band in (None, (0.3, 3.0)):
+            s = WaveSolver(g, med, SolverConfig(absorbing="none",
+                                                free_surface=False,
+                                                attenuation_band=band))
+            s.add_source(MomentTensorSource(
+                position=(800.0, 800.0, 700.0), moment=np.eye(3) * 1e13,
+                stf=lambda t: gaussian_pulse(np.array([t]), f0=4.0)[0]))
+            s.run(80)
+            runs[band is None] = s.wf.max_velocity()
+        assert runs[False] <= runs[True] * 1.05

@@ -1,0 +1,149 @@
+"""Tests for the staggered material model."""
+
+import numpy as np
+import pytest
+
+from repro.core.fd import NGHOST, interior
+from repro.core.grid import Grid3D
+from repro.core.medium import (Medium, arithmetic_mean, harmonic_mean,
+                               qp_from_qs, qs_from_vs)
+
+
+class TestQRules:
+    def test_qs_rule_matches_paper(self):
+        """Qs = 50 * Vs[km/s]: Vs = 400 m/s -> Qs = 20 (Section VII.B)."""
+        assert qs_from_vs(400.0) == pytest.approx(20.0)
+        assert qs_from_vs(3464.0) == pytest.approx(173.2)
+
+    def test_qp_rule(self):
+        assert qp_from_qs(20.0) == pytest.approx(40.0)
+
+
+class TestMeans:
+    def test_harmonic_le_arithmetic(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.uniform(1, 10, 50), rng.uniform(1, 10, 50)
+        assert np.all(harmonic_mean(a, b) <= arithmetic_mean(a, b) + 1e-12)
+
+    def test_means_of_equal_inputs(self):
+        a = np.full(10, 3.0)
+        assert np.allclose(harmonic_mean(a, a, a, a), 3.0)
+        assert np.allclose(arithmetic_mean(a, a), 3.0)
+
+
+class TestMediumConstruction:
+    def test_homogeneous_lame(self):
+        g = Grid3D(6, 6, 6, h=1.0)
+        m = Medium.homogeneous(g, vp=6000.0, vs=3464.0, rho=2700.0)
+        mu = 2700.0 * 3464.0 ** 2
+        lam = 2700.0 * 6000.0 ** 2 - 2 * mu
+        assert interior(m.mu)[0, 0, 0] == pytest.approx(mu)
+        assert interior(m.lam)[0, 0, 0] == pytest.approx(lam)
+        assert interior(m.lam2mu)[0, 0, 0] == pytest.approx(lam + 2 * mu)
+
+    def test_padded_storage(self):
+        g = Grid3D(4, 5, 6, h=1.0)
+        m = Medium.homogeneous(g)
+        assert m.lam.shape == g.padded_shape
+        assert m.bx.shape == g.padded_shape
+
+    def test_velocities_roundtrip(self):
+        g = Grid3D(4, 4, 4, h=1.0)
+        m = Medium.homogeneous(g, vp=5000.0, vs=2500.0, rho=2000.0)
+        assert interior(m.vp)[1, 1, 1] == pytest.approx(5000.0)
+        assert interior(m.vs)[1, 1, 1] == pytest.approx(2500.0)
+        assert m.vp_max == pytest.approx(5000.0)
+        assert m.vs_min == pytest.approx(2500.0)
+
+    def test_default_q_follows_paper_rule(self):
+        g = Grid3D(4, 4, 4, h=1.0)
+        m = Medium.homogeneous(g, vp=1000.0, vs=500.0, rho=2000.0)
+        assert interior(m.qs)[0, 0, 0] == pytest.approx(25.0)
+        assert interior(m.qp)[0, 0, 0] == pytest.approx(50.0)
+
+    def test_invalid_vp_vs_ratio(self):
+        g = Grid3D(4, 4, 4, h=1.0)
+        shape = g.shape
+        with pytest.raises(ValueError, match="sqrt"):
+            Medium.from_velocity_model(g, np.full(shape, 1000.0),
+                                       np.full(shape, 900.0),
+                                       np.full(shape, 2000.0))
+
+    def test_negative_density_rejected(self):
+        g = Grid3D(4, 4, 4, h=1.0)
+        lam = np.full(g.shape, 1e9)
+        mu = np.full(g.shape, 1e9)
+        rho = np.full(g.shape, -1.0)
+        qs = np.full(g.shape, 50.0)
+        with pytest.raises(ValueError, match="density"):
+            Medium(grid=g, lam=lam, mu=mu, rho=rho, qs=qs, qp=2 * qs)
+
+    def test_shape_mismatch_rejected(self):
+        g = Grid3D(4, 4, 4, h=1.0)
+        bad = np.ones((3, 3, 3))
+        ok = np.ones(g.shape)
+        with pytest.raises(ValueError, match="shape"):
+            Medium(grid=g, lam=bad, mu=ok, rho=ok, qs=ok, qp=ok)
+
+
+class TestStaggeredAveraging:
+    def test_buoyancy_is_reciprocal_average(self):
+        """bx at (i+1/2) = 1 / mean(rho_i, rho_{i+1}) — the IV.B reciprocal trick."""
+        g = Grid3D(6, 4, 4, h=1.0)
+        rho = np.full(g.shape, 2000.0)
+        rho[3, :, :] = 3000.0
+        vs = np.full(g.shape, 1000.0)
+        vp = np.full(g.shape, 2000.0)
+        m = Medium.from_velocity_model(g, vp, vs, rho)
+        # between cell 2 (2000) and 3 (3000): mean 2500
+        assert interior(m.bx)[2, 0, 0] == pytest.approx(1.0 / 2500.0)
+        assert interior(m.bx)[0, 0, 0] == pytest.approx(1.0 / 2000.0)
+
+    def test_shear_modulus_harmonic(self):
+        g = Grid3D(6, 6, 4, h=1.0)
+        vs = np.full(g.shape, 1000.0)
+        vs[2, 2, :] = 2000.0          # one stiff column
+        vp = 2.0 * vs
+        rho = np.full(g.shape, 2000.0)
+        m = Medium.from_velocity_model(g, vp, vs, rho)
+        mu_soft = 2000.0 * 1000.0 ** 2
+        mu_hard = 2000.0 * 2000.0 ** 2
+        want = 4.0 / (3.0 / mu_soft + 1.0 / mu_hard)
+        # mu_xy at (i+1/2, j+1/2) straddling (1,1),(2,1),(1,2),(2,2)
+        assert interior(m.mu_xy)[1, 1, 0] == pytest.approx(want)
+
+    def test_harmonic_average_dominated_by_soft_side(self):
+        g = Grid3D(4, 4, 4, h=1.0)
+        vs = np.full(g.shape, 100.0)
+        vs[2:, :, :] = 3000.0
+        vp = 2.0 * vs
+        rho = np.full(g.shape, 2000.0)
+        m = Medium.from_velocity_model(g, vp, vs, rho)
+        mu_soft = 2000.0 * 100.0 ** 2
+        # harmonic mean across the interface stays within 2x of the soft side
+        assert interior(m.mu_xy)[1, 1, 1] < 2.5 * mu_soft
+
+
+class TestSubgrid:
+    def test_subgrid_carries_true_neighbours(self):
+        g = Grid3D(8, 8, 8, h=1.0)
+        rng = np.random.default_rng(3)
+        vs = rng.uniform(1000, 2000, g.shape)
+        vp = 2.0 * vs
+        rho = rng.uniform(2000, 3000, g.shape)
+        m = Medium.from_velocity_model(g, vp, vs, rho)
+        sub_grid = Grid3D(4, 8, 8, h=1.0)
+        sub = m.subgrid(sub_grid, (slice(2, 6), slice(0, 8), slice(0, 8)))
+        # Interior staggered averages must match the global medium exactly.
+        for name in ("mu_xy", "mu_xz", "mu_yz", "bx", "by", "bz", "lam2mu"):
+            glob = interior(getattr(m, name))[2:6]
+            loc = interior(getattr(sub, name))
+            assert np.array_equal(glob, loc), name
+
+    def test_subgrid_shape_validation(self):
+        g = Grid3D(8, 8, 8, h=1.0)
+        m = Medium.homogeneous(g)
+        with pytest.raises(ValueError, match="extents"):
+            m.subgrid(Grid3D(3, 8, 8, h=1.0), (slice(2, 6), slice(0, 8), slice(0, 8)))
+        with pytest.raises(ValueError, match="explicit"):
+            m.subgrid(Grid3D(4, 8, 8, h=1.0), (slice(None), slice(0, 8), slice(0, 8)))

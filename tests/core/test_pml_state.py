@@ -1,0 +1,93 @@
+"""Additional PML state-management tests (attach, memory, subdomain modes)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid3D, Medium
+from repro.core.fd import NGHOST
+from repro.core.grid import ALL_FIELDS, WaveField
+from repro.core.pml import PML, PMLConfig
+
+
+class TestAttach:
+    def test_attach_splits_existing_field(self):
+        g = Grid3D(30, 30, 24, h=100.0)
+        med = Medium.homogeneous(g)
+        pml = PML(g, med, PMLConfig(width=5))
+        wf = WaveField(g)
+        rng = np.random.default_rng(0)
+        for name in ALL_FIELDS:
+            wf.interior(name)[...] = rng.standard_normal(g.shape)
+        pml.attach(wf)
+        # parts sum back to the field value in every box
+        for bi, box in enumerate(pml.boxes):
+            psl = tuple(slice(s.start + NGHOST, s.stop + NGHOST) for s in box)
+            for name in ALL_FIELDS:
+                total = sum(pml.parts[(bi, name)])
+                assert np.allclose(total, getattr(wf, name)[psl])
+
+
+class TestSubdomainPML:
+    def test_union_of_subdomain_boxes_matches_global(self):
+        g = Grid3D(30, 30, 24, h=100.0)
+        med = Medium.homogeneous(g)
+        glob = PML(g, med, PMLConfig(width=5))
+        glob_cells = sum(np.prod([s.stop - s.start for s in b])
+                         for b in glob.boxes)
+        # split into 8 subdomains
+        from repro.parallel.decomp import Decomposition3D
+        decomp = Decomposition3D(g, 2, 2, 2)
+        total = 0
+        for sub in decomp.subdomains():
+            local_med = med.subgrid(sub.grid, sub.slices)
+            local = PML(sub.grid, local_med, PMLConfig(width=5),
+                        global_shape=g.shape, index_origin=sub.origin_index,
+                        cmax=med.vp_max)
+            total += sum(np.prod([s.stop - s.start for s in b])
+                         for b in local.boxes)
+        assert total == glob_cells
+
+    def test_interior_subdomain_may_have_no_boxes(self):
+        g = Grid3D(40, 40, 30, h=100.0)
+        med = Medium.homogeneous(g)
+        # a subgrid entirely inside the frame interior
+        sub_grid = Grid3D(10, 10, 10, h=100.0)
+        local_med = med.subgrid(sub_grid,
+                                (slice(15, 25), slice(15, 25), slice(12, 22)))
+        pml = PML(sub_grid, local_med, PMLConfig(width=6),
+                  global_shape=g.shape, index_origin=(15, 15, 12),
+                  cmax=med.vp_max)
+        assert pml.boxes == []
+        assert pml.memory_bytes() == 0
+
+    def test_damp_top_adds_top_boxes(self):
+        g = Grid3D(30, 30, 24, h=100.0)
+        med = Medium.homogeneous(g)
+        without = PML(g, med, PMLConfig(width=4, damp_top=False))
+        with_top = PML(g, med, PMLConfig(width=4, damp_top=True))
+        assert len(with_top.boxes) == len(without.boxes) + 1
+
+
+class TestCoefficientCaching:
+    def test_coefficients_cached_per_dt(self):
+        g = Grid3D(24, 24, 20, h=100.0)
+        med = Medium.homogeneous(g)
+        pml = PML(g, med, PMLConfig(width=4))
+        c1 = pml._coefficients(0, "vx", 1e-3)
+        c2 = pml._coefficients(0, "vx", 1e-3)
+        assert c1 is c2  # same cache entry
+        c3 = pml._coefficients(0, "vx", 2e-3)
+        assert c3 is not c1
+
+    def test_damping_zero_in_frame_interior_edge(self):
+        """Cells at the inner edge of the frame carry ~zero damping (the
+        graded profile starts from zero at the interface)."""
+        g = Grid3D(30, 30, 24, h=100.0)
+        med = Medium.homogeneous(g)
+        pml = PML(g, med, PMLConfig(width=5, mpml_ratio=0.0))
+        # find the x_lo slab (first box) and look at its innermost x plane
+        decay, gain = pml._coefficients(0, "sxx", 1e-3)[0]
+        inner = decay[-1, 0, 0]
+        outer = decay[0, 0, 0]
+        assert inner > outer          # less damped toward the interior
+        assert inner == pytest.approx(1.0, abs=0.05)

@@ -1,0 +1,71 @@
+"""Tests for the PAPI-style flop accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid3D, Medium, SolverConfig, WaveSolver
+from repro.core.profiling import FlopCounter, stencil_flops_per_point
+
+
+class TestStencilCount:
+    def test_fourth_order_near_eq8_c(self):
+        """The elastic 4th-order count lands near the C ~ 165 the paper's
+        Eq. 8 evaluation implies."""
+        c = stencil_flops_per_point(order=4)
+        assert 120 < c < 220
+
+    def test_attenuation_adds_flops(self):
+        assert stencil_flops_per_point(attenuation=True) > \
+            stencil_flops_per_point(attenuation=False)
+
+    def test_second_order_cheaper(self):
+        assert stencil_flops_per_point(order=2) < stencil_flops_per_point(order=4)
+
+
+class TestFlopCounter:
+    def _solver(self):
+        g = Grid3D(20, 20, 16, h=100.0)
+        return WaveSolver(g, Medium.homogeneous(g),
+                          SolverConfig(absorbing="none"))
+
+    def test_counts_steps_and_time(self):
+        s = self._solver()
+        counter = FlopCounter.for_solver(s)
+        with counter:
+            s.run(10)
+        assert counter.steps == 10
+        assert counter.wall_seconds > 0
+        assert counter.total_flops == pytest.approx(
+            counter.flops_per_point * s.grid.ncells * 10)
+
+    def test_sustained_rate_positive(self):
+        s = self._solver()
+        counter = FlopCounter.for_solver(s)
+        with counter:
+            s.run(5)
+        assert counter.sustained_flops() > 0
+        assert counter.cell_updates_per_second() > 0
+        assert "Gflop/s" in counter.report()
+
+    def test_accumulates_across_intervals(self):
+        s = self._solver()
+        counter = FlopCounter.for_solver(s)
+        with counter:
+            s.run(3)
+        with counter:
+            s.run(4)
+        assert counter.steps == 7
+
+    def test_requires_timing(self):
+        c = FlopCounter(points=100, flops_per_point=100.0)
+        with pytest.raises(RuntimeError):
+            c.sustained_flops()
+
+    def test_attenuated_solver_uses_higher_count(self):
+        g = Grid3D(16, 16, 12, h=100.0)
+        plain = FlopCounter.for_solver(WaveSolver(
+            g, Medium.homogeneous(g), SolverConfig(absorbing="none")))
+        atten = FlopCounter.for_solver(WaveSolver(
+            g, Medium.homogeneous(g),
+            SolverConfig(absorbing="none", attenuation_band=(0.3, 3.0))))
+        assert atten.flops_per_point > plain.flops_per_point

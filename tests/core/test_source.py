@@ -1,0 +1,168 @@
+"""Tests for source-time functions and source objects."""
+
+import numpy as np
+import pytest
+
+from repro.core.fd import NGHOST
+from repro.core.grid import Grid3D, WaveField
+from repro.core.medium import Medium
+from repro.core.source import (BodyForceSource, FiniteFaultSource,
+                               MomentTensorSource, SubFault, brune_stf,
+                               cosine_stf, double_couple_strike_slip,
+                               gaussian_pulse, magnitude_to_moment,
+                               moment_to_magnitude, ricker, triangle_stf)
+
+
+class TestSourceTimeFunctions:
+    dt = 1e-3
+    t = np.arange(0, 30.0, 1e-3)
+
+    @pytest.mark.parametrize("stf,kw", [
+        (gaussian_pulse, dict(f0=1.0)),
+        (triangle_stf, dict(rise_time=2.0)),
+        (brune_stf, dict(tau=1.0)),
+        (cosine_stf, dict(rise_time=2.0)),
+    ])
+    def test_unit_area(self, stf, kw):
+        vals = stf(self.t, **kw)
+        assert np.trapezoid(vals, self.t) == pytest.approx(1.0, rel=1e-2)
+
+    @pytest.mark.parametrize("stf,kw", [
+        (gaussian_pulse, dict(f0=1.0)),
+        (triangle_stf, dict(rise_time=2.0)),
+        (brune_stf, dict(tau=1.0)),
+        (cosine_stf, dict(rise_time=2.0)),
+    ])
+    def test_nonnegative_moment_rate(self, stf, kw):
+        assert np.all(stf(self.t, **kw) >= -1e-12)
+
+    def test_ricker_zero_mean(self):
+        vals = ricker(self.t, f0=2.0)
+        assert abs(np.trapezoid(vals, self.t)) < 1e-6
+
+    def test_triangle_peak_location(self):
+        vals = triangle_stf(self.t, rise_time=2.0, t0=1.0)
+        assert self.t[np.argmax(vals)] == pytest.approx(2.0, abs=2e-3)
+
+    def test_brune_causal(self):
+        vals = brune_stf(self.t, tau=0.5, t0=5.0)
+        assert np.all(vals[self.t < 5.0] == 0.0)
+
+
+class TestMagnitude:
+    def test_m8_moment(self):
+        """The paper's M8 source: M0 = 1.0e21 N*m -> Mw = 8.0 (Section VII.A).
+
+        With the Hanks & Kanamori constant 9.1 the exact value is 7.93; the
+        paper rounds to Mw 8.0.
+        """
+        assert moment_to_magnitude(1.0e21) == pytest.approx(8.0, abs=0.1)
+
+    def test_roundtrip(self):
+        for mw in (5.0, 6.5, 7.7, 8.0):
+            assert moment_to_magnitude(magnitude_to_moment(mw)) == pytest.approx(mw)
+
+    def test_double_couple_shape(self):
+        m = double_couple_strike_slip(3.0)
+        assert m[0, 1] == m[1, 0] == 3.0
+        assert np.trace(m) == 0.0
+
+
+class TestMomentTensorSource:
+    def _grid(self):
+        return Grid3D(10, 10, 10, h=100.0)
+
+    def test_bind_and_inject(self):
+        g = self._grid()
+        wf = WaveField(g)
+        src = MomentTensorSource(position=(500.0, 500.0, 500.0),
+                                 moment=np.eye(3) * 1e12,
+                                 stf=lambda t: 1.0)
+        src.bind(g)
+        src.inject(wf, t=0.0, dt=0.01)
+        # explosion reduces all three normal stresses at the cell
+        assert wf.sxx[NGHOST + 5, NGHOST + 5, NGHOST + 5] < 0
+        assert wf.syy[NGHOST + 5, NGHOST + 5, NGHOST + 5] < 0
+        total = -wf.sxx.sum()
+        assert total == pytest.approx(1e12 * 0.01 / 100.0 ** 3)
+
+    def test_asymmetric_tensor_rejected(self):
+        g = self._grid()
+        m = np.zeros((3, 3))
+        m[0, 1] = 1.0
+        src = MomentTensorSource(position=(500,) * 3, moment=m, stf=lambda t: 1.0)
+        with pytest.raises(ValueError, match="symmetric"):
+            src.bind(g)
+
+    def test_out_of_grid_rejected(self):
+        g = self._grid()
+        src = MomentTensorSource(position=(5000.0, 500.0, 500.0),
+                                 moment=np.eye(3), stf=lambda t: 1.0)
+        with pytest.raises(ValueError, match="outside"):
+            src.bind(g)
+
+    def test_sampled_stf_interpolation(self):
+        g = self._grid()
+        samples = np.array([0.0, 1.0, 0.0])
+        src = MomentTensorSource(position=(500,) * 3, moment=np.eye(3),
+                                 stf=samples, dt_stf=0.1)
+        src.bind(g)
+        assert src.rate_at(0.05) == pytest.approx(0.5)
+        assert src.rate_at(0.1) == pytest.approx(1.0)
+        assert src.rate_at(0.5) == 0.0
+        assert src.rate_at(-0.01) == 0.0
+
+
+class TestBodyForceSource:
+    def test_inject_accelerates_component(self):
+        g = Grid3D(8, 8, 8, h=50.0)
+        med = Medium.homogeneous(g)
+        src = BodyForceSource(position=(200.0,) * 3, component="vz",
+                              stf=lambda t: 1.0, amplitude=2.0)
+        wf = WaveField(g)
+        src.bind(g, med.rho)
+        src.inject(wf, t=0.0, dt=0.1)
+        assert wf.vz.max() > 0
+
+    def test_invalid_component(self):
+        g = Grid3D(8, 8, 8, h=50.0)
+        med = Medium.homogeneous(g)
+        src = BodyForceSource(position=(200.0,) * 3, component="sxx",
+                              stf=lambda t: 1.0)
+        with pytest.raises(ValueError, match="component"):
+            src.bind(g, med.rho)
+
+    def test_unbound_inject_raises(self):
+        g = Grid3D(8, 8, 8, h=50.0)
+        src = BodyForceSource(position=(200.0,) * 3, component="vx",
+                              stf=lambda t: 1.0)
+        with pytest.raises(RuntimeError, match="not bound"):
+            src.inject(WaveField(g), 0.0, 0.1)
+
+
+class TestFiniteFaultSource:
+    def _fault(self):
+        dt = 0.05
+        rate = triangle_stf(np.arange(0, 2.0, dt), rise_time=1.0)
+        subs = [SubFault(position=(100.0 * i, 500.0, 500.0),
+                         moment=double_couple_strike_slip(1e18),
+                         rate_samples=rate, dt=dt, t_start=0.1 * i)
+                for i in range(1, 5)]
+        return FiniteFaultSource(subfaults=subs)
+
+    def test_total_moment_and_magnitude(self):
+        f = self._fault()
+        assert f.total_moment() == pytest.approx(4e18)
+        assert f.magnitude() == pytest.approx(moment_to_magnitude(4e18))
+
+    def test_point_source_expansion_shifts_time(self):
+        f = self._fault()
+        sources = f.point_sources()
+        assert len(sources) == 4
+        # last subfault starts at 0.4 s: zero rate before that
+        assert sources[-1].rate_at(0.2) == 0.0
+        assert sources[-1].rate_at(0.9) > 0.0
+
+    def test_duration(self):
+        f = self._fault()
+        assert f.duration() == pytest.approx(0.4 + 2.0)

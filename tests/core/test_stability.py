@@ -1,0 +1,51 @@
+"""Tests for CFL and dispersion limit calculators."""
+
+import numpy as np
+import pytest
+
+from repro.core import stability
+
+
+class TestCFL:
+    def test_fourth_order_bound(self):
+        # dt_max = 6h / (7 sqrt(3) vp) at safety = 1
+        dt = stability.cfl_dt(40.0, 6000.0, order=4, safety=1.0)
+        assert dt == pytest.approx(6 * 40.0 / (7 * np.sqrt(3) * 6000.0))
+
+    def test_second_order_less_restrictive(self):
+        dt4 = stability.cfl_dt(40.0, 6000.0, order=4, safety=1.0)
+        dt2 = stability.cfl_dt(40.0, 6000.0, order=2, safety=1.0)
+        assert dt2 > dt4
+
+    def test_safety_scaling(self):
+        assert stability.cfl_dt(10.0, 5000.0, safety=0.5) == pytest.approx(
+            0.5 * stability.cfl_dt(10.0, 5000.0, safety=1.0))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            stability.cfl_dt(-1.0, 5000.0)
+        with pytest.raises(ValueError):
+            stability.cfl_dt(1.0, 0.0)
+
+    def test_courant_number(self):
+        dt = stability.cfl_dt(40.0, 6000.0, safety=1.0)
+        c = stability.courant_number(dt, 40.0, 6000.0)
+        assert c == pytest.approx(6 / (7 * np.sqrt(3)))
+        assert c < 1.0
+
+
+class TestDispersion:
+    def test_m8_parameters_are_self_consistent(self):
+        """The paper's M8 setup: h = 40 m, vs_min = 400 m/s -> f_max = 2 Hz."""
+        assert stability.max_frequency(40.0, 400.0) == pytest.approx(2.0)
+
+    def test_blue_waters_benchmark_parameters(self):
+        """The 25 m / 2 Hz benchmark of Section V.B implies vs_min = 250 m/s."""
+        assert stability.required_spacing(2.0, 250.0) == pytest.approx(25.0)
+
+    def test_roundtrip(self):
+        h = stability.required_spacing(1.0, 500.0)
+        assert stability.max_frequency(h, 500.0) == pytest.approx(1.0)
+
+    def test_points_per_wavelength(self):
+        assert stability.points_per_wavelength(40.0, 400.0, 2.0) == pytest.approx(5.0)

@@ -1,0 +1,72 @@
+"""Tests for output buffer aggregation (the 49% -> 2% result)."""
+
+import numpy as np
+import pytest
+
+from repro.io.aggregation import OutputAggregator
+from repro.io.lustre import LustreModel
+from repro.io.mpiio import VirtualFile
+
+
+def _run(flush_interval, n_records=200, record_bytes=4096):
+    model = LustreModel()
+    agg = OutputAggregator(vfile=None, model=model,
+                           flush_interval=flush_interval, n_clients=8)
+    for _ in range(n_records):
+        agg.record(np.zeros(record_bytes, dtype=np.uint8))
+    agg.flush()
+    return agg
+
+
+class TestAggregation:
+    def test_flush_count(self):
+        agg = _run(flush_interval=50, n_records=200)
+        assert agg.flushes == 4
+
+    def test_unaggregated_flushes_every_record(self):
+        agg = _run(flush_interval=1, n_records=50)
+        assert agg.flushes == 50
+
+    def test_aggregation_reduces_io_time(self):
+        slow = _run(flush_interval=1)
+        fast = _run(flush_interval=100)
+        assert fast.io_seconds < slow.io_seconds / 5
+
+    def test_all_bytes_accounted(self):
+        agg = _run(flush_interval=30, n_records=100, record_bytes=1000)
+        assert agg.bytes_written == 100 * 1000
+
+    def test_overhead_fraction_regimes(self):
+        """Aggregated overhead is a small fraction of a compute-dominated
+        run; unaggregated overhead is large — the paper's 49% vs 2%."""
+        compute = _run(flush_interval=100).io_seconds * 30
+        frac_agg = _run(flush_interval=100).overhead_fraction(compute)
+        frac_raw = _run(flush_interval=1).overhead_fraction(compute)
+        assert frac_agg < 0.05
+        assert frac_raw > 0.3
+
+    def test_data_lands_in_file(self):
+        model = LustreModel()
+        vf = VirtualFile(size=4096)
+        agg = OutputAggregator(vfile=vf, model=model, flush_interval=4)
+        for i in range(4):
+            agg.record(np.full(1024, i, dtype=np.uint8))
+        assert agg.flushes == 1
+        assert np.all(vf.data[:1024] == 0)
+        assert np.all(vf.data[3072:] == 3)
+
+    def test_buffered_bytes_tracked(self):
+        model = LustreModel()
+        agg = OutputAggregator(vfile=None, model=model, flush_interval=10)
+        agg.record(np.zeros(100, dtype=np.uint8))
+        assert agg.buffered_bytes == 100
+        agg.flush()
+        assert agg.buffered_bytes == 0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            OutputAggregator(vfile=None, model=LustreModel(), flush_interval=0)
+
+    def test_empty_flush_is_free(self):
+        agg = OutputAggregator(vfile=None, model=LustreModel())
+        assert agg.flush() == 0.0

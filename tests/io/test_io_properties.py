@@ -1,0 +1,96 @@
+"""Property-based tests for the I/O substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.checksum import ChecksumManifest, md5_digest
+from repro.io.lustre import LustreModel
+from repro.io.mpiio import FileView, VirtualFile
+
+
+class TestViewProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 64), st.integers(1, 16), st.integers(0, 100))
+    def test_strided_view_partitions_bytes(self, block, count, start):
+        stride = block * 2
+        v = FileView.strided(start=start, block=block, stride=stride,
+                             count=count)
+        assert v.nbytes == block * count
+        assert v.n_fragments == count
+        # blocks never overlap
+        spans = sorted(v.blocks)
+        for (o1, l1), (o2, _) in zip(spans, spans[1:]):
+            assert o1 + l1 <= o2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(1, 32), min_size=1, max_size=8),
+           st.integers(0, 1000))
+    def test_write_then_read_roundtrip(self, lengths, seed):
+        rng = np.random.default_rng(seed)
+        # build non-overlapping blocks back to back with random gaps
+        blocks = []
+        cursor = 0
+        for length in lengths:
+            gap = int(rng.integers(0, 8))
+            blocks.append((cursor + gap, length))
+            cursor += gap + length
+        view = FileView(blocks=tuple(blocks))
+        f = VirtualFile(size=cursor + 16)
+        payload = rng.integers(0, 255, view.nbytes).astype(np.uint8)
+        # direct (non-collective) path
+        pos = 0
+        for off, length in view.blocks:
+            f.write_at(off, payload[pos:pos + length])
+            pos += length
+        back = np.concatenate([f.read_at(off, length)
+                               for off, length in view.blocks])
+        assert np.array_equal(back, payload)
+
+
+class TestLustreProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(1e3, 1e12), st.integers(1, 670), st.integers(1, 1000))
+    def test_transfer_time_positive_and_monotone_in_bytes(self, nbytes,
+                                                          stripes, clients):
+        m = LustreModel()
+        t1 = m.transfer(nbytes, stripe_count=stripes, n_clients=clients)
+        t2 = m.transfer(2 * nbytes, stripe_count=stripes, n_clients=clients)
+        assert 0 < t1 <= t2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 5000))
+    def test_open_cost_monotone_in_files(self, n):
+        a = LustreModel().open_files(n, concurrent=min(n, 650))
+        b = LustreModel().open_files(n + 100, concurrent=min(n + 100, 650))
+        assert b >= a
+
+
+class TestChecksumProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 200))
+    def test_digest_deterministic_across_dtypes_views(self, seed, n):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(n)
+        assert md5_digest(a) == md5_digest(a.copy())
+        assert md5_digest(a.reshape(1, -1)) == md5_digest(a.reshape(-1, 1))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.dictionaries(st.integers(0, 50),
+                           st.integers(1, 64), min_size=1, max_size=10),
+           st.integers(0, 100))
+    def test_manifest_diff_symmetric(self, sizes, seed):
+        rng = np.random.default_rng(seed)
+        chunks = {cid: rng.standard_normal(n) for cid, n in sizes.items()}
+        m1 = ChecksumManifest()
+        m2 = ChecksumManifest()
+        for cid, arr in chunks.items():
+            m1.add(cid, md5_digest(arr))
+            m2.add(cid, md5_digest(arr))
+        assert m1.diff(m2) == []
+        # corrupt one chunk in m2
+        victim = sorted(chunks)[0]
+        m2.digests[victim] = "0" * 32
+        assert m1.diff(m2) == [victim]
+        assert m2.diff(m1) == [victim]

@@ -1,0 +1,94 @@
+"""Tests for the Lustre/GPFS filesystem model."""
+
+import numpy as np
+import pytest
+
+from repro.io.lustre import (FilesystemConfig, LustreModel, MDSOverloadError,
+                             bgp_gpfs, jaguar_lustre)
+
+
+class TestMetadata:
+    def test_open_cost_linear_below_knee(self):
+        m = LustreModel()
+        t1 = m.open_files(100, concurrent=100)
+        t2 = LustreModel().open_files(200, concurrent=200)
+        assert t2 == pytest.approx(2 * t1, rel=0.01)
+
+    def test_contention_superlinear_past_knee(self):
+        knee = LustreModel().config.mds_contention_knee
+        per_file_low = LustreModel().open_files(knee, concurrent=knee) / knee
+        per_file_high = LustreModel().open_files(10 * knee,
+                                                 concurrent=10 * knee) / (10 * knee)
+        assert per_file_high > 10 * per_file_low
+
+    def test_failure_past_limit(self):
+        """The BG/P >100K-core simultaneous-read failure (Section IV.E)."""
+        m = LustreModel()
+        with pytest.raises(MDSOverloadError, match="throttle"):
+            m.open_files(150_000, concurrent=150_000)
+
+    def test_throttling_avoids_failure(self):
+        m = LustreModel()
+        # 223,074 files with 650 concurrent (the M8 recipe) must succeed
+        t = m.open_files(223_074, concurrent=650)
+        assert np.isfinite(t) and t > 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LustreModel().open_files(-1)
+
+    def test_zero_files_free(self):
+        assert LustreModel().open_files(0) == 0.0
+
+
+class TestTransfers:
+    def test_striping_raises_bandwidth(self):
+        m = LustreModel()
+        slow = m.transfer(1e9, stripe_count=1, n_clients=100)
+        fast = m.transfer(1e9, stripe_count=100, n_clients=100)
+        assert fast < slow / 10
+
+    def test_bandwidth_capped_by_clients(self):
+        m = LustreModel()
+        r1 = m.aggregate_read_rate(stripe_count=670, n_clients=1)
+        assert r1 == pytest.approx(m.config.client_bandwidth)
+
+    def test_jaguar_20gb_per_s(self):
+        """IV.E: '~20 GB/s on Jaguar' with full striping and enough clients."""
+        m = LustreModel(jaguar_lustre())
+        rate = m.aggregate_read_rate(stripe_count=670, n_clients=650)
+        assert rate == pytest.approx(20e9, rel=0.1)
+
+    def test_fragmentation_penalty(self):
+        m = LustreModel()
+        contig = m.transfer(1e8, stripe_count=16, n_clients=4, n_requests=4)
+        fragged = m.transfer(1e8, stripe_count=16, n_clients=4,
+                             n_requests=40_000)
+        assert fragged > 2 * contig
+
+    def test_stats_accumulate(self):
+        m = LustreModel()
+        m.open_files(10)
+        m.transfer(1000)
+        assert m.metadata_ops == 10
+        assert m.bytes_moved == 1000
+        assert m.busy_seconds > 0
+
+
+class TestM8InputScenario:
+    def test_m8_mesh_read_in_minutes(self):
+        """VII.B: pre-partitioned mesh (223,074 files, 4.8 TB total) read in
+        ~4 minutes with the 650-file throttle."""
+        m = LustreModel(jaguar_lustre())
+        bytes_per_file = 4.8e12 / 223_074
+        t = m.read_prepartitioned(223_074, bytes_per_file, max_open=650)
+        assert 60 < t < 900  # minutes, not hours
+
+    def test_unthrottled_read_fails(self):
+        m = LustreModel(jaguar_lustre())
+        with pytest.raises(MDSOverloadError):
+            m.read_prepartitioned(223_074, 1e6, max_open=223_074)
+
+    def test_gpfs_variant_lower_limits(self):
+        assert bgp_gpfs().mds_failure_limit < jaguar_lustre().mds_failure_limit
+        assert bgp_gpfs().name == "gpfs"

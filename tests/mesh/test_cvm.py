@@ -1,0 +1,113 @@
+"""Tests for the synthetic community velocity model."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.cvm import (Basin, SyntheticCVM, brocher_density, brocher_vp,
+                            southern_california_like)
+
+
+class TestBrocherRelations:
+    def test_vp_monotone_in_vs(self):
+        vs = np.linspace(300, 4000, 50)
+        vp = brocher_vp(vs)
+        assert np.all(np.diff(vp) > 0)
+
+    def test_typical_crust(self):
+        # Vs = 3.5 km/s -> Vp ~ 6.0 km/s (standard crustal values)
+        assert brocher_vp(3500.0) == pytest.approx(6000.0, rel=0.05)
+
+    def test_density_reasonable(self):
+        rho = brocher_density(brocher_vp(np.array([400.0, 3464.0])))
+        assert 1500 < rho[0] < 2400   # soft sediments
+        assert 2500 < rho[1] < 3000   # crystalline crust
+
+
+class TestBackgroundModel:
+    def test_vs_increases_with_depth(self):
+        cvm = SyntheticCVM(x_extent=10e3, y_extent=10e3)
+        z = np.array([0.0, 2000.0, 8000.0, 20000.0])
+        vs = cvm.background_vs(z)
+        assert np.all(np.diff(vs) >= 0)
+        assert vs[-1] == pytest.approx(3464.0)
+
+    def test_query_respects_floor(self):
+        cvm = SyntheticCVM(x_extent=10e3, y_extent=10e3, vs_surface=100.0)
+        _, vs, _ = cvm.query(5e3, 5e3, 0.0)
+        assert vs >= cvm.vs_min
+
+    def test_negative_depth_rejected(self):
+        cvm = SyntheticCVM(x_extent=10e3, y_extent=10e3)
+        with pytest.raises(ValueError, match="depth"):
+            cvm.query(0.0, 0.0, -5.0)
+
+    def test_vp_vs_constraint_everywhere(self):
+        """The solver needs vp >= sqrt(2) vs (positive lambda)."""
+        cvm = southern_california_like()
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, cvm.x_extent, 200)
+        y = rng.uniform(0, cvm.y_extent, 200)
+        z = rng.uniform(0, 20e3, 200)
+        vp, vs, _ = cvm.query(x, y, z)
+        assert np.all(vp >= np.sqrt(2) * vs)
+
+
+class TestBasins:
+    def test_basin_slows_surface(self):
+        cvm = southern_california_like()
+        la = next(b for b in cvm.basins if b.name == "los_angeles")
+        _, vs_basin, _ = cvm.query(la.cx, la.cy, 100.0)
+        _, vs_rock, _ = cvm.query(la.cx, cvm.y_extent * 0.95, 100.0)
+        assert vs_basin < 0.6 * vs_rock
+
+    def test_basin_depth_profile(self):
+        b = Basin("test", cx=0.0, cy=0.0, rx=10e3, ry=5e3, depth=4000.0)
+        assert b.depth_at(0.0, 0.0) == pytest.approx(4000.0)
+        assert b.depth_at(10e3, 0.0) == pytest.approx(0.0)
+        assert b.depth_at(20e3, 0.0) == 0.0
+
+    def test_outside_basin_is_background(self):
+        cvm = southern_california_like()
+        x, y = 0.99 * cvm.x_extent, 0.01 * cvm.y_extent
+        _, vs, _ = cvm.query(x, y, 1000.0)
+        assert vs == pytest.approx(cvm.background_vs(np.array([1000.0]))[0],
+                                   rel=1e-6)
+
+    def test_velocity_recovers_below_basin(self):
+        cvm = southern_california_like()
+        la = next(b for b in cvm.basins if b.name == "los_angeles")
+        _, vs_deep, _ = cvm.query(la.cx, la.cy, 10e3)
+        assert vs_deep > 2000.0
+
+
+class TestDerivedProducts:
+    def test_isosurface_depth_deeper_in_basins(self):
+        """The Fig. 1/20 product: depth to Vs = 2.5 km/s is large under
+        basins, small on rock."""
+        cvm = southern_california_like()
+        la = next(b for b in cvm.basins if b.name == "los_angeles")
+        d_basin = cvm.depth_to_isosurface(2500.0, np.array([la.cx]),
+                                          np.array([la.cy]))
+        d_rock = cvm.depth_to_isosurface(2500.0, np.array([la.cx]),
+                                         np.array([cvm.y_extent * 0.98]))
+        assert d_basin[0] > d_rock[0] + 1000.0
+
+    def test_vs30_classification(self):
+        """Rock sites (Vs30 > ~760) vs basin sites separate cleanly."""
+        cvm = southern_california_like()
+        la = next(b for b in cvm.basins if b.name == "los_angeles")
+        v_basin = cvm.vs30(np.array([la.cx]), np.array([la.cy]))
+        v_rock = cvm.vs30(np.array([la.cx]), np.array([cvm.y_extent * 0.98]))
+        assert v_basin[0] < 760.0 < v_rock[0]
+
+    def test_fault_zone_reduction(self):
+        cvm = southern_california_like()
+        y_f = cvm.fault_trace_y
+        x = 0.7 * cvm.x_extent
+        _, vs_fault, _ = cvm.query(x, y_f, 1000.0)
+        _, vs_off, _ = cvm.query(x, y_f + 10e3, 1000.0)
+        assert vs_fault < vs_off
+
+    def test_scaling_extents(self):
+        small = southern_california_like(x_extent=80e3, y_extent=40e3)
+        assert small.basins[0].rx == pytest.approx(14e3)

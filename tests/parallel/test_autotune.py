@@ -1,0 +1,76 @@
+"""Tests for the Section III.G run-time architecture adaptation."""
+
+import pytest
+
+from repro.parallel.autotune import TunedConfiguration, tune
+from repro.parallel.machine import bgw, intrepid, jaguar, ranger
+
+M8 = (20250, 10125, 2125)
+
+
+class TestDecisions:
+    def test_jaguar_production_choices(self):
+        """The M8 production configuration: async comm, no overlap (XT5's
+        MPI lacked usable one-sided progress), pre-partitioned input with
+        the 650-file throttle."""
+        cfg = tune(jaguar(), M8, 223_074)
+        assert cfg.communication == "asynchronous"
+        assert cfg.overlap is False
+        assert cfg.io_model == "prepartitioned"
+        assert cfg.max_open_files == 650
+        assert cfg.parallel_checksums
+
+    def test_ranger_gets_overlap(self):
+        """IV.C: the MVAPICH2/InfiniBand stack supports the overlap path."""
+        cfg = tune(ranger(), (6000, 3000, 800), 60_000)
+        assert cfg.overlap is True
+
+    def test_gpfs_machines_use_on_demand_io(self):
+        """III.C/E: GPFS-era systems prefer collective on-demand MPI-IO."""
+        cfg = tune(intrepid(), (3000, 1500, 400), 128_000)
+        assert cfg.io_model == "on-demand-mpiio"
+        assert cfg.max_open_files < 650
+
+    def test_blocking_sizes_reasonable(self):
+        cfg = tune(jaguar(), M8, 223_074)
+        kb, jb = cfg.cache_blocking
+        assert 8 <= kb <= 64
+        assert 4 <= jb <= kb
+
+    def test_flush_interval_bounded(self):
+        cfg = tune(jaguar(), M8, 223_074)
+        assert 100 <= cfg.flush_interval <= 20_000
+
+    def test_predicted_time_positive_and_consistent(self):
+        cfg = tune(jaguar(), M8, 223_074)
+        assert cfg.predicted_step_seconds > 0
+        # the tuned configuration should be near the calibrated production
+        # point (0.6 s/step)
+        assert cfg.predicted_step_seconds == pytest.approx(0.6, rel=0.25)
+
+    def test_optimization_set_roundtrip(self):
+        cfg = tune(jaguar(), M8, 223_074)
+        opts = cfg.as_optimization_set()
+        assert opts.async_comm
+        assert opts.cache_blocking
+        assert opts.overlap == cfg.overlap
+
+
+class TestCrossMachine:
+    def test_every_machine_tunes(self):
+        for m in (jaguar(), ranger(), intrepid(), bgw()):
+            cfg = tune(m, (3000, 1500, 400), min(m.cores_used, 20_000))
+            assert isinstance(cfg, TunedConfiguration)
+            assert cfg.machine == m.name
+            assert cfg.predicted_step_seconds > 0
+
+    def test_tuned_beats_untuned(self):
+        """The whole point of III.G: the adapted configuration outperforms
+        a naive (synchronous, unaggregated) one."""
+        from repro.parallel.perfmodel import AWPRunModel, OptimizationSet
+        m = ranger()
+        shape = (6000, 3000, 800)
+        cfg = tune(m, shape, 60_000)
+        naive = AWPRunModel(m, shape, 60_000,
+                            opts=OptimizationSet.none()).time_per_step()
+        assert cfg.predicted_step_seconds < naive

@@ -1,0 +1,119 @@
+"""Tests for the 3-D domain decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import Grid3D
+from repro.parallel.decomp import Decomposition3D
+
+
+class TestSplits:
+    def test_even_split(self):
+        d = Decomposition3D(Grid3D(12, 12, 12, h=1.0), 3, 2, 1)
+        sub = d.subdomain(0)
+        assert sub.grid.shape == (4, 6, 12)
+
+    def test_remainder_to_leading_ranks(self):
+        d = Decomposition3D(Grid3D(10, 4, 4, h=1.0), 3, 1, 1)
+        sizes = [d.subdomain(r).grid.nx for r in range(3)]
+        assert sizes == [4, 3, 3]
+
+    def test_subdomains_tile_grid(self):
+        g = Grid3D(11, 9, 7, h=1.0)
+        d = Decomposition3D(g, 3, 2, 2)
+        cover = np.zeros(g.shape, dtype=int)
+        for sub in d.subdomains():
+            cover[sub.slices] += 1
+        assert np.all(cover == 1)
+
+    def test_origin_offsets_physical(self):
+        g = Grid3D(8, 8, 8, h=50.0, origin=(100.0, 0.0, 0.0))
+        d = Decomposition3D(g, 2, 1, 1)
+        sub = d.subdomain(1)
+        assert sub.grid.origin[0] == pytest.approx(100.0 + 4 * 50.0)
+        assert sub.origin_index == (4, 0, 0)
+
+    def test_too_many_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            Decomposition3D(Grid3D(4, 4, 4, h=1.0), 8, 1, 1)
+
+    def test_thin_subdomain_rejected(self):
+        # 5 cells over 3 ranks -> a 1-cell subdomain, thinner than the halo
+        with pytest.raises(ValueError, match="halo"):
+            Decomposition3D(Grid3D(5, 8, 8, h=1.0), 3, 1, 1)
+
+    def test_invalid_processor_counts(self):
+        with pytest.raises(ValueError):
+            Decomposition3D(Grid3D(8, 8, 8, h=1.0), 0, 1, 1)
+
+
+class TestNeighbors:
+    def test_interior_rank_has_six(self):
+        d = Decomposition3D(Grid3D(12, 12, 12, h=1.0), 3, 3, 3)
+        centre = d.rank_of((1, 1, 1))
+        nb = d.neighbors(centre)
+        assert all(v is not None for v in nb.values())
+
+    def test_corner_rank_has_three(self):
+        d = Decomposition3D(Grid3D(12, 12, 12, h=1.0), 3, 3, 3)
+        nb = d.neighbors(d.rank_of((0, 0, 0)))
+        present = [k for k, v in nb.items() if v is not None]
+        assert sorted(present) == ["x_hi", "y_hi", "z_hi"]
+
+    def test_neighbor_symmetry(self):
+        d = Decomposition3D(Grid3D(12, 12, 12, h=1.0), 2, 3, 2)
+        for r in range(d.nranks):
+            nb = d.neighbors(r)
+            if nb["x_hi"] is not None:
+                assert d.neighbors(nb["x_hi"])["x_lo"] == r
+
+    def test_coords_roundtrip(self):
+        d = Decomposition3D(Grid3D(16, 16, 16, h=1.0), 2, 4, 2)
+        for r in range(d.nranks):
+            assert d.rank_of(d.coords(r)) == r
+
+
+class TestOwnership:
+    def test_owner_of_cell(self):
+        g = Grid3D(8, 8, 8, h=1.0)
+        d = Decomposition3D(g, 2, 2, 2)
+        assert d.owner_of_cell(0, 0, 0) == 0
+        assert d.owner_of_cell(7, 7, 7) == d.nranks - 1
+        sub = d.subdomain(d.owner_of_cell(4, 1, 6))
+        assert sub.ranges[0][0] <= 4 < sub.ranges[0][1]
+
+    def test_owner_out_of_bounds(self):
+        d = Decomposition3D(Grid3D(8, 8, 8, h=1.0), 2, 2, 2)
+        with pytest.raises(ValueError):
+            d.owner_of_cell(8, 0, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 11), st.integers(0, 8), st.integers(0, 6))
+    def test_every_cell_owned_by_containing_subdomain(self, i, j, k):
+        g = Grid3D(12, 9, 7, h=1.0)
+        d = Decomposition3D(g, 3, 2, 2)
+        r = d.owner_of_cell(i, j, k)
+        sub = d.subdomain(r)
+        for axis, idx in enumerate((i, j, k)):
+            a, b = sub.ranges[axis]
+            assert a <= idx < b
+
+
+class TestAuto:
+    def test_auto_matches_rank_count(self):
+        g = Grid3D(40, 20, 10, h=1.0)
+        d = Decomposition3D.auto(g, 8)
+        assert d.nranks == 8
+
+    def test_auto_prefers_long_axis(self):
+        g = Grid3D(100, 10, 10, h=1.0)
+        d = Decomposition3D.auto(g, 4)
+        assert d.dims[0] == 4  # all ranks along the long axis
+
+    def test_auto_m8_style_aspect(self):
+        # M8: 810 x 405 x 85 km; x should get at least as many ranks as z
+        g = Grid3D(81, 40, 12, h=1.0)
+        d = Decomposition3D.auto(g, 12)
+        assert d.dims[0] >= d.dims[2]

@@ -1,0 +1,156 @@
+"""Dedicated tests for the halo-exchange plans (Section III.A / IV.A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fd import NGHOST
+from repro.core.grid import ALL_FIELDS, Grid3D, WaveField
+from repro.parallel.decomp import Decomposition3D
+from repro.parallel.halo import (GHOST_NEEDS, exchange_halos,
+                                 exchange_halos_sync, halo_bytes_per_step)
+from repro.parallel.simmpi import run_spmd
+
+
+def _make_fields(decomp, seed=0):
+    """Per-rank wavefields whose interiors are filled from one global
+    random volume, so exchanged ghosts can be checked against the truth."""
+    rng = np.random.default_rng(seed)
+    glob = {name: rng.standard_normal(decomp.grid.shape)
+            for name in ALL_FIELDS}
+    wfs = []
+    for sub in decomp.subdomains():
+        wf = WaveField(sub.grid)
+        for name in ALL_FIELDS:
+            wf.interior(name)[...] = glob[name][sub.slices]
+        wfs.append(wf)
+    return glob, wfs
+
+
+def _ghost_matches_global(decomp, rank, wf, glob, name, mode):
+    """Verify that every exchanged ghost plane holds the global values."""
+    sub = decomp.subdomain(rank)
+    nb = decomp.neighbors(rank)
+    needs = GHOST_NEEDS[name] if mode == "reduced" else {
+        a: (NGHOST, NGHOST) for a in range(3)}
+    arr = getattr(wf, name)
+    for axis, (n_low, n_high) in needs.items():
+        lo_face = ("x_lo", "y_lo", "z_lo")[axis]
+        hi_face = ("x_hi", "y_hi", "z_hi")[axis]
+        a, b = sub.ranges[axis]
+        if nb[lo_face] is not None:
+            for p in range(1, n_low + 1):
+                sl_local = [slice(NGHOST, -NGHOST)] * 3
+                sl_local[axis] = NGHOST - p
+                sl_glob = list(sub.slices)
+                sl_glob[axis] = a - p
+                got = arr[tuple(sl_local)]
+                want = glob[name][tuple(sl_glob)]
+                assert np.array_equal(got, want), (name, axis, -p)
+        if nb[hi_face] is not None:
+            for p in range(n_high):
+                sl_local = [slice(NGHOST, -NGHOST)] * 3
+                sl_local[axis] = NGHOST + sub.grid.shape[axis] + p
+                sl_glob = list(sub.slices)
+                sl_glob[axis] = b + p
+                got = arr[tuple(sl_local)]
+                want = glob[name][tuple(sl_glob)]
+                assert np.array_equal(got, want), (name, axis, p)
+
+
+@pytest.mark.parametrize("mode", ["full", "reduced"])
+@pytest.mark.parametrize("sync", [False, True])
+def test_exchange_fills_ghosts_with_neighbour_data(mode, sync):
+    g = Grid3D(12, 10, 8, h=1.0)
+    decomp = Decomposition3D(g, 2, 2, 2)
+    glob, wfs = _make_fields(decomp)
+    fn = exchange_halos_sync if sync else exchange_halos
+
+    def program(comm):
+        yield from fn(comm, decomp, comm.rank, wfs[comm.rank],
+                      group="all", mode=mode)
+        return None
+
+    run_spmd(decomp.nranks, program)
+    for rank in range(decomp.nranks):
+        for name in ALL_FIELDS:
+            _ghost_matches_global(decomp, rank, wfs[rank], glob, name, mode)
+
+
+def test_exchange_does_not_touch_interior():
+    g = Grid3D(8, 8, 8, h=1.0)
+    decomp = Decomposition3D(g, 2, 1, 1)
+    glob, wfs = _make_fields(decomp, seed=3)
+    before = [wf.interior("vx").copy() for wf in wfs]
+
+    def program(comm):
+        yield from exchange_halos(comm, decomp, comm.rank, wfs[comm.rank])
+        return None
+
+    run_spmd(2, program)
+    for wf, ref in zip(wfs, before):
+        assert np.array_equal(wf.interior("vx"), ref)
+
+
+def test_invalid_mode_rejected():
+    g = Grid3D(8, 8, 8, h=1.0)
+    decomp = Decomposition3D(g, 2, 1, 1)
+    _, wfs = _make_fields(decomp)
+
+    def program(comm):
+        yield from exchange_halos(comm, decomp, comm.rank, wfs[comm.rank],
+                                  mode="bogus")
+
+    with pytest.raises(ValueError, match="halo mode"):
+        run_spmd(2, program)
+
+
+class TestVolumeAccounting:
+    def test_reduced_bytes_match_needs_table(self):
+        g = Grid3D(16, 16, 16, h=1.0)
+        decomp = Decomposition3D(g, 2, 2, 2)
+        b = halo_bytes_per_step(decomp, 0, "reduced")
+        # independent recount from the needs table
+        sub = decomp.subdomain(0)
+        nb = decomp.neighbors(0)
+        padded = sub.grid.padded_shape
+        want = 0
+        for name, axes in GHOST_NEEDS.items():
+            for axis, (n_low, n_high) in axes.items():
+                face = 1
+                for a2 in range(3):
+                    if a2 != axis:
+                        face *= padded[a2]
+                if nb[("x_lo", "y_lo", "z_lo")[axis]] is not None:
+                    want += n_high * face * 8
+                if nb[("x_hi", "y_hi", "z_hi")[axis]] is not None:
+                    want += n_low * face * 8
+        assert b == want
+
+    def test_corner_rank_sends_less(self):
+        g = Grid3D(16, 16, 16, h=1.0)
+        decomp = Decomposition3D(g, 2, 2, 2)
+        # a 2x2x2 decomposition: every rank is a corner, all equal
+        assert halo_bytes_per_step(decomp, 0, "full") == \
+            halo_bytes_per_step(decomp, 7, "full")
+        d3 = Decomposition3D(Grid3D(24, 24, 24, h=1.0), 3, 3, 3)
+        centre = d3.rank_of((1, 1, 1))
+        corner = d3.rank_of((0, 0, 0))
+        assert halo_bytes_per_step(d3, centre, "full") > \
+            halo_bytes_per_step(d3, corner, "full")
+
+    def test_measured_traffic_matches_accounting(self):
+        """The SPMD run's actual byte counters equal the static estimate."""
+        g = Grid3D(12, 10, 8, h=1.0)
+        decomp = Decomposition3D(g, 2, 2, 1)
+        _, wfs = _make_fields(decomp, seed=9)
+
+        def program(comm):
+            yield from exchange_halos(comm, decomp, comm.rank,
+                                      wfs[comm.rank], group="all",
+                                      mode="reduced")
+            return None
+
+        res = run_spmd(decomp.nranks, program)
+        for rank in range(decomp.nranks):
+            want = halo_bytes_per_step(decomp, rank, "reduced")
+            assert res.stats[rank].bytes_sent == want

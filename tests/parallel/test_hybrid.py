@@ -1,0 +1,84 @@
+"""Tests for the MPI/OpenMP hybrid model (Section IV.D)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.hybrid import HybridRunModel, hybrid_vs_pure_sweep
+from repro.parallel.machine import jaguar, ranger
+from repro.parallel.perfmodel import AWPRunModel, OptimizationSet
+
+M8 = (20250, 10125, 2125)
+
+
+class TestConstruction:
+    def test_one_thread_reduces_to_pure_mpi(self):
+        hyb = HybridRunModel(jaguar(), M8, 65_610, threads=1)
+        pure = AWPRunModel(jaguar(), M8, 65_610, opts=OptimizationSet.v7_2())
+        assert hyb.time_per_step() == pytest.approx(pure.time_per_step())
+        assert hyb.idle_thread_seconds() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="threads"):
+            HybridRunModel(jaguar(), M8, 1000, threads=0)
+        with pytest.raises(ValueError, match="cores per node"):
+            HybridRunModel(jaguar(), M8, 1200, threads=24)
+        with pytest.raises(ValueError, match="divide"):
+            HybridRunModel(jaguar(), M8, 1001, threads=6)
+
+    def test_rank_count(self):
+        hyb = HybridRunModel(jaguar(), M8, 1200, threads=6)
+        assert hyb.ranks == 200
+
+
+class TestSectionIVDConclusions:
+    def test_hybrid_reduces_skew(self):
+        """'we were able to reduce the load imbalance by more than 35%'."""
+        pure = HybridRunModel(jaguar(), M8, 65_610, threads=1)
+        hyb = HybridRunModel(jaguar(), M8, 65_610, threads=6)
+        # barrier cost is shared; compare the skew-bearing sync term
+        assert hyb.sync_seconds() < pure.sync_seconds()
+
+    def test_idle_overhead_grows_with_scale(self):
+        """'When the processor count approaches the arithmetic limits of
+        the subdomain decomposition, this overhead may offset the entire
+        performance gain.'"""
+        small = HybridRunModel(jaguar(), M8, 10_000 * 6 // 6 * 6, threads=6)
+        # scale to very thin per-thread slabs
+        big = HybridRunModel(jaguar(), M8, 223_074 // 6 * 6, threads=6)
+        small_frac = small.idle_thread_seconds() / small.comp_seconds()
+        big_frac = big.idle_thread_seconds() / big.comp_seconds()
+        assert big_frac > small_frac
+
+    def test_pure_mpi_wins_at_full_scale(self):
+        """'for the large-scale runs ... the pure MPI code still performs
+        better than the MPI/OpenMP hybrid code.'"""
+        cores = 223_074 // 6 * 6
+        pure = HybridRunModel(jaguar(), M8, cores, threads=1)
+        hyb = HybridRunModel(jaguar(), M8, cores, threads=6)
+        assert pure.time_per_step() < hyb.time_per_step()
+
+    def test_hybrid_competitive_at_moderate_scale_on_numa(self):
+        """The hybrid's halo/skew savings matter most on NUMA-heavy systems
+        at moderate scale — it lands within a few percent of pure MPI."""
+        shakeout = (6000, 3000, 800)
+        cores = 16_000
+        pure = HybridRunModel(ranger(), shakeout, cores, threads=1)
+        hyb = HybridRunModel(ranger(), shakeout, cores, threads=4)
+        assert hyb.time_per_step() < 1.25 * pure.time_per_step()
+
+
+class TestSweep:
+    def test_sweep_structure(self):
+        out = hybrid_vs_pure_sweep(jaguar(), M8, [12_000, 60_000])
+        assert set(out) == {12_000, 60_000}
+        for row in out.values():
+            assert row["pure_mpi"] > 0 and row["hybrid"] > 0
+
+    def test_crossover_exists(self):
+        """Somewhere between moderate and extreme scale, the winner flips
+        (or pure MPI always wins, matching the paper's production choice).
+        Either way the hybrid's relative performance degrades with scale."""
+        out = hybrid_vs_pure_sweep(jaguar(), M8,
+                                   [6_000, 24_000, 96_000, 222_000])
+        rel = [out[c]["hybrid"] / out[c]["pure_mpi"] for c in sorted(out)]
+        assert rel[-1] > rel[0]

@@ -1,0 +1,90 @@
+"""Tests for the Table 1 machine catalog."""
+
+import pytest
+
+from repro.parallel.machine import (MACHINES, bgw, datastar, intrepid, jaguar,
+                                    kraken, machine_by_name, ranger)
+
+
+class TestTable1Facts:
+    """Spot checks against Table 1 of the paper."""
+
+    def test_jaguar_row(self):
+        m = jaguar()
+        assert m.peak_gflops_per_core == 10.4
+        assert m.cores_used == 223_074
+        assert m.interconnect == "SeaStar2+"
+        assert m.topology_kind == "torus"
+        assert m.memory_per_node_gb == 16.0
+        assert m.cores_per_node == 12  # two hex-core Opterons
+
+    def test_kraken_row(self):
+        m = kraken()
+        assert m.peak_gflops_per_core == 10.4
+        assert m.cores_used == 96_000
+
+    def test_ranger_row(self):
+        m = ranger()
+        assert m.peak_gflops_per_core == 9.2
+        assert m.cores_used == 60_000
+        assert m.topology_kind == "fattree"
+
+    def test_intrepid_row(self):
+        m = intrepid()
+        assert m.peak_gflops_per_core == 3.4
+        assert m.cores_used == 128_000
+
+    def test_bgw_row(self):
+        m = bgw()
+        assert m.peak_gflops_per_core == 2.8
+        assert m.sockets_per_node == 1  # the single-socket torus of IV.A
+
+    def test_datastar_row(self):
+        m = datastar()
+        assert m.peak_gflops_per_core == 6.8
+
+
+class TestModelConstants:
+    def test_jaguar_eq8_constants(self):
+        """Section V.A: alpha = 5.5e-6 s, beta = 2.5e-10 s, tau = 9.62e-11 s."""
+        m = jaguar()
+        assert m.alpha == pytest.approx(5.5e-6)
+        assert m.beta == pytest.approx(2.5e-10)
+        assert m.tau == pytest.approx(9.62e-11)
+
+    def test_tau_consistent_with_sustained_fraction(self):
+        """1/tau ~ 10.4 Gflop/s/core peak at ~ the paper's ~10%-of-peak."""
+        m = jaguar()
+        sustained_gflops = 1.0 / m.tau / 1e9
+        assert 0.05 * m.peak_gflops_per_core < sustained_gflops \
+            < 1.05 * m.peak_gflops_per_core
+
+    def test_numa_factors(self):
+        assert bgw().numa_factor == 1
+        assert intrepid().numa_factor == 4
+        assert jaguar().numa_factor == 2
+        assert ranger().numa_factor == 4
+
+
+class TestCatalog:
+    def test_all_machines_present(self):
+        assert set(MACHINES) == {"jaguar", "kraken", "ranger", "intrepid",
+                                 "bgw", "datastar"}
+
+    def test_lookup(self):
+        assert machine_by_name("Jaguar").site == "ORNL"
+        with pytest.raises(KeyError, match="unknown machine"):
+            machine_by_name("bluewaters")
+
+    def test_with_cores(self):
+        m = jaguar().with_cores(1000)
+        assert m.cores_used == 1000
+        assert m.alpha == jaguar().alpha
+
+    def test_peak_totals(self):
+        # Jaguar at 223K cores: ~2.3 Pflop/s peak; M8's 220 Tflop/s is ~10%
+        assert jaguar().peak_tflops_total == pytest.approx(2320, rel=0.01)
+
+    def test_topology_construction(self):
+        assert jaguar().topology(64).size == 64
+        assert ranger().topology(64).hops(0, 1) >= 2

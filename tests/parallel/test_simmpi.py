@@ -1,0 +1,295 @@
+"""Tests for the SimMPI cooperative SPMD runtime."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.machine import jaguar
+from repro.parallel.simmpi import (ANY_SOURCE, ANY_TAG, DeadlockError,
+                                   allreduce, alltoall, bcast, gather,
+                                   run_spmd)
+from repro.parallel.topology import Torus3D
+
+
+class TestPointToPoint:
+    def test_ring_pass(self):
+        def program(comm):
+            nxt = (comm.rank + 1) % comm.size
+            prv = (comm.rank - 1) % comm.size
+            comm.isend(nxt, tag=1, payload=comm.rank)
+            got = yield comm.recv(prv, tag=1)
+            return got
+
+        res = run_spmd(5, program)
+        assert res.results == [4, 0, 1, 2, 3]
+
+    def test_numpy_payloads(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.isend(1, tag=0, payload=np.arange(10.0))
+                return None
+            data = yield comm.recv(0, tag=0)
+            return float(data.sum())
+
+        res = run_spmd(2, program)
+        assert res.results[1] == pytest.approx(45.0)
+
+    def test_tag_matching(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.isend(1, tag=7, payload="seven")
+                comm.isend(1, tag=3, payload="three")
+                return None
+            a = yield comm.recv(0, tag=3)
+            b = yield comm.recv(0, tag=7)
+            return (a, b)
+
+        res = run_spmd(2, program)
+        assert res.results[1] == ("three", "seven")
+
+    def test_fifo_order_per_tag(self):
+        def program(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.isend(1, tag=0, payload=i)
+                return None
+            out = []
+            for _ in range(5):
+                out.append((yield comm.recv(0, tag=0)))
+            return out
+
+        res = run_spmd(2, program)
+        assert res.results[1] == [0, 1, 2, 3, 4]
+
+    def test_wildcard_receive_deterministic(self):
+        def program(comm):
+            if comm.rank < 2:
+                comm.isend(2, tag=comm.rank, payload=comm.rank)
+                return None
+            first = yield comm.recv(ANY_SOURCE, ANY_TAG)
+            second = yield comm.recv(ANY_SOURCE, ANY_TAG)
+            return (first, second)
+
+        # rank 0 runs before rank 1 in the round-robin, so its message has
+        # the smaller sequence number.
+        res = run_spmd(3, program)
+        assert res.results[2] == (0, 1)
+
+    def test_invalid_destination(self):
+        def program(comm):
+            comm.isend(99, tag=0, payload=None)
+            return None
+
+        with pytest.raises(ValueError, match="destination"):
+            run_spmd(2, program)
+
+
+class TestSynchronousSends:
+    def test_rendezvous_completes(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield comm.ssend(1, tag=0, payload="hello")
+                return "sent"
+            msg = yield comm.recv(0, tag=0)
+            return msg
+
+        res = run_spmd(2, program)
+        assert res.results == ["sent", "hello"]
+
+    def test_ssend_cascade_accumulates_latency(self):
+        """A chain of rendezvous sends accumulates latency along the path —
+        the Section IV.A synchronous-model pathology."""
+        def program(comm):
+            if comm.rank > 0:
+                data = yield comm.recv(comm.rank - 1, tag=0)
+            if comm.rank < comm.size - 1:
+                yield comm.ssend(comm.rank + 1, tag=0, payload=b"x" * 1000)
+            return None
+
+        m = jaguar()
+        res = run_spmd(8, program, machine=m)
+        # the last rank's clock reflects ~7 chained transfers
+        per_hop = m.alpha + 1000 * m.beta
+        assert res.clocks[-1] >= 6.5 * per_hop
+
+    def test_async_chain_is_cheaper_than_sync(self):
+        def sync_prog(comm):
+            if comm.rank > 0:
+                yield comm.recv(comm.rank - 1, tag=0)
+            if comm.rank < comm.size - 1:
+                yield comm.ssend(comm.rank + 1, tag=0, payload=b"y" * 1000)
+            return None
+
+        def async_prog(comm):
+            # everyone posts sends up front; no interdependence
+            if comm.rank < comm.size - 1:
+                comm.isend(comm.rank + 1, tag=0, payload=b"y" * 1000)
+            if comm.rank > 0:
+                yield comm.recv(comm.rank - 1, tag=0)
+            return None
+
+        m = jaguar()
+        sync = run_spmd(16, sync_prog, machine=m)
+        asyn = run_spmd(16, async_prog, machine=m)
+        assert asyn.elapsed < sync.elapsed / 3.0
+
+
+class TestBarriersAndClocks:
+    def test_barrier_aligns_clocks(self):
+        def program(comm):
+            comm.compute(seconds=0.1 * (comm.rank + 1))
+            yield comm.barrier()
+            return comm.clock
+
+        res = run_spmd(4, program)
+        assert len(set(res.results)) == 1
+        assert res.results[0] >= 0.4
+
+    def test_compute_flops_uses_tau(self):
+        m = jaguar()
+
+        def program(comm):
+            comm.compute(flops=1e9)
+            return comm.clock
+            yield  # pragma: no cover
+
+        res = run_spmd(1, program, machine=m)
+        assert res.results[0] == pytest.approx(1e9 * m.tau)
+
+    def test_compute_validation(self):
+        def both(comm):
+            comm.compute(seconds=1.0, flops=1.0)
+            yield
+
+        def neither(comm):
+            comm.compute()
+            yield
+
+        with pytest.raises(ValueError):
+            run_spmd(1, both)
+        with pytest.raises(ValueError):
+            run_spmd(1, neither)
+
+    def test_message_arrival_time_costed(self):
+        m = jaguar()
+        nbytes = 1_000_000
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.isend(1, tag=0, payload=b"z" * nbytes)
+                return None
+            yield comm.recv(0, tag=0)
+            return comm.clock
+
+        res = run_spmd(2, program, machine=m,
+                       topology=Torus3D.for_ranks(2))
+        want_min = m.alpha + nbytes * m.beta
+        assert res.results[1] >= want_min
+
+    def test_sync_time_accounted(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.compute(seconds=1.0)
+            yield comm.barrier()
+            return None
+
+        res = run_spmd(2, program)
+        assert res.stats[1].sync_time >= 1.0
+        assert res.stats[0].sync_time < 0.5
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def program(comm):
+            value = "payload" if comm.rank == 2 else None
+            got = yield from bcast(comm, value, root=2)
+            return got
+
+        res = run_spmd(7, program)
+        assert all(r == "payload" for r in res.results)
+
+    def test_gather(self):
+        def program(comm):
+            got = yield from gather(comm, comm.rank ** 2, root=0)
+            return got
+
+        res = run_spmd(5, program)
+        assert res.results[0] == [0, 1, 4, 9, 16]
+        assert all(r is None for r in res.results[1:])
+
+    def test_allreduce_sum(self):
+        def program(comm):
+            got = yield from allreduce(comm, comm.rank + 1, lambda a, b: a + b)
+            return got
+
+        res = run_spmd(6, program)
+        assert all(r == 21 for r in res.results)
+
+    def test_alltoall(self):
+        def program(comm):
+            values = [f"{comm.rank}->{d}" for d in range(comm.size)]
+            got = yield from alltoall(comm, values)
+            return got
+
+        res = run_spmd(3, program)
+        assert res.results[1] == ["0->1", "1->1", "2->1"]
+
+    def test_alltoall_validation(self):
+        def program(comm):
+            yield from alltoall(comm, [1, 2])
+
+        with pytest.raises(ValueError, match="one value per rank"):
+            run_spmd(3, program)
+
+
+class TestDeadlocks:
+    def test_recv_without_send_deadlocks(self):
+        def program(comm):
+            yield comm.recv(1 - comm.rank, tag=0)
+
+        with pytest.raises(DeadlockError):
+            run_spmd(2, program)
+
+    def test_crossed_ssends_deadlock(self):
+        def program(comm):
+            yield comm.ssend(1 - comm.rank, tag=0, payload=None)
+            yield comm.recv(1 - comm.rank, tag=0)
+
+        with pytest.raises(DeadlockError):
+            run_spmd(2, program)
+
+    def test_mismatched_barrier_is_detected(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield comm.barrier()
+            else:
+                yield comm.recv(0, tag=5)
+
+        with pytest.raises(DeadlockError):
+            run_spmd(2, program)
+
+
+class TestStats:
+    def test_byte_accounting(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.isend(1, tag=0, payload=np.zeros(100))
+                return None
+            yield comm.recv(0, tag=0)
+            return None
+
+        res = run_spmd(2, program)
+        assert res.stats[0].bytes_sent == 800
+        assert res.stats[1].bytes_received == 800
+        assert res.stats[0].messages_sent == 1
+        assert res.stats[1].messages_received == 1
+
+    def test_plain_function_program(self):
+        def program(comm):
+            return comm.rank * 10
+
+        res = run_spmd(3, program)
+        assert res.results == [0, 10, 20]
+
+    def test_needs_at_least_one_rank(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda comm: None)

@@ -1,0 +1,142 @@
+"""Edge-case tests for SimMPI semantics."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.machine import jaguar
+from repro.parallel.simmpi import (ANY_SOURCE, ANY_TAG, Request, bcast,
+                                   gather, run_spmd)
+from repro.parallel.topology import Torus3D
+
+
+class TestWildcardSemantics:
+    def test_any_tag_specific_source(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.isend(2, tag=9, payload="from0")
+                return None
+            if comm.rank == 1:
+                comm.isend(2, tag=5, payload="from1")
+                return None
+            a = yield comm.recv(source=1, tag=ANY_TAG)
+            b = yield comm.recv(source=0, tag=ANY_TAG)
+            return (a, b)
+
+        res = run_spmd(3, program)
+        assert res.results[2] == ("from1", "from0")
+
+    def test_any_source_specific_tag(self):
+        def program(comm):
+            if comm.rank < 2:
+                comm.isend(2, tag=comm.rank, payload=comm.rank * 11)
+                return None
+            got = yield comm.recv(source=ANY_SOURCE, tag=1)
+            return got
+
+        res = run_spmd(3, program)
+        assert res.results[2] == 11
+
+
+class TestSelfMessaging:
+    def test_send_to_self(self):
+        def program(comm):
+            comm.isend(comm.rank, tag=0, payload="loop")
+            got = yield comm.recv(comm.rank, tag=0)
+            return got
+
+        res = run_spmd(2, program)
+        assert res.results == ["loop", "loop"]
+
+
+class TestRequestAPI:
+    def test_send_alias(self):
+        def program(comm):
+            if comm.rank == 0:
+                req = comm.send(1, tag=0, payload=42)
+                assert isinstance(req, Request) and req.done
+                return None
+            return (yield comm.recv(0, tag=0))
+
+        assert run_spmd(2, program).results[1] == 42
+
+
+class TestClockMonotonicity:
+    def test_clocks_never_go_backward(self):
+        m = jaguar()
+
+        def program(comm):
+            marks = [comm.clock]
+            comm.compute(seconds=0.01)
+            marks.append(comm.clock)
+            nxt = (comm.rank + 1) % comm.size
+            comm.isend(nxt, tag=0, payload=np.zeros(1000))
+            marks.append(comm.clock)
+            yield comm.recv((comm.rank - 1) % comm.size, tag=0)
+            marks.append(comm.clock)
+            yield comm.barrier()
+            marks.append(comm.clock)
+            return marks
+
+        res = run_spmd(4, program, machine=m,
+                       topology=Torus3D.for_ranks(4))
+        for marks in res.results:
+            assert all(b >= a for a, b in zip(marks, marks[1:]))
+
+    def test_barrier_cost_scales_with_log_ranks(self):
+        m = jaguar()
+
+        def program(comm):
+            yield comm.barrier()
+            return comm.clock
+
+        t4 = max(run_spmd(4, program, machine=m).results)
+        t64 = max(run_spmd(64, program, machine=m).results)
+        assert t64 > t4
+
+
+class TestCollectiveRoots:
+    @pytest.mark.parametrize("root", [0, 1, 4])
+    def test_bcast_any_root(self, root):
+        def program(comm):
+            v = "data" if comm.rank == root else None
+            out = yield from bcast(comm, v, root=root)
+            return out
+
+        res = run_spmd(5, program)
+        assert all(r == "data" for r in res.results)
+
+    @pytest.mark.parametrize("root", [0, 3])
+    def test_gather_any_root(self, root):
+        def program(comm):
+            out = yield from gather(comm, comm.rank, root=root)
+            return out
+
+        res = run_spmd(4, program)
+        assert res.results[root] == [0, 1, 2, 3]
+        for r, val in enumerate(res.results):
+            if r != root:
+                assert val is None
+
+
+class TestPayloadSizing:
+    def test_numpy_bytes_counted_exactly(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.isend(1, tag=0, payload=np.zeros((10, 10), np.float32))
+                return None
+            yield comm.recv(0, tag=0)
+            return None
+
+        res = run_spmd(2, program)
+        assert res.stats[0].bytes_sent == 400
+
+    def test_tuple_payload_summed(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.isend(1, tag=0, payload=(np.zeros(4), np.zeros(6)))
+                return None
+            yield comm.recv(0, tag=0)
+            return None
+
+        res = run_spmd(2, program)
+        assert res.stats[0].bytes_sent == 80

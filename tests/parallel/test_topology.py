@@ -1,0 +1,83 @@
+"""Tests for interconnect topology models."""
+
+import pytest
+
+from repro.parallel.topology import FatTree, Torus3D, balanced_dims
+
+
+class TestBalancedDims:
+    def test_perfect_cube(self):
+        assert balanced_dims(64) == (4, 4, 4)
+
+    def test_prime(self):
+        assert balanced_dims(7) == (7, 1, 1)
+
+    def test_product_preserved(self):
+        for n in (1, 2, 12, 60, 128, 223_074 // 2):
+            dims = balanced_dims(n)
+            assert dims[0] * dims[1] * dims[2] == n
+
+    def test_near_balanced(self):
+        dims = balanced_dims(96)
+        assert dims == (6, 4, 4)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            balanced_dims(0)
+
+
+class TestTorus3D:
+    def test_coords_roundtrip(self):
+        t = Torus3D(3, 4, 5)
+        for r in range(t.size):
+            x, y, z = t.coords(r)
+            assert r == (x * 4 + y) * 5 + z
+
+    def test_neighbour_hop(self):
+        t = Torus3D(4, 4, 4)
+        assert t.hops(0, 1) == 1          # +z neighbour
+        assert t.hops(0, 4) == 1          # +y neighbour
+        assert t.hops(0, 16) == 1         # +x neighbour
+
+    def test_wraparound(self):
+        t = Torus3D(4, 4, 4)
+        # (0,0,0) to (3,0,0) is 1 hop via the wrap link
+        assert t.hops(0, t.size - 16) == 1
+
+    def test_symmetric(self):
+        t = Torus3D(3, 5, 2)
+        for a, b in [(0, 7), (3, 20), (14, 1)]:
+            assert t.hops(a, b) == t.hops(b, a)
+
+    def test_self_distance_zero(self):
+        t = Torus3D(4, 4, 4)
+        assert t.hops(5, 5) == 0
+
+    def test_diameter_bounds_hops(self):
+        t = Torus3D(4, 6, 2)
+        d = t.diameter()
+        for a in range(0, t.size, 7):
+            for b in range(0, t.size, 11):
+                assert t.hops(a, b) <= d
+
+    def test_for_ranks(self):
+        t = Torus3D.for_ranks(60)
+        assert t.size == 60
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            Torus3D(2, 2, 2).coords(8)
+
+
+class TestFatTree:
+    def test_same_leaf_two_hops(self):
+        ft = FatTree(radix=16)
+        assert ft.hops(0, 15) == 2
+
+    def test_different_leaves_climb(self):
+        ft = FatTree(radix=16)
+        assert ft.hops(0, 16) == 4
+        assert ft.hops(0, 16 * 16) == 6
+
+    def test_self_zero(self):
+        assert FatTree().hops(3, 3) == 0

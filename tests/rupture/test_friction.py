@@ -1,0 +1,86 @@
+"""Tests for slip-weakening friction and the M8 depth profiles."""
+
+import numpy as np
+import pytest
+
+from repro.rupture.friction import SlipWeakeningFriction, m8_friction_profiles
+
+
+class TestSlipWeakening:
+    def _fr(self):
+        return SlipWeakeningFriction.uniform((4, 3), mu_s=0.75, mu_d=0.5,
+                                             dc=0.3, cohesion=1e6)
+
+    def test_static_before_slip(self):
+        fr = self._fr()
+        assert np.allclose(fr.coefficient(np.zeros((4, 3))), 0.75)
+
+    def test_dynamic_after_dc(self):
+        fr = self._fr()
+        assert np.allclose(fr.coefficient(np.full((4, 3), 10.0)), 0.5)
+
+    def test_linear_weakening(self):
+        fr = self._fr()
+        mid = fr.coefficient(np.full((4, 3), 0.15))
+        assert np.allclose(mid, 0.625)  # halfway between 0.75 and 0.5
+
+    def test_strength_includes_cohesion(self):
+        fr = self._fr()
+        s = fr.strength(np.zeros((4, 3)), np.zeros((4, 3)))
+        assert np.allclose(s, 1e6)  # cohesion only at zero normal stress
+
+    def test_tensile_patches_keep_cohesion_only(self):
+        fr = self._fr()
+        s = fr.strength(np.zeros((4, 3)), np.full((4, 3), -5e6))
+        assert np.allclose(s, 1e6)
+
+    def test_strength_drop(self):
+        fr = self._fr()
+        drop = fr.strength_drop(np.full((4, 3), 100e6))
+        assert np.allclose(drop, 25e6)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            SlipWeakeningFriction(mu_s=np.ones((2, 2)), mu_d=np.ones((3, 2)),
+                                  dc=np.ones((2, 2)), cohesion=np.ones((2, 2)))
+
+    def test_positive_dc_required(self):
+        with pytest.raises(ValueError, match="positive"):
+            SlipWeakeningFriction(mu_s=np.ones((2, 2)), mu_d=np.ones((2, 2)),
+                                  dc=np.zeros((2, 2)), cohesion=np.ones((2, 2)))
+
+
+class TestM8Profiles:
+    def _profiles(self):
+        depths = (np.arange(80) + 0.5) * 200.0  # 16 km deep, 200 m cells
+        return depths, m8_friction_profiles(depths, n_strike=10)
+
+    def test_shallow_velocity_strengthening(self):
+        """VII.A: mu_d > mu_s in the top 2 km (negative stress drop)."""
+        depths, fr = self._profiles()
+        shallow = depths <= 2000.0
+        assert np.all(fr.mu_d[0, shallow] > fr.mu_s[0, shallow])
+
+    def test_deep_values_match_paper(self):
+        """VII.A: mu_s = 0.75, mu_d = 0.5 below the transition."""
+        depths, fr = self._profiles()
+        deep = depths > 3000.0
+        assert np.allclose(fr.mu_s[0, deep], 0.75)
+        assert np.allclose(fr.mu_d[0, deep], 0.5)
+
+    def test_linear_transition_2_to_3_km(self):
+        depths, fr = self._profiles()
+        trans = (depths > 2000.0) & (depths < 3000.0)
+        vals = fr.mu_d[0, trans]
+        assert np.all(np.diff(vals) < 0)  # monotonically decreasing
+
+    def test_dc_tapers_from_1m_to_03m(self):
+        """VII.A: dc = 1 m at the surface, 0.3 m below 3 km, cosine taper."""
+        depths, fr = self._profiles()
+        assert fr.dc[0, 0] == pytest.approx(1.0, abs=0.02)
+        assert np.allclose(fr.dc[0, depths > 3000.0], 0.3)
+        assert np.all(np.diff(fr.dc[0, depths < 3000.0]) <= 1e-12)
+
+    def test_cohesion_1mpa(self):
+        _, fr = self._profiles()
+        assert np.allclose(fr.cohesion, 1e6)

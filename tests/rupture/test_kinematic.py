@@ -1,0 +1,89 @@
+"""Tests for kinematic rupture descriptions (TS-K / SO-K style)."""
+
+import numpy as np
+import pytest
+
+from repro.core.source import moment_to_magnitude
+from repro.rupture.kinematic import (KinematicRupture, denali_like_slip,
+                                     elliptical_slip)
+
+
+class TestSlipModels:
+    def test_elliptical_peak_and_taper(self):
+        s = elliptical_slip(21, 11, peak=2.0)
+        assert s.max() == pytest.approx(2.0, rel=0.05)
+        assert s[0, 0] == 0.0  # corners taper to zero
+
+    def test_denali_like_smoothness(self):
+        s = denali_like_slip(100, 30, peak=5.0, seed=7)
+        assert s.max() == pytest.approx(5.0)
+        assert s.min() >= 0.0
+        # smooth: neighbouring subfaults differ by a small fraction of peak
+        assert np.abs(np.diff(s, axis=0)).max() < 0.25 * s.max()
+
+    def test_denali_reproducible(self):
+        a = denali_like_slip(50, 20, seed=1)
+        b = denali_like_slip(50, 20, seed=1)
+        assert np.array_equal(a, b)
+
+
+class TestKinematicRupture:
+    def _rupture(self, **kw):
+        args = dict(length=40e3, depth=15e3, spacing=1000.0, magnitude=7.0,
+                    hypocenter=(5e3, 10e3), rupture_velocity=2800.0,
+                    rise_time=2.0)
+        args.update(kw)
+        return KinematicRupture(**args)
+
+    def test_moment_matches_target_magnitude(self):
+        r = self._rupture()
+        assert moment_to_magnitude(r.total_moment()) == pytest.approx(7.0,
+                                                                      abs=0.01)
+
+    def test_rupture_times_radiate_from_hypocentre(self):
+        r = self._rupture()
+        t = r.rupture_times()
+        hypo_idx = (5, 10)
+        assert t[hypo_idx] == t.min()
+        assert t[-1, 0] > t[hypo_idx]
+        # constant speed: farthest corner ~ distance / vr
+        d = np.hypot(40e3 - 5.5e3, 10e3 - 0.5e3)
+        assert t[-1, 0] == pytest.approx(d / 2800.0, rel=0.05)
+
+    def test_finite_fault_expansion(self):
+        r = self._rupture(spacing=2000.0)
+        ff = r.to_finite_fault(origin=(10e3, 20e3, 0.0), y_plane=20e3,
+                               surface_z=30e3)
+        assert len(ff.subfaults) > 0
+        assert ff.magnitude() == pytest.approx(7.0, abs=0.05)
+        # all subfaults lie on the fault plane
+        assert all(sf.position[1] == 20e3 for sf in ff.subfaults)
+        # depths below the surface
+        assert all(sf.position[2] < 30e3 for sf in ff.subfaults)
+
+    def test_stf_unit_area(self):
+        r = self._rupture(spacing=4000.0)
+        ff = r.to_finite_fault(origin=(0, 0, 0), surface_z=20e3, dt=0.02)
+        sf = ff.subfaults[0]
+        assert np.trapezoid(sf.rate_samples, dx=sf.dt) == pytest.approx(
+            1.0, rel=0.05)
+
+    def test_reversed_swaps_hypocentre(self):
+        r = self._rupture()
+        rr = r.reversed()
+        assert rr.hypocenter[0] == pytest.approx(40e3 - 5e3)
+        assert rr.total_moment() == pytest.approx(r.total_moment(), rel=1e-6)
+        # slip distribution is mirrored
+        assert np.allclose(rr.slip, r.slip[::-1], rtol=1e-9)
+
+    def test_rake_mixes_components(self):
+        r = self._rupture(spacing=4000.0)
+        ff = r.to_finite_fault(origin=(0, 0, 0), surface_z=20e3, rake_z=0.6)
+        m = ff.subfaults[0].moment
+        assert m[1, 2] != 0.0 and m[0, 1] != 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="velocity"):
+            self._rupture(rupture_velocity=-1.0)
+        with pytest.raises(ValueError, match="slip grid"):
+            self._rupture(slip=np.ones((3, 3)))

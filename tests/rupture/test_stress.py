@@ -1,0 +1,112 @@
+"""Tests for initial fault stress generation (Von Karman + depth loading)."""
+
+import numpy as np
+import pytest
+
+from repro.rupture.friction import SlipWeakeningFriction, m8_friction_profiles
+from repro.rupture.stress import (InitialStress, build_m8_initial_stress,
+                                  depth_normal_stress, von_karman_field)
+
+
+class TestVonKarman:
+    def test_normalisation(self):
+        f = von_karman_field(128, 64, 100.0, 5000.0, 2000.0, seed=1)
+        assert abs(f.mean()) < 1e-10
+        assert f.std() == pytest.approx(1.0)
+
+    def test_reproducible(self):
+        a = von_karman_field(64, 32, 100.0, 5000.0, 2000.0, seed=3)
+        b = von_karman_field(64, 32, 100.0, 5000.0, 2000.0, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_field(self):
+        a = von_karman_field(64, 32, 100.0, 5000.0, 2000.0, seed=3)
+        b = von_karman_field(64, 32, 100.0, 5000.0, 2000.0, seed=4)
+        assert not np.array_equal(a, b)
+
+    def test_correlation_length_smooths(self):
+        """Longer correlation lengths produce smoother fields (smaller
+        cell-to-cell increments)."""
+        rough = von_karman_field(128, 64, 100.0, 300.0, 300.0, seed=0)
+        smooth = von_karman_field(128, 64, 100.0, 5000.0, 5000.0, seed=0)
+        assert np.abs(np.diff(smooth, axis=0)).mean() < \
+            np.abs(np.diff(rough, axis=0)).mean()
+
+    def test_anisotropy(self):
+        """M8 correlation: 50 km along strike, 10 km down dip — smoother
+        along strike."""
+        f = von_karman_field(512, 128, 200.0, 50e3, 10e3, seed=2)
+        d_strike = np.abs(np.diff(f, axis=0)).mean()
+        d_depth = np.abs(np.diff(f, axis=1)).mean()
+        assert d_strike < d_depth
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            von_karman_field(1, 10, 100.0, 1e3, 1e3)
+
+
+class TestDepthStress:
+    def test_effective_overburden_gradient(self):
+        z = np.array([0.0, 1000.0, 2000.0])
+        s = depth_normal_stress(z)
+        assert s[0] == 0.0
+        # (2700 - 1000) * 9.81 * 1000 = 16.7 MPa/km
+        assert s[1] == pytest.approx(16.68e6, rel=0.01)
+        assert s[2] == pytest.approx(2 * s[1])
+
+    def test_saturation(self):
+        z = np.array([1000.0, 10000.0])
+        s = depth_normal_stress(z, max_stress=50e6)
+        assert s[1] == 50e6
+
+
+class TestM8InitialStress:
+    def _build(self, seed=0, nucleation=True):
+        depths = (np.arange(40) + 0.5) * 400.0
+        fr = m8_friction_profiles(depths, n_strike=120)
+        return fr, build_m8_initial_stress(
+            120, 40, 400.0, fr, corr_strike=20e3, corr_depth=5e3, seed=seed,
+            nucleation_center=(10e3, 8e3) if nucleation else None)
+
+    def test_stress_bounded_by_strength_outside_nucleation(self):
+        fr, st = self._build(nucleation=False)
+        tau_s = fr.cohesion + fr.mu_s * st.sigma_n
+        assert np.all(st.tau0_x <= tau_s + 1.0)
+
+    def test_stress_above_residual_at_depth(self):
+        fr, st = self._build(nucleation=False)
+        deep = slice(20, 40)
+        tau_d = (fr.cohesion + fr.mu_d * st.sigma_n)[:, deep]
+        # tapered region excluded; at depth tau0 must exceed the dynamic level
+        assert np.all(st.tau0_x[:, deep] >= tau_d * 0.99)
+
+    def test_surface_taper(self):
+        """VII.A: shear stress tapered linearly to zero at the surface."""
+        _, st = self._build(nucleation=False)
+        assert np.all(st.tau0_x[:, 0] < st.tau0_x[:, 10])
+        assert st.tau0_x[:, 0].max() < 2e6
+
+    def test_nucleation_patch_overstressed(self):
+        fr, st = self._build()
+        tau_s = fr.cohesion + fr.mu_s * st.sigma_n
+        over = st.tau0_x > tau_s
+        assert over.sum() > 0
+        # the overstressed cells cluster near the nucleation centre
+        idx = np.argwhere(over)
+        xs = (idx[:, 0] + 0.5) * 400.0
+        zs = (idx[:, 1] + 0.5) * 400.0
+        assert np.hypot(xs - 10e3, zs - 8e3).max() <= 3200.0
+
+    def test_depth_dependence(self):
+        """VII.A: 'initial shear stress generally increases with depth'."""
+        _, st = self._build(nucleation=False)
+        mean_profile = st.tau0_x.mean(axis=0)
+        assert mean_profile[30] > mean_profile[5]
+
+    def test_s_ratio_field(self):
+        fr, st = self._build(nucleation=False)
+        s = st.s_ratio(fr)
+        deep = s[:, 25:]
+        finite = deep[np.isfinite(deep)]
+        assert finite.size > 0
+        assert np.nanmedian(finite) > 0

@@ -1,0 +1,75 @@
+"""Tests for the SCEC milestone catalog (Tables 2–3)."""
+
+import pytest
+
+from repro.scenarios.catalog import (SCENARIOS, m8_resource_summary, scenario)
+
+
+class TestTable3:
+    def test_all_milestones_present(self):
+        assert {"TeraShake-K", "TeraShake-D", "PNW-MegaThrust", "ShakeOut-K",
+                "ShakeOut-D", "W2W", "M8"} == set(SCENARIOS)
+
+    def test_magnitude_column(self):
+        assert scenario("TeraShake-K").magnitude == 7.7
+        assert scenario("ShakeOut-K").magnitude == 7.8
+        assert scenario("M8").magnitude == 8.0
+
+    def test_frequency_progression(self):
+        """Table 3: 0.5 Hz (TeraShake) -> 1 Hz (ShakeOut) -> 2 Hz (M8)."""
+        assert scenario("TeraShake-K").f_max_hz == 0.5
+        assert scenario("ShakeOut-K").f_max_hz == 1.0
+        assert scenario("M8").f_max_hz == 2.0
+
+    def test_source_types(self):
+        assert scenario("TeraShake-K").source_type == "kinematic"
+        assert scenario("TeraShake-D").source_type == "dynamic"
+        assert scenario("M8").source_type == "dynamic"
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError, match="unknown"):
+            scenario("M99")
+
+
+class TestMeshArithmetic:
+    def test_terashake_1_8_billion(self):
+        """Section VI: TeraShake used a 1.8-billion grid point model."""
+        assert scenario("TeraShake-K").mesh_points == pytest.approx(
+            1.8e9, rel=0.01)
+
+    def test_shakeout_14_4_billion(self):
+        """Fig. 14: 14.4 billion grid point ShakeOut."""
+        assert scenario("ShakeOut-K").mesh_points == pytest.approx(
+            14.4e9, rel=0.01)
+
+    def test_m8_436_billion(self):
+        """The headline: 436 billion 40-m cells."""
+        assert scenario("M8").mesh_points == pytest.approx(436e9, rel=0.01)
+
+    def test_m8_frequency_consistent_with_mesh(self):
+        """40 m + vs_min 400 m/s at 5 ppw -> exactly the 2 Hz of the run."""
+        s = scenario("M8")
+        assert s.consistent_f_max() == pytest.approx(s.f_max_hz)
+
+    def test_scaled_grid_preserves_aspect(self):
+        g = scenario("M8").scaled_grid(nx=120)
+        assert g.nx / g.ny == pytest.approx(2.0, rel=0.05)
+
+    def test_machine_assignment(self):
+        assert scenario("M8").machine == "jaguar"
+        assert scenario("M8").cores == 223_074
+
+
+class TestM8Resources:
+    def test_headline_numbers(self):
+        """Section VII.B's resource facts."""
+        r = m8_resource_summary()
+        assert r["mesh_points"] == pytest.approx(436e9, rel=0.01)
+        # mesh file: the paper's "single 4.8 TB mesh file"
+        assert r["mesh_file_tb"] == pytest.approx(4.8, rel=0.15)
+        # surface output: "4.5 TB of surface synthetic seismograms"
+        assert r["surface_output_tb"] == pytest.approx(4.5, rel=0.2)
+        # checkpoints: "49 TB checkpoint files"
+        assert r["checkpoint_tb"] == pytest.approx(49.0, rel=0.15)
+        # ~144K time steps for 360 s
+        assert 120_000 < r["timesteps"] < 170_000

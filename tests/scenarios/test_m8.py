@@ -1,0 +1,60 @@
+"""Tests for the scaled M8 pipeline (quick configuration)."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios.m8 import M8Config, SITE_FRACTIONS, run_m8_scaled
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = M8Config(x_extent=48e3, h_wave=800.0, h_rupture=600.0,
+                   duration=12.0, rupture_duration=12.0, dec_time=8)
+    return run_m8_scaled(cfg)
+
+
+class TestPipeline:
+    def test_rupture_produced_moment(self, result):
+        assert result.rupture.seismic_moment() > 1e16
+        assert np.isfinite(result.rupture.rupture_time_region()).mean() > 0.1
+
+    def test_source_transferred(self, result):
+        """Step 2 consumes step 1: source moment ~ rupture moment."""
+        assert result.source.magnitude() == pytest.approx(
+            result.rupture.magnitude(), abs=0.1)
+
+    def test_surface_output_recorded(self, result):
+        pg = result.pgvh_map()
+        assert pg.shape[0] > 0 and pg.max() > 0
+        assert np.isfinite(pg).all()
+
+    def test_all_sites_recorded(self, result):
+        site_pgv = result.site_pgvh()
+        assert set(site_pgv) == set(SITE_FRACTIONS)
+        assert all(v >= 0 for v in site_pgv.values())
+
+    def test_basin_sites_exceed_rock_reference(self, result):
+        """The Section VII basin-amplification signature: every basin site
+        shakes harder than the far-field rock reference."""
+        site_pgv = result.site_pgvh()
+        rock = site_pgv["rock_reference"]
+        for name in ("los_angeles", "san_bernardino", "ventura"):
+            assert site_pgv[name] > 2.0 * rock, name
+
+    def test_near_fault_site_strong(self, result):
+        """San Bernardino (near-fault + basin) is among the hardest hit —
+        the paper's headline site observation."""
+        site_pgv = result.site_pgvh()
+        assert site_pgv["san_bernardino"] > site_pgv["rock_reference"] * 3
+
+    def test_wavefield_stable(self, result):
+        assert result.wave.wf.max_velocity() < 10.0
+
+    def test_segmented_trace_used(self, result):
+        assert len(result.fault_trace) >= 3  # bent trace by default
+
+    def test_straight_trace_option(self):
+        cfg = M8Config(x_extent=32e3, h_wave=800.0, h_rupture=600.0,
+                       duration=5.0, rupture_duration=5.0, segmented=False)
+        res = run_m8_scaled(cfg)
+        assert len(res.fault_trace) == 2

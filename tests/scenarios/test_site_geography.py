@@ -1,0 +1,93 @@
+"""Tests for the M8 scenario geography and configuration scaling."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.cvm import southern_california_like
+from repro.scenarios.m8 import M8Config, SITE_FRACTIONS, _fault_trace
+
+
+class TestSiteFractions:
+    def test_all_fractions_inside_domain(self):
+        for name, (fx, fy) in SITE_FRACTIONS.items():
+            assert 0.0 < fx < 1.0, name
+            assert 0.0 < fy < 1.0, name
+
+    def test_basin_sites_sit_on_their_basins(self):
+        """Each city site lands inside (or at the edge of) its namesake
+        basin in the synthetic CVM, as the paper's sites do."""
+        cfg = M8Config()
+        cvm = southern_california_like(x_extent=cfg.x_extent,
+                                       y_extent=cfg.x_extent / 2)
+        pairs = {"los_angeles": "los_angeles",
+                 "san_bernardino": "san_bernardino",
+                 "ventura": "ventura"}
+        for site, basin_name in pairs.items():
+            fx, fy = SITE_FRACTIONS[site]
+            x, y = fx * cvm.x_extent, fy * cvm.y_extent
+            basin = next(b for b in cvm.basins if b.name == basin_name)
+            assert basin.depth_at(np.array([x]), np.array([y]))[0] > 0, site
+
+    def test_rock_reference_off_basins(self):
+        cfg = M8Config()
+        cvm = southern_california_like(x_extent=cfg.x_extent,
+                                       y_extent=cfg.x_extent / 2)
+        fx, fy = SITE_FRACTIONS["rock_reference"]
+        x, y = fx * cvm.x_extent, fy * cvm.y_extent
+        vs = cvm.surface_vs(np.array([x]), np.array([y]))
+        assert vs[0] > 1000.0  # the paper's rock criterion
+
+    def test_san_bernardino_near_fault(self):
+        """SB sits 'within kilometers of the SAF' (Section VII.C)."""
+        cfg = M8Config()
+        cvm = southern_california_like(x_extent=cfg.x_extent,
+                                       y_extent=cfg.x_extent / 2)
+        fx, fy = SITE_FRACTIONS["san_bernardino"]
+        y = fy * cvm.y_extent
+        assert abs(y - cvm.fault_trace_y) < 0.08 * cvm.y_extent
+
+
+class TestFaultTrace:
+    def test_segmented_trace_spans_fault_fraction(self):
+        cfg = M8Config()
+        cvm = southern_california_like(x_extent=cfg.x_extent,
+                                       y_extent=cfg.x_extent / 2)
+        trace = _fault_trace(cfg, cvm)
+        span = trace[-1][0] - trace[0][0]
+        assert span == pytest.approx(cfg.fault_fraction * cfg.x_extent,
+                                     rel=0.01)
+
+    def test_bend_present_when_segmented(self):
+        cfg = M8Config(segmented=True)
+        cvm = southern_california_like(x_extent=cfg.x_extent,
+                                       y_extent=cfg.x_extent / 2)
+        trace = _fault_trace(cfg, cvm)
+        ys = [p[1] for p in trace]
+        assert max(ys) - min(ys) > 0  # the Big-Bend analogue
+
+    def test_straight_when_not_segmented(self):
+        cfg = M8Config(segmented=False)
+        cvm = southern_california_like(x_extent=cfg.x_extent,
+                                       y_extent=cfg.x_extent / 2)
+        trace = _fault_trace(cfg, cvm)
+        assert len(trace) == 2
+        assert trace[0][1] == trace[1][1]
+
+
+class TestConfigScaling:
+    def test_defaults_preserve_m8_aspect(self):
+        cfg = M8Config()
+        # fault fraction ~ 545/810
+        assert cfg.fault_fraction == pytest.approx(545.0 / 810.0, abs=0.02)
+
+    def test_dc_scales_with_rupture_spacing(self):
+        """The cohesive zone stays resolved at any h (the scaled-recipe
+        rule): dc/h constant."""
+        from repro.rupture.friction import m8_friction_profiles
+        for h in (250.0, 500.0, 1000.0):
+            depths = (np.arange(10) + 0.5) * h
+            fr = m8_friction_profiles(depths, n_strike=4,
+                                      dc_deep=0.3 * h / 100.0,
+                                      dc_surface=1.0 * h / 100.0,
+                                      vs_top=1000.0, vs_taper=1500.0)
+            assert fr.dc.min() == pytest.approx(0.3 * h / 100.0, rel=0.01)

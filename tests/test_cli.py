@@ -1,0 +1,88 @@
+"""Tests for the command-line tools."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        p = build_parser()
+        # a command is required
+        with pytest.raises(SystemExit):
+            p.parse_args([])
+
+    @pytest.mark.parametrize("cmd", ["mesh-extract", "partition", "run-quake",
+                                     "rupture", "perf-report", "aval", "m8"])
+    def test_subcommand_parses(self, cmd):
+        args = build_parser().parse_args([cmd])
+        assert args.command == cmd
+
+
+class TestMeshExtract:
+    def test_runs_and_writes(self, tmp_path, capsys):
+        out = tmp_path / "mesh.npy"
+        rc = main(["mesh-extract", "--nx", "12", "--ny", "8", "--nz", "8",
+                   "--ranks", "3", "--out", str(out)])
+        assert rc == 0
+        vol = np.load(out)
+        assert vol.shape == (8, 8, 12, 3)
+        assert "extracted 768 cells" in capsys.readouterr().out
+
+
+class TestPartition:
+    def test_both_models_agree(self, capsys):
+        rc = main(["partition", "--nx", "12", "--ny", "8", "--nz", "8",
+                   "--ranks", "4"])
+        assert rc == 0
+        assert "blocks identical: True" in capsys.readouterr().out
+
+
+class TestRunQuake:
+    def test_produces_pgv(self, tmp_path, capsys):
+        out = tmp_path / "pgv.npy"
+        rc = main(["run-quake", "--n", "20", "--steps", "40",
+                   "--out", str(out)])
+        assert rc == 0
+        pgv = np.load(out)
+        assert pgv.shape == (20, 20)
+        assert pgv.max() > 0
+
+
+class TestRupture:
+    def test_reports_magnitude(self, capsys):
+        rc = main(["rupture", "--strike", "24", "--depth", "10",
+                   "--steps", "80"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Mw" in out and "peak slip" in out
+
+
+class TestPerfReport:
+    def test_jaguar_production_point(self, capsys):
+        rc = main(["perf-report"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Jaguar" in out
+        assert "Tflop/s" in out
+        assert "Eq. 8 efficiency" in out
+
+    def test_other_machine(self, capsys):
+        rc = main(["perf-report", "--machine", "ranger", "--cores", "60000",
+                   "--nx", "6000", "--ny", "3000", "--nz", "800"])
+        assert rc == 0
+        assert "Ranger" in capsys.readouterr().out
+
+
+class TestAval:
+    def test_bootstrap_passes(self, capsys):
+        rc = main(["aval"])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_reference_roundtrip(self, tmp_path, capsys):
+        ref = tmp_path / "ref.npz"
+        assert main(["aval", "--update-reference", str(ref)]) == 0
+        assert main(["aval", "--reference", str(ref)]) == 0
+        assert "PASS" in capsys.readouterr().out

@@ -1,0 +1,42 @@
+"""The example scripts must at least import-compile and expose main()."""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples")
+                  .glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses(path):
+    tree = ast.parse(path.read_text())
+    # every example defines main() and the __main__ guard
+    names = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+    assert "main" in names, f"{path.name} lacks main()"
+    has_guard = any(isinstance(n, ast.If) and isinstance(n.test, ast.Compare)
+                    for n in tree.body)
+    assert has_guard, f"{path.name} lacks an __main__ guard"
+
+
+def test_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "dynamic_rupture.py", "m8_scenario.py",
+            "scaling_study.py", "production_pipeline.py"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Every repro.* module an example imports must exist."""
+    import importlib
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        mods = []
+        if isinstance(node, ast.Import):
+            mods = [a.name for a in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            mods = [node.module]
+        for mod in mods:
+            if mod.startswith("repro"):
+                importlib.import_module(mod)

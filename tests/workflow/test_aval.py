@@ -1,0 +1,63 @@
+"""Tests for the aVal acceptance-testing toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.core import SolverConfig
+from repro.workflow.aval import AcceptanceTest, ReferenceProblem
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return ReferenceProblem(n=16, nsteps=40).run()
+
+
+class TestReferenceProblem:
+    def test_waveforms_produced(self, reference):
+        assert set(reference) == {"near.vx", "near.vz", "far.vx", "far.vz",
+                                  "surface.vx", "surface.vz"}
+        assert all(len(v) == 40 for v in reference.values())
+
+    def test_deterministic(self, reference):
+        again = ReferenceProblem(n=16, nsteps=40).run()
+        for name in reference:
+            assert np.array_equal(reference[name], again[name])
+
+
+class TestAcceptance:
+    def test_identical_run_passes(self, reference):
+        test = AcceptanceTest(reference=reference, threshold=1e-12)
+        report = test.evaluate(ReferenceProblem(n=16, nsteps=40).run())
+        assert report.passed
+        assert report.worst[1] == 0.0
+        assert "PASS" in report.summary()
+
+    def test_numerical_change_detected(self, reference):
+        """An optimization that changes the numerics must fail aVal —
+        here: a different sponge width."""
+        test = AcceptanceTest(reference=reference, threshold=1e-6)
+        cfg = SolverConfig(absorbing="sponge", sponge_width=6,
+                           free_surface=True)
+        candidate = ReferenceProblem(n=16, nsteps=40).run(config=cfg)
+        report = test.evaluate(candidate)
+        assert not report.passed
+        assert "FAIL" in report.summary()
+
+    def test_small_perturbation_quantified(self, reference):
+        test = AcceptanceTest(reference=reference, threshold=0.5)
+        candidate = {k: v * (1 + 1e-3) for k, v in reference.items()}
+        report = test.evaluate(candidate)
+        assert report.passed
+        for m in report.misfits.values():
+            assert m == pytest.approx(1e-3, rel=0.01)
+
+    def test_missing_waveform_rejected(self, reference):
+        test = AcceptanceTest(reference=reference)
+        incomplete = dict(list(reference.items())[:2])
+        with pytest.raises(ValueError, match="lacks"):
+            test.evaluate(incomplete)
+
+    def test_bootstrap(self):
+        test = AcceptanceTest.bootstrap(ReferenceProblem(n=12, nsteps=20))
+        report = test.evaluate(ReferenceProblem(n=12, nsteps=20).run())
+        assert report.passed
