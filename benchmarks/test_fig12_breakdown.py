@@ -8,6 +8,7 @@ working set falls into cache.
 
 import pytest
 
+from repro.obs import PhaseTimeline, Tracer, use_tracer
 from repro.parallel.machine import jaguar
 from repro.parallel.perfmodel import AWPRunModel, OptimizationSet
 
@@ -90,3 +91,35 @@ def test_fig12_v72_gain_matches_quoted_optimizations(benchmark):
                       "~1.32 (2%+7%+15% gains)", f"{r:.2f}")]
     print_table("Fig. 12/13: version gain", rows)
     assert r == pytest.approx(1.32, abs=0.15)
+
+
+def test_fig12_breakdown_from_trace(benchmark):
+    """The same compute/comm/io decomposition, measured rather than
+    modelled: trace a small distributed run and classify span time per
+    rank through repro.obs.PhaseTimeline."""
+    from repro.core.grid import Grid3D
+    from repro.core.medium import Medium
+    from repro.core.solver import SolverConfig
+    from repro.parallel.distributed import DistributedWaveSolver
+
+    def traced_run():
+        grid = Grid3D(16, 16, 12, h=100.0)
+        med = Medium.homogeneous(grid)
+        solver = DistributedWaveSolver(
+            grid, med, nranks=4,
+            config=SolverConfig(free_surface=False, absorbing="none"),
+            machine=jaguar())
+        tracer = Tracer()
+        with use_tracer(tracer):
+            solver.run(5)
+        return PhaseTimeline.from_tracer(tracer)
+
+    tl = benchmark(traced_run)
+    totals = tl.totals()
+    rows = [paper_row(f"traced {p}", "compute-dominated",
+                      f"{totals[p]:.4f} s") for p in ("compute", "halo", "io")]
+    print_table("Fig. 12: traced phase breakdown", rows)
+    assert totals["compute"] > 0
+    assert totals["halo"] > 0
+    assert totals["compute"] > totals["halo"]
+    assert {0, 1, 2, 3}.issubset(set(tl.ranks()))

@@ -14,6 +14,11 @@ This module exposes the same operations as subcommands::
 
 Each subcommand prints a short human-readable report and (where an ``--out``
 is given) writes NumPy artifacts.
+
+Every subcommand also accepts ``--trace out.jsonl`` (and/or ``--trace-chrome
+out.json``) to record a span trace of the run through :mod:`repro.obs`;
+``repro trace-report out.jsonl`` renders a saved trace into the Fig.-12-style
+per-rank compute/halo/io breakdown.
 """
 
 from __future__ import annotations
@@ -34,8 +39,18 @@ def build_parser() -> argparse.ArgumentParser:
                     "earthquake simulation)")
     sub = p.add_subparsers(dest="command", required=True)
 
-    m = sub.add_parser("mesh-extract", help="CVM2MESH: extract a mesh from "
-                                            "the synthetic CVM")
+    # --trace lives on each subcommand (argparse subparser defaults would
+    # clobber a main-parser value), shared via a parent parser.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--trace", type=str, default=None, metavar="PATH",
+                        help="write a JSONL span trace of this run")
+    common.add_argument("--trace-chrome", type=str, default=None,
+                        metavar="PATH",
+                        help="write a Chrome-trace (Perfetto) JSON of this run")
+
+    m = sub.add_parser("mesh-extract", parents=[common],
+                       help="CVM2MESH: extract a mesh from "
+                            "the synthetic CVM")
     m.add_argument("--nx", type=int, default=32)
     m.add_argument("--ny", type=int, default=16)
     m.add_argument("--nz", type=int, default=12)
@@ -43,8 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--ranks", type=int, default=4)
     m.add_argument("--out", type=str, default=None)
 
-    pa = sub.add_parser("partition", help="PetaMeshP: partition a mesh over "
-                                          "a rank grid (both I/O models)")
+    pa = sub.add_parser("partition", parents=[common],
+                        help="PetaMeshP: partition a mesh over "
+                             "a rank grid (both I/O models)")
     pa.add_argument("--nx", type=int, default=32)
     pa.add_argument("--ny", type=int, default=16)
     pa.add_argument("--nz", type=int, default=12)
@@ -52,34 +68,47 @@ def build_parser() -> argparse.ArgumentParser:
     pa.add_argument("--ranks", type=int, default=8)
     pa.add_argument("--readers", type=int, default=2)
 
-    r = sub.add_parser("run-quake", help="AWM: point-source wave propagation")
+    r = sub.add_parser("run-quake", parents=[common],
+                       help="AWM: point-source wave propagation")
     r.add_argument("--n", type=int, default=40)
     r.add_argument("--h", type=float, default=100.0)
     r.add_argument("--steps", type=int, default=200)
     r.add_argument("--f0", type=float, default=2.0)
     r.add_argument("--out", type=str, default=None)
 
-    d = sub.add_parser("rupture", help="DFR: spontaneous dynamic rupture")
+    d = sub.add_parser("rupture", parents=[common],
+                       help="DFR: spontaneous dynamic rupture")
     d.add_argument("--strike", type=int, default=40, help="fault cells")
     d.add_argument("--depth", type=int, default=16)
     d.add_argument("--h", type=float, default=200.0)
     d.add_argument("--steps", type=int, default=200)
     d.add_argument("--tau", type=float, default=70e6)
 
-    pf = sub.add_parser("perf-report", help="Eq. 7/8 performance report")
+    pf = sub.add_parser("perf-report", parents=[common],
+                        help="Eq. 7/8 performance report")
     pf.add_argument("--machine", type=str, default="jaguar")
     pf.add_argument("--cores", type=int, default=223_074)
     pf.add_argument("--nx", type=int, default=20250)
     pf.add_argument("--ny", type=int, default=10125)
     pf.add_argument("--nz", type=int, default=2125)
 
-    a = sub.add_parser("aval", help="acceptance test against a reference")
+    a = sub.add_parser("aval", parents=[common],
+                       help="acceptance test against a reference")
     a.add_argument("--update-reference", type=str, default=None)
     a.add_argument("--reference", type=str, default=None)
 
-    m8 = sub.add_parser("m8", help="the scaled M8 two-step pipeline")
+    m8 = sub.add_parser("m8", parents=[common],
+                        help="the scaled M8 two-step pipeline")
     m8.add_argument("--extent", type=float, default=48.0, help="domain km")
     m8.add_argument("--duration", type=float, default=12.0)
+
+    tr = sub.add_parser("trace-report", help="render a saved span trace as a "
+                                             "per-rank phase breakdown")
+    tr.add_argument("path", type=str, help="JSONL trace from --trace")
+    tr.add_argument("--top", type=int, default=10,
+                    help="also list the N longest spans")
+    tr.add_argument("--chrome", type=str, default=None, metavar="PATH",
+                    help="convert the trace to Chrome-trace JSON")
 
     return p
 
@@ -241,6 +270,24 @@ def _cmd_m8(args) -> int:
     return 0
 
 
+def _cmd_trace_report(args) -> int:
+    from .obs import (PhaseTimeline, read_jsonl, write_chrome_trace)
+    spans = read_jsonl(args.path)
+    if not spans:
+        print(f"{args.path}: no spans")
+        return 1
+    tl = PhaseTimeline(spans)
+    print(f"{args.path}: {len(spans)} spans")
+    print(tl.breakdown_table())
+    if args.top > 0:
+        print()
+        print(tl.top_spans_table(args.top))
+    if args.chrome:
+        n = write_chrome_trace(spans, args.chrome)
+        print(f"wrote {n} trace events to {args.chrome}")
+    return 0
+
+
 _COMMANDS = {
     "mesh-extract": _cmd_mesh_extract,
     "partition": _cmd_partition,
@@ -249,13 +296,33 @@ _COMMANDS = {
     "perf-report": _cmd_perf_report,
     "aval": _cmd_aval,
     "m8": _cmd_m8,
+    "trace-report": _cmd_trace_report,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro`` / the ``repro`` console script."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    cmd = _COMMANDS[args.command]
+    trace_path = getattr(args, "trace", None)
+    chrome_path = getattr(args, "trace_chrome", None)
+    if not (trace_path or chrome_path):
+        return cmd(args)
+
+    from .obs import Tracer, set_tracer, write_chrome_trace, write_jsonl
+    tracer = Tracer()
+    old = set_tracer(tracer)
+    try:
+        rc = cmd(args)
+    finally:
+        set_tracer(old)
+    if trace_path:
+        n = write_jsonl(tracer.spans, trace_path)
+        print(f"wrote {n} spans to {trace_path}")
+    if chrome_path:
+        n = write_chrome_trace(tracer.spans, chrome_path)
+        print(f"wrote {n} trace events to {chrome_path}")
+    return rc
 
 
 if __name__ == "__main__":

@@ -101,17 +101,21 @@ class FlopCounter:
         return self.flops_per_point * self.points * self.steps
 
     def sustained_flops(self) -> float:
-        """PAPI_FP_OPS / wall-clock, flop/s."""
-        if self.wall_seconds <= 0:
-            raise RuntimeError("no timed interval recorded")
+        """PAPI_FP_OPS / wall-clock, flop/s (0.0 before any timed interval)."""
+        if self.wall_seconds <= 0 or self.steps <= 0:
+            return 0.0
         return self.total_flops / self.wall_seconds
 
     def cell_updates_per_second(self) -> float:
-        if self.wall_seconds <= 0:
-            raise RuntimeError("no timed interval recorded")
+        if self.wall_seconds <= 0 or self.steps <= 0:
+            return 0.0
         return self.points * self.steps / self.wall_seconds
 
     def report(self) -> str:
+        if self.wall_seconds <= 0 or self.steps <= 0:
+            return (f"{self.steps} steps x {self.points} points, "
+                    f"{self.flops_per_point:.0f} flops/point: "
+                    "no timed interval recorded")
         return (f"{self.steps} steps x {self.points} points, "
                 f"{self.flops_per_point:.0f} flops/point: "
                 f"{self.total_flops:.3e} flops in {self.wall_seconds:.2f} s "

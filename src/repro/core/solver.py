@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.tracer import get_tracer
 from .attenuation import CoarseGrainedAttenuation
 from .boundary import FreeSurfaceFS2, SpongeLayer
 from .fd import NGHOST
@@ -173,6 +174,9 @@ class WaveSolver:
         self.surface_recorder: SurfaceRecorder | None = None
         self.t = 0.0
         self.nstep = 0
+        #: tracer override; None = whatever repro.obs.get_tracer() returns
+        #: at step time (the null tracer unless one is installed)
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -230,29 +234,34 @@ class WaveSolver:
 
     def step(self) -> None:
         """Advance the wavefield by one time step."""
+        tracer = self.tracer if self.tracer is not None else get_tracer()
         cfg = self.config
-        if cfg.cache_blocking and self.pml is None and self.attenuation is None \
-                and not self.moment_sources and not self.force_sources:
-            self.kernel.step_blocked(cfg.kblock, cfg.jblock)
-        else:
-            self._step_velocity()
-            if self.free_surface is not None:
-                self.free_surface.apply_velocity(self.wf)
-            for src in self.force_sources:
-                src.inject(self.wf, self.t, self.dt)
-            self._step_stress()
-            for src in self.moment_sources:
-                src.inject(self.wf, self.t, self.dt)
-            if self.free_surface is not None:
-                self.free_surface.apply_stress(self.wf)
-        if self.sponge is not None:
-            self.sponge.apply(self.wf)
+        with tracer.span("solver.step", category="compute"):
+            if cfg.cache_blocking and self.pml is None \
+                    and self.attenuation is None \
+                    and not self.moment_sources and not self.force_sources:
+                self.kernel.step_blocked(cfg.kblock, cfg.jblock)
+            else:
+                self._step_velocity()
+                if self.free_surface is not None:
+                    self.free_surface.apply_velocity(self.wf)
+                for src in self.force_sources:
+                    src.inject(self.wf, self.t, self.dt)
+                self._step_stress()
+                for src in self.moment_sources:
+                    src.inject(self.wf, self.t, self.dt)
+                if self.free_surface is not None:
+                    self.free_surface.apply_stress(self.wf)
+            if self.sponge is not None:
+                self.sponge.apply(self.wf)
         self.t += self.dt
         self.nstep += 1
-        for r in self.receivers:
-            r.record(self.wf)
-        if self.surface_recorder is not None:
-            self.surface_recorder.maybe_record(self.wf, self.t)
+        if self.receivers or self.surface_recorder is not None:
+            with tracer.span("solver.record", category="io"):
+                for r in self.receivers:
+                    r.record(self.wf)
+                if self.surface_recorder is not None:
+                    self.surface_recorder.maybe_record(self.wf, self.t)
         if (cfg.stability_check_interval
                 and self.nstep % cfg.stability_check_interval == 0):
             vmax = self.wf.max_velocity()
@@ -262,10 +271,12 @@ class WaveSolver:
 
     def run(self, nsteps: int, progress=None) -> None:
         """Advance ``nsteps`` steps; ``progress(step, solver)`` if given."""
-        for i in range(nsteps):
-            self.step()
-            if progress is not None:
-                progress(i, self)
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        with tracer.span("solver.run", category="other"):
+            for i in range(nsteps):
+                self.step()
+                if progress is not None:
+                    progress(i, self)
 
     # ------------------------------------------------------------------
     # State (checkpointing support)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.tracer import get_tracer
 from .lustre import LustreModel
 from .mpiio import VirtualFile
 
@@ -70,24 +71,27 @@ class OutputAggregator:
         if not self._buffer:
             return 0.0
         nbytes = self.buffered_bytes
-        # One large contiguous request per client per flush: the whole point
-        # of aggregation is turning many small writes into few large ones.
-        t = self.model.transfer(nbytes,
-                                stripe_count=(self.vfile.stripe_count
-                                              if self.vfile else
-                                              self.model.config.n_osts),
-                                n_clients=self.n_clients,
-                                n_requests=self.n_clients)
-        if self.vfile is not None:
-            raw = np.concatenate([a.view(np.uint8).ravel()
-                                  for a in self._buffer])
-            end = min(self._cursor + raw.size, self.vfile.size)
-            self.vfile.data[self._cursor:end] = raw[:end - self._cursor]
-            self._cursor = end
-        self.io_seconds += t
-        self.flushes += 1
-        self.bytes_written += nbytes
-        self._buffer.clear()
+        with get_tracer().span("io.flush", category="io", nbytes=nbytes,
+                               records=len(self._buffer)):
+            # One large contiguous request per client per flush: the whole
+            # point of aggregation is turning many small writes into few
+            # large ones.
+            t = self.model.transfer(nbytes,
+                                    stripe_count=(self.vfile.stripe_count
+                                                  if self.vfile else
+                                                  self.model.config.n_osts),
+                                    n_clients=self.n_clients,
+                                    n_requests=self.n_clients)
+            if self.vfile is not None:
+                raw = np.concatenate([a.view(np.uint8).ravel()
+                                      for a in self._buffer])
+                end = min(self._cursor + raw.size, self.vfile.size)
+                self.vfile.data[self._cursor:end] = raw[:end - self._cursor]
+                self._cursor = end
+            self.io_seconds += t
+            self.flushes += 1
+            self.bytes_written += nbytes
+            self._buffer.clear()
         return t
 
     def overhead_fraction(self, compute_seconds: float) -> float:

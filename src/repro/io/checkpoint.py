@@ -20,6 +20,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs.tracer import get_tracer
 from .checksum import md5_digest
 from .lustre import LustreModel
 
@@ -60,20 +61,22 @@ class CheckpointManager:
         The epoch is marked complete only after every rank file lands —
         restart never sees a torn epoch.
         """
-        blobs = {rank: _state_bytes(st) for rank, st in states.items()}
-        t = self.model.open_files(len(blobs),
-                                  concurrent=min(max_open, len(blobs)))
-        total_bytes = sum(len(b) for b in blobs.values())
-        t += self.model.transfer(total_bytes,
-                                 stripe_count=1,  # unity stripe for per-rank
-                                 n_clients=len(blobs),
-                                 n_requests=len(blobs))
-        for rank, blob in blobs.items():
-            digest = md5_digest(np.frombuffer(blob, dtype=np.uint8))
-            self._path(epoch, rank).write_bytes(
-                digest.encode() + b"\n" + blob)
-        self._marker(epoch).touch()
-        self.io_seconds += t
+        with get_tracer().span("checkpoint.write", category="io",
+                               epoch=epoch, nranks=len(states)):
+            blobs = {rank: _state_bytes(st) for rank, st in states.items()}
+            t = self.model.open_files(len(blobs),
+                                      concurrent=min(max_open, len(blobs)))
+            total_bytes = sum(len(b) for b in blobs.values())
+            t += self.model.transfer(total_bytes,
+                                     stripe_count=1,  # unity stripe per rank
+                                     n_clients=len(blobs),
+                                     n_requests=len(blobs))
+            for rank, blob in blobs.items():
+                digest = md5_digest(np.frombuffer(blob, dtype=np.uint8))
+                self._path(epoch, rank).write_bytes(
+                    digest.encode() + b"\n" + blob)
+            self._marker(epoch).touch()
+            self.io_seconds += t
         return t
 
     # ------------------------------------------------------------------
@@ -87,15 +90,19 @@ class CheckpointManager:
     def read_epoch(self, epoch: int, ranks: list[int]) -> dict[int, dict]:
         """Load and verify one epoch's states for the given ranks."""
         out: dict[int, dict] = {}
-        for rank in ranks:
-            path = self._path(epoch, rank)
-            if not path.exists():
-                raise FileNotFoundError(f"missing checkpoint {path.name}")
-            raw = path.read_bytes()
-            digest, _, blob = raw.partition(b"\n")
-            if md5_digest(np.frombuffer(blob, dtype=np.uint8)) != digest.decode():
-                raise CheckpointCorrupt(f"{path.name} failed its MD5 check")
-            out[rank] = pickle.loads(blob)
+        with get_tracer().span("checkpoint.read", category="io",
+                               epoch=epoch, nranks=len(ranks)):
+            for rank in ranks:
+                path = self._path(epoch, rank)
+                if not path.exists():
+                    raise FileNotFoundError(f"missing checkpoint {path.name}")
+                raw = path.read_bytes()
+                digest, _, blob = raw.partition(b"\n")
+                if (md5_digest(np.frombuffer(blob, dtype=np.uint8))
+                        != digest.decode()):
+                    raise CheckpointCorrupt(f"{path.name} failed its MD5 "
+                                            "check")
+                out[rank] = pickle.loads(blob)
         return out
 
     def restore_latest(self, ranks: list[int]) -> tuple[int, dict[int, dict]] | None:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.tracer import NULL_TRACER
 from .lustre import LustreModel
 
 __all__ = ["VirtualFile", "FileView", "collective_write", "collective_read"]
@@ -108,13 +109,16 @@ def collective_write(comm, vfile: VirtualFile, view: FileView,
     if raw.size != view.nbytes:
         raise ValueError(f"payload has {raw.size} bytes, view expects "
                          f"{view.nbytes}")
-    pos = 0
-    for off, length in view.blocks:
-        vfile.data[off:off + length] = raw[pos:pos + length]
-        pos += length
-    _charge(comm, model, raw.size, view.n_fragments, vfile.stripe_count)
-    if comm is not None:
-        yield comm.barrier()
+    tracer = getattr(comm, "tracer", NULL_TRACER)
+    with tracer.span("io.collective_write", category="io",
+                     nbytes=int(raw.size), fragments=view.n_fragments):
+        pos = 0
+        for off, length in view.blocks:
+            vfile.data[off:off + length] = raw[pos:pos + length]
+            pos += length
+        _charge(comm, model, raw.size, view.n_fragments, vfile.stripe_count)
+        if comm is not None:
+            yield comm.barrier()
 
 
 def collective_read(comm, vfile: VirtualFile, view: FileView,
@@ -122,11 +126,14 @@ def collective_read(comm, vfile: VirtualFile, view: FileView,
     """Collective read through a view; returns the concatenated bytes."""
     view.validate_within(vfile.size)
     out = np.empty(view.nbytes, dtype=np.uint8)
-    pos = 0
-    for off, length in view.blocks:
-        out[pos:pos + length] = vfile.data[off:off + length]
-        pos += length
-    _charge(comm, model, out.size, view.n_fragments, vfile.stripe_count)
-    if comm is not None:
-        yield comm.barrier()
+    tracer = getattr(comm, "tracer", NULL_TRACER)
+    with tracer.span("io.collective_read", category="io",
+                     nbytes=int(out.size), fragments=view.n_fragments):
+        pos = 0
+        for off, length in view.blocks:
+            out[pos:pos + length] = vfile.data[off:off + length]
+            pos += length
+        _charge(comm, model, out.size, view.n_fragments, vfile.stripe_count)
+        if comm is not None:
+            yield comm.barrier()
     return out

@@ -1,0 +1,48 @@
+"""repro.obs — observability: tracing, metrics, and phase timelines.
+
+The measurement substrate behind the paper's performance story (PAPI flop
+accounting, the Fig. 12 compute/comm/sync/IO breakdown, workflow stage
+timing):
+
+* :mod:`repro.obs.tracer` — nestable, thread-safe span tracing with
+  virtual-clock support for SimMPI ranks and a near-zero-overhead null
+  tracer installed by default;
+* :mod:`repro.obs.metrics` — counters / gauges / histograms-with-
+  percentiles; the :class:`FlopCounter` PAPI stand-in feeds the
+  ``sustained_gflops`` gauge;
+* :mod:`repro.obs.timeline` — per-rank classification of spans into
+  ``compute`` / ``halo`` / ``io`` / ``other`` and the Fig.-12-style
+  breakdown table;
+* :mod:`repro.obs.export` — JSONL event logs and Chrome-trace (Perfetto)
+  JSON.
+
+Quick use::
+
+    from repro.obs import Tracer, use_tracer, PhaseTimeline
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        solver.run(200)                     # hot paths are instrumented
+    print(PhaseTimeline.from_tracer(tracer).breakdown_table())
+
+or from the CLI: ``repro run-quake --trace out.jsonl`` then
+``repro trace-report out.jsonl``.
+"""
+
+from .tracer import (NULL_TRACER, NullTracer, RankTracer, Span, Tracer,
+                     get_tracer, set_tracer, trace, use_tracer)
+from .metrics import (Counter, FlopCounter, Gauge, Histogram,
+                      MetricsRegistry, default_registry,
+                      stencil_flops_per_point)
+from .timeline import PHASES, PhaseTimeline, classify
+from .export import (read_jsonl, to_chrome_trace, write_chrome_trace,
+                     write_jsonl)
+
+__all__ = [
+    "Span", "Tracer", "RankTracer", "NullTracer", "NULL_TRACER",
+    "get_tracer", "set_tracer", "use_tracer", "trace",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "default_registry",
+    "FlopCounter", "stencil_flops_per_point",
+    "PHASES", "PhaseTimeline", "classify",
+    "read_jsonl", "write_jsonl", "to_chrome_trace", "write_chrome_trace",
+]

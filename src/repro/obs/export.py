@@ -1,0 +1,103 @@
+"""Trace exporters: JSONL event logs and Chrome-trace (Perfetto) JSON.
+
+Two interchange formats:
+
+* **JSONL** — one span per line in the :meth:`Span.to_dict` schema; append-
+  friendly, streamable, and what ``repro <cmd> --trace out.jsonl`` writes
+  and ``repro trace-report`` reads back;
+* **Chrome trace** — the ``chrome://tracing`` / Perfetto ``traceEvents``
+  JSON object format: complete events (``"ph": "X"``) with microsecond
+  timestamps, one *process* per clock domain (pid 0 = wall clock, pid 1 =
+  SimMPI virtual time) and one *thread* per rank, plus metadata events
+  naming them.  Timestamps are re-based per clock domain so both timelines
+  start near zero.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .tracer import Span
+
+__all__ = ["write_jsonl", "read_jsonl", "to_chrome_trace",
+           "write_chrome_trace"]
+
+_WALL_PID = 0
+_VIRTUAL_PID = 1
+
+
+def write_jsonl(spans: Iterable[Span], path) -> int:
+    """Write spans as one-JSON-object-per-line; returns the span count."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for sp in spans:
+            fh.write(json.dumps(sp.to_dict(), default=str) + "\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path) -> list[Span]:
+    """Load a JSONL trace back into spans (blank lines are skipped)."""
+    spans: list[Span] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def to_chrome_trace(spans: Iterable[Span]) -> dict:
+    """The ``traceEvents`` object Perfetto / chrome://tracing loads."""
+    spans = list(spans)
+    # Re-base each clock domain separately: perf_counter origins are
+    # arbitrary and virtual clocks start at 0; both should render near t=0.
+    t0: dict[str, float] = {}
+    for sp in spans:
+        t0[sp.domain] = min(t0.get(sp.domain, sp.start), sp.start)
+
+    events: list[dict] = []
+    seen: set[tuple[int, int]] = set()
+    for sp in spans:
+        pid = _WALL_PID if sp.domain == "wall" else _VIRTUAL_PID
+        tid = 0 if sp.rank is None else int(sp.rank)
+        args = {"id": sp.span_id}
+        if sp.parent_id is not None:
+            args["parent"] = sp.parent_id
+        for k, v in sp.attrs.items():
+            args[k] = v if isinstance(v, (int, float, str, bool)) else str(v)
+        events.append({
+            "name": sp.name,
+            "cat": sp.category,
+            "ph": "X",
+            "ts": (sp.start - t0[sp.domain]) * 1e6,
+            "dur": sp.duration * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+        seen.add((pid, tid))
+
+    meta: list[dict] = []
+    pids = {pid for pid, _ in seen}
+    if _WALL_PID in pids:
+        meta.append({"name": "process_name", "ph": "M", "pid": _WALL_PID,
+                     "tid": 0, "args": {"name": "wall clock"}})
+    if _VIRTUAL_PID in pids:
+        meta.append({"name": "process_name", "ph": "M", "pid": _VIRTUAL_PID,
+                     "tid": 0, "args": {"name": "simmpi virtual time"}})
+    for pid, tid in sorted(seen):
+        label = "main" if (pid == _WALL_PID and tid == 0) else f"rank {tid}"
+        meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                     "tid": tid, "args": {"name": label}})
+
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Iterable[Span], path) -> int:
+    """Write the Chrome-trace JSON; returns the number of trace events."""
+    doc = to_chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, default=str)
+    return len(doc["traceEvents"])

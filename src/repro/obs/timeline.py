@@ -1,0 +1,156 @@
+"""Per-rank phase timelines — the Fig. 12 execution-time breakdown.
+
+Fig. 12 decomposes total time per core count into compute, communication,
+synchronization, and I/O.  :class:`PhaseTimeline` derives the same
+decomposition from a span trace: every span is classified into one of
+:data:`PHASES` (``compute`` / ``halo`` / ``io`` / ``other``) and its
+*exclusive* (self) time — duration minus the durations of its direct
+children — is accumulated per rank, so nested spans never double-count.
+
+Spans carry their phase as the ``category`` set at the instrumentation
+site; spans with a free-form category fall back to name-prefix
+classification (``mpi.*`` -> halo, ``io.*`` -> io, ...).
+
+Note on clock domains: SimMPI comm spans are measured on the *virtual*
+clock while compute spans inside rank programs are wall-clock, so a
+distributed breakdown mixes modelled comm seconds with measured compute
+seconds — exactly the hybrid the paper's Eq. 7 analysis performs (measured
+kernel time + modelled alpha+k*beta communication).
+"""
+
+from __future__ import annotations
+
+from .tracer import Span, Tracer
+
+__all__ = ["PHASES", "classify", "PhaseTimeline"]
+
+#: the Fig.-12 phase buckets every span is classified into
+PHASES = ("compute", "halo", "io", "other")
+
+#: name-prefix fallback for spans whose category is not already a phase
+_PREFIX_RULES: tuple[tuple[str, str], ...] = (
+    ("halo", "halo"),
+    ("mpi.", "halo"),
+    ("comm", "halo"),
+    ("io", "io"),
+    ("checkpoint", "io"),
+    ("ckpt", "io"),
+    ("flush", "io"),
+    ("solver", "compute"),
+    ("step", "compute"),
+    ("kernel", "compute"),
+)
+
+
+def classify(span: Span) -> str:
+    """Phase bucket for one span: its category, else a name-prefix match."""
+    if span.category in PHASES:
+        return span.category
+    for prefix, phase in _PREFIX_RULES:
+        if span.name.startswith(prefix):
+            return phase
+    return "other"
+
+
+class PhaseTimeline:
+    """Per-rank accumulation of exclusive span time into phase buckets."""
+
+    def __init__(self, spans: list[Span]):
+        self.spans = list(spans)
+        # sum of direct-child durations per parent span id
+        child_sum: dict[int, float] = {}
+        for sp in self.spans:
+            if sp.parent_id is not None:
+                child_sum[sp.parent_id] = (child_sum.get(sp.parent_id, 0.0)
+                                           + sp.duration)
+        #: rank -> phase -> exclusive seconds (rank None = main thread)
+        self.per_rank: dict[int | None, dict[str, float]] = {}
+        #: rank -> phase -> span count
+        self.counts: dict[int | None, dict[str, int]] = {}
+        for sp in self.spans:
+            self_seconds = max(0.0, sp.duration
+                               - child_sum.get(sp.span_id, 0.0))
+            phase = classify(sp)
+            bucket = self.per_rank.setdefault(
+                sp.rank, {p: 0.0 for p in PHASES})
+            bucket[phase] += self_seconds
+            cnt = self.counts.setdefault(sp.rank, {p: 0 for p in PHASES})
+            cnt[phase] += 1
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer) -> "PhaseTimeline":
+        return cls(tracer.spans)
+
+    # -- queries ----------------------------------------------------------
+    def ranks(self) -> list[int | None]:
+        """Ranks present, main thread (None) first, then rank order."""
+        keys = list(self.per_rank)
+        return sorted(keys, key=lambda r: (r is not None, r if r is not None
+                                           else -1))
+
+    def phase_seconds(self, rank: int | None) -> dict[str, float]:
+        return dict(self.per_rank.get(rank, {p: 0.0 for p in PHASES}))
+
+    def totals(self) -> dict[str, float]:
+        """Phase seconds summed across all ranks."""
+        out = {p: 0.0 for p in PHASES}
+        for bucket in self.per_rank.values():
+            for p, v in bucket.items():
+                out[p] += v
+        return out
+
+    def total_seconds(self, rank: int | None = None) -> float:
+        bucket = self.totals() if rank is None and rank not in self.per_rank \
+            else self.phase_seconds(rank)
+        return sum(bucket.values())
+
+    def fractions(self, rank: int | None = None) -> dict[str, float]:
+        """Phase fractions for one rank (or across all ranks)."""
+        bucket = (self.phase_seconds(rank) if rank in self.per_rank
+                  else self.totals())
+        total = sum(bucket.values())
+        if total <= 0:
+            return {p: 0.0 for p in PHASES}
+        return {p: v / total for p, v in bucket.items()}
+
+    def top_spans(self, n: int = 10) -> list[Span]:
+        return sorted(self.spans, key=lambda sp: sp.duration, reverse=True)[:n]
+
+    # -- rendering --------------------------------------------------------
+    @staticmethod
+    def _rank_label(rank: int | None) -> str:
+        return "main" if rank is None else str(rank)
+
+    def breakdown_table(self) -> str:
+        """Fig.-12-style per-rank breakdown table (seconds and percent)."""
+        header = (f"{'rank':>6} {'total[s]':>12} "
+                  + " ".join(f"{p:>20}" for p in PHASES))
+        rule = "-" * len(header)
+        lines = ["per-rank phase breakdown (exclusive seconds, % of rank "
+                 "total)", header, rule]
+
+        def row(label: str, bucket: dict[str, float]) -> str:
+            total = sum(bucket.values())
+            cells = []
+            for p in PHASES:
+                pct = 100.0 * bucket[p] / total if total > 0 else 0.0
+                cells.append(f"{bucket[p]:>12.6f} {pct:>6.1f}%")
+            return f"{label:>6} {total:>12.6f} " + " ".join(cells)
+
+        for rank in self.ranks():
+            lines.append(row(self._rank_label(rank),
+                             self.per_rank[rank]))
+        if len(self.per_rank) > 1:
+            lines.append(rule)
+            lines.append(row("all", self.totals()))
+        return "\n".join(lines)
+
+    def top_spans_table(self, n: int = 10) -> str:
+        lines = [f"top {n} spans by duration",
+                 f"{'seconds':>12} {'rank':>6} {'phase':>8} {'clock':>8} name",
+                 "-" * 60]
+        for sp in self.top_spans(n):
+            lines.append(f"{sp.duration:>12.6f} "
+                         f"{self._rank_label(sp.rank):>6} "
+                         f"{classify(sp):>8} {sp.domain:>8} {sp.name}")
+        return "\n".join(lines)

@@ -29,6 +29,7 @@ from ..core.grid import Grid3D
 from ..core.medium import Medium
 from ..core.solver import Receiver, SolverConfig, WaveSolver
 from ..core.source import BodyForceSource, FiniteFaultSource, MomentTensorSource
+from ..obs.tracer import get_tracer
 from .decomp import Decomposition3D
 from .halo import exchange_halos, exchange_halos_sync
 from .simmpi import RankContext, SPMDResult, run_spmd
@@ -93,6 +94,9 @@ class DistributedWaveSolver:
         self._receiver_map: list[tuple[Receiver, str, int, Receiver]] = []
         self.receivers: list[Receiver] = []
         self.last_result: SPMDResult | None = None
+        #: tracer override; None = whatever repro.obs.get_tracer() returns
+        #: at run time (the null tracer unless one is installed)
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Sources and receivers
@@ -164,36 +168,49 @@ class DistributedWaveSolver:
         decomp = self.decomp
         exchange = exchange_halos_sync if self.sync_comm else exchange_halos
         locals_ = [loc for (_, _, r, loc) in self._receiver_map if r == rank]
+        tracer = comm.tracer
         for _ in range(nsteps):
-            sol._step_velocity()
-            for src in sol.force_sources:
-                src.inject(sol.wf, sol.t, sol.dt)
+            # compute spans are wall-clock (wall=True): SimMPI virtual clocks
+            # only advance on communication, so measured numpy time is the
+            # honest compute cost — the paper's Eq. 7 hybrid of measured
+            # kernel time plus modelled alpha + k*beta communication.
+            with tracer.span("step.velocity", category="compute", wall=True):
+                sol._step_velocity()
+                for src in sol.force_sources:
+                    src.inject(sol.wf, sol.t, sol.dt)
             yield from exchange(comm, decomp, rank, sol.wf,
                                 group="velocity", mode=self.halo_mode)
-            if sol.free_surface is not None:
-                sol.free_surface.apply_velocity(sol.wf)
-            sol._step_stress()
-            for src in sol.moment_sources:
-                src.inject(sol.wf, sol.t, sol.dt)
-            # Serial semantics: image the free surface from *undamped* values,
-            # damp the interior, and only then publish stresses to neighbours
-            # so their ghost copies carry this step's damped values.
-            if sol.free_surface is not None:
-                sol.free_surface.apply_stress(sol.wf)
-            if sol.sponge is not None:
-                sol.sponge.apply(sol.wf)
+            with tracer.span("step.stress", category="compute", wall=True):
+                if sol.free_surface is not None:
+                    sol.free_surface.apply_velocity(sol.wf)
+                sol._step_stress()
+                for src in sol.moment_sources:
+                    src.inject(sol.wf, sol.t, sol.dt)
+                # Serial semantics: image the free surface from *undamped*
+                # values, damp the interior, and only then publish stresses to
+                # neighbours so their ghost copies carry this step's damped
+                # values.
+                if sol.free_surface is not None:
+                    sol.free_surface.apply_stress(sol.wf)
+                if sol.sponge is not None:
+                    sol.sponge.apply(sol.wf)
             yield from exchange(comm, decomp, rank, sol.wf,
                                 group="stress", mode=self.halo_mode)
             sol.t += sol.dt
             sol.nstep += 1
-            for loc in locals_:
-                loc.record(sol.wf)
+            if locals_:
+                with tracer.span("step.record", category="io", wall=True):
+                    for loc in locals_:
+                        loc.record(sol.wf)
 
     def run(self, nsteps: int) -> SPMDResult:
         """Advance all subdomains ``nsteps`` steps; merge receiver data."""
-        result = run_spmd(self.decomp.nranks, self._rank_program,
-                          machine=self.machine, topology=self.topology,
-                          args=(nsteps,))
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        with tracer.span("distributed.run", category="other",
+                         nranks=self.decomp.nranks, nsteps=nsteps):
+            result = run_spmd(self.decomp.nranks, self._rank_program,
+                              machine=self.machine, topology=self.topology,
+                              args=(nsteps,), tracer=tracer)
         self.last_result = result
         for recv, comp, _rank, local in self._receiver_map:
             recv.data[comp].extend(local.data[comp])

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.fd import NGHOST
 from ..core.grid import ALL_FIELDS, STRESS_FIELDS, VELOCITY_FIELDS, WaveField
+from ..obs.tracer import NULL_TRACER
 from .decomp import Decomposition3D
 from .simmpi import RankContext
 
@@ -104,33 +105,36 @@ def exchange_halos(comm: RankContext, decomp: Decomposition3D, rank: int,
     slab.  ``group`` selects which fields move ('velocity', 'stress', 'all');
     ``mode`` selects 'full' or 'reduced' plane sets.
     """
-    needs = _needs(mode)
-    nb = decomp.neighbors(rank)
-    fields = _GROUPS[group]
-    n_int = wf.grid.shape
-    recvs: list[tuple[str, int, int, int, int]] = []
-    for field in fields:
-        arr = getattr(wf, field)
-        for axis, (n_low, n_high) in needs.get(field, {}).items():
-            lo = nb[("x_lo", "y_lo", "z_lo")[axis]]
-            hi = nb[("x_hi", "y_hi", "z_hi")[axis]]
-            if lo is not None:
-                # low neighbour's high ghost wants my first n_high interior planes
-                data = arr[_slab(arr, axis, NGHOST, n_high)].copy()
-                comm.isend(lo, _tag(field, axis, +1), data)
-                recvs.append((field, axis, -1, lo, n_low))
-            if hi is not None:
-                data = arr[_slab(arr, axis, NGHOST + n_int[axis] - n_low,
-                                 n_low)].copy()
-                comm.isend(hi, _tag(field, axis, -1), data)
-                recvs.append((field, axis, +1, hi, n_high))
-    for field, axis, direction, src, count in recvs:
-        arr = getattr(wf, field)
-        data = yield comm.recv(src, _tag(field, axis, direction))
-        if direction < 0:
-            arr[_slab(arr, axis, NGHOST - count, count)] = data
-        else:
-            arr[_slab(arr, axis, NGHOST + n_int[axis], count)] = data
+    tracer = getattr(comm, "tracer", NULL_TRACER)
+    with tracer.span(f"halo.exchange.{group}", category="halo", mode=mode):
+        needs = _needs(mode)
+        nb = decomp.neighbors(rank)
+        fields = _GROUPS[group]
+        n_int = wf.grid.shape
+        recvs: list[tuple[str, int, int, int, int]] = []
+        for field in fields:
+            arr = getattr(wf, field)
+            for axis, (n_low, n_high) in needs.get(field, {}).items():
+                lo = nb[("x_lo", "y_lo", "z_lo")[axis]]
+                hi = nb[("x_hi", "y_hi", "z_hi")[axis]]
+                if lo is not None:
+                    # low neighbour's high ghost wants my first n_high
+                    # interior planes
+                    data = arr[_slab(arr, axis, NGHOST, n_high)].copy()
+                    comm.isend(lo, _tag(field, axis, +1), data)
+                    recvs.append((field, axis, -1, lo, n_low))
+                if hi is not None:
+                    data = arr[_slab(arr, axis, NGHOST + n_int[axis] - n_low,
+                                     n_low)].copy()
+                    comm.isend(hi, _tag(field, axis, -1), data)
+                    recvs.append((field, axis, +1, hi, n_high))
+        for field, axis, direction, src, count in recvs:
+            arr = getattr(wf, field)
+            data = yield comm.recv(src, _tag(field, axis, direction))
+            if direction < 0:
+                arr[_slab(arr, axis, NGHOST - count, count)] = data
+            else:
+                arr[_slab(arr, axis, NGHOST + n_int[axis], count)] = data
 
 
 def exchange_halos_sync(comm: RankContext, decomp: Decomposition3D, rank: int,
@@ -142,6 +146,16 @@ def exchange_halos_sync(comm: RankContext, decomp: Decomposition3D, rank: int,
     transfer is a blocking rendezvous, so latency cascades across the
     processor grid — the pathology the asynchronous model removed.
     """
+    tracer = getattr(comm, "tracer", NULL_TRACER)
+    with tracer.span(f"halo.exchange.{group}", category="halo", mode=mode,
+                     sync=True):
+        yield from _exchange_halos_sync_body(comm, decomp, rank, wf, group,
+                                             mode)
+
+
+def _exchange_halos_sync_body(comm: RankContext, decomp: Decomposition3D,
+                              rank: int, wf: WaveField, group: str,
+                              mode: str):
     needs = _needs(mode)
     nb = decomp.neighbors(rank)
     coords = decomp.coords(rank)

@@ -56,6 +56,8 @@ from typing import Any, Callable, Generator, Iterable
 
 import numpy as np
 
+from ..obs.tracer import NULL_TRACER, get_tracer
+
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
@@ -150,6 +152,9 @@ class RankContext:
         self.size = size
         self._sched = scheduler
         self.stats = CommStats()
+        #: per-rank tracer view (virtual clock); set by run_spmd when a
+        #: tracer is active, the null tracer otherwise
+        self.tracer = NULL_TRACER
 
     @property
     def clock(self) -> float:
@@ -310,12 +315,17 @@ class _Scheduler:
         ctx = self.contexts[src]
         ctx.stats.messages_sent += 1
         ctx.stats.bytes_sent += nbytes
-        arrival = self.clocks[src] + self._transfer_time(src, dest, nbytes)
+        t_post = self.clocks[src]
+        arrival = t_post + self._transfer_time(src, dest, nbytes)
         # injection overhead on the sender
         self.clocks[src] += self.alpha
         self._seq += 1
         self.queues[dest][(src, tag)].append(
             _Message(src, tag, payload, arrival, self._seq))
+        if ctx.tracer.enabled:
+            ctx.tracer.record("mpi.isend", t_post, self.clocks[src],
+                              category="halo", dest=dest, tag=tag,
+                              nbytes=nbytes)
 
     def match_recv(self, rank: int, op: _RecvOp) -> _Message | None:
         q = self.queues[rank]
@@ -340,20 +350,30 @@ class _Scheduler:
 
 def run_spmd(nranks: int, program: Callable[..., Generator],
              machine=None, topology=None, args: tuple = (),
-             kwargs: dict | None = None, max_rounds: int = 10_000_000
-             ) -> SPMDResult:
+             kwargs: dict | None = None, max_rounds: int = 10_000_000,
+             tracer=None) -> SPMDResult:
     """Run ``program(comm, *args, **kwargs)`` on ``nranks`` virtual ranks.
 
     ``program`` must be a generator function (it may simply ``return`` early
     or never yield — plain SPMD compute is fine).  Returns per-rank results,
     final virtual clocks, and communication statistics.
+
+    ``tracer`` (default: the process-global tracer) receives per-rank
+    virtual-time spans for scheduler events (isend/recv/ssend/barrier) and
+    whatever spans the rank programs open via ``comm.tracer``.
     """
     if nranks < 1:
         raise ValueError("need at least one rank")
     kwargs = kwargs or {}
+    if tracer is None:
+        tracer = get_tracer()
     sched = _Scheduler(nranks, machine=machine, topology=topology)
     contexts = [RankContext(r, nranks, sched) for r in range(nranks)]
     sched.contexts = contexts
+    if tracer.enabled:
+        for r, ctx in enumerate(contexts):
+            ctx.tracer = tracer.rank_view(
+                r, clock=(lambda r=r: sched.clocks[r]))
 
     gens: list[Generator | None] = []
     results: list[Any] = [None] * nranks
@@ -402,6 +422,11 @@ def run_spmd(nranks: int, program: Callable[..., Generator],
                     st.comm_time += sched.clocks[r] - wait_start
                     st.messages_received += 1
                     st.bytes_received += _payload_nbytes(msg.payload)
+                    ctx_r = contexts[r]
+                    if ctx_r.tracer.enabled and sched.clocks[r] > wait_start:
+                        ctx_r.tracer.record("mpi.recv", wait_start,
+                                            sched.clocks[r], category="halo",
+                                            source=msg.source, tag=msg.tag)
                     resume_value[r] = msg.payload
                     blocked[r] = None
                 elif isinstance(op, _SsendOp):
@@ -437,6 +462,15 @@ def run_spmd(nranks: int, program: Callable[..., Generator],
                     t_done = t_match + sched._transfer_time(src, r, sop.nbytes)
                     contexts[src].stats.comm_time += t_done - sched.clocks[src]
                     contexts[r].stats.comm_time += t_done - sched.clocks[r]
+                    if contexts[src].tracer.enabled:
+                        contexts[src].tracer.record(
+                            "mpi.ssend", sched.clocks[src], t_done,
+                            category="halo", dest=r, tag=sop.tag,
+                            nbytes=sop.nbytes)
+                    if contexts[r].tracer.enabled:
+                        contexts[r].tracer.record(
+                            "mpi.recv", sched.clocks[r], t_done,
+                            category="halo", source=src, tag=sop.tag)
                     sched.clocks[src] = t_done
                     sched.clocks[r] = t_done
                     contexts[src].stats.messages_sent += 1
@@ -465,6 +499,15 @@ def run_spmd(nranks: int, program: Callable[..., Generator],
                     t_done = t_match + sched._transfer_time(r, dest, op.nbytes)
                     contexts[r].stats.comm_time += t_done - sched.clocks[r]
                     contexts[dest].stats.comm_time += t_done - sched.clocks[dest]
+                    if contexts[r].tracer.enabled:
+                        contexts[r].tracer.record(
+                            "mpi.ssend", sched.clocks[r], t_done,
+                            category="halo", dest=dest, tag=op.tag,
+                            nbytes=op.nbytes)
+                    if contexts[dest].tracer.enabled:
+                        contexts[dest].tracer.record(
+                            "mpi.recv", sched.clocks[dest], t_done,
+                            category="halo", source=r, tag=op.tag)
                     sched.clocks[r] = t_done
                     sched.clocks[dest] = t_done
                     contexts[r].stats.messages_sent += 1
@@ -488,6 +531,9 @@ def run_spmd(nranks: int, program: Callable[..., Generator],
             t = max(sched.clocks[r] for r in live)
             cost = sched.alpha * max(1, int(np.ceil(np.log2(max(2, len(live))))))
             for r in live:
+                if contexts[r].tracer.enabled:
+                    contexts[r].tracer.record("mpi.barrier", sched.clocks[r],
+                                              t + cost, category="halo")
                 contexts[r].stats.sync_time += (t + cost) - sched.clocks[r]
                 sched.clocks[r] = t + cost
                 blocked[r] = None

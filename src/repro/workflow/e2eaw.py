@@ -20,12 +20,14 @@ Components:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from ..io.checksum import ChecksumManifest, md5_digest
+from ..obs.tracer import get_tracer
 
 __all__ = ["StageRecord", "Workflow", "WorkflowError", "TransferService",
            "IngestionService", "TransferRecord"]
@@ -39,7 +41,10 @@ class WorkflowError(RuntimeError):
 class StageRecord:
     name: str
     status: str = "pending"     #: pending | running | done | failed | skipped
-    elapsed: float = 0.0
+    elapsed: float = 0.0        #: legacy alias, kept equal to wall_seconds
+    wall_seconds: float = 0.0   #: measured stage duration
+    started: float | None = None    #: epoch seconds (time.time) at start
+    finished: float | None = None   #: epoch seconds at end
     result: object = None
     error: str | None = None
 
@@ -85,6 +90,7 @@ class Workflow:
     def run(self, context: dict | None = None) -> dict:
         """Execute all stages; failed dependencies skip their dependents."""
         context = context if context is not None else {}
+        tracer = get_tracer()
         for name in self._order():
             fn, deps = self._stages[name]
             rec = self.records[name]
@@ -92,12 +98,17 @@ class Workflow:
                 rec.status = "skipped"
                 continue
             rec.status = "running"
-            try:
-                rec.result = fn(context)
-                rec.status = "done"
-            except Exception as exc:  # noqa: BLE001 - recorded, not hidden
-                rec.status = "failed"
-                rec.error = f"{type(exc).__name__}: {exc}"
+            rec.started = time.time()
+            t0 = time.perf_counter()
+            with tracer.span(f"workflow.{name}", category="workflow"):
+                try:
+                    rec.result = fn(context)
+                    rec.status = "done"
+                except Exception as exc:  # noqa: BLE001 - recorded, not hidden
+                    rec.status = "failed"
+                    rec.error = f"{type(exc).__name__}: {exc}"
+            rec.wall_seconds = rec.elapsed = time.perf_counter() - t0
+            rec.finished = time.time()
         context["_records"] = self.records
         return context
 

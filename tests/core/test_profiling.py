@@ -56,10 +56,21 @@ class TestFlopCounter:
             s.run(4)
         assert counter.steps == 7
 
-    def test_requires_timing(self):
+    def test_untimed_counter_reports_zero(self):
+        """No timed interval: rates are 0.0 and report() must not raise."""
         c = FlopCounter(points=100, flops_per_point=100.0)
-        with pytest.raises(RuntimeError):
-            c.sustained_flops()
+        assert c.sustained_flops() == 0.0
+        assert c.cell_updates_per_second() == 0.0
+        assert "no timed interval" in c.report()
+
+    def test_zero_steps_reports_zero(self):
+        """Timed but no steps advanced (e.g. run(0)) must not raise."""
+        c = FlopCounter(points=100, flops_per_point=100.0)
+        with c:
+            pass
+        c.steps = 0
+        assert c.sustained_flops() == 0.0
+        assert "no timed interval" in c.report()
 
     def test_attenuated_solver_uses_higher_count(self):
         g = Grid3D(16, 16, 12, h=100.0)

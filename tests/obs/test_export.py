@@ -1,0 +1,113 @@
+"""Tests for the JSONL and Chrome-trace exporters."""
+
+import json
+
+from repro.obs import (Span, Tracer, read_jsonl, to_chrome_trace,
+                       write_chrome_trace, write_jsonl)
+
+
+def _sample_spans():
+    return [
+        Span(name="solver.run", category="other", start=100.0, end=110.0,
+             span_id=1),
+        Span(name="solver.step", category="compute", start=101.0, end=103.0,
+             span_id=2, parent_id=1, attrs={"nstep": 1}),
+        Span(name="mpi.recv", category="halo", rank=2, start=0.5, end=1.5,
+             span_id=3, domain="virtual", attrs={"source": 1, "tag": 7}),
+    ]
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        spans = _sample_spans()
+        n = write_jsonl(spans, path)
+        assert n == 3
+        back = read_jsonl(path)
+        assert [s.to_dict() for s in back] == [s.to_dict() for s in spans]
+
+    def test_one_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(_sample_spans(), path)
+        lines = [ln for ln in path.read_text().splitlines() if ln.strip()]
+        assert len(lines) == 3
+        for ln in lines:
+            obj = json.loads(ln)
+            assert "name" in obj and "ts" in obj and "dur" in obj
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"name": "a", "ts": 0, "dur": 1, "id": 1}\n\n')
+        assert len(read_jsonl(path)) == 1
+
+    def test_from_tracer_spans(self, tmp_path):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        path = tmp_path / "t.jsonl"
+        write_jsonl(t.spans, path)
+        back = read_jsonl(path)
+        by_name = {s.name: s for s in back}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+
+
+class TestChromeTrace:
+    def test_schema_valid(self):
+        doc = to_chrome_trace(_sample_spans())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["traceEvents"]
+        json.dumps(doc)  # must be JSON-serializable as-is
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(complete) == 3
+        assert meta  # process/thread name metadata present
+        for e in complete:
+            assert isinstance(e["name"], str)
+            for key in ("ts", "dur"):
+                assert isinstance(e[key], (int, float))
+                assert e[key] >= 0
+            for key in ("pid", "tid"):
+                assert isinstance(e[key], int)
+
+    def test_clock_domains_get_separate_pids(self):
+        doc = to_chrome_trace(_sample_spans())
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert pids == {0, 1}  # wall and virtual
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert names == {"wall clock", "simmpi virtual time"}
+
+    def test_timestamps_rebased_per_domain(self):
+        doc = to_chrome_trace(_sample_spans())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        for pid in (0, 1):
+            ts = [e["ts"] for e in complete if e["pid"] == pid]
+            assert min(ts) == 0.0
+
+    def test_microsecond_units(self):
+        doc = to_chrome_trace(_sample_spans())
+        run = next(e for e in doc["traceEvents"]
+                   if e.get("name") == "solver.run")
+        assert run["dur"] == 10.0 * 1e6
+
+    def test_rank_becomes_tid(self):
+        doc = to_chrome_trace(_sample_spans())
+        recv = next(e for e in doc["traceEvents"]
+                    if e.get("name") == "mpi.recv")
+        assert recv["tid"] == 2
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(_sample_spans(), path)
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == n
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_attrs_coerced_to_primitives(self):
+        sp = Span(name="x", start=0.0, end=1.0, span_id=1,
+                  attrs={"obj": object()})
+        doc = to_chrome_trace([sp])
+        json.dumps(doc)
+        ev = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert isinstance(ev["args"]["obj"], str)

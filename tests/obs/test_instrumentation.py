@@ -1,0 +1,227 @@
+"""End-to-end tests: the instrumented hot paths produce coherent traces."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid3D, Medium, SolverConfig, WaveSolver
+from repro.io.checkpoint import CheckpointManager
+from repro.io.lustre import LustreModel
+from repro.io.mpiio import FileView, VirtualFile, collective_write
+from repro.obs import PhaseTimeline, Tracer, use_tracer
+from repro.parallel.distributed import DistributedWaveSolver
+from repro.parallel.machine import jaguar
+from repro.parallel.simmpi import run_spmd
+from repro.workflow.e2eaw import Workflow
+
+
+def _serial_solver(n=16):
+    g = Grid3D(n, n, 12, h=100.0)
+    return WaveSolver(g, Medium.homogeneous(g),
+                      SolverConfig(absorbing="none"))
+
+
+class TestSerialSolver:
+    def test_run_produces_step_spans(self):
+        s = _serial_solver()
+        tracer = Tracer()
+        with use_tracer(tracer):
+            s.run(4)
+        names = [sp.name for sp in tracer.spans]
+        assert names.count("solver.step") == 4
+        assert names.count("solver.run") == 1
+        by_name = {sp.name: sp for sp in tracer.spans}
+        run_id = by_name["solver.run"].span_id
+        for sp in tracer.spans:
+            if sp.name == "solver.step":
+                assert sp.parent_id == run_id
+                assert sp.category == "compute"
+
+    def test_recording_traced_as_io(self):
+        s = _serial_solver()
+        s.record_surface(dec_time=2)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            s.run(4)
+        tl = PhaseTimeline.from_tracer(tracer)
+        assert tl.phase_seconds(None)["io"] > 0
+
+    def test_untraced_run_records_nothing(self):
+        tracer = Tracer()
+        s = _serial_solver()
+        s.run(2)  # global tracer is the null tracer here
+        assert len(tracer) == 0
+
+    def test_solver_tracer_override(self):
+        s = _serial_solver()
+        s.tracer = tracer = Tracer()
+        s.run(2)
+        assert any(sp.name == "solver.step" for sp in tracer.spans)
+
+
+class TestDistributedSolver:
+    def _dist(self, nranks=4):
+        g = Grid3D(12, 12, 12, h=100.0)
+        return DistributedWaveSolver(
+            g, Medium.homogeneous(g), nranks=nranks,
+            config=SolverConfig(free_surface=False, absorbing="none"),
+            machine=jaguar())
+
+    def test_traced_run_covers_all_ranks_and_phases(self):
+        d = self._dist()
+        tracer = Tracer()
+        with use_tracer(tracer):
+            d.run(3)
+        tl = PhaseTimeline.from_tracer(tracer)
+        assert {0, 1, 2, 3}.issubset(set(tl.ranks()))
+        for rank in range(4):
+            bucket = tl.phase_seconds(rank)
+            assert bucket["compute"] > 0
+            assert bucket["halo"] > 0
+
+    def test_comm_spans_virtual_compute_spans_wall(self):
+        d = self._dist()
+        tracer = Tracer()
+        with use_tracer(tracer):
+            d.run(2)
+        domains = {sp.name: sp.domain for sp in tracer.spans}
+        assert domains["halo.exchange.velocity"] == "virtual"
+        assert domains["mpi.isend"] == "virtual"
+        assert domains["step.velocity"] == "wall"
+        assert domains["step.stress"] == "wall"
+
+    def test_scheduler_events_nested_under_exchange(self):
+        d = self._dist(nranks=2)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            d.run(1)
+        by_id = {sp.span_id: sp for sp in tracer.spans}
+        recvs = [sp for sp in tracer.spans if sp.name == "mpi.recv"]
+        assert recvs
+        for sp in recvs:
+            assert sp.parent_id is not None
+            assert by_id[sp.parent_id].name.startswith("halo.exchange")
+            assert by_id[sp.parent_id].rank == sp.rank
+
+    def test_explicit_tracer_attribute(self):
+        d = self._dist(nranks=2)
+        d.tracer = tracer = Tracer()
+        d.run(1)
+        assert any(sp.name == "distributed.run" for sp in tracer.spans)
+
+    def test_tracing_does_not_change_results(self):
+        """The observer must not perturb the physics or the virtual clocks."""
+        d1, d2 = self._dist(), self._dist()
+        d1.run(3)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            d2.run(3)
+        assert d1.last_result.elapsed == d2.last_result.elapsed
+        assert np.array_equal(d1.gather_field("vx"), d2.gather_field("vx"))
+
+
+class TestSyncExchange:
+    def test_sync_comm_traced(self):
+        g = Grid3D(12, 12, 12, h=100.0)
+        d = DistributedWaveSolver(
+            g, Medium.homogeneous(g), nranks=2,
+            config=SolverConfig(free_surface=False, absorbing="none"),
+            sync_comm=True, machine=jaguar())
+        tracer = Tracer()
+        with use_tracer(tracer):
+            d.run(1)
+        names = {sp.name for sp in tracer.spans}
+        assert "mpi.ssend" in names
+        assert "halo.exchange.velocity" in names
+
+
+class TestIOInstrumentation:
+    def test_collective_write_span(self):
+        f = VirtualFile(size=64)
+        model = LustreModel()
+
+        def program(comm):
+            view = FileView.contiguous(comm.rank * 32, 32)
+            payload = np.zeros(32, dtype=np.uint8)
+            yield from collective_write(comm, f, view, payload, model)
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            run_spmd(2, program)
+        writes = [sp for sp in tracer.spans
+                  if sp.name == "io.collective_write"]
+        assert len(writes) == 2
+        for sp in writes:
+            assert sp.category == "io"
+            assert sp.domain == "virtual"
+            assert sp.attrs["nbytes"] == 32
+        # the closing barrier nests under the write span
+        by_id = {sp.span_id: sp for sp in tracer.spans}
+        barriers = [sp for sp in tracer.spans if sp.name == "mpi.barrier"]
+        assert barriers
+        for sp in barriers:
+            assert by_id[sp.parent_id].name == "io.collective_write"
+
+    def test_checkpoint_spans(self, tmp_path):
+        mgr = CheckpointManager(root=tmp_path, model=LustreModel())
+        states = {0: {"a": np.arange(4.0)}, 1: {"a": np.ones(4)}}
+        tracer = Tracer()
+        with use_tracer(tracer):
+            mgr.write_epoch(0, states)
+            mgr.read_epoch(0, [0, 1])
+        names = [sp.name for sp in tracer.spans]
+        assert "checkpoint.write" in names
+        assert "checkpoint.read" in names
+        for sp in tracer.spans:
+            assert sp.category == "io"
+
+    def test_aggregator_flush_span(self):
+        from repro.io.aggregation import OutputAggregator
+        agg = OutputAggregator(vfile=None, model=LustreModel(),
+                               flush_interval=2)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            agg.record(np.zeros(8))
+            agg.record(np.zeros(8))  # triggers the flush
+        (sp,) = tracer.spans
+        assert sp.name == "io.flush"
+        assert sp.category == "io"
+        assert sp.attrs["records"] == 2
+
+
+class TestWorkflowInstrumentation:
+    def test_stage_records_timed(self):
+        wf = Workflow()
+        wf.add_stage("mesh", lambda ctx: "m")
+        wf.add_stage("solve", lambda ctx: "s", after=("mesh",))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            wf.run()
+        for rec in wf.records.values():
+            assert rec.status == "done"
+            assert rec.wall_seconds >= 0
+            assert rec.elapsed == rec.wall_seconds
+            assert rec.started is not None
+            assert rec.finished is not None
+            assert rec.finished >= rec.started
+        names = [sp.name for sp in tracer.spans]
+        assert names == ["workflow.mesh", "workflow.solve"]
+
+    def test_failed_stage_still_timed(self):
+        wf = Workflow()
+
+        def boom(ctx):
+            raise RuntimeError("nope")
+
+        wf.add_stage("bad", boom)
+        wf.run()
+        rec = wf.records["bad"]
+        assert rec.status == "failed"
+        assert rec.started is not None and rec.finished is not None
+
+    def test_skipped_stage_untimed(self):
+        wf = Workflow()
+        wf.add_stage("bad", lambda ctx: 1 / 0)
+        wf.add_stage("dep", lambda ctx: "x", after=("bad",))
+        wf.run()
+        assert wf.records["dep"].status == "skipped"
+        assert wf.records["dep"].started is None

@@ -1,0 +1,124 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.core import Grid3D, Medium, SolverConfig, WaveSolver
+from repro.obs import (Counter, FlopCounter, Gauge, Histogram,
+                       MetricsRegistry, default_registry)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("n").inc(-1)
+
+
+class TestGauge:
+    def test_set(self):
+        g = Gauge("g")
+        assert g.value is None
+        g.set(4)
+        assert g.value == 4.0
+
+
+class TestHistogram:
+    def test_basic_stats(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.mean == 2.5
+        assert h.min == 1.0
+        assert h.max == 4.0
+
+    def test_percentiles_interpolate(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        # numpy's default linear interpolation convention
+        assert h.percentile(50) == pytest.approx(2.5)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 4.0
+        assert h.percentile(25) == pytest.approx(1.75)
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(101)
+
+    def test_empty_histogram(self):
+        h = Histogram("h")
+        assert h.percentile(50) == 0.0
+        assert h.mean == 0.0
+        s = h.summary()
+        assert s["count"] == 0.0
+
+    def test_summary_keys(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        assert set(h.summary()) == {"count", "mean", "min", "max",
+                                    "p50", "p90", "p99"}
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert "a" in r
+        assert r.get("missing") is None
+        assert r.names() == ["a"]
+
+    def test_type_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(TypeError):
+            r.gauge("x")
+
+    def test_snapshot_and_report(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(2)
+        r.gauge("g").set(1.5)
+        r.histogram("h").observe(3.0)
+        snap = r.snapshot()
+        assert snap["c"] == 2.0
+        assert snap["g"] == 1.5
+        assert snap["h"]["count"] == 1.0
+        assert "metrics:" in r.report()
+
+    def test_clear(self):
+        r = MetricsRegistry()
+        r.counter("c")
+        r.clear()
+        assert "c" not in r
+
+    def test_default_registry_is_shared(self):
+        assert default_registry() is default_registry()
+
+
+class TestFlopBridge:
+    def test_observe_flops_sets_gauges(self):
+        g = Grid3D(16, 16, 12, h=100.0)
+        s = WaveSolver(g, Medium.homogeneous(g),
+                       SolverConfig(absorbing="none"))
+        counter = FlopCounter.for_solver(s)
+        with counter:
+            s.run(3)
+        r = MetricsRegistry()
+        gauge = r.observe_flops(counter)
+        assert gauge.value > 0
+        assert r.gauge("sustained_gflops").value == pytest.approx(
+            counter.sustained_flops() / 1e9)
+        assert r.counter("steps_total").value == 3
+        assert r.counter("flops_total").value == pytest.approx(
+            counter.total_flops)
+
+    def test_observe_untimed_counter_is_safe(self):
+        r = MetricsRegistry()
+        gauge = r.observe_flops(FlopCounter(points=10, flops_per_point=10.0))
+        assert gauge.value == 0.0

@@ -1,0 +1,49 @@
+"""Null-tracer overhead: an untraced run must pay < 5% for instrumentation.
+
+A/B wall-clock comparisons of two solver runs are too noisy to assert on, so
+the bound is arithmetic: measure the cost of one null span directly, count
+the spans a run would open, and require (count x cost) < 5% of the measured
+run time.
+"""
+
+import time
+
+from repro.core import Grid3D, Medium, SolverConfig, WaveSolver
+from repro.obs import NULL_TRACER
+
+
+def _null_span_cost(samples: int = 20_000) -> float:
+    """Measured seconds per null tracer.span() enter/exit."""
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(samples):
+            with NULL_TRACER.span("solver.step", category="compute"):
+                pass
+        best = min(best, (time.perf_counter() - t0) / samples)
+    return best
+
+
+def test_null_tracer_overhead_under_5_percent():
+    g = Grid3D(16, 16, 12, h=100.0)
+    solver = WaveSolver(g, Medium.homogeneous(g),
+                        SolverConfig(absorbing="none"))
+    nsteps = 20
+    t0 = time.perf_counter()
+    solver.run(nsteps)
+    run_seconds = time.perf_counter() - t0
+
+    # spans an untraced run touches: run + one step span per step (plus the
+    # get_tracer() lookup, folded into the measured null-span cost)
+    spans_opened = 1 + nsteps
+    overhead = spans_opened * _null_span_cost()
+    assert overhead < 0.05 * run_seconds, (
+        f"null-tracer overhead {overhead:.2e}s is >= 5% of the "
+        f"{run_seconds:.2e}s run")
+
+
+def test_null_span_is_shared_and_cheap():
+    """span() on the null tracer allocates nothing per call."""
+    a = NULL_TRACER.span("x")
+    b = NULL_TRACER.span("y", category="io", nbytes=1)
+    assert a is b

@@ -1,0 +1,132 @@
+"""Tests for phase classification and the Fig.-12-style breakdown."""
+
+import pytest
+
+from repro.obs import PHASES, PhaseTimeline, Span, Tracer, classify
+
+
+def _span(name, start, end, category="other", rank=None, span_id=0,
+          parent_id=None):
+    return Span(name=name, category=category, rank=rank, start=start,
+                end=end, span_id=span_id, parent_id=parent_id)
+
+
+class TestClassify:
+    def test_category_wins(self):
+        assert classify(_span("anything", 0, 1, category="halo")) == "halo"
+        assert classify(_span("mpi.recv", 0, 1, category="io")) == "io"
+
+    @pytest.mark.parametrize("name,phase", [
+        ("mpi.isend", "halo"),
+        ("halo.exchange.velocity", "halo"),
+        ("comm.wait", "halo"),
+        ("io.flush", "io"),
+        ("checkpoint.write", "io"),
+        ("solver.step", "compute"),
+        ("step.velocity", "compute"),
+        ("kernel.stress", "compute"),
+        ("workflow.mesh", "other"),
+    ])
+    def test_prefix_fallback(self, name, phase):
+        assert classify(_span(name, 0, 1, category="unclassified")) == phase
+
+    def test_phases_tuple(self):
+        assert PHASES == ("compute", "halo", "io", "other")
+
+
+class TestPhaseTimeline:
+    def test_exclusive_time_no_double_count(self):
+        """A parent's self time excludes its direct children."""
+        spans = [
+            _span("solver.run", 0.0, 10.0, category="other", span_id=1),
+            _span("solver.step", 1.0, 5.0, category="compute", span_id=2,
+                  parent_id=1),
+            _span("solver.step", 5.0, 8.0, category="compute", span_id=3,
+                  parent_id=1),
+        ]
+        tl = PhaseTimeline(spans)
+        bucket = tl.phase_seconds(None)
+        assert bucket["compute"] == pytest.approx(7.0)
+        assert bucket["other"] == pytest.approx(3.0)  # 10 - 4 - 3
+        assert tl.total_seconds() == pytest.approx(10.0)
+
+    def test_grandchildren_only_subtract_from_parent(self):
+        spans = [
+            _span("a", 0.0, 10.0, span_id=1),
+            _span("b", 0.0, 6.0, span_id=2, parent_id=1),
+            _span("c", 0.0, 2.0, span_id=3, parent_id=2),
+        ]
+        tl = PhaseTimeline(spans)
+        assert tl.phase_seconds(None)["other"] == pytest.approx(10.0)
+
+    def test_negative_self_time_clamped(self):
+        """Children reported longer than the parent must not go negative."""
+        spans = [
+            _span("a", 0.0, 1.0, span_id=1),
+            _span("b", 0.0, 2.0, span_id=2, parent_id=1),
+        ]
+        tl = PhaseTimeline(spans)
+        assert tl.phase_seconds(None)["other"] == pytest.approx(2.0)
+
+    def test_per_rank_buckets(self):
+        spans = [
+            _span("step.velocity", 0, 2, category="compute", rank=0,
+                  span_id=1),
+            _span("mpi.recv", 0, 1, category="halo", rank=1, span_id=2),
+        ]
+        tl = PhaseTimeline(spans)
+        assert tl.ranks() == [0, 1]
+        assert tl.phase_seconds(0)["compute"] == 2.0
+        assert tl.phase_seconds(1)["halo"] == 1.0
+        assert tl.totals()["compute"] == 2.0
+
+    def test_main_thread_sorts_first(self):
+        spans = [
+            _span("a", 0, 1, rank=1, span_id=1),
+            _span("b", 0, 1, rank=None, span_id=2),
+            _span("c", 0, 1, rank=0, span_id=3),
+        ]
+        assert PhaseTimeline(spans).ranks() == [None, 0, 1]
+
+    def test_fractions(self):
+        spans = [
+            _span("x", 0, 3, category="compute", span_id=1),
+            _span("y", 3, 4, category="io", span_id=2),
+        ]
+        f = PhaseTimeline(spans).fractions()
+        assert f["compute"] == pytest.approx(0.75)
+        assert f["io"] == pytest.approx(0.25)
+        assert sum(f.values()) == pytest.approx(1.0)
+
+    def test_fractions_empty(self):
+        assert PhaseTimeline([]).fractions() == {p: 0.0 for p in PHASES}
+
+    def test_top_spans(self):
+        spans = [_span(f"s{i}", 0, i, span_id=i) for i in range(1, 6)]
+        top = PhaseTimeline(spans).top_spans(2)
+        assert [sp.name for sp in top] == ["s5", "s4"]
+
+    def test_from_tracer(self):
+        t = Tracer()
+        with t.span("solver.step", category="compute"):
+            pass
+        tl = PhaseTimeline.from_tracer(t)
+        assert len(tl.spans) == 1
+
+    def test_breakdown_table_renders(self):
+        spans = [
+            _span("step.velocity", 0, 2, category="compute", rank=0,
+                  span_id=1),
+            _span("mpi.recv", 0, 1, category="halo", rank=1, span_id=2),
+        ]
+        table = PhaseTimeline(spans).breakdown_table()
+        for phase in PHASES:
+            assert phase in table
+        assert "all" in table        # aggregate row for multi-rank traces
+        assert "100.0%" in table
+
+    def test_top_spans_table_renders(self):
+        spans = [_span("mpi.recv", 0, 1, category="halo", rank=2, span_id=1)]
+        table = PhaseTimeline(spans).top_spans_table(5)
+        assert "mpi.recv" in table
+        assert "halo" in table

@@ -1,0 +1,213 @@
+"""Tests for the span tracer."""
+
+import threading
+
+from repro.obs import (NULL_TRACER, NullTracer, Span, Tracer, get_tracer,
+                       set_tracer, trace, use_tracer)
+
+
+class TestSpan:
+    def test_duration(self):
+        sp = Span(name="a", start=1.0, end=3.5)
+        assert sp.duration == 2.5
+
+    def test_dict_round_trip(self):
+        sp = Span(name="a", category="halo", rank=2, start=1.0, end=2.0,
+                  span_id=7, parent_id=3, domain="virtual",
+                  attrs={"nbytes": 64})
+        back = Span.from_dict(sp.to_dict())
+        assert back == sp
+
+    def test_dict_omits_defaults(self):
+        d = Span(name="a", start=0.0, end=1.0, span_id=1).to_dict()
+        assert "rank" not in d and "parent" not in d
+        assert "domain" not in d and "attrs" not in d
+
+
+class TestTracer:
+    def test_records_span(self):
+        t = Tracer()
+        with t.span("work", category="compute", nbytes=4):
+            pass
+        (sp,) = t.spans
+        assert sp.name == "work"
+        assert sp.category == "compute"
+        assert sp.attrs == {"nbytes": 4}
+        assert sp.end >= sp.start
+
+    def test_nesting_sets_parent(self):
+        t = Tracer()
+        with t.span("outer") as outer:
+            with t.span("inner") as inner:
+                assert t.current_span() is inner
+            assert t.current_span() is outer
+        by_name = {sp.name: sp for sp in t.spans}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+
+    def test_sibling_spans_share_parent(self):
+        t = Tracer()
+        with t.span("outer") as outer:
+            with t.span("a"):
+                pass
+            with t.span("b"):
+                pass
+        spans = {sp.name: sp for sp in t.spans}
+        assert spans["a"].parent_id == outer.span_id
+        assert spans["b"].parent_id == outer.span_id
+
+    def test_span_ids_unique(self):
+        t = Tracer()
+        for _ in range(10):
+            with t.span("x"):
+                pass
+        ids = [sp.span_id for sp in t.spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_decorator_form(self):
+        t = Tracer()
+
+        @t.span("fn.call", category="compute")
+        def double(x):
+            return 2 * x
+
+        assert double(21) == 42
+        assert t.spans[0].name == "fn.call"
+
+    def test_record_direct(self):
+        t = Tracer()
+        sp = t.record("mpi.isend", 1.0, 2.0, category="halo", rank=3,
+                      nbytes=128)
+        assert sp.duration == 1.0
+        assert t.spans[0].attrs["nbytes"] == 128
+
+    def test_clear_and_len(self):
+        t = Tracer()
+        with t.span("x"):
+            pass
+        assert len(t) == 1
+        t.clear()
+        assert len(t) == 0
+
+    def test_thread_safety_separate_stacks(self):
+        t = Tracer()
+        errors = []
+
+        def worker(i):
+            try:
+                for _ in range(50):
+                    with t.span(f"outer{i}"):
+                        with t.span(f"inner{i}"):
+                            pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert not errors
+        assert len(t) == 4 * 50 * 2
+        # every inner's parent is an outer from the same thread
+        by_id = {sp.span_id: sp for sp in t.spans}
+        for sp in t.spans:
+            if sp.name.startswith("inner"):
+                assert by_id[sp.parent_id].name == "outer" + sp.name[5:]
+
+
+class TestRankTracer:
+    def test_virtual_clock_and_domain(self):
+        clock = {"t": 0.0}
+        t = Tracer()
+        rv = t.rank_view(3, clock=lambda: clock["t"])
+        with rv.span("mpi.wait", category="halo"):
+            clock["t"] = 2.5
+        (sp,) = t.spans
+        assert sp.rank == 3
+        assert sp.domain == "virtual"
+        assert sp.duration == 2.5
+
+    def test_wall_override_inside_virtual_rank(self):
+        t = Tracer()
+        rv = t.rank_view(0, clock=lambda: 0.0)
+        with rv.span("step.velocity", category="compute", wall=True):
+            pass
+        (sp,) = t.spans
+        assert sp.domain == "wall"
+        assert sp.duration >= 0.0
+
+    def test_private_stacks_interleave(self):
+        """Two rank views opening spans alternately must not cross-link."""
+        t = Tracer()
+        a = t.rank_view(0, clock=lambda: 0.0)
+        b = t.rank_view(1, clock=lambda: 0.0)
+        ha = a.span("a.outer")
+        hb = b.span("b.outer")
+        ha.__enter__()
+        hb.__enter__()  # interleaved, as SimMPI generators do
+        with a.span("a.inner"):
+            pass
+        with b.span("b.inner"):
+            pass
+        hb.__exit__(None, None, None)
+        ha.__exit__(None, None, None)
+        spans = {sp.name: sp for sp in t.spans}
+        assert spans["a.inner"].parent_id == spans["a.outer"].span_id
+        assert spans["b.inner"].parent_id == spans["b.outer"].span_id
+
+    def test_record_defaults_parent_to_open_span(self):
+        t = Tracer()
+        rv = t.rank_view(0, clock=lambda: 0.0)
+        with rv.span("halo.exchange") as outer:
+            rv.record("mpi.recv", 0.0, 1.0, category="halo")
+        spans = {sp.name: sp for sp in t.spans}
+        assert spans["mpi.recv"].parent_id == outer.span_id
+
+
+class TestGlobalTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_installs_and_restores(self):
+        before = get_tracer()
+        t = Tracer()
+        with use_tracer(t):
+            assert get_tracer() is t
+        assert get_tracer() is before
+
+    def test_set_tracer_none_means_null(self):
+        old = set_tracer(None)
+        try:
+            assert get_tracer() is NULL_TRACER
+        finally:
+            set_tracer(old)
+
+    def test_trace_decorator_uses_current_tracer(self):
+        @trace("traced.fn", category="compute")
+        def f():
+            return 1
+
+        t = Tracer()
+        with use_tracer(t):
+            assert f() == 1
+        assert [sp.name for sp in t.spans] == ["traced.fn"]
+        f()  # outside: null tracer, nothing recorded
+        assert len(t.spans) == 1
+
+
+class TestNullTracer:
+    def test_noop_span(self):
+        with NULL_TRACER.span("x", category="compute") as sp:
+            assert sp is None
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.record("x", 0, 1) is None
+        assert NULL_TRACER.rank_view(3) is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_decorator_is_identity(self):
+        def f():
+            return 7
+
+        assert NULL_TRACER.span("x")(f) is f

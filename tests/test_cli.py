@@ -86,3 +86,95 @@ class TestAval:
         assert main(["aval", "--update-reference", str(ref)]) == 0
         assert main(["aval", "--reference", str(ref)]) == 0
         assert "PASS" in capsys.readouterr().out
+
+
+class TestTraceFlag:
+    def test_run_quake_writes_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        rc = main(["run-quake", "--n", "16", "--steps", "10",
+                   "--trace", str(trace)])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        from repro.obs import read_jsonl
+        spans = read_jsonl(trace)
+        assert spans
+        assert any(sp.name == "solver.step" for sp in spans)
+
+    def test_trace_chrome_writes_valid_json(self, tmp_path):
+        import json
+        out = tmp_path / "run.json"
+        rc = main(["run-quake", "--n", "16", "--steps", "10",
+                   "--trace-chrome", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+    def test_trace_restores_global_tracer(self, tmp_path):
+        from repro.obs import NULL_TRACER, get_tracer
+        main(["run-quake", "--n", "16", "--steps", "5",
+              "--trace", str(tmp_path / "t.jsonl")])
+        assert get_tracer() is NULL_TRACER
+
+    def test_untraced_run_unchanged(self, tmp_path, capsys):
+        rc = main(["run-quake", "--n", "16", "--steps", "5"])
+        assert rc == 0
+        assert "wrote" not in capsys.readouterr().out
+
+
+class TestTraceReport:
+    def _make_trace(self, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        main(["run-quake", "--n", "16", "--steps", "10",
+              "--trace", str(trace)])
+        return trace
+
+    def test_renders_breakdown(self, tmp_path, capsys):
+        trace = self._make_trace(tmp_path)
+        capsys.readouterr()
+        rc = main(["trace-report", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-rank phase breakdown" in out
+        for phase in ("compute", "halo", "io", "other"):
+            assert phase in out
+        assert "top 10 spans" in out
+
+    def test_chrome_conversion(self, tmp_path, capsys):
+        import json
+        trace = self._make_trace(tmp_path)
+        chrome = tmp_path / "run.json"
+        rc = main(["trace-report", str(trace), "--chrome", str(chrome)])
+        assert rc == 0
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+
+    def test_empty_trace_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace-report", str(empty)]) == 1
+        assert "no spans" in capsys.readouterr().out
+
+    def test_distributed_trace_per_rank_rows(self, tmp_path, capsys):
+        """A SimMPI trace renders one breakdown row per rank."""
+        from repro.core import Grid3D, Medium, SolverConfig
+        from repro.obs import Tracer, use_tracer, write_jsonl
+        from repro.parallel.distributed import DistributedWaveSolver
+        from repro.parallel.machine import jaguar
+
+        g = Grid3D(12, 12, 12, h=100.0)
+        d = DistributedWaveSolver(
+            g, Medium.homogeneous(g), nranks=4,
+            config=SolverConfig(free_surface=False, absorbing="none"),
+            machine=jaguar())
+        tracer = Tracer()
+        with use_tracer(tracer):
+            d.run(2)
+        trace = tmp_path / "dist.jsonl"
+        write_jsonl(tracer.spans, trace)
+        rc = main(["trace-report", str(trace), "--top", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for rank in range(4):
+            assert f"\n     {rank} " in out
+        assert "all" in out
