@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Thin runner for the fixed benchmark suite (same engine as ``repro bench``).
+
+Useful when the package is on ``PYTHONPATH`` but not installed (no console
+script)::
+
+    PYTHONPATH=src python benchmarks/bench_runner.py [--smoke] [--out PATH]
+
+See PERFORMANCE.md for how to read the resulting ``BENCH_<rev>.json`` and
+EXPERIMENTS.md for the benchmarking-over-time protocol.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -9,6 +9,12 @@ Part 2 evaluates the calibrated performance model at petascale: the Fig. 14
 strong-scaling curves, the Fig. 12 time breakdown, and the Table 2 version
 history.
 
+To profile a run like Part 1's yourself, use the `repro.obs` span tracer
+(`Tracer` + `use_tracer`, or `--trace run.jsonl` on any CLI subcommand,
+then `repro trace-report run.jsonl`) and the `FlopCounter` PAPI stand-in;
+for machine-local throughput baselines use `repro bench`.  See
+PERFORMANCE.md for the full profiling and benchmarking guide.
+
 Run:  python examples/scaling_study.py
 """
 

@@ -1,0 +1,414 @@
+"""Fixed-workload benchmark suite behind ``repro bench`` (Section IV/V.B).
+
+The paper's optimization story is only auditable because every change was
+measured against a fixed workload (the 1024^3 single-node benchmark, the
+4,096-core Kraken strong-scaling runs).  This module is the repo's analogue:
+a small, pinned set of kernel / solver / halo workloads whose results are
+written to a schema'd ``BENCH_<rev>.json`` so numbers can be compared across
+revisions — "benchmarking over time" (see EXPERIMENTS.md and PERFORMANCE.md).
+
+Workloads (sizes fixed per mode, see :data:`FULL` / :data:`SMOKE`):
+
+``kernel_step``
+    The production :class:`~repro.core.kernels.VelocityStressKernel`
+    interior update (the allocation-free hot loop).
+``kernel_blocked``
+    The same arithmetic through the cache-blocked k/j-panel driver.
+``baseline_kernel``
+    The pre-IV.B formulation (in-loop divisions, per-step harmonic moduli)
+    — the measurable "before" case.
+``solver_step``
+    A full :class:`~repro.core.solver.WaveSolver` step with sponge and
+    coarse-grained attenuation (boundary + memory-variable cost included).
+``halo_exchange``
+    Pure :class:`~repro.parallel.halo.HaloExchange` rounds over SimMPI
+    ranks (no compute), reduced mode.
+``tracer_overhead``
+    The same short solver run under the null tracer and a recording
+    :class:`~repro.obs.Tracer`; reports the wall-time ratio.
+
+Every workload reports per-repetition wall times, derived Gflop/s and
+Mcell-updates/s where a flop model applies, and the tracemalloc **peak
+temporary bytes** allocated during one repetition — the number the
+allocation-free refactor drives toward zero for ``kernel_step``.  Results
+are also fed through :mod:`repro.obs.metrics` gauges/histograms
+(``bench.<workload>.*``) so they compose with the rest of the
+observability stack.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+import tracemalloc
+from dataclasses import dataclass
+
+import numpy as np
+
+from .core.fd import interior
+from .core.grid import Grid3D, WaveField
+from .core.kernels import (VelocityStressKernel, baseline_stress_update,
+                           baseline_velocity_update)
+from .core.medium import Medium
+from .core.profiling import stencil_flops_per_point
+from .core.solver import SolverConfig, WaveSolver
+from .obs.metrics import MetricsRegistry, default_registry
+from .obs.tracer import NULL_TRACER, Tracer, use_tracer
+from .parallel.decomp import Decomposition3D
+from .parallel.halo import HaloExchange, halo_bytes_per_step
+from .parallel.simmpi import run_spmd
+
+__all__ = ["BENCH_SCHEMA", "BenchConfig", "FULL", "SMOKE", "WORKLOADS",
+           "git_revision", "run_suite", "write_report", "validate_report"]
+
+#: Schema identifier written into every report.
+BENCH_SCHEMA = "repro-bench/1"
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Pinned workload sizes for one suite mode.
+
+    Changing these invalidates cross-revision comparison; bump the mode
+    name (or add a new one) instead of editing in place.
+    """
+
+    name: str    #: mode tag recorded in the report
+    n: int       #: cubic interior grid edge (n^3 cells)
+    steps: int   #: solver/kernel steps per timed repetition
+    reps: int    #: timed repetitions per workload
+    ranks: int   #: virtual ranks for the halo workload
+    rounds: int  #: velocity+stress exchange rounds per halo repetition
+
+
+#: The default suite — sized so the whole run stays under ~a minute.
+FULL = BenchConfig(name="full", n=40, steps=2, reps=5, ranks=4, rounds=16)
+
+#: CI quick mode (``repro bench --smoke``).
+SMOKE = BenchConfig(name="smoke", n=16, steps=1, reps=2, ranks=2, rounds=4)
+
+
+# ----------------------------------------------------------------------
+# Measurement helpers
+# ----------------------------------------------------------------------
+def _measure(step_fn, reps: int) -> tuple[list[float], int]:
+    """Time ``step_fn`` ``reps`` times; return (walls, peak_tmp_bytes).
+
+    One untimed warm-up call absorbs lazy initialisation.  The tracemalloc
+    peak is taken from a *separate* final call so its bookkeeping overhead
+    never pollutes the timings.
+    """
+    step_fn()  # warm-up
+    walls: list[float] = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        step_fn()
+        walls.append(time.perf_counter() - t0)
+    tracemalloc.start()
+    base, _ = tracemalloc.get_traced_memory()
+    step_fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return walls, max(0, peak - base)
+
+
+def _wall_stats(walls: list[float]) -> dict:
+    return {"reps": len(walls), "mean": float(np.mean(walls)),
+            "min": float(np.min(walls)), "max": float(np.max(walls)),
+            "total": float(np.sum(walls)),
+            "samples": [float(w) for w in walls]}
+
+
+def _result(walls: list[float], peak_tmp: int, *, steps: int, points: int,
+            flops_per_point: float | None, extra: dict | None = None) -> dict:
+    """Assemble one workload's report entry from raw measurements."""
+    best = min(walls)
+    out = {
+        "wall_s": _wall_stats(walls),
+        "steps_per_rep": steps,
+        "points": points,
+        "peak_tmp_bytes": int(peak_tmp),
+        "gflops": None,
+        "mcells_per_s": None,
+    }
+    if flops_per_point is not None and best > 0:
+        out["gflops"] = flops_per_point * points * steps / best / 1e9
+        out["mcells_per_s"] = points * steps / best / 1e6
+    if extra:
+        out["extra"] = extra
+    return out
+
+
+def _seeded_wavefield(grid: Grid3D) -> WaveField:
+    """A wavefield with deterministic non-zero interiors (no denormals)."""
+    wf = WaveField(grid)
+    rng = np.random.default_rng(20100913)  # the paper's SC'10 submission era
+    for arr in wf.fields().values():
+        interior(arr)[...] = rng.standard_normal(grid.shape) * 1e-3
+    return wf
+
+
+def _kernel_fixture(cfg: BenchConfig):
+    g = Grid3D(cfg.n, cfg.n, cfg.n, h=100.0)
+    med = Medium.homogeneous(g, vp=4000.0, vs=2300.0, rho=2500.0)
+    wf = _seeded_wavefield(g)
+    dt = 1e-3
+    return g, med, wf, dt
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def bench_kernel_step(cfg: BenchConfig) -> dict:
+    g, med, wf, dt = _kernel_fixture(cfg)
+    kern = VelocityStressKernel(wf, med, dt)
+
+    def step():
+        for _ in range(cfg.steps):
+            kern.step_velocity()
+            kern.step_stress()
+
+    walls, peak = _measure(step, cfg.reps)
+    return _result(walls, peak, steps=cfg.steps, points=g.ncells,
+                   flops_per_point=stencil_flops_per_point(order=4),
+                   extra={"scratch_pool_bytes": kern.scratch_nbytes()})
+
+
+def bench_kernel_blocked(cfg: BenchConfig) -> dict:
+    g, med, wf, dt = _kernel_fixture(cfg)
+    kern = VelocityStressKernel(wf, med, dt)
+
+    def step():
+        for _ in range(cfg.steps):
+            kern.step_blocked()
+
+    walls, peak = _measure(step, cfg.reps)
+    return _result(walls, peak, steps=cfg.steps, points=g.ncells,
+                   flops_per_point=stencil_flops_per_point(order=4),
+                   extra={"scratch_pool_bytes": kern.scratch_nbytes()})
+
+
+def bench_baseline_kernel(cfg: BenchConfig) -> dict:
+    g, med, wf, dt = _kernel_fixture(cfg)
+
+    def step():
+        for _ in range(cfg.steps):
+            baseline_velocity_update(wf, med, dt)
+            baseline_stress_update(wf, med, dt)
+
+    walls, peak = _measure(step, cfg.reps)
+    return _result(walls, peak, steps=cfg.steps, points=g.ncells,
+                   flops_per_point=stencil_flops_per_point(order=4))
+
+
+def bench_solver_step(cfg: BenchConfig) -> dict:
+    g = Grid3D(cfg.n, cfg.n, cfg.n, h=100.0)
+    med = Medium.homogeneous(g, vp=4000.0, vs=2300.0, rho=2500.0,
+                             qs=50.0, qp=100.0)
+    sol = WaveSolver(g, med, SolverConfig(
+        absorbing="sponge", sponge_width=max(3, cfg.n // 8),
+        attenuation_band=(0.2, 2.0), stability_check_interval=0))
+    for name, arr in sol.wf.fields().items():
+        rng = np.random.default_rng(hash(name) & 0xFFFF)
+        interior(arr)[...] = rng.standard_normal(g.shape) * 1e-3
+
+    def step():
+        sol.run(cfg.steps)
+
+    walls, peak = _measure(step, cfg.reps)
+    return _result(walls, peak, steps=cfg.steps, points=g.ncells,
+                   flops_per_point=stencil_flops_per_point(
+                       order=4, attenuation=True),
+                   extra={"dt": sol.dt})
+
+
+def bench_halo_exchange(cfg: BenchConfig) -> dict:
+    g = Grid3D(cfg.n, cfg.n, cfg.n, h=100.0)
+    decomp = Decomposition3D.auto(g, cfg.ranks)
+    wfs = [_seeded_wavefield(sub.grid) for sub in decomp.subdomains()]
+    hxs = [HaloExchange(decomp, r, wfs[r], mode="reduced")
+           for r in range(decomp.nranks)]
+
+    def program(comm, rounds):
+        hx = hxs[comm.rank]
+        for _ in range(rounds):
+            yield from hx.exchange(comm, "velocity")
+            yield from hx.exchange(comm, "stress")
+
+    def step():
+        run_spmd(decomp.nranks, program, args=(cfg.rounds,))
+
+    walls, peak = _measure(step, cfg.reps)
+    bytes_per_round = sum(halo_bytes_per_step(decomp, r, "reduced")
+                          for r in range(decomp.nranks))
+    return _result(walls, peak, steps=cfg.rounds, points=0,
+                   flops_per_point=None,
+                   extra={"ranks": decomp.nranks,
+                          "dims": list(decomp.dims),
+                          "bytes_per_round": bytes_per_round,
+                          "pool_bytes": sum(hx.pool_nbytes() for hx in hxs)})
+
+
+def bench_tracer_overhead(cfg: BenchConfig) -> dict:
+    """Null-tracer vs recording-tracer wall time on the same solver run."""
+    def run_with(tracer) -> list[float]:
+        g = Grid3D(cfg.n, cfg.n, cfg.n, h=100.0)
+        med = Medium.homogeneous(g, vp=4000.0, vs=2300.0, rho=2500.0)
+        sol = WaveSolver(g, med, SolverConfig(
+            absorbing="none", free_surface=False,
+            stability_check_interval=0))
+
+        def step():
+            sol.run(cfg.steps)
+
+        # pin the tracer explicitly: under `repro bench --trace` an ambient
+        # recording tracer is installed, which must not leak into the
+        # "null" side of the comparison
+        with use_tracer(tracer if tracer is not None else NULL_TRACER):
+            walls, _ = _measure(step, cfg.reps)
+        return walls
+
+    null_walls = run_with(None)
+    traced_walls = run_with(Tracer())
+    ratio = min(traced_walls) / min(null_walls) if min(null_walls) > 0 else 1.0
+    out = _result(null_walls, 0, steps=cfg.steps,
+                  points=Grid3D(cfg.n, cfg.n, cfg.n, h=100.0).ncells,
+                  flops_per_point=None)
+    out["extra"] = {"traced_wall_s": _wall_stats(traced_walls),
+                    "overhead_ratio": ratio}
+    return out
+
+
+#: name -> workload function; iteration order is report order.
+WORKLOADS = {
+    "kernel_step": bench_kernel_step,
+    "kernel_blocked": bench_kernel_blocked,
+    "baseline_kernel": bench_baseline_kernel,
+    "solver_step": bench_solver_step,
+    "halo_exchange": bench_halo_exchange,
+    "tracer_overhead": bench_tracer_overhead,
+}
+
+
+# ----------------------------------------------------------------------
+# Suite driver, report I/O, validation
+# ----------------------------------------------------------------------
+def git_revision() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+    except OSError:
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def run_suite(smoke: bool = False, registry: MetricsRegistry | None = None,
+              workloads: list[str] | None = None) -> dict:
+    """Run the suite and return the report dict (see :func:`validate_report`).
+
+    Results are mirrored into ``registry`` (the process default if None):
+    a ``bench.<name>.wall_s`` histogram, ``bench.<name>.gflops`` /
+    ``bench.<name>.peak_tmp_bytes`` gauges, and the
+    ``bench.null_tracer_overhead`` gauge.
+    """
+    cfg = SMOKE if smoke else FULL
+    reg = registry if registry is not None else default_registry()
+    selected = workloads or list(WORKLOADS)
+    unknown = sorted(set(selected) - set(WORKLOADS))
+    if unknown:
+        raise ValueError(f"unknown workloads: {', '.join(unknown)} "
+                         f"(available: {', '.join(WORKLOADS)})")
+    results: dict[str, dict] = {}
+    for name in selected:
+        results[name] = res = WORKLOADS[name](cfg)
+        hist = reg.histogram(f"bench.{name}.wall_s")
+        for w in res["wall_s"]["samples"]:
+            hist.observe(w)
+        reg.gauge(f"bench.{name}.peak_tmp_bytes").set(res["peak_tmp_bytes"])
+        if res["gflops"] is not None:
+            reg.gauge(f"bench.{name}.gflops").set(res["gflops"])
+    if "tracer_overhead" in results:
+        reg.gauge("bench.null_tracer_overhead").set(
+            results["tracer_overhead"]["extra"]["overhead_ratio"])
+    return {
+        "schema": BENCH_SCHEMA,
+        "revision": git_revision(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "mode": cfg.name,
+        "config": {"n": cfg.n, "steps": cfg.steps, "reps": cfg.reps,
+                   "ranks": cfg.ranks, "rounds": cfg.rounds},
+        "host": {"python": platform.python_version(),
+                 "numpy": np.__version__,
+                 "machine": platform.machine()},
+        "workloads": results,
+    }
+
+
+def write_report(report: dict, path: str | None = None) -> str:
+    """Write ``report`` as JSON; default filename ``BENCH_<rev>.json``."""
+    if path is None:
+        path = f"BENCH_{report.get('revision', 'unknown')}.json"
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def validate_report(report: dict) -> None:
+    """Raise ``ValueError`` unless ``report`` matches the repro-bench/1 schema."""
+    def need(cond: bool, msg: str) -> None:
+        if not cond:
+            raise ValueError(f"invalid bench report: {msg}")
+
+    need(isinstance(report, dict), "not a mapping")
+    need(report.get("schema") == BENCH_SCHEMA,
+         f"schema != {BENCH_SCHEMA!r}")
+    for key in ("revision", "created", "mode"):
+        need(isinstance(report.get(key), str) and report[key],
+             f"missing/empty {key!r}")
+    need(isinstance(report.get("config"), dict), "missing config")
+    wl = report.get("workloads")
+    need(isinstance(wl, dict) and wl, "missing/empty workloads")
+    for name, res in wl.items():
+        need(isinstance(res, dict), f"workload {name!r} not a mapping")
+        ws = res.get("wall_s")
+        need(isinstance(ws, dict), f"{name}: missing wall_s")
+        for stat in ("reps", "mean", "min", "max", "total"):
+            need(isinstance(ws.get(stat), (int, float)),
+                 f"{name}: wall_s.{stat} not numeric")
+        need(ws["min"] >= 0 and ws["max"] >= ws["min"],
+             f"{name}: inconsistent wall_s bounds")
+        need(isinstance(res.get("peak_tmp_bytes"), int)
+             and res["peak_tmp_bytes"] >= 0,
+             f"{name}: bad peak_tmp_bytes")
+        for opt in ("gflops", "mcells_per_s"):
+            need(res.get(opt) is None or isinstance(res[opt], (int, float)),
+                 f"{name}: {opt} neither null nor numeric")
+    if "tracer_overhead" in wl:
+        ratio = wl["tracer_overhead"].get("extra", {}).get("overhead_ratio")
+        need(isinstance(ratio, (int, float)) and ratio > 0,
+             "tracer_overhead: missing overhead_ratio")
+
+
+def format_report(report: dict) -> str:
+    """Human-readable one-line-per-workload summary."""
+    lines = [f"bench {report['revision']} ({report['mode']} mode, "
+             f"numpy {report['host']['numpy']})"]
+    for name, res in report["workloads"].items():
+        ws = res["wall_s"]
+        gf = (f"{res['gflops']:8.2f} Gflop/s" if res["gflops"] is not None
+              else " " * 8 + "   --   ")
+        lines.append(
+            f"  {name:<18} {ws['mean'] * 1e3:9.2f} ms/rep "
+            f"(min {ws['min'] * 1e3:8.2f})  {gf}  "
+            f"peak tmp {res['peak_tmp_bytes'] / 1024:10.1f} KiB")
+    ratio = (report["workloads"].get("tracer_overhead", {})
+             .get("extra", {}).get("overhead_ratio"))
+    if ratio is not None:
+        lines.append(f"  null-tracer overhead ratio: {ratio:.3f}x "
+                     "(recording tracer / null tracer)")
+    return "\n".join(lines)

@@ -11,6 +11,7 @@ This module exposes the same operations as subcommands::
     python -m repro perf-report  --machine jaguar --cores 223074
     python -m repro aval         [--update-reference ref.npz]
     python -m repro m8           --extent 48 --duration 12
+    python -m repro bench        [--smoke] [--out BENCH.json]
 
 Each subcommand prints a short human-readable report and (where an ``--out``
 is given) writes NumPy artifacts.
@@ -101,6 +102,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="the scaled M8 two-step pipeline")
     m8.add_argument("--extent", type=float, default=48.0, help="domain km")
     m8.add_argument("--duration", type=float, default=12.0)
+
+    b = sub.add_parser("bench", parents=[common],
+                       help="fixed kernel/solver/halo benchmark suite; "
+                            "writes BENCH_<rev>.json")
+    b.add_argument("--smoke", action="store_true",
+                   help="CI quick mode (smaller fixed workloads)")
+    b.add_argument("--out", type=str, default=None, metavar="PATH",
+                   help="report path (default BENCH_<rev>.json in cwd)")
+    b.add_argument("--workload", action="append", default=None,
+                   metavar="NAME", dest="workloads",
+                   help="run only this workload (repeatable)")
+    b.add_argument("--metrics", action="store_true",
+                   help="also print the repro.obs metrics registry report")
 
     tr = sub.add_parser("trace-report", help="render a saved span trace as a "
                                              "per-rank phase breakdown")
@@ -270,6 +284,27 @@ def _cmd_m8(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .bench import format_report, run_suite, validate_report, write_report
+    from .obs import default_registry
+    try:
+        report = run_suite(smoke=args.smoke, workloads=args.workloads)
+    except ValueError as exc:   # e.g. an unknown --workload name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    validate_report(report)
+    try:
+        path = write_report(report, args.out)
+    except OSError as exc:
+        print(f"error: cannot write report: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(report))
+    print(f"wrote {path}")
+    if args.metrics:
+        print(default_registry().report())
+    return 0
+
+
 def _cmd_trace_report(args) -> int:
     from .obs import (PhaseTimeline, read_jsonl, write_chrome_trace)
     spans = read_jsonl(args.path)
@@ -296,6 +331,7 @@ _COMMANDS = {
     "perf-report": _cmd_perf_report,
     "aval": _cmd_aval,
     "m8": _cmd_m8,
+    "bench": _cmd_bench,
     "trace-report": _cmd_trace_report,
 }
 

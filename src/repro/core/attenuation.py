@@ -118,6 +118,9 @@ class CoarseGrainedAttenuation:
         self._zeta = {c: np.zeros(grid.shape, dtype=dtype)
                       for c in ("sxx", "syy", "szz", "sxy", "sxz", "syz")}
         self._dt_coeffs: tuple[float, np.ndarray, np.ndarray] | None = None
+        # Pooled hot-loop temporaries for the in-place rate hook.
+        self._t1 = np.zeros(grid.shape, dtype=dtype)
+        self._t2 = np.zeros(grid.shape, dtype=dtype)
 
     def _coeffs(self, dt: float) -> tuple[np.ndarray, np.ndarray]:
         """Trapezoidal update coefficients (A, B) for the current dt."""
@@ -129,16 +132,29 @@ class CoarseGrainedAttenuation:
         return self._dt_coeffs[1], self._dt_coeffs[2]
 
     def rate_hook(self, dt: float):
-        """Return a ``hook(comp, elastic_rate) -> relaxed_rate`` callable."""
+        """Return a ``hook(comp, elastic_rate) -> relaxed_rate`` callable.
+
+        The hook is allocation-free: it relaxes the rate *in place* using
+        pooled temporaries, with the ufunc calls ordered exactly as the
+        expressions they replaced (``zeta_new = a*zeta + b*(delta*rate)``;
+        ``adjusted = rate - 0.5*(zeta + zeta_new)``), so results are
+        bit-identical to the allocating formulation.
+        """
         a, b = self._coeffs(dt)
+        t1, t2 = self._t1, self._t2
 
         def hook(comp: str, rate: np.ndarray) -> np.ndarray:
             zeta = self._zeta[comp]
             delta = self._delta["p" if comp in self._P_COMPONENTS else "s"]
-            zeta_new = a * zeta + b * (delta * rate)
-            adjusted = rate - 0.5 * (zeta + zeta_new)
-            zeta[...] = zeta_new
-            return adjusted
+            np.multiply(delta, rate, out=t1)
+            np.multiply(b, t1, out=t1)            # b * (delta * rate)
+            np.multiply(a, zeta, out=t2)
+            np.add(t2, t1, out=t2)                # zeta_new = a*zeta + ...
+            np.add(zeta, t2, out=t1)
+            np.multiply(t1, 0.5, out=t1)          # 0.5 * (zeta + zeta_new)
+            np.subtract(rate, t1, out=rate)
+            np.copyto(zeta, t2)
+            return rate
 
         return hook
 

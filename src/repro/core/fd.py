@@ -60,6 +60,22 @@ def interior(a: np.ndarray) -> np.ndarray:
     return a[sl]
 
 
+def _resolve_out(f: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+    """Validate a caller-supplied ``out`` buffer (or allocate a fresh one).
+
+    Hot loops pass preallocated scratch arrays here every substep; a shape
+    mismatch would otherwise surface as an opaque broadcasting error deep in
+    the stencil slicing.
+    """
+    if out is None:
+        return np.zeros_like(f)
+    if out.shape != f.shape:
+        raise ValueError(
+            f"out has shape {out.shape}, expected {f.shape} (the padded "
+            "shape of the input field)")
+    return out
+
+
 def _shift(axis: int, lo: int, hi: int, ndim: int) -> tuple[slice, ...]:
     """Interior slice shifted by ``lo`` cells at the low end along ``axis``.
 
@@ -77,15 +93,19 @@ def _shift(axis: int, lo: int, hi: int, ndim: int) -> tuple[slice, ...]:
     return tuple(out)
 
 
-def diff4_fwd(f: np.ndarray, axis: int, h: float, out: np.ndarray | None = None) -> np.ndarray:
+def diff4_fwd(f: np.ndarray, axis: int, h: float, out: np.ndarray | None = None,
+              work: np.ndarray | None = None) -> np.ndarray:
     """4th-order staggered derivative; output half a cell up along ``axis``.
 
     ``out[i] = (c1*(f[i+1]-f[i]) + c2*(f[i+2]-f[i-1])) / h`` over the interior.
     If ``out`` is given, the interior of ``out`` is overwritten and ``out`` is
     returned; otherwise a zero-initialised array of the same shape is created.
+    ``work`` (interior-shaped) makes the stencil evaluation allocation-free:
+    the coefficient-scaled shifted planes are formed in it instead of in
+    fresh temporaries.  Results are bit-identical either way (the in-place
+    ufunc sequence performs the same operations in the same order).
     """
-    if out is None:
-        out = np.zeros_like(f)
+    out = _resolve_out(f, out)
     nd = f.ndim
     p1 = f[_shift(axis, 1, 1, nd)]
     p0 = f[_shift(axis, 0, 0, nd)]
@@ -93,20 +113,29 @@ def diff4_fwd(f: np.ndarray, axis: int, h: float, out: np.ndarray | None = None)
     m1 = f[_shift(axis, -1, -1, nd)]
     dst = interior(out)
     np.multiply(p1, C1, out=dst)
-    dst -= C1 * p0
-    dst += C2 * p2
-    dst -= C2 * m1
+    if work is None:
+        dst -= C1 * p0
+        dst += C2 * p2
+        dst -= C2 * m1
+    else:
+        np.multiply(p0, C1, out=work)
+        dst -= work
+        np.multiply(p2, C2, out=work)
+        dst += work
+        np.multiply(m1, C2, out=work)
+        dst -= work
     dst /= h
     return out
 
 
-def diff4_bwd(f: np.ndarray, axis: int, h: float, out: np.ndarray | None = None) -> np.ndarray:
+def diff4_bwd(f: np.ndarray, axis: int, h: float, out: np.ndarray | None = None,
+              work: np.ndarray | None = None) -> np.ndarray:
     """4th-order staggered derivative; output half a cell down along ``axis``.
 
     ``out[i] = (c1*(f[i]-f[i-1]) + c2*(f[i+1]-f[i-2])) / h`` over the interior.
+    ``out``/``work`` behave as in :func:`diff4_fwd`.
     """
-    if out is None:
-        out = np.zeros_like(f)
+    out = _resolve_out(f, out)
     nd = f.ndim
     p0 = f[_shift(axis, 0, 0, nd)]
     m1 = f[_shift(axis, -1, -1, nd)]
@@ -114,17 +143,29 @@ def diff4_bwd(f: np.ndarray, axis: int, h: float, out: np.ndarray | None = None)
     m2 = f[_shift(axis, -2, -2, nd)]
     dst = interior(out)
     np.multiply(p0, C1, out=dst)
-    dst -= C1 * m1
-    dst += C2 * p1
-    dst -= C2 * m2
+    if work is None:
+        dst -= C1 * m1
+        dst += C2 * p1
+        dst -= C2 * m2
+    else:
+        np.multiply(m1, C1, out=work)
+        dst -= work
+        np.multiply(p1, C2, out=work)
+        dst += work
+        np.multiply(m2, C2, out=work)
+        dst -= work
     dst /= h
     return out
 
 
-def diff2_fwd(f: np.ndarray, axis: int, h: float, out: np.ndarray | None = None) -> np.ndarray:
-    """2nd-order staggered derivative, output half a cell up (Eq. 4b form)."""
-    if out is None:
-        out = np.zeros_like(f)
+def diff2_fwd(f: np.ndarray, axis: int, h: float, out: np.ndarray | None = None,
+              work: np.ndarray | None = None) -> np.ndarray:
+    """2nd-order staggered derivative, output half a cell up (Eq. 4b form).
+
+    Already allocation-free with ``out=``; ``work`` is accepted (and unused)
+    for signature parity with the 4th-order operators.
+    """
+    out = _resolve_out(f, out)
     nd = f.ndim
     dst = interior(out)
     np.subtract(f[_shift(axis, 1, 1, nd)], f[_shift(axis, 0, 0, nd)], out=dst)
@@ -132,10 +173,14 @@ def diff2_fwd(f: np.ndarray, axis: int, h: float, out: np.ndarray | None = None)
     return out
 
 
-def diff2_bwd(f: np.ndarray, axis: int, h: float, out: np.ndarray | None = None) -> np.ndarray:
-    """2nd-order staggered derivative, output half a cell down (Eq. 4c form)."""
-    if out is None:
-        out = np.zeros_like(f)
+def diff2_bwd(f: np.ndarray, axis: int, h: float, out: np.ndarray | None = None,
+              work: np.ndarray | None = None) -> np.ndarray:
+    """2nd-order staggered derivative, output half a cell down (Eq. 4c form).
+
+    Already allocation-free with ``out=``; ``work`` is accepted (and unused)
+    for signature parity with the 4th-order operators.
+    """
+    out = _resolve_out(f, out)
     nd = f.ndim
     dst = interior(out)
     np.subtract(f[_shift(axis, 0, 0, nd)], f[_shift(axis, -1, -1, nd)], out=dst)
@@ -144,20 +189,22 @@ def diff2_bwd(f: np.ndarray, axis: int, h: float, out: np.ndarray | None = None)
 
 
 def diff_fwd(f: np.ndarray, axis: int, h: float, order: int = 4,
-             out: np.ndarray | None = None) -> np.ndarray:
+             out: np.ndarray | None = None,
+             work: np.ndarray | None = None) -> np.ndarray:
     """Forward staggered derivative of the requested ``order`` (2 or 4)."""
     if order == 4:
-        return diff4_fwd(f, axis, h, out)
+        return diff4_fwd(f, axis, h, out, work)
     if order == 2:
-        return diff2_fwd(f, axis, h, out)
+        return diff2_fwd(f, axis, h, out, work)
     raise ValueError(f"unsupported FD order: {order!r} (expected 2 or 4)")
 
 
 def diff_bwd(f: np.ndarray, axis: int, h: float, order: int = 4,
-             out: np.ndarray | None = None) -> np.ndarray:
+             out: np.ndarray | None = None,
+             work: np.ndarray | None = None) -> np.ndarray:
     """Backward staggered derivative of the requested ``order`` (2 or 4)."""
     if order == 4:
-        return diff4_bwd(f, axis, h, out)
+        return diff4_bwd(f, axis, h, out, work)
     if order == 2:
-        return diff2_bwd(f, axis, h, out)
+        return diff2_bwd(f, axis, h, out, work)
     raise ValueError(f"unsupported FD order: {order!r} (expected 2 or 4)")

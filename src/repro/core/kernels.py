@@ -17,7 +17,10 @@ Two kernel families are provided, mirroring the paper's single-CPU
 optimization study (Section IV.B):
 
 * :class:`VelocityStressKernel` — the production kernel: reciprocal
-  (buoyancy) arrays and pre-averaged moduli, multiplication-only inner loops.
+  (buoyancy) arrays and pre-averaged moduli, multiplication-only inner
+  loops, and a preallocated scratch pool that makes the steady-state step
+  allocation-free (all hot-loop arithmetic runs through in-place ufuncs;
+  see PERFORMANCE.md and ``tests/core/test_alloc_free.py``).
 * :func:`baseline_velocity_update` / :func:`baseline_stress_update` — the
   pre-optimization formulation with divisions by density and per-step
   harmonic averaging of moduli, kept as the measurable "before" case for the
@@ -71,6 +74,14 @@ class VelocityStressKernel:
     Scratch arrays are allocated once; :meth:`velocity_terms` and
     :meth:`stress_terms` overwrite and return them, so callers must consume
     a component's terms before requesting the next component's.
+
+    The steady-state step path is **allocation-free**: every temporary the
+    update needs (axis-term derivatives, the summed stress rate, the
+    ``dt``-scaled increment) lives in a buffer allocated here, and all
+    arithmetic is expressed as in-place ufunc calls (``out=``).  The
+    arithmetic is ordered exactly as the expression forms it replaced, so
+    results are bit-identical to the allocating formulation — the same
+    invariant the paper's IV.B optimizations had to preserve (aVal).
     """
 
     def __init__(self, wf: WaveField, medium: Medium, dt: float, order: int = 4):
@@ -82,23 +93,50 @@ class VelocityStressKernel:
         self.order = order
         shape = wf.grid.padded_shape
         self._scratch = [np.zeros(shape, dtype=wf.dtype) for _ in range(3)]
+        # Pooled hot-loop temporaries: the summed stress rate and the
+        # dt-scaled increment (interior-shaped), and their padded-shape
+        # counterparts for the cache-blocked driver.
+        self._rate = np.zeros(wf.grid.shape, dtype=wf.dtype)
+        self._incr = np.zeros(wf.grid.shape, dtype=wf.dtype)
+        self._work = np.zeros(wf.grid.shape, dtype=wf.dtype)
+        self._full_rate = np.zeros(shape, dtype=wf.dtype)
+        self._full_incr = np.zeros(shape, dtype=wf.dtype)
+        # Interior views resolved once (slicing in the component loop would
+        # churn small view objects; the data is shared either way).
+        self._scratch_int = [interior(s) for s in self._scratch]
+        self._med_int = {
+            name: interior(getattr(medium, name))
+            for name in ("bx", "by", "bz", "lam", "mu", "lam2mu",
+                         "mu_xy", "mu_xz", "mu_yz")
+            if hasattr(medium, name)
+        }
+        self._wf_int = {name: interior(getattr(wf, name))
+                        for name in self.wf.fields()}
         self.h = wf.grid.h
+
+    def scratch_nbytes(self) -> int:
+        """Total bytes held by the preallocated scratch/temporary pool."""
+        bufs = [*self._scratch, self._rate, self._incr, self._work,
+                self._full_rate, self._full_incr]
+        return sum(b.nbytes for b in bufs)
 
     # ------------------------------------------------------------------
     # Axis-term computation
     # ------------------------------------------------------------------
     def velocity_terms(self, comp: str) -> list[np.ndarray]:
         """Per-axis contributions to ``d(comp)/dt`` (buoyancy included)."""
-        med = self.medium
-        b = getattr(med, _VEL_BUOYANCY[comp])
+        b_int = self._med_int[_VEL_BUOYANCY[comp]]
         out: list[np.ndarray] = []
-        for (axis, sname, dirn), scr in zip(_VEL_TERMS[comp], self._scratch):
+        for (axis, sname, dirn), scr, scr_int in zip(
+                _VEL_TERMS[comp], self._scratch, self._scratch_int):
             s = getattr(self.wf, sname)
             if dirn == "f":
-                fd.diff_fwd(s, axis, self.h, order=self.order, out=scr)
+                fd.diff_fwd(s, axis, self.h, order=self.order, out=scr,
+                            work=self._work)
             else:
-                fd.diff_bwd(s, axis, self.h, order=self.order, out=scr)
-            interior(scr)[...] *= interior(b)
+                fd.diff_bwd(s, axis, self.h, order=self.order, out=scr,
+                            work=self._work)
+            scr_int *= b_int
             out.append(scr)
         return out
 
@@ -108,25 +146,28 @@ class VelocityStressKernel:
         Normal components produce three terms (x, y, z strain-rate parts);
         shear components produce two (the third axis does not contribute).
         """
-        med = self.medium
         wf = self.wf
         if comp in ("sxx", "syy", "szz"):
-            dvx = fd.diff_bwd(wf.vx, 0, self.h, order=self.order, out=self._scratch[0])
-            dvy = fd.diff_bwd(wf.vy, 1, self.h, order=self.order, out=self._scratch[1])
-            dvz = fd.diff_bwd(wf.vz, 2, self.h, order=self.order, out=self._scratch[2])
+            dvx = fd.diff_bwd(wf.vx, 0, self.h, order=self.order,
+                              out=self._scratch[0], work=self._work)
+            dvy = fd.diff_bwd(wf.vy, 1, self.h, order=self.order,
+                              out=self._scratch[1], work=self._work)
+            dvz = fd.diff_bwd(wf.vz, 2, self.h, order=self.order,
+                              out=self._scratch[2], work=self._work)
             own = {"sxx": dvx, "syy": dvy, "szz": dvz}[comp]
-            for t in (dvx, dvy, dvz):
-                if t is own:
-                    interior(t)[...] *= interior(med.lam2mu)
-                else:
-                    interior(t)[...] *= interior(med.lam)
+            lam2mu_int = self._med_int["lam2mu"]
+            lam_int = self._med_int["lam"]
+            for t, t_int in zip((dvx, dvy, dvz), self._scratch_int):
+                t_int *= lam2mu_int if t is own else lam_int
             return [dvx, dvy, dvz]
-        mod = getattr(med, _SHEAR_MOD[comp])
+        mod_int = self._med_int[_SHEAR_MOD[comp]]
         out = []
-        for (axis, vname, _), scr in zip(_SHEAR_TERMS[comp], self._scratch):
+        for (axis, vname, _), scr, scr_int in zip(
+                _SHEAR_TERMS[comp], self._scratch, self._scratch_int):
             v = getattr(wf, vname)
-            fd.diff_fwd(v, axis, self.h, order=self.order, out=scr)
-            interior(scr)[...] *= interior(mod)
+            fd.diff_fwd(v, axis, self.h, order=self.order, out=scr,
+                        work=self._work)
+            scr_int *= mod_int
             out.append(scr)
         return out
 
@@ -139,9 +180,11 @@ class VelocityStressKernel:
         Returns the axis terms (still valid views) for boundary modules.
         """
         terms = self.velocity_terms(comp)
-        dst = interior(getattr(self.wf, comp))
-        for t in terms:
-            dst += self.dt * interior(t)
+        dst = self._wf_int[comp]
+        incr = self._incr
+        for t_int in self._scratch_int[:len(terms)]:
+            np.multiply(t_int, self.dt, out=incr)
+            dst += incr
         return terms
 
     def update_stress(self, comp: str,
@@ -150,15 +193,20 @@ class VelocityStressKernel:
 
         ``rate_hook(comp, rate_interior) -> rate_interior`` lets the
         attenuation module transform the elastic stress rate (adding memory
-        variable relaxation) before integration.  Returns the axis terms.
+        variable relaxation) before integration.  The rate array is a pooled
+        buffer: the hook may modify it in place (and should, to stay
+        allocation-free), but must not retain it across calls.  Returns the
+        axis terms.
         """
         terms = self.stress_terms(comp)
-        rate = interior(terms[0]).copy()
-        for t in terms[1:]:
-            rate += interior(t)
+        rate = self._rate
+        np.copyto(rate, self._scratch_int[0])
+        for t_int in self._scratch_int[1:len(terms)]:
+            rate += t_int
         if rate_hook is not None:
             rate = rate_hook(comp, rate)
-        interior(getattr(self.wf, comp))[...] += self.dt * rate
+        np.multiply(rate, self.dt, out=self._incr)
+        self._wf_int[comp] += self._incr
         return terms
 
     def step_velocity(self) -> None:
@@ -188,23 +236,27 @@ class VelocityStressKernel:
             for k0 in range(0, g.nz, kblock)
             for j0 in range(0, g.ny, jblock)
         ]
+        incr = self._full_incr
         for comp in ("vx", "vy", "vz"):
             terms = self.velocity_terms(comp)
             arr = getattr(self.wf, comp)
-            for sl in panels:
-                for t in terms:
-                    arr[sl] += self.dt * t[sl]
+            for t in terms:
+                np.multiply(t, self.dt, out=incr)
+                for sl in panels:
+                    arr[sl] += incr[sl]
         for comp in ("sxx", "syy", "szz", "sxy", "sxz", "syz"):
             terms = self.stress_terms(comp)
             # Sum the rate exactly as update_stress does, so blocked and
             # unblocked stepping are bitwise identical (ghost regions of the
             # scratch arrays are zero and never read through the panels).
-            rate = terms[0].copy()
+            rate = self._full_rate
+            np.copyto(rate, terms[0])
             for t in terms[1:]:
                 rate += t
             arr = getattr(self.wf, comp)
+            np.multiply(rate, self.dt, out=incr)
             for sl in panels:
-                arr[sl] += self.dt * rate[sl]
+                arr[sl] += incr[sl]
 
 
 # ----------------------------------------------------------------------

@@ -164,10 +164,14 @@ class WaveSolver:
         elif cfg.absorbing != "none":
             raise ValueError(f"unknown absorbing boundary: {cfg.absorbing!r}")
         self.attenuation: CoarseGrainedAttenuation | None = None
+        self._rate_hook = None
         if cfg.attenuation_band is not None:
             self.attenuation = CoarseGrainedAttenuation(
                 grid, medium, *cfg.attenuation_band, n_mech=cfg.n_mechanisms,
                 index_origin=index_origin, dtype=cfg.dtype)
+            # dt is fixed for the solver's lifetime, so the hook (and its
+            # trapezoidal coefficients) can be built once instead of per step.
+            self._rate_hook = self.attenuation.rate_hook(self.dt)
         self.moment_sources: list = []
         self.force_sources: list = []
         self.receivers: list[Receiver] = []
@@ -221,7 +225,7 @@ class WaveSolver:
                 self.pml.update(self.wf, comp, terms, self.dt)
 
     def _step_stress(self) -> None:
-        hook = self.attenuation.rate_hook(self.dt) if self.attenuation else None
+        hook = self._rate_hook
         for comp in ("sxx", "syy", "szz"):
             terms = self.kernel.update_stress(comp, rate_hook=hook)
             if self.pml is not None:

@@ -18,7 +18,9 @@ gauge the way the paper divides PAPI_FP_OPS by measured wall time.
 
 from __future__ import annotations
 
+import contextlib
 import threading
+import time
 from typing import Any
 
 from ..core.profiling import FlopCounter, stencil_flops_per_point
@@ -82,6 +84,23 @@ class Histogram:
     def observe(self, value: float) -> None:
         with self._lock:
             self._values.append(float(value))
+
+    @contextlib.contextmanager
+    def time(self):
+        """Context manager observing the block's elapsed wall seconds.
+
+        Usage::
+
+            with registry.histogram("step.wall_s").time():
+                solver.run(1)
+
+        The sample is recorded even if the block raises.
+        """
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.observe(time.perf_counter() - t0)
 
     @property
     def count(self) -> int:

@@ -16,6 +16,13 @@ Three exchange strategies from the paper are implemented:
 
 All strategies are *pure copies* (no arithmetic), so the distributed solver
 remains bitwise identical to the serial one regardless of strategy.
+
+:class:`HaloExchange` is the persistent form of the asynchronous exchange:
+it precomputes the send/receive plan for a (decomposition, rank, wavefield)
+binding once and packs outgoing slabs into a pooled, double-buffered set of
+send buffers, so the steady-state exchange allocates nothing per step.  The
+module-level :func:`exchange_halos` remains as the one-shot convenience
+wrapper over a transient instance.
 """
 
 from __future__ import annotations
@@ -28,8 +35,8 @@ from ..obs.tracer import NULL_TRACER
 from .decomp import Decomposition3D
 from .simmpi import RankContext
 
-__all__ = ["GHOST_NEEDS", "exchange_halos", "exchange_halos_sync",
-           "halo_bytes_per_step"]
+__all__ = ["GHOST_NEEDS", "HaloExchange", "exchange_halos",
+           "exchange_halos_sync", "halo_bytes_per_step"]
 
 #: (field, axis) -> (planes needed in the low ghost, planes in the high ghost)
 #: derived from the staggered stencil sense of each field's consumers:
@@ -96,45 +103,121 @@ def halo_bytes_per_step(decomp: Decomposition3D, rank: int, mode: str,
     return total
 
 
+class HaloExchange:
+    """Persistent asynchronous halo-exchange plan with pooled pack buffers.
+
+    Binds a (decomposition, rank, wavefield) triple once and precomputes,
+    per field group, the exact send/receive slab plan (neighbour, tag, slab
+    slices, plane counts).  Outgoing slabs are packed with ``np.copyto``
+    into preallocated send buffers, so the steady-state exchange performs
+    zero array allocations — the packing analogue of the kernel scratch
+    pool.
+
+    Send buffers are **double-buffered** (two per plan entry, alternating
+    per exchange round).  SimMPI's eager ``isend`` stores the payload by
+    reference until the matching ``recv`` drains it, so a buffer may only be
+    rewritten once its previous message has been consumed.  Completing round
+    ``r`` requires every neighbour to have *posted* its round-``r`` sends,
+    which in turn requires the neighbour to have *completed* round ``r-1``
+    (each exchange generator receives everything before returning) — so by
+    the time this rank starts round ``r+1``, messages from round ``r-1`` are
+    guaranteed drained, and a two-deep pool is provably sufficient.  A
+    single-buffer pool would not be: a neighbour can post its round-``r``
+    sends and be descheduled before draining its inbox.
+
+    Results are bitwise identical to the one-shot :func:`exchange_halos`
+    (same slabs, same tags, same ordering); only the buffer lifetimes
+    differ.
+    """
+
+    _AXIS_LO = ("x_lo", "y_lo", "z_lo")
+    _AXIS_HI = ("x_hi", "y_hi", "z_hi")
+
+    def __init__(self, decomp: Decomposition3D, rank: int, wf: WaveField,
+                 mode: str = "full"):
+        self.decomp = decomp
+        self.rank = rank
+        self.wf = wf
+        self.mode = mode
+        needs = _needs(mode)
+        nb = decomp.neighbors(rank)
+        n_int = wf.grid.shape
+        #: group -> list of (field, tag, slab, buffer_pair)
+        self._sends: dict[str, list] = {}
+        #: group -> list of (field, tag, src, ghost_slab)
+        self._recvs: dict[str, list] = {}
+        self._rounds: dict[str, int] = {}
+        for group, fields in _GROUPS.items():
+            sends, recvs = [], []
+            for field in fields:
+                arr = getattr(wf, field)
+                for axis, (n_low, n_high) in needs.get(field, {}).items():
+                    lo = nb[self._AXIS_LO[axis]]
+                    hi = nb[self._AXIS_HI[axis]]
+                    if lo is not None:
+                        # low neighbour's high ghost wants my first n_high
+                        # interior planes
+                        slab = _slab(arr, axis, NGHOST, n_high)
+                        sends.append((field, _tag(field, axis, +1), lo, slab,
+                                      self._buffer_pair(arr, slab)))
+                        ghost = _slab(arr, axis, NGHOST - n_low, n_low)
+                        recvs.append((field, _tag(field, axis, -1), lo, ghost))
+                    if hi is not None:
+                        slab = _slab(arr, axis,
+                                     NGHOST + n_int[axis] - n_low, n_low)
+                        sends.append((field, _tag(field, axis, -1), hi, slab,
+                                      self._buffer_pair(arr, slab)))
+                        ghost = _slab(arr, axis, NGHOST + n_int[axis], n_high)
+                        recvs.append((field, _tag(field, axis, +1), hi, ghost))
+            self._sends[group] = sends
+            self._recvs[group] = recvs
+            self._rounds[group] = 0
+
+    def _buffer_pair(self, arr: np.ndarray, slab: tuple) -> list[np.ndarray]:
+        shape = arr[slab].shape
+        return [np.empty(shape, dtype=arr.dtype) for _ in range(2)]
+
+    def pool_nbytes(self) -> int:
+        """Total bytes held by the pooled send buffers (all groups).
+
+        'all' aliases the velocity+stress plan entries but owns distinct
+        buffers, so mixing grouped and 'all' exchanges stays safe.
+        """
+        return sum(b.nbytes for sends in self._sends.values()
+                   for (_, _, _, _, pair) in sends for b in pair)
+
+    def exchange(self, comm: RankContext, group: str = "all"):
+        """One tagged asynchronous exchange round (generator; yield from).
+
+        Posts all sends eagerly from pooled buffers (unique tags allow
+        out-of-order arrival, exactly the paper's asynchronous model), then
+        receives each ghost slab directly into the wavefield.
+        """
+        tracer = getattr(comm, "tracer", NULL_TRACER)
+        with tracer.span(f"halo.exchange.{group}", category="halo",
+                         mode=self.mode):
+            parity = self._rounds[group] & 1
+            self._rounds[group] += 1
+            for field, tag, dest, slab, pair in self._sends[group]:
+                buf = pair[parity]
+                np.copyto(buf, getattr(self.wf, field)[slab])
+                comm.isend(dest, tag, buf)
+            for field, tag, src, ghost in self._recvs[group]:
+                data = yield comm.recv(src, tag)
+                getattr(self.wf, field)[ghost] = data
+
+
 def exchange_halos(comm: RankContext, decomp: Decomposition3D, rank: int,
                    wf: WaveField, group: str = "all", mode: str = "full"):
     """Asynchronous tagged halo exchange (generator; ``yield from`` it).
 
-    Posts all sends eagerly (unique tags allow out-of-order arrival, exactly
-    the paper's asynchronous model), then receives and stores each ghost
-    slab.  ``group`` selects which fields move ('velocity', 'stress', 'all');
-    ``mode`` selects 'full' or 'reduced' plane sets.
+    One-shot convenience wrapper over a transient :class:`HaloExchange`;
+    long-lived callers (the distributed solver's step loop) should hold an
+    instance instead so pack buffers are pooled across steps.  ``group``
+    selects which fields move ('velocity', 'stress', 'all'); ``mode``
+    selects 'full' or 'reduced' plane sets.
     """
-    tracer = getattr(comm, "tracer", NULL_TRACER)
-    with tracer.span(f"halo.exchange.{group}", category="halo", mode=mode):
-        needs = _needs(mode)
-        nb = decomp.neighbors(rank)
-        fields = _GROUPS[group]
-        n_int = wf.grid.shape
-        recvs: list[tuple[str, int, int, int, int]] = []
-        for field in fields:
-            arr = getattr(wf, field)
-            for axis, (n_low, n_high) in needs.get(field, {}).items():
-                lo = nb[("x_lo", "y_lo", "z_lo")[axis]]
-                hi = nb[("x_hi", "y_hi", "z_hi")[axis]]
-                if lo is not None:
-                    # low neighbour's high ghost wants my first n_high
-                    # interior planes
-                    data = arr[_slab(arr, axis, NGHOST, n_high)].copy()
-                    comm.isend(lo, _tag(field, axis, +1), data)
-                    recvs.append((field, axis, -1, lo, n_low))
-                if hi is not None:
-                    data = arr[_slab(arr, axis, NGHOST + n_int[axis] - n_low,
-                                     n_low)].copy()
-                    comm.isend(hi, _tag(field, axis, -1), data)
-                    recvs.append((field, axis, +1, hi, n_high))
-        for field, axis, direction, src, count in recvs:
-            arr = getattr(wf, field)
-            data = yield comm.recv(src, _tag(field, axis, direction))
-            if direction < 0:
-                arr[_slab(arr, axis, NGHOST - count, count)] = data
-            else:
-                arr[_slab(arr, axis, NGHOST + n_int[axis], count)] = data
+    yield from HaloExchange(decomp, rank, wf, mode=mode).exchange(comm, group)
 
 
 def exchange_halos_sync(comm: RankContext, decomp: Decomposition3D, rank: int,

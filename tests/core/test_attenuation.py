@@ -72,13 +72,17 @@ class TestCoarseGrainedState:
         assert np.array_equal(att2.state_arrays()["sxx"], state["sxx"])
 
     def test_hook_reduces_rate_magnitude(self):
-        """The memory variable removes energy: relaxed rate opposes elastic."""
+        """The memory variable removes energy: relaxed rate opposes elastic.
+
+        The hook relaxes the passed rate buffer *in place* (allocation-free
+        hot loop), so each call gets a fresh elastic rate and the result is
+        snapshotted before the next call.
+        """
         att = self._make()
         hook = att.rate_hook(1e-2)
-        rate = np.ones((8, 8, 8))
-        out1 = hook("sxy", rate)
-        assert np.all(out1 <= rate + 1e-15)
-        out2 = hook("sxy", rate)
+        out1 = hook("sxy", np.ones((8, 8, 8))).copy()
+        assert np.all(out1 <= 1.0 + 1e-15)
+        out2 = hook("sxy", np.ones((8, 8, 8))).copy()
         assert out2.mean() < out1.mean()  # memory variable builds up
 
 

@@ -6,7 +6,7 @@ import pytest
 from repro.core.fd import NGHOST
 from repro.core.grid import ALL_FIELDS, Grid3D, WaveField
 from repro.parallel.decomp import Decomposition3D
-from repro.parallel.halo import (GHOST_NEEDS, exchange_halos,
+from repro.parallel.halo import (GHOST_NEEDS, HaloExchange, exchange_halos,
                                  exchange_halos_sync, halo_bytes_per_step)
 from repro.parallel.simmpi import run_spmd
 
@@ -154,3 +154,119 @@ class TestVolumeAccounting:
         for rank in range(decomp.nranks):
             want = halo_bytes_per_step(decomp, rank, "reduced")
             assert res.stats[rank].bytes_sent == want
+
+
+class TestPersistentHaloExchange:
+    """The pooled, double-buffered HaloExchange (allocation-free packing)."""
+
+    def _run_rounds(self, decomp, wfs, hxs, nrounds, group="all"):
+        def program(comm):
+            hx = hxs[comm.rank]
+            for _ in range(nrounds):
+                yield from hx.exchange(comm, group)
+            return None
+        return run_spmd(decomp.nranks, program)
+
+    def test_matches_one_shot_exchange(self):
+        """Persistent and one-shot exchanges fill identical ghosts."""
+        g = Grid3D(12, 10, 8, h=1.0)
+        decomp = Decomposition3D(g, 2, 2, 1)
+        glob, wfs_a = _make_fields(decomp, seed=3)
+        _, wfs_b = _make_fields(decomp, seed=3)
+        hxs = [HaloExchange(decomp, r, wfs_a[r], mode="reduced")
+               for r in range(decomp.nranks)]
+        self._run_rounds(decomp, wfs_a, hxs, 1)
+
+        def program(comm):
+            yield from exchange_halos(comm, decomp, comm.rank,
+                                      wfs_b[comm.rank], mode="reduced")
+            return None
+
+        run_spmd(decomp.nranks, program)
+        for r in range(decomp.nranks):
+            for name in ALL_FIELDS:
+                assert np.array_equal(getattr(wfs_a[r], name),
+                                      getattr(wfs_b[r], name)), (r, name)
+
+    def test_repeated_rounds_stay_correct(self):
+        """Double buffering: many rounds over the same pooled buffers.
+
+        After each round the ghosts must reflect the *current* interiors,
+        which are perturbed between rounds — a single-buffered pool reusing
+        an undrained send buffer would smear stale planes into a neighbour.
+        """
+        g = Grid3D(12, 10, 8, h=1.0)
+        decomp = Decomposition3D(g, 2, 2, 1)
+        glob, wfs = _make_fields(decomp, seed=4)
+        hxs = [HaloExchange(decomp, r, wfs[r], mode="reduced")
+               for r in range(decomp.nranks)]
+        for round_no in range(5):
+            self._run_rounds(decomp, wfs, hxs, 1)
+            for r in range(decomp.nranks):
+                for name in GHOST_NEEDS:
+                    _ghost_matches_global(decomp, r, wfs[r], glob, name,
+                                          "reduced")
+            # perturb interiors (and the global truth) for the next round
+            for name in ALL_FIELDS:
+                glob[name] *= 1.0 + 0.1 * (round_no + 1)
+            for r, sub in enumerate(decomp.subdomains()):
+                for name in ALL_FIELDS:
+                    wfs[r].interior(name)[...] = glob[name][sub.slices]
+
+    def test_exchange_allocates_nothing_in_steady_state(self):
+        """Packing reuses pooled buffers: tiny constant tracemalloc peak."""
+        import tracemalloc
+
+        g = Grid3D(16, 16, 16, h=1.0)
+        decomp = Decomposition3D(g, 2, 2, 1)
+        _, wfs = _make_fields(decomp, seed=5)
+        hxs = [HaloExchange(decomp, r, wfs[r], mode="reduced")
+               for r in range(decomp.nranks)]
+        self._run_rounds(decomp, wfs, hxs, 2)  # warm up both parities
+        tracemalloc.start()
+        base, _ = tracemalloc.get_traced_memory()
+        self._run_rounds(decomp, wfs, hxs, 2)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # Generator/iterator machinery and SimMPI queue entries are small;
+        # the slab payloads themselves (hundreds of KiB here) are pooled.
+        assert peak - base < 128 * 1024
+
+    def test_pool_nbytes_covers_double_buffers(self):
+        g = Grid3D(12, 10, 8, h=1.0)
+        decomp = Decomposition3D(g, 2, 2, 1)
+        _, wfs = _make_fields(decomp)
+        hx = HaloExchange(decomp, 0, wfs[0], mode="reduced")
+        # every planned send owns exactly two buffers of the slab's size
+        want = 0
+        for sends in hx._sends.values():
+            for (field, _tag, _dest, slab, pair) in sends:
+                slab_bytes = getattr(wfs[0], field)[slab].nbytes
+                assert len(pair) == 2
+                assert all(b.nbytes == slab_bytes for b in pair)
+                want += 2 * slab_bytes
+        assert hx.pool_nbytes() == want
+
+    def test_grouped_and_all_exchanges_compose(self):
+        """velocity+stress grouped rounds equal one 'all' round."""
+        g = Grid3D(10, 8, 8, h=1.0)
+        decomp = Decomposition3D(g, 2, 1, 1)
+        _, wfs_a = _make_fields(decomp, seed=6)
+        _, wfs_b = _make_fields(decomp, seed=6)
+        hxs_a = [HaloExchange(decomp, r, wfs_a[r], mode="full")
+                 for r in range(decomp.nranks)]
+        hxs_b = [HaloExchange(decomp, r, wfs_b[r], mode="full")
+                 for r in range(decomp.nranks)]
+
+        def grouped(comm):
+            hx = hxs_a[comm.rank]
+            yield from hx.exchange(comm, "velocity")
+            yield from hx.exchange(comm, "stress")
+            return None
+
+        run_spmd(decomp.nranks, grouped)
+        self._run_rounds(decomp, wfs_b, hxs_b, 1, group="all")
+        for r in range(decomp.nranks):
+            for name in ALL_FIELDS:
+                assert np.array_equal(getattr(wfs_a[r], name),
+                                      getattr(wfs_b[r], name)), (r, name)

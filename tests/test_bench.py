@@ -1,0 +1,122 @@
+"""Tests for the fixed-workload benchmark suite (``repro bench``)."""
+
+import json
+
+import pytest
+
+from repro.bench import (BENCH_SCHEMA, SMOKE, WORKLOADS, git_revision,
+                         run_suite, validate_report, write_report)
+from repro.cli import main
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    """One smoke-mode suite run shared across tests (it's the slow part)."""
+    registry = MetricsRegistry()
+    report = run_suite(smoke=True, registry=registry)
+    return report, registry
+
+
+class TestSuite:
+    def test_report_is_valid(self, smoke_report):
+        report, _ = smoke_report
+        validate_report(report)
+
+    def test_all_workloads_present(self, smoke_report):
+        report, _ = smoke_report
+        assert set(report["workloads"]) == set(WORKLOADS)
+        assert report["mode"] == SMOKE.name
+
+    def test_flop_rates_reported_for_kernels(self, smoke_report):
+        report, _ = smoke_report
+        for name in ("kernel_step", "kernel_blocked", "baseline_kernel",
+                     "solver_step"):
+            res = report["workloads"][name]
+            assert res["gflops"] > 0
+            assert res["mcells_per_s"] > 0
+
+    def test_peak_temporaries_contrast(self, smoke_report):
+        """The allocation-free kernel beats the baseline on temporaries."""
+        report, _ = smoke_report
+        wl = report["workloads"]
+        assert wl["kernel_step"]["peak_tmp_bytes"] < \
+            wl["baseline_kernel"]["peak_tmp_bytes"]
+
+    def test_tracer_overhead_measured(self, smoke_report):
+        report, _ = smoke_report
+        ratio = report["workloads"]["tracer_overhead"]["extra"][
+            "overhead_ratio"]
+        assert ratio > 0
+
+    def test_metrics_registry_fed(self, smoke_report):
+        _, registry = smoke_report
+        assert registry.gauge("bench.kernel_step.gflops").value > 0
+        assert registry.histogram("bench.kernel_step.wall_s").count == \
+            SMOKE.reps
+        assert registry.gauge("bench.null_tracer_overhead").value > 0
+
+    def test_workload_selection(self):
+        report = run_suite(smoke=True, registry=MetricsRegistry(),
+                           workloads=["halo_exchange"])
+        assert list(report["workloads"]) == ["halo_exchange"]
+        validate_report(report)
+        assert report["workloads"]["halo_exchange"]["extra"][
+            "pool_bytes"] > 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            run_suite(smoke=True, registry=MetricsRegistry(),
+                      workloads=["nope"])
+
+
+class TestReportIO:
+    def test_write_report_roundtrip(self, smoke_report, tmp_path):
+        report, _ = smoke_report
+        path = write_report(report, str(tmp_path / "BENCH_test.json"))
+        loaded = json.loads(open(path).read())
+        validate_report(loaded)
+        assert loaded["schema"] == BENCH_SCHEMA
+        assert loaded["revision"] == report["revision"]
+
+    def test_default_filename_embeds_revision(self, smoke_report, tmp_path,
+                                              monkeypatch):
+        report, _ = smoke_report
+        monkeypatch.chdir(tmp_path)
+        path = write_report(report)
+        assert path == f"BENCH_{report['revision']}.json"
+
+    def test_git_revision_nonempty(self):
+        assert git_revision()
+
+
+class TestValidation:
+    def test_rejects_wrong_schema(self, smoke_report):
+        report, _ = smoke_report
+        bad = dict(report, schema="repro-bench/0")
+        with pytest.raises(ValueError, match="schema"):
+            validate_report(bad)
+
+    def test_rejects_missing_workloads(self, smoke_report):
+        report, _ = smoke_report
+        with pytest.raises(ValueError, match="workloads"):
+            validate_report(dict(report, workloads={}))
+
+    def test_rejects_malformed_workload(self, smoke_report):
+        report, _ = smoke_report
+        wl = dict(report["workloads"])
+        wl["kernel_step"] = dict(wl["kernel_step"], peak_tmp_bytes=-1)
+        with pytest.raises(ValueError, match="peak_tmp_bytes"):
+            validate_report(dict(report, workloads=wl))
+
+
+class TestCLI:
+    def test_bench_smoke_cli(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_cli.json"
+        rc = main(["bench", "--smoke", "--out", str(out),
+                   "--workload", "kernel_step"])
+        assert rc == 0
+        validate_report(json.loads(out.read_text()))
+        printed = capsys.readouterr().out
+        assert "kernel_step" in printed
+        assert str(out) in printed
