@@ -39,6 +39,7 @@ observability stack.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import subprocess
 import time
@@ -54,14 +55,17 @@ from .core.kernels import (VelocityStressKernel, baseline_stress_update,
 from .core.medium import Medium
 from .core.profiling import stencil_flops_per_point
 from .core.solver import SolverConfig, WaveSolver
+from .core.source import MomentTensorSource, gaussian_pulse
 from .obs.metrics import MetricsRegistry, default_registry
 from .obs.tracer import NULL_TRACER, Tracer, use_tracer
 from .parallel.decomp import Decomposition3D
+from .parallel.distributed import DistributedWaveSolver
 from .parallel.halo import HaloExchange, halo_bytes_per_step
 from .parallel.simmpi import run_spmd
 
 __all__ = ["BENCH_SCHEMA", "BenchConfig", "FULL", "SMOKE", "WORKLOADS",
-           "git_revision", "run_suite", "write_report", "validate_report"]
+           "compare_reports", "git_revision", "run_suite", "write_report",
+           "validate_report"]
 
 #: Schema identifier written into every report.
 BENCH_SCHEMA = "repro-bench/1"
@@ -81,13 +85,19 @@ class BenchConfig:
     reps: int    #: timed repetitions per workload
     ranks: int   #: virtual ranks for the halo workload
     rounds: int  #: velocity+stress exchange rounds per halo repetition
+    dist_n: int = 16      #: cubic grid edge for the distributed workloads
+    dist_steps: int = 2   #: solver steps per distributed repetition
+    dist_reps: int = 2    #: timed repetitions for the distributed workloads
+    dist_ranks: int = 4   #: worker count for the distributed workloads
 
 
 #: The default suite — sized so the whole run stays under ~a minute.
-FULL = BenchConfig(name="full", n=40, steps=2, reps=5, ranks=4, rounds=16)
+FULL = BenchConfig(name="full", n=40, steps=2, reps=5, ranks=4, rounds=16,
+                   dist_n=40, dist_steps=6, dist_reps=3, dist_ranks=4)
 
 #: CI quick mode (``repro bench --smoke``).
-SMOKE = BenchConfig(name="smoke", n=16, steps=1, reps=2, ranks=2, rounds=4)
+SMOKE = BenchConfig(name="smoke", n=16, steps=1, reps=2, ranks=2, rounds=4,
+                    dist_n=16, dist_steps=2, dist_reps=2, dist_ranks=2)
 
 
 # ----------------------------------------------------------------------
@@ -281,6 +291,73 @@ def bench_tracer_overhead(cfg: BenchConfig) -> dict:
     return out
 
 
+def _distributed_solver(cfg: BenchConfig, backend: str,
+                        kernel_variant: str = "pooled") -> DistributedWaveSolver:
+    """One distributed fixture shape shared by all three backends so their
+    wall times are directly comparable (sponge + free surface, no PML or
+    attenuation, so the procpool run is overlap-eligible)."""
+    n = cfg.dist_n
+    g = Grid3D(n, n, n, h=100.0)
+    med = Medium.homogeneous(g, vp=4000.0, vs=2300.0, rho=2500.0)
+    sol = DistributedWaveSolver(
+        g, med, nranks=cfg.dist_ranks,
+        config=SolverConfig(absorbing="sponge",
+                            sponge_width=max(3, n // 8),
+                            stability_check_interval=0),
+        backend=backend, kernel_variant=kernel_variant)
+    sol.add_source(MomentTensorSource(
+        position=(n * 50.0, n * 50.0, n * 50.0), moment=np.eye(3) * 1e13,
+        stf=lambda t: gaussian_pulse(np.array([t]), f0=3.0)[0],
+        spatial_width=1.5 * 100.0))
+    return sol
+
+
+def _bench_distributed(cfg: BenchConfig, backend: str,
+                       kernel_variant: str = "pooled") -> dict:
+    sol = _distributed_solver(cfg, backend, kernel_variant)
+
+    def step():
+        sol.run(cfg.dist_steps)
+
+    walls, peak = _measure(step, cfg.dist_reps)
+    points = cfg.dist_n ** 3
+    extra = {"ranks": cfg.dist_ranks, "dims": list(sol.decomp.dims),
+             "backend": backend, "backend_used": sol.backend,
+             "kernel_variant": kernel_variant}
+    if sol.last_procpool is not None:
+        lp = sol.last_procpool
+        extra["overlap"] = lp["overlap"]
+        extra["overlap_efficiency"] = lp["overlap_efficiency"]
+        extra["pack_s"] = lp["pack_s"]
+        extra["wait_s"] = lp["wait_s"]
+        extra["unpack_s"] = lp["unpack_s"]
+        extra["hidden_s"] = lp["hidden_s"]
+    return _result(walls, peak, steps=cfg.dist_steps, points=points,
+                   flops_per_point=stencil_flops_per_point(order=4),
+                   extra=extra)
+
+
+def bench_distributed_sim(cfg: BenchConfig) -> dict:
+    """Sequential SimMPI backend — the speedup baseline for procpool."""
+    return _bench_distributed(cfg, "sim")
+
+
+def bench_distributed_sim_blocked(cfg: BenchConfig) -> dict:
+    """SimMPI backend through the cache-blocked k/j panel kernels."""
+    return _bench_distributed(cfg, "sim", kernel_variant="blocked")
+
+
+def bench_distributed_procpool(cfg: BenchConfig) -> dict:
+    """Real multicore backend with shm rings and IV.C overlap.
+
+    ``extra.speedup_vs_sim`` (wall-min ratio against ``distributed_sim``)
+    is filled in by :func:`run_suite` when both workloads ran; interpret it
+    against ``host.cpu_count`` — on a single-core host the theoretical
+    ceiling is 1.0x plus whatever SimMPI scheduler overhead procpool dodges.
+    """
+    return _bench_distributed(cfg, "procpool")
+
+
 #: name -> workload function; iteration order is report order.
 WORKLOADS = {
     "kernel_step": bench_kernel_step,
@@ -288,6 +365,9 @@ WORKLOADS = {
     "baseline_kernel": bench_baseline_kernel,
     "solver_step": bench_solver_step,
     "halo_exchange": bench_halo_exchange,
+    "distributed_sim": bench_distributed_sim,
+    "distributed_sim_blocked": bench_distributed_sim_blocked,
+    "distributed_procpool": bench_distributed_procpool,
     "tracer_overhead": bench_tracer_overhead,
 }
 
@@ -334,16 +414,26 @@ def run_suite(smoke: bool = False, registry: MetricsRegistry | None = None,
     if "tracer_overhead" in results:
         reg.gauge("bench.null_tracer_overhead").set(
             results["tracer_overhead"]["extra"]["overhead_ratio"])
+    if "distributed_sim" in results and "distributed_procpool" in results:
+        sim_min = results["distributed_sim"]["wall_s"]["min"]
+        pp_min = results["distributed_procpool"]["wall_s"]["min"]
+        speedup = sim_min / pp_min if pp_min > 0 else None
+        results["distributed_procpool"]["extra"]["speedup_vs_sim"] = speedup
+        if speedup is not None:
+            reg.gauge("bench.distributed_procpool.speedup_vs_sim").set(speedup)
     return {
         "schema": BENCH_SCHEMA,
         "revision": git_revision(),
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "mode": cfg.name,
         "config": {"n": cfg.n, "steps": cfg.steps, "reps": cfg.reps,
-                   "ranks": cfg.ranks, "rounds": cfg.rounds},
+                   "ranks": cfg.ranks, "rounds": cfg.rounds,
+                   "dist_n": cfg.dist_n, "dist_steps": cfg.dist_steps,
+                   "dist_reps": cfg.dist_reps, "dist_ranks": cfg.dist_ranks},
         "host": {"python": platform.python_version(),
                  "numpy": np.__version__,
-                 "machine": platform.machine()},
+                 "machine": platform.machine(),
+                 "cpu_count": os.cpu_count()},
         "workloads": results,
     }
 
@@ -411,4 +501,58 @@ def format_report(report: dict) -> str:
     if ratio is not None:
         lines.append(f"  null-tracer overhead ratio: {ratio:.3f}x "
                      "(recording tracer / null tracer)")
+    pp = report["workloads"].get("distributed_procpool", {}).get("extra", {})
+    if pp.get("speedup_vs_sim") is not None:
+        eff = pp.get("overlap_efficiency")
+        eff_s = f", overlap efficiency {eff:.2f}" if eff is not None else ""
+        lines.append(
+            f"  procpool speedup vs SimMPI: {pp['speedup_vs_sim']:.2f}x on "
+            f"{pp.get('ranks', '?')} workers "
+            f"(host cpu_count {report['host'].get('cpu_count', '?')}{eff_s})")
     return "\n".join(lines)
+
+
+def compare_reports(old: dict, new: dict, rel_tol: float = 0.10
+                    ) -> tuple[str, list[str]]:
+    """Diff two bench reports; return ``(text, regressions)``.
+
+    A workload regresses when its best-of-reps wall time grew by more than
+    ``rel_tol`` (relative).  Gflop/s deltas are reported alongside but only
+    wall time gates — the flop model is derived from the same wall numbers.
+    ``regressions`` is empty when nothing got slower; callers turn it into
+    an exit code (``repro bench --compare``).
+    """
+    validate_report(old)
+    validate_report(new)
+    lines = [f"bench compare: {old['revision']} ({old['mode']}) -> "
+             f"{new['revision']} ({new['mode']})"]
+    regressions: list[str] = []
+    if old["mode"] != new["mode"] or old.get("config") != new.get("config"):
+        lines.append("  WARNING: modes/configs differ — deltas are not "
+                     "like-for-like")
+    old_wl, new_wl = old["workloads"], new["workloads"]
+    for name in new_wl:
+        if name not in old_wl:
+            lines.append(f"  {name:<24} (new workload, no baseline)")
+            continue
+        o, n = old_wl[name], new_wl[name]
+        o_min, n_min = o["wall_s"]["min"], n["wall_s"]["min"]
+        delta = (n_min - o_min) / o_min if o_min > 0 else 0.0
+        gf = ""
+        if o.get("gflops") and n.get("gflops"):
+            gdelta = (n["gflops"] - o["gflops"]) / o["gflops"]
+            gf = (f"  {o['gflops']:7.2f} -> {n['gflops']:7.2f} Gflop/s "
+                  f"({gdelta:+.1%})")
+        flag = ""
+        if o_min > 0 and delta > rel_tol:
+            flag = "  REGRESSION"
+            regressions.append(f"{name}: wall min {o_min * 1e3:.2f} ms -> "
+                               f"{n_min * 1e3:.2f} ms ({delta:+.1%})")
+        lines.append(f"  {name:<24} {o_min * 1e3:9.2f} -> {n_min * 1e3:9.2f} "
+                     f"ms ({delta:+.1%}){gf}{flag}")
+    for name in old_wl:
+        if name not in new_wl:
+            lines.append(f"  {name:<24} (dropped — present only in baseline)")
+    if not regressions:
+        lines.append(f"  no regressions (wall-min tolerance {rel_tol:.0%})")
+    return "\n".join(lines), regressions

@@ -75,6 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--h", type=float, default=100.0)
     r.add_argument("--steps", type=int, default=200)
     r.add_argument("--f0", type=float, default=2.0)
+    r.add_argument("--ranks", type=int, default=1,
+                   help="decompose over this many ranks (default: serial)")
+    r.add_argument("--backend", choices=("sim", "procpool"), default="sim",
+                   help="distributed execution backend (with --ranks > 1): "
+                        "'sim' = cooperative SimMPI scheduler, 'procpool' = "
+                        "real worker processes with shared-memory halos")
     r.add_argument("--out", type=str, default=None)
 
     d = sub.add_parser("rupture", parents=[common],
@@ -115,6 +121,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run only this workload (repeatable)")
     b.add_argument("--metrics", action="store_true",
                    help="also print the repro.obs metrics registry report")
+    b.add_argument("--compare", nargs=2, default=None,
+                   metavar=("OLD.json", "NEW.json"),
+                   help="diff two saved reports instead of running the "
+                        "suite; exits 3 on wall-time regression")
+    b.add_argument("--rel-tol", type=float, default=0.10,
+                   help="relative wall-min tolerance for --compare "
+                        "regressions (default 0.10)")
+    b.add_argument("--warn-only", action="store_true",
+                   help="with --compare: report regressions but exit 0")
 
     tr = sub.add_parser("trace-report", help="render a saved span trace as a "
                                              "per-rank phase breakdown")
@@ -176,8 +191,13 @@ def _cmd_run_quake(args) -> int:
     grid = Grid3D(args.n, args.n, max(12, args.n // 2), h=args.h)
     med = Medium.homogeneous(grid, vp=4000.0, vs=2300.0, rho=2500.0)
     pml_width = int(np.clip(args.n // 6, 3, 10))
-    solver = WaveSolver(grid, med, SolverConfig(
-        absorbing="pml", pml=PMLConfig(width=pml_width)))
+    cfg = SolverConfig(absorbing="pml", pml=PMLConfig(width=pml_width))
+    if args.ranks > 1:
+        from .parallel.distributed import DistributedWaveSolver
+        solver = DistributedWaveSolver(grid, med, nranks=args.ranks,
+                                       config=cfg, backend=args.backend)
+    else:
+        solver = WaveSolver(grid, med, cfg)
     c = args.n * args.h / 2
     solver.add_source(MomentTensorSource(
         position=(c, c, grid.extent[2] / 2),
@@ -186,8 +206,10 @@ def _cmd_run_quake(args) -> int:
     rec = solver.record_surface(dec_time=5)
     solver.run(args.steps)
     pgv = pgvh_from_frames(rec.frames)
+    where = (f" on {args.ranks} ranks ({solver.backend} backend)"
+             if args.ranks > 1 else "")
     print(f"ran {args.steps} steps (dt = {solver.dt * 1e3:.2f} ms), "
-          f"t = {solver.t:.2f} s")
+          f"t = {solver.t:.2f} s{where}")
     print(f"surface PGVH: max {pgv.max():.3e} m/s")
     if args.out:
         np.save(args.out, pgv)
@@ -285,8 +307,30 @@ def _cmd_m8(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .bench import format_report, run_suite, validate_report, write_report
+    from .bench import (compare_reports, format_report, run_suite,
+                        validate_report, write_report)
     from .obs import default_registry
+    if args.compare:
+        import json
+        old_path, new_path = args.compare
+        try:
+            with open(old_path) as f:
+                old = json.load(f)
+            with open(new_path) as f:
+                new = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read report: {exc}", file=sys.stderr)
+            return 2
+        try:
+            text, regressions = compare_reports(old, new,
+                                                rel_tol=args.rel_tol)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(text)
+        if regressions and not args.warn_only:
+            return 3
+        return 0
     try:
         report = run_suite(smoke=args.smoke, workloads=args.workloads)
     except ValueError as exc:   # e.g. an unknown --workload name

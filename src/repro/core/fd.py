@@ -44,6 +44,8 @@ __all__ = [
     "interior",
     "diff_fwd",
     "diff_bwd",
+    "diff_fwd_region",
+    "diff_bwd_region",
 ]
 
 #: 4th-order staggered-grid coefficients of Eq. (3).
@@ -207,4 +209,106 @@ def diff_bwd(f: np.ndarray, axis: int, h: float, order: int = 4,
         return diff4_bwd(f, axis, h, out, work)
     if order == 2:
         return diff2_bwd(f, axis, h, out, work)
+    raise ValueError(f"unsupported FD order: {order!r} (expected 2 or 4)")
+
+
+# ---------------------------------------------------------------------------
+# Region-restricted variants (compute/comm overlap, paper Section IV.C)
+# ---------------------------------------------------------------------------
+#
+# The overlap schedule splits each update into an interior "core" block that
+# can run while halo faces are in flight and thin "shell" slabs completed
+# after the receive.  These operators evaluate the same stencil restricted to
+# an arbitrary box of the padded array, replaying the exact in-place ufunc
+# sequence of the full-interior operators so that core+shell coverage of the
+# interior is bit-identical to one full-interior sweep.
+#
+# A region is a tuple of three slices in *padded* coordinates with explicit
+# integer start/stop; it must lie inside the interior window so every stencil
+# read (up to 2 cells outward along the differentiated axis) stays in bounds
+# of the padded array.
+
+
+def _region_shift(region: tuple[slice, ...], axis: int,
+                  d: int) -> tuple[slice, ...]:
+    """Shift a padded-coordinate region by ``d`` cells along ``axis``."""
+    sl = list(region)
+    s = sl[axis]
+    sl[axis] = slice(s.start + d, s.stop + d)
+    return tuple(sl)
+
+
+def diff4_fwd_region(f: np.ndarray, axis: int, h: float,
+                     region: tuple[slice, ...], out: np.ndarray,
+                     work: np.ndarray) -> np.ndarray:
+    """:func:`diff4_fwd` restricted to ``region``; ``out``/``work`` are
+    region-shaped buffers.  Per-cell arithmetic (ops and their order) is
+    identical to the full-interior work-buffer path, so a disjoint cover of
+    the interior by regions reproduces ``diff4_fwd`` bit-for-bit."""
+    np.multiply(f[_region_shift(region, axis, 1)], C1, out=out)
+    np.multiply(f[region], C1, out=work)
+    out -= work
+    np.multiply(f[_region_shift(region, axis, 2)], C2, out=work)
+    out += work
+    np.multiply(f[_region_shift(region, axis, -1)], C2, out=work)
+    out -= work
+    out /= h
+    return out
+
+
+def diff4_bwd_region(f: np.ndarray, axis: int, h: float,
+                     region: tuple[slice, ...], out: np.ndarray,
+                     work: np.ndarray) -> np.ndarray:
+    """:func:`diff4_bwd` restricted to ``region`` (see
+    :func:`diff4_fwd_region` for the bit-identity contract)."""
+    np.multiply(f[region], C1, out=out)
+    np.multiply(f[_region_shift(region, axis, -1)], C1, out=work)
+    out -= work
+    np.multiply(f[_region_shift(region, axis, 1)], C2, out=work)
+    out += work
+    np.multiply(f[_region_shift(region, axis, -2)], C2, out=work)
+    out -= work
+    out /= h
+    return out
+
+
+def diff2_fwd_region(f: np.ndarray, axis: int, h: float,
+                     region: tuple[slice, ...], out: np.ndarray,
+                     work: np.ndarray | None = None) -> np.ndarray:
+    """:func:`diff2_fwd` restricted to ``region`` (``work`` unused)."""
+    np.subtract(f[_region_shift(region, axis, 1)], f[region], out=out)
+    out /= h
+    return out
+
+
+def diff2_bwd_region(f: np.ndarray, axis: int, h: float,
+                     region: tuple[slice, ...], out: np.ndarray,
+                     work: np.ndarray | None = None) -> np.ndarray:
+    """:func:`diff2_bwd` restricted to ``region`` (``work`` unused)."""
+    np.subtract(f[region], f[_region_shift(region, axis, -1)], out=out)
+    out /= h
+    return out
+
+
+def diff_fwd_region(f: np.ndarray, axis: int, h: float,
+                    region: tuple[slice, ...], order: int = 4,
+                    out: np.ndarray | None = None,
+                    work: np.ndarray | None = None) -> np.ndarray:
+    """Forward region-restricted derivative of the requested ``order``."""
+    if order == 4:
+        return diff4_fwd_region(f, axis, h, region, out, work)
+    if order == 2:
+        return diff2_fwd_region(f, axis, h, region, out, work)
+    raise ValueError(f"unsupported FD order: {order!r} (expected 2 or 4)")
+
+
+def diff_bwd_region(f: np.ndarray, axis: int, h: float,
+                    region: tuple[slice, ...], order: int = 4,
+                    out: np.ndarray | None = None,
+                    work: np.ndarray | None = None) -> np.ndarray:
+    """Backward region-restricted derivative of the requested ``order``."""
+    if order == 4:
+        return diff4_bwd_region(f, axis, h, region, out, work)
+    if order == 2:
+        return diff2_bwd_region(f, axis, h, region, out, work)
     raise ValueError(f"unsupported FD order: {order!r} (expected 2 or 4)")

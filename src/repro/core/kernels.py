@@ -43,6 +43,7 @@ from .medium import Medium
 
 __all__ = [
     "VelocityStressKernel",
+    "RegionUpdater",
     "baseline_velocity_update",
     "baseline_stress_update",
 ]
@@ -220,22 +221,25 @@ class VelocityStressKernel:
     # ------------------------------------------------------------------
     # Cache-blocked driver (Section IV.B)
     # ------------------------------------------------------------------
-    def step_blocked(self, kblock: int = 16, jblock: int = 8) -> None:
-        """One full elastic step applied in (k, j) panels.
-
-        Mirrors the paper's kblock/jblock cache-blocking: the same arithmetic
-        is applied panel by panel so operands of adjacent planes stay
-        cache-resident.  Results are identical to the unblocked step (the
-        update of each component only reads the *other* family of fields).
-        """
+    def _panels(self, kblock: int, jblock: int) -> list[tuple]:
+        """The (k, j) panel decomposition of the interior (full x extent)."""
         g = self.wf.grid
-        panels = [
+        return [
             (slice(NGHOST, -NGHOST),
              slice(NGHOST + j0, NGHOST + min(j0 + jblock, g.ny)),
              slice(NGHOST + k0, NGHOST + min(k0 + kblock, g.nz)))
             for k0 in range(0, g.nz, kblock)
             for j0 in range(0, g.ny, jblock)
         ]
+
+    def step_blocked_velocity(self, kblock: int = 16, jblock: int = 8) -> None:
+        """The velocity half of :meth:`step_blocked`.
+
+        Split out so drivers that interleave communication between the
+        velocity and stress halves (the distributed solver) can select the
+        blocked kernel variant too.
+        """
+        panels = self._panels(kblock, jblock)
         incr = self._full_incr
         for comp in ("vx", "vy", "vz"):
             terms = self.velocity_terms(comp)
@@ -244,6 +248,12 @@ class VelocityStressKernel:
                 np.multiply(t, self.dt, out=incr)
                 for sl in panels:
                     arr[sl] += incr[sl]
+
+    def step_blocked_stress(self, kblock: int = 16, jblock: int = 8) -> None:
+        """The stress half of :meth:`step_blocked` (no rate hook: the blocked
+        driver is only selectable without attenuation/PML)."""
+        panels = self._panels(kblock, jblock)
+        incr = self._full_incr
         for comp in ("sxx", "syy", "szz", "sxy", "sxz", "syz"):
             terms = self.stress_terms(comp)
             # Sum the rate exactly as update_stress does, so blocked and
@@ -257,6 +267,123 @@ class VelocityStressKernel:
             np.multiply(rate, self.dt, out=incr)
             for sl in panels:
                 arr[sl] += incr[sl]
+
+    def step_blocked(self, kblock: int = 16, jblock: int = 8) -> None:
+        """One full elastic step applied in (k, j) panels.
+
+        Mirrors the paper's kblock/jblock cache-blocking: the same arithmetic
+        is applied panel by panel so operands of adjacent planes stay
+        cache-resident.  Results are identical to the unblocked step (the
+        update of each component only reads the *other* family of fields).
+        """
+        self.step_blocked_velocity(kblock, jblock)
+        self.step_blocked_stress(kblock, jblock)
+
+
+class RegionUpdater:
+    """Velocity/stress updates restricted to one box of the interior.
+
+    The compute/comm overlap schedule (paper Section IV.C) advances an
+    interior "core" block while halo faces are in flight, then finishes the
+    thin face "shell" slabs after the receive.  Each instance binds a kernel
+    to one such box (padded-coordinate slices with explicit bounds, inside
+    the interior) and owns region-shaped scratch buffers, so steady-state
+    region updates are allocation-free like the full-interior path.
+
+    Bit-identity contract: per cell, the ufunc sequence (operations and
+    their order) matches :meth:`VelocityStressKernel.update_velocity` /
+    ``update_stress`` exactly — region derivatives replay the work-buffer
+    stencil path, moduli/buoyancy multiplies and the rate/increment
+    accumulation run in the same order on region views.  A disjoint cover of
+    the interior by regions therefore reproduces the full-interior update
+    bit-for-bit, in any region order (a component's update only reads the
+    other field family, never its own neighbours).
+
+    No PML or attenuation hooks: those operate on whole-interior state and
+    are not region-splittable, so the overlap schedule is only eligible
+    without them (the distributed solver enforces this).
+    """
+
+    def __init__(self, kernel: VelocityStressKernel, region: tuple[slice, ...]):
+        for s in region:
+            if s.start is None or s.stop is None:
+                raise ValueError("region slices need explicit start/stop")
+        self.kernel = kernel
+        self.region = region
+        self.shape = tuple(s.stop - s.start for s in region)
+        if any(n <= 0 for n in self.shape):
+            raise ValueError(f"empty region {region!r}")
+        dtype = kernel.wf.dtype
+        self._t = [np.empty(self.shape, dtype) for _ in range(3)]
+        self._work = np.empty(self.shape, dtype)
+        self._rate = np.empty(self.shape, dtype)
+        self._incr = np.empty(self.shape, dtype)
+        self._med = {name: getattr(kernel.medium, name)[region]
+                     for name in ("bx", "by", "bz", "lam", "lam2mu",
+                                  "mu_xy", "mu_xz", "mu_yz")
+                     if hasattr(kernel.medium, name)}
+        self._wf = {name: getattr(kernel.wf, name)[region]
+                    for name in kernel.wf.fields()}
+
+    def nbytes(self) -> int:
+        """Bytes held by this region's scratch buffers."""
+        return sum(b.nbytes for b in (*self._t, self._work, self._rate,
+                                      self._incr))
+
+    def update_velocity(self, comp: str) -> None:
+        k = self.kernel
+        b = self._med[_VEL_BUOYANCY[comp]]
+        nterms = len(_VEL_TERMS[comp])
+        for (axis, sname, dirn), t in zip(_VEL_TERMS[comp], self._t):
+            s = getattr(k.wf, sname)
+            d = fd.diff_fwd_region if dirn == "f" else fd.diff_bwd_region
+            d(s, axis, k.h, self.region, order=k.order, out=t,
+              work=self._work)
+            t *= b
+        dst = self._wf[comp]
+        for t in self._t[:nterms]:
+            np.multiply(t, k.dt, out=self._incr)
+            dst += self._incr
+
+    def update_stress(self, comp: str) -> None:
+        k = self.kernel
+        wf = k.wf
+        if comp in ("sxx", "syy", "szz"):
+            dvx, dvy, dvz = self._t
+            fd.diff_bwd_region(wf.vx, 0, k.h, self.region, order=k.order,
+                               out=dvx, work=self._work)
+            fd.diff_bwd_region(wf.vy, 1, k.h, self.region, order=k.order,
+                               out=dvy, work=self._work)
+            fd.diff_bwd_region(wf.vz, 2, k.h, self.region, order=k.order,
+                               out=dvz, work=self._work)
+            own = {"sxx": dvx, "syy": dvy, "szz": dvz}[comp]
+            lam2mu = self._med["lam2mu"]
+            lam = self._med["lam"]
+            for t in (dvx, dvy, dvz):
+                t *= lam2mu if t is own else lam
+            terms = [dvx, dvy, dvz]
+        else:
+            mod = self._med[_SHEAR_MOD[comp]]
+            terms = []
+            for (axis, vname, _), t in zip(_SHEAR_TERMS[comp], self._t):
+                fd.diff_fwd_region(getattr(wf, vname), axis, k.h, self.region,
+                                   order=k.order, out=t, work=self._work)
+                t *= mod
+                terms.append(t)
+        rate = self._rate
+        np.copyto(rate, terms[0])
+        for t in terms[1:]:
+            rate += t
+        np.multiply(rate, k.dt, out=self._incr)
+        self._wf[comp] += self._incr
+
+    def step_velocity(self) -> None:
+        for comp in ("vx", "vy", "vz"):
+            self.update_velocity(comp)
+
+    def step_stress(self) -> None:
+        for comp in ("sxx", "syy", "szz", "sxy", "sxz", "syz"):
+            self.update_stress(comp)
 
 
 # ----------------------------------------------------------------------

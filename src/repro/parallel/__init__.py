@@ -5,6 +5,8 @@ from .decomp import Decomposition3D, Subdomain
 from .distributed import DistributedWaveSolver
 from .halo import GHOST_NEEDS, exchange_halos, exchange_halos_sync
 from .hybrid import HybridRunModel, hybrid_vs_pure_sweep
+from .procpool import (FaceRingPool, ProcPoolUnavailable, RingEndpoint,
+                       procpool_available, run_workers)
 from .resilience import ResilientDistributedSolver
 from .machine import MACHINES, Machine, jaguar, kraken, machine_by_name, ranger
 from .perfmodel import (AWPRunModel, OptimizationSet, TimeBreakdown, VERSIONS,
@@ -18,6 +20,8 @@ __all__ = [
     "HybridRunModel", "hybrid_vs_pure_sweep",
     "ResilientDistributedSolver",
     "Decomposition3D", "Subdomain", "DistributedWaveSolver",
+    "FaceRingPool", "ProcPoolUnavailable", "RingEndpoint",
+    "procpool_available", "run_workers",
     "GHOST_NEEDS", "exchange_halos", "exchange_halos_sync",
     "MACHINES", "Machine", "jaguar", "kraken", "ranger", "machine_by_name",
     "AWPRunModel", "OptimizationSet", "TimeBreakdown", "VERSIONS",

@@ -1,4 +1,4 @@
-"""Distributed AWM solver over SimMPI (Sections III.A, IV.A).
+"""Distributed AWM solver over SimMPI or real processes (III.A, IV.A, IV.C).
 
 :class:`DistributedWaveSolver` runs the exact serial update of
 :class:`repro.core.solver.WaveSolver` on each subdomain of a 3-D domain
@@ -11,6 +11,23 @@ the property the whole performance-optimization story (asynchronous
 messaging, reduced communication, overlap) relies on: optimizations must not
 change the numerics.
 
+Two execution backends share the same step semantics:
+
+* ``backend="sim"`` — SimMPI's cooperative generator scheduler with virtual
+  ``alpha + k*beta`` clocks (the performance-*model* substrate);
+* ``backend="procpool"`` — real forked worker processes with shared-memory
+  halo rings (:mod:`repro.parallel.procpool`), the performance-*measurement*
+  substrate.  On this backend the solver also implements the paper's
+  Section IV.C compute/communication overlap: each rank posts its halo
+  faces, advances the interior "core" block while they are in flight, and
+  completes the thin face "shell" slabs after the receive.  The split-region
+  updates replay the kernel's exact per-cell ufunc sequence
+  (:class:`repro.core.kernels.RegionUpdater`), so overlap preserves bitwise
+  identity.  Overlap is only eligible without PML and attenuation — both
+  operate on whole-interior state that cannot be region-split — and the
+  solver silently runs the non-overlapped (still parallel, still bitwise)
+  schedule otherwise.
+
 Constraints inherited from the ordering analysis (asserted at add time):
 
 * body-force sources must sit at least two planes below the free surface so
@@ -20,21 +37,63 @@ Constraints inherited from the ordering analysis (asserted at add time):
 from __future__ import annotations
 
 import copy
+import time
+import warnings
 from dataclasses import replace
 
 import numpy as np
 
 from ..core.fd import NGHOST
 from ..core.grid import Grid3D
+from ..core.kernels import RegionUpdater
 from ..core.medium import Medium
-from ..core.solver import Receiver, SolverConfig, WaveSolver
+from ..core.solver import Receiver, SolverConfig, SurfaceRecorder, WaveSolver
 from ..core.source import BodyForceSource, FiniteFaultSource, MomentTensorSource
+from ..obs.metrics import default_registry
 from ..obs.tracer import get_tracer
 from .decomp import Decomposition3D
 from .halo import HaloExchange, exchange_halos_sync
-from .simmpi import RankContext, SPMDResult, run_spmd
+from .procpool import ProcPoolUnavailable
+from .simmpi import CommStats, RankContext, SPMDResult, run_spmd
 
 __all__ = ["DistributedWaveSolver"]
+
+_AXIS_LO = ("x_lo", "y_lo", "z_lo")
+_AXIS_HI = ("x_hi", "y_hi", "z_hi")
+
+
+def _split_core_shells(grid: Grid3D, excl: list[list[int]]):
+    """Split the interior into a core box and disjoint face shells.
+
+    ``excl[axis] = [lo_planes, hi_planes]`` gives the shell thickness to
+    peel off each face.  Returns ``(core_region, [shell_regions])`` in
+    padded coordinates, or ``None`` when the exclusions leave no core (the
+    subdomain is too thin to overlap; callers fall back to the blocking
+    schedule, which is bitwise identical anyway).
+    """
+    lo = [NGHOST] * 3
+    hi = [NGHOST + n for n in grid.shape]
+    clo = [lo[a] + excl[a][0] for a in range(3)]
+    chi = [hi[a] - excl[a][1] for a in range(3)]
+    if any(chi[a] <= clo[a] for a in range(3)):
+        return None
+    shells: list[tuple[slice, slice, slice]] = []
+
+    def box(x0, x1, y0, y1, z0, z1):
+        if x1 > x0 and y1 > y0 and z1 > z0:
+            shells.append((slice(x0, x1), slice(y0, y1), slice(z0, z1)))
+
+    # disjoint cover: x slabs take full y/z extent, y slabs take core x,
+    # z slabs take core x and core y
+    box(lo[0], clo[0], lo[1], hi[1], lo[2], hi[2])
+    box(chi[0], hi[0], lo[1], hi[1], lo[2], hi[2])
+    box(clo[0], chi[0], lo[1], clo[1], lo[2], hi[2])
+    box(clo[0], chi[0], chi[1], hi[1], lo[2], hi[2])
+    box(clo[0], chi[0], clo[1], chi[1], lo[2], clo[2])
+    box(clo[0], chi[0], clo[1], chi[1], chi[2], hi[2])
+    core = (slice(clo[0], chi[0]), slice(clo[1], chi[1]),
+            slice(clo[2], chi[2]))
+    return core, shells
 
 
 class DistributedWaveSolver:
@@ -53,9 +112,26 @@ class DistributedWaveSolver:
         'reduced' (Section IV.A directional exchange, default) or 'full'.
     sync_comm:
         Use the legacy synchronous rendezvous exchange (for the performance
-        studies; results are identical, virtual time is not).
+        studies; results are identical, virtual time is not).  SimMPI
+        backend only.
     machine:
-        Optional machine model for virtual-time accounting.
+        Optional machine model for virtual-time accounting (SimMPI backend;
+        the procpool backend measures wall clocks instead).
+    backend:
+        'sim' (default) — SimMPI cooperative scheduler; 'procpool' — real
+        OS processes with shared-memory halo rings.  If procpool cannot run
+        (no fork / no POSIX shared memory / spawn failure) the solver warns
+        once and falls back to 'sim'.
+    kernel_variant:
+        'pooled' (default) — plain interior updates; 'blocked' — the
+        cache-blocked k/j panel driver (bitwise identical; requires no PML
+        and no attenuation).
+    overlap:
+        Overlap interior computation with halo transfers on the procpool
+        backend (Section IV.C).  Automatically disabled when PML or
+        attenuation is configured, or the kernel variant is 'blocked'
+        (panel updates are not region-split).  Results are bitwise
+        identical either way.
     """
 
     def __init__(self, grid: Grid3D, medium: Medium,
@@ -64,18 +140,40 @@ class DistributedWaveSolver:
                  config: SolverConfig | None = None,
                  halo_mode: str = "reduced",
                  sync_comm: bool = False,
-                 machine=None):
+                 machine=None,
+                 backend: str = "sim",
+                 kernel_variant: str = "pooled",
+                 overlap: bool = True):
         if decomp is None:
             if nranks is None:
                 raise ValueError("pass decomp= or nranks=")
             decomp = Decomposition3D.auto(grid, nranks)
+        if backend not in ("sim", "procpool"):
+            raise ValueError(f"unknown backend {backend!r} "
+                             "(expected 'sim' or 'procpool')")
+        if kernel_variant not in ("pooled", "blocked"):
+            raise ValueError(f"unknown kernel variant {kernel_variant!r} "
+                             "(expected 'pooled' or 'blocked')")
+        if backend == "procpool" and sync_comm:
+            raise ValueError("sync_comm is a SimMPI modelling mode; the "
+                             "procpool backend always uses the ring exchange")
         self.grid = grid
         self.medium = medium
         self.decomp = decomp
         self.config = cfg = config or SolverConfig()
+        if kernel_variant == "blocked":
+            if cfg.absorbing == "pml":
+                raise ValueError("kernel_variant='blocked' does not support "
+                                 "PML (use absorbing='sponge' or 'none')")
+            if cfg.attenuation_band is not None:
+                raise ValueError("kernel_variant='blocked' does not support "
+                                 "attenuation")
         self.halo_mode = halo_mode
         self.sync_comm = sync_comm
         self.machine = machine
+        self.backend = backend
+        self.kernel_variant = kernel_variant
+        self.overlap = overlap
         self.topology = machine.topology(decomp.nranks) if machine else None
         global_vp = medium.vp_max
         pz = decomp.dims[2]
@@ -99,9 +197,31 @@ class DistributedWaveSolver:
             HaloExchange(decomp, rank, sol.wf, mode=halo_mode)
             for rank, sol in enumerate(self.solvers)]
         self.last_result: SPMDResult | None = None
+        #: aggregate timing of the last procpool run (bench/obs consumers);
+        #: keys: workers, overlap, pack_s, wait_s, unpack_s, hidden_s,
+        #: compute_s, wall_s, overlap_efficiency
+        self.last_procpool: dict | None = None
         #: tracer override; None = whatever repro.obs.get_tracer() returns
         #: at run time (the null tracer unless one is installed)
         self.tracer = None
+        self.surface_recorder: SurfaceRecorder | None = None
+        self._surface_local: dict[int, SurfaceRecorder] = {}
+        self._overlap_plans: list[dict | None] | None = None
+        self._fallback_warned = False
+
+    @property
+    def overlap_eligible(self) -> bool:
+        """Whether the IV.C overlap schedule can preserve bitwise identity
+        with this configuration (no PML, no attenuation, pooled kernels)."""
+        return (self.config.absorbing != "pml"
+                and self.config.attenuation_band is None
+                and self.kernel_variant == "pooled")
+
+    @property
+    def overlap_active(self) -> bool:
+        """Whether the next procpool run will use the overlap schedule."""
+        return (self.backend == "procpool" and self.overlap
+                and self.overlap_eligible)
 
     # ------------------------------------------------------------------
     # Sources and receivers
@@ -164,8 +284,65 @@ class DistributedWaveSolver:
             self._receiver_map.append((receiver, comp, rank, local))
         return receiver
 
+    def record_surface(self, dec_space: int = 1,
+                       dec_time: int = 1) -> SurfaceRecorder:
+        """Record the decimated free-surface velocity (merged globally).
+
+        Each top-layer rank records its local top plane; frames are stitched
+        into global arrays after every :meth:`run`, bitwise equal to the
+        serial :class:`SurfaceRecorder` output.  Spatial decimation across
+        uneven subdomain splits would de-align the sampling grid, so only
+        ``dec_space=1`` is supported distributed.
+        """
+        if dec_space != 1:
+            raise ValueError("distributed surface recording requires "
+                             "dec_space=1")
+        pz = self.decomp.dims[2]
+        self._surface_local = {
+            rank: SurfaceRecorder(dec_space, dec_time)
+            for rank, sub in enumerate(self.decomp.subdomains())
+            if sub.coords[2] == pz - 1}
+        self.surface_recorder = SurfaceRecorder(dec_space, dec_time)
+        return self.surface_recorder
+
+    def _merge_surface(self) -> None:
+        if not self._surface_local:
+            return
+        nframes = min(len(r.frames) for r in self._surface_local.values())
+        nx, ny = self.grid.nx, self.grid.ny
+        dtype = self.solvers[0].wf.dtype
+        for fi in range(nframes):
+            t = 0.0
+            planes = [np.zeros((nx, ny), dtype=dtype) for _ in range(3)]
+            for rank, rec in self._surface_local.items():
+                sub = self.decomp.subdomain(rank)
+                (a, b), (c, d), _ = sub.ranges
+                t, lvx, lvy, lvz = rec.frames[fi]
+                for dst, src in zip(planes, (lvx, lvy, lvz)):
+                    dst[a:b, c:d] = src
+            self.surface_recorder.frames.append((t, *planes))
+        for rec in self._surface_local.values():
+            rec.frames.clear()
+
     # ------------------------------------------------------------------
-    # Execution
+    # Kernel variant dispatch (shared by both backends)
+    # ------------------------------------------------------------------
+    def _update_velocity(self, sol: WaveSolver) -> None:
+        if self.kernel_variant == "blocked":
+            sol.kernel.step_blocked_velocity(self.config.kblock,
+                                             self.config.jblock)
+        else:
+            sol._step_velocity()
+
+    def _update_stress(self, sol: WaveSolver) -> None:
+        if self.kernel_variant == "blocked":
+            sol.kernel.step_blocked_stress(self.config.kblock,
+                                           self.config.jblock)
+        else:
+            sol._step_stress()
+
+    # ------------------------------------------------------------------
+    # Execution: SimMPI backend
     # ------------------------------------------------------------------
     def _rank_program(self, comm: RankContext, nsteps: int):
         rank = comm.rank
@@ -181,6 +358,7 @@ class DistributedWaveSolver:
             def exchange(group):
                 return hx.exchange(comm, group)
         locals_ = [loc for (_, _, r, loc) in self._receiver_map if r == rank]
+        srec = self._surface_local.get(rank)
         tracer = comm.tracer
         for _ in range(nsteps):
             # compute spans are wall-clock (wall=True): SimMPI virtual clocks
@@ -188,14 +366,14 @@ class DistributedWaveSolver:
             # honest compute cost — the paper's Eq. 7 hybrid of measured
             # kernel time plus modelled alpha + k*beta communication.
             with tracer.span("step.velocity", category="compute", wall=True):
-                sol._step_velocity()
+                self._update_velocity(sol)
                 for src in sol.force_sources:
                     src.inject(sol.wf, sol.t, sol.dt)
             yield from exchange("velocity")
             with tracer.span("step.stress", category="compute", wall=True):
                 if sol.free_surface is not None:
                     sol.free_surface.apply_velocity(sol.wf)
-                sol._step_stress()
+                self._update_stress(sol)
                 for src in sol.moment_sources:
                     src.inject(sol.wf, sol.t, sol.dt)
                 # Serial semantics: image the free surface from *undamped*
@@ -213,19 +391,299 @@ class DistributedWaveSolver:
                 with tracer.span("step.record", category="io", wall=True):
                     for loc in locals_:
                         loc.record(sol.wf)
+            if srec is not None:
+                srec.maybe_record(sol.wf, sol.t)
 
+    def _run_sim(self, nsteps: int, tracer) -> SPMDResult:
+        with tracer.span("distributed.run", category="other",
+                         backend="sim", nranks=self.decomp.nranks,
+                         nsteps=nsteps):
+            return run_spmd(self.decomp.nranks, self._rank_program,
+                            machine=self.machine, topology=self.topology,
+                            args=(nsteps,), tracer=tracer)
+
+    # ------------------------------------------------------------------
+    # Execution: procpool backend (real processes, IV.C overlap)
+    # ------------------------------------------------------------------
+    def _overlap_plan(self, rank: int) -> dict | None:
+        """Region updaters for one rank's core/shell split (None = rank too
+        thin to overlap; it runs the blocking schedule instead)."""
+        sol = self.solvers[rank]
+        nb = self.decomp.neighbors(rank)
+        excl = [[0, 0], [0, 0], [0, 0]]
+        for axis in range(3):
+            if nb[_AXIS_LO[axis]] is not None:
+                excl[axis][0] = NGHOST
+            if nb[_AXIS_HI[axis]] is not None:
+                excl[axis][1] = NGHOST
+        v = _split_core_shells(sol.wf.grid, excl)
+        sexcl = [list(e) for e in excl]
+        if sol.free_surface is not None:
+            # the top two stress planes read the free-surface velocity ghost
+            # written only after the velocity exchange completes
+            sexcl[2][1] = max(sexcl[2][1], NGHOST)
+        s = _split_core_shells(sol.wf.grid, sexcl)
+        if v is None or s is None:
+            return None
+        (vcore, vshells) = v
+        (score, sshells) = s
+        kern = sol.kernel
+        return {
+            "v_core": RegionUpdater(kern, vcore),
+            "v_shells": [RegionUpdater(kern, r) for r in vshells],
+            "s_core": RegionUpdater(kern, score),
+            "s_shells": [RegionUpdater(kern, r) for r in sshells],
+        }
+
+    def _procpool_worker(self, rank: int, endpoint, nsteps: int,
+                         collect_spans: bool) -> dict:
+        """One rank's run loop (executes inside a forked worker process)."""
+        sol = self.solvers[rank]
+        wf = sol.wf
+        plan = (self._overlap_plans[rank]
+                if self._overlap_plans is not None else None)
+        locals_ = [(i, comp, loc) for i, (_, comp, r, loc)
+                   in enumerate(self._receiver_map) if r == rank]
+        srec = self._surface_local.get(rank)
+        spans: list | None = [] if collect_spans else None
+        pack = wait = unpack = hidden = compute_s = 0.0
+        t_start = time.perf_counter()
+
+        def span(name, t0, t1):
+            if spans is not None:
+                spans.append((name, t0, t1))
+
+        def record_outputs():
+            for _, _, loc in locals_:
+                loc.record(wf)
+            if srec is not None:
+                srec.maybe_record(wf, sol.t)
+
+        if plan is None:
+            # Blocking schedule: identical ordering to the SimMPI program.
+            for _ in range(nsteps):
+                t0 = time.perf_counter()
+                self._update_velocity(sol)
+                for src in sol.force_sources:
+                    src.inject(wf, sol.t, sol.dt)
+                t1 = time.perf_counter()
+                compute_s += t1 - t0
+                span("step.velocity", t0, t1)
+                p, w = endpoint.post("velocity", wf)
+                pack += p
+                wait += w
+                w, u = endpoint.complete("velocity", wf)
+                wait += w
+                unpack += u
+                t0 = time.perf_counter()
+                if sol.free_surface is not None:
+                    sol.free_surface.apply_velocity(wf)
+                self._update_stress(sol)
+                for src in sol.moment_sources:
+                    src.inject(wf, sol.t, sol.dt)
+                if sol.free_surface is not None:
+                    sol.free_surface.apply_stress(wf)
+                if sol.sponge is not None:
+                    sol.sponge.apply(wf)
+                t1 = time.perf_counter()
+                compute_s += t1 - t0
+                span("step.stress", t0, t1)
+                p, w = endpoint.post("stress", wf)
+                pack += p
+                wait += w
+                w, u = endpoint.complete("stress", wf)
+                wait += w
+                unpack += u
+                sol.t += sol.dt
+                sol.nstep += 1
+                record_outputs()
+        else:
+            # IV.C overlap schedule.  Per-cell update order matches the
+            # serial step exactly; only whole-region scheduling moves:
+            #  - the stress core (cells ≥2 planes from any exchanged face,
+            #    and below the free-surface-coupled planes) runs while the
+            #    velocity faces are in flight — it reads no velocity ghosts;
+            #  - the *next* step's velocity core runs while the stress faces
+            #    are in flight — it reads no stress ghosts, and this step's
+            #    outputs were already recorded.
+            v_core, v_shells = plan["v_core"], plan["v_shells"]
+            s_core, s_shells = plan["s_core"], plan["s_shells"]
+            vel_core_done = False
+            for istep in range(nsteps):
+                t0 = time.perf_counter()
+                if not vel_core_done:
+                    v_core.step_velocity()
+                for r in v_shells:
+                    r.step_velocity()
+                for src in sol.force_sources:
+                    src.inject(wf, sol.t, sol.dt)
+                t1 = time.perf_counter()
+                compute_s += t1 - t0
+                span("step.velocity.shell" if vel_core_done
+                     else "step.velocity", t0, t1)
+                vel_core_done = False
+                p, w = endpoint.post("velocity", wf)
+                pack += p
+                wait += w
+                t0 = time.perf_counter()
+                s_core.step_stress()
+                t1 = time.perf_counter()
+                compute_s += t1 - t0
+                hidden += t1 - t0
+                span("step.stress.core", t0, t1)
+                w, u = endpoint.complete("velocity", wf)
+                wait += w
+                unpack += u
+                t0 = time.perf_counter()
+                if sol.free_surface is not None:
+                    sol.free_surface.apply_velocity(wf)
+                for r in s_shells:
+                    r.step_stress()
+                for src in sol.moment_sources:
+                    src.inject(wf, sol.t, sol.dt)
+                if sol.free_surface is not None:
+                    sol.free_surface.apply_stress(wf)
+                if sol.sponge is not None:
+                    sol.sponge.apply(wf)
+                t1 = time.perf_counter()
+                compute_s += t1 - t0
+                span("step.stress.shell", t0, t1)
+                p, w = endpoint.post("stress", wf)
+                pack += p
+                wait += w
+                sol.t += sol.dt
+                sol.nstep += 1
+                record_outputs()
+                if istep < nsteps - 1:
+                    t0 = time.perf_counter()
+                    v_core.step_velocity()
+                    vel_core_done = True
+                    t1 = time.perf_counter()
+                    compute_s += t1 - t0
+                    hidden += t1 - t0
+                    span("step.velocity.core", t0, t1)
+                w, u = endpoint.complete("stress", wf)
+                wait += w
+                unpack += u
+
+        wall = time.perf_counter() - t_start
+        pool = endpoint.pool
+        msgs = nbytes = 0
+        for group in ("velocity", "stress"):
+            m, b = pool.messages_per_round(rank, group)
+            msgs += m
+            nbytes += b
+        stats = CommStats(messages_sent=msgs * nsteps,
+                          bytes_sent=nbytes * nsteps,
+                          messages_received=msgs * nsteps,
+                          bytes_received=nbytes * nsteps,
+                          compute_time=compute_s,
+                          comm_time=wait + pack + unpack)
+        return {
+            "state": sol.state(),
+            "receivers": [(i, comp, loc.data[comp])
+                          for i, comp, loc in locals_],
+            "surface": (None if srec is None
+                        else {"frames": srec.frames, "step": srec._step}),
+            "stats": stats,
+            "wall": wall,
+            "pack_s": pack,
+            "wait_s": wait,
+            "unpack_s": unpack,
+            "hidden_s": hidden,
+            "compute_s": compute_s,
+            "spans": spans,
+        }
+
+    def _run_procpool(self, nsteps: int, tracer) -> SPMDResult:
+        from . import procpool
+        procpool.ensure_available()
+        if self.overlap_active and self._overlap_plans is None:
+            self._overlap_plans = [self._overlap_plan(r)
+                                   for r in range(self.decomp.nranks)]
+        collect_spans = bool(tracer.enabled)
+        pool = procpool.FaceRingPool(self.decomp, mode=self.halo_mode,
+                                     dtype=self.config.dtype)
+        try:
+            endpoints = [pool.endpoint(r)
+                         for r in range(self.decomp.nranks)]
+
+            def target(rank: int) -> dict:
+                return self._procpool_worker(rank, endpoints[rank], nsteps,
+                                             collect_spans)
+
+            with tracer.span("distributed.run", category="other",
+                             backend="procpool", nranks=self.decomp.nranks,
+                             nsteps=nsteps):
+                payloads = procpool.run_workers(self.decomp.nranks, target)
+        finally:
+            pool.close()
+
+        reg = default_registry()
+        agg = {k: 0.0 for k in ("pack_s", "wait_s", "unpack_s", "hidden_s",
+                                "compute_s", "wall_s")}
+        clocks, stats = [], []
+        for rank, pl in enumerate(payloads):
+            self.solvers[rank].load_state(pl["state"])
+            for idx, comp, data in pl["receivers"]:
+                _, _, _, local = self._receiver_map[idx]
+                local.data[comp].extend(data)
+            if pl["surface"] is not None:
+                srec = self._surface_local[rank]
+                srec.frames.extend(pl["surface"]["frames"])
+                srec._step = pl["surface"]["step"]
+            clocks.append(pl["wall"])
+            stats.append(pl["stats"])
+            for key, hist in (("pack_s", "procpool.pack_s"),
+                              ("wait_s", "procpool.wait_s"),
+                              ("unpack_s", "procpool.unpack_s")):
+                reg.histogram(hist).observe(pl[key])
+                agg[key] += pl[key]
+            agg["hidden_s"] += pl["hidden_s"]
+            agg["compute_s"] += pl["compute_s"]
+            agg["wall_s"] += pl["wall"]
+            if pl["spans"]:
+                for name, t0, t1 in pl["spans"]:
+                    tracer.record(name, t0, t1, category="compute",
+                                  rank=rank, domain="wall")
+        overlap_on = self._overlap_plans is not None and any(
+            p is not None for p in self._overlap_plans)
+        window = agg["hidden_s"] + agg["wait_s"]
+        eff = (agg["hidden_s"] / window) if (overlap_on and window > 0) \
+            else None
+        if eff is not None:
+            reg.gauge("procpool.overlap_efficiency").set(eff)
+        self.last_procpool = {"workers": self.decomp.nranks,
+                              "overlap": overlap_on,
+                              "overlap_efficiency": eff, **agg}
+        return SPMDResult(results=[None] * self.decomp.nranks,
+                          clocks=clocks, stats=stats)
+
+    # ------------------------------------------------------------------
+    # Run entry point
+    # ------------------------------------------------------------------
     def run(self, nsteps: int) -> SPMDResult:
         """Advance all subdomains ``nsteps`` steps; merge receiver data."""
         tracer = self.tracer if self.tracer is not None else get_tracer()
-        with tracer.span("distributed.run", category="other",
-                         nranks=self.decomp.nranks, nsteps=nsteps):
-            result = run_spmd(self.decomp.nranks, self._rank_program,
-                              machine=self.machine, topology=self.topology,
-                              args=(nsteps,), tracer=tracer)
+        if self.backend == "procpool":
+            try:
+                result = self._run_procpool(nsteps, tracer)
+            except ProcPoolUnavailable as exc:
+                if not self._fallback_warned:
+                    warnings.warn(
+                        f"procpool backend unavailable ({exc}); falling "
+                        "back to the SimMPI backend", RuntimeWarning,
+                        stacklevel=2)
+                    self._fallback_warned = True
+                self.backend = "sim"
+                result = self._run_sim(nsteps, tracer)
+        else:
+            result = self._run_sim(nsteps, tracer)
         self.last_result = result
         for recv, comp, _rank, local in self._receiver_map:
             recv.data[comp].extend(local.data[comp])
             local.data[comp] = []
+        self._merge_surface()
         return result
 
     # ------------------------------------------------------------------

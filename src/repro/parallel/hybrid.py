@@ -16,6 +16,21 @@ skew from intra-node sharing) traded against per-thread fork/join idle
 overhead that grows as the per-thread slab thins.  The model reproduces the
 paper's conclusion: hybrid wins at moderate scale, pure MPI wins at the
 extreme scale where AWP-ODC production ran.
+
+Reality check against the measured multicore backend
+(``repro bench``'s ``distributed_procpool`` workload, see PERFORMANCE.md):
+the model's qualitative structure holds up.  The procpool backend is the
+"one rank per core, shared-memory transport" corner of this trade space,
+and its measured per-step overhead splits into exactly the terms modelled
+here — a fixed per-step orchestration cost (fork + semaphore round-trips,
+the analogue of fork/join idle) plus a surface-proportional copy cost
+(pack/unpack, the analogue of halo traffic).  Two measured magnitudes are
+worth noting against the model's assumptions: per-step team overhead on
+commodity Linux (process semaphores, not OpenMP barriers) is of order
+tens of microseconds rather than ``FORK_JOIN_SECONDS``-scale, and the
+overlap schedule hides a large fraction of the wait term
+(``extra.overlap_efficiency`` in the bench report), which Eq. 7 models as
+the IV.C overlap optimisation flag rather than a continuous efficiency.
 """
 
 from __future__ import annotations

@@ -4,8 +4,9 @@ import json
 
 import pytest
 
-from repro.bench import (BENCH_SCHEMA, SMOKE, WORKLOADS, git_revision,
-                         run_suite, validate_report, write_report)
+from repro.bench import (BENCH_SCHEMA, SMOKE, WORKLOADS, compare_reports,
+                         git_revision, run_suite, validate_report,
+                         write_report)
 from repro.cli import main
 from repro.obs.metrics import MetricsRegistry
 
@@ -108,6 +109,105 @@ class TestValidation:
         wl["kernel_step"] = dict(wl["kernel_step"], peak_tmp_bytes=-1)
         with pytest.raises(ValueError, match="peak_tmp_bytes"):
             validate_report(dict(report, workloads=wl))
+
+
+class TestDistributedWorkloads:
+    def test_speedup_vs_sim_recorded(self, smoke_report):
+        report, registry = smoke_report
+        extra = report["workloads"]["distributed_procpool"]["extra"]
+        assert extra["speedup_vs_sim"] > 0
+        assert extra["backend"] == "procpool"
+        assert registry.gauge(
+            "bench.distributed_procpool.speedup_vs_sim").value > 0
+
+    def test_host_cpu_count_reported(self, smoke_report):
+        report, _ = smoke_report
+        assert report["host"]["cpu_count"] >= 1
+
+    def test_overlap_metrics_present_when_procpool_ran(self, smoke_report):
+        report, _ = smoke_report
+        extra = report["workloads"]["distributed_procpool"]["extra"]
+        if extra["backend_used"] == "procpool":
+            assert 0.0 <= extra["overlap_efficiency"] <= 1.0
+            assert extra["wait_s"] >= 0 and extra["hidden_s"] >= 0
+
+    def test_blocked_variant_labelled(self, smoke_report):
+        report, _ = smoke_report
+        extra = report["workloads"]["distributed_sim_blocked"]["extra"]
+        assert extra["kernel_variant"] == "blocked"
+
+
+class TestCompare:
+    def test_identical_reports_no_regression(self, smoke_report):
+        report, _ = smoke_report
+        text, regressions = compare_reports(report, report)
+        assert regressions == []
+        assert "no regressions" in text
+
+    def test_slower_wall_flags_regression(self, smoke_report):
+        report, _ = smoke_report
+        slow = json.loads(json.dumps(report))
+        ws = slow["workloads"]["kernel_step"]["wall_s"]
+        ws["min"] *= 2.0
+        ws["max"] = max(ws["max"], ws["min"])
+        text, regressions = compare_reports(report, slow)
+        assert any("kernel_step" in r for r in regressions)
+        assert "REGRESSION" in text
+
+    def test_tolerance_respected(self, smoke_report):
+        report, _ = smoke_report
+        slow = json.loads(json.dumps(report))
+        ws = slow["workloads"]["kernel_step"]["wall_s"]
+        ws["min"] *= 1.05
+        ws["max"] = max(ws["max"], ws["min"])
+        _, regressions = compare_reports(report, slow, rel_tol=0.10)
+        assert regressions == []
+        _, regressions = compare_reports(report, slow, rel_tol=0.01)
+        assert regressions != []
+
+    def test_mode_mismatch_warned(self, smoke_report):
+        report, _ = smoke_report
+        other = dict(report, mode="full")
+        text, _ = compare_reports(report, other)
+        assert "WARNING" in text
+
+    def test_new_and_dropped_workloads_reported(self, smoke_report):
+        report, _ = smoke_report
+        older = json.loads(json.dumps(report))
+        renamed = older["workloads"].pop("kernel_step")
+        older["workloads"]["legacy_kernel"] = renamed
+        text, regressions = compare_reports(older, report)
+        assert "new workload" in text
+        assert "dropped" in text
+        assert regressions == []
+
+    def test_invalid_report_rejected(self, smoke_report):
+        report, _ = smoke_report
+        with pytest.raises(ValueError):
+            compare_reports({"schema": "nope"}, report)
+
+    def test_cli_compare_exit_codes(self, smoke_report, tmp_path, capsys):
+        report, _ = smoke_report
+        base = tmp_path / "old.json"
+        write_report(report, str(base))
+        slow = json.loads(json.dumps(report))
+        ws = slow["workloads"]["kernel_step"]["wall_s"]
+        ws["min"] *= 2.0
+        ws["max"] = max(ws["max"], ws["min"])
+        cur = tmp_path / "new.json"
+        cur.write_text(json.dumps(slow))
+        assert main(["bench", "--compare", str(base), str(base)]) == 0
+        assert main(["bench", "--compare", str(base), str(cur)]) == 3
+        assert main(["bench", "--compare", str(base), str(cur),
+                     "--warn-only"]) == 0
+        assert main(["bench", "--compare", str(base), str(cur),
+                     "--rel-tol", "1.5"]) == 0
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_cli_compare_missing_file(self, tmp_path):
+        assert main(["bench", "--compare", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json")]) == 2
 
 
 class TestCLI:

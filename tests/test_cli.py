@@ -49,6 +49,19 @@ class TestRunQuake:
         assert pgv.shape == (20, 20)
         assert pgv.max() > 0
 
+    @pytest.mark.parametrize("backend", ["sim", "procpool"])
+    def test_distributed_backends_match_serial(self, tmp_path, capsys,
+                                               backend):
+        serial = tmp_path / "pgv_serial.npy"
+        dist = tmp_path / f"pgv_{backend}.npy"
+        assert main(["run-quake", "--n", "20", "--steps", "20",
+                     "--out", str(serial)]) == 0
+        assert main(["run-quake", "--n", "20", "--steps", "20",
+                     "--ranks", "2", "--backend", backend,
+                     "--out", str(dist)]) == 0
+        assert np.array_equal(np.load(serial), np.load(dist))
+        assert backend in capsys.readouterr().out
+
 
 class TestRupture:
     def test_reports_magnitude(self, capsys):
