@@ -63,12 +63,18 @@ from .parallel.distributed import DistributedWaveSolver
 from .parallel.halo import HaloExchange, halo_bytes_per_step
 from .parallel.simmpi import run_spmd
 
-__all__ = ["BENCH_SCHEMA", "BenchConfig", "FULL", "SMOKE", "WORKLOADS",
-           "compare_reports", "git_revision", "run_suite", "write_report",
-           "validate_report"]
+__all__ = ["BENCH_SCHEMA", "LEGACY_SCHEMAS", "BenchConfig", "FULL", "SMOKE",
+           "WORKLOADS", "F32_PAIRS", "compare_reports", "git_revision",
+           "run_suite", "write_report", "validate_report"]
 
 #: Schema identifier written into every report.
-BENCH_SCHEMA = "repro-bench/1"
+BENCH_SCHEMA = "repro-bench/2"
+
+#: Older schemas still accepted by :func:`validate_report` so committed
+#: baselines (e.g. ``BENCH_seed.json``) keep comparing against new runs.
+#: Legacy reports are exempt from v2-only requirements (per-workload
+#: ``dtype``, ``host.cpu_count``).
+LEGACY_SCHEMAS = ("repro-bench/1",)
 
 
 @dataclass(frozen=True)
@@ -132,13 +138,15 @@ def _wall_stats(walls: list[float]) -> dict:
 
 
 def _result(walls: list[float], peak_tmp: int, *, steps: int, points: int,
-            flops_per_point: float | None, extra: dict | None = None) -> dict:
+            flops_per_point: float | None, extra: dict | None = None,
+            dtype=np.float64) -> dict:
     """Assemble one workload's report entry from raw measurements."""
     best = min(walls)
     out = {
         "wall_s": _wall_stats(walls),
         "steps_per_rep": steps,
         "points": points,
+        "dtype": np.dtype(dtype).name,
         "peak_tmp_bytes": int(peak_tmp),
         "gflops": None,
         "mcells_per_s": None,
@@ -151,19 +159,19 @@ def _result(walls: list[float], peak_tmp: int, *, steps: int, points: int,
     return out
 
 
-def _seeded_wavefield(grid: Grid3D) -> WaveField:
+def _seeded_wavefield(grid: Grid3D, dtype=np.float64) -> WaveField:
     """A wavefield with deterministic non-zero interiors (no denormals)."""
-    wf = WaveField(grid)
+    wf = WaveField(grid, dtype=np.dtype(dtype))
     rng = np.random.default_rng(20100913)  # the paper's SC'10 submission era
     for arr in wf.fields().values():
         interior(arr)[...] = rng.standard_normal(grid.shape) * 1e-3
     return wf
 
 
-def _kernel_fixture(cfg: BenchConfig):
+def _kernel_fixture(cfg: BenchConfig, dtype=np.float64):
     g = Grid3D(cfg.n, cfg.n, cfg.n, h=100.0)
-    med = Medium.homogeneous(g, vp=4000.0, vs=2300.0, rho=2500.0)
-    wf = _seeded_wavefield(g)
+    med = Medium.homogeneous(g, vp=4000.0, vs=2300.0, rho=2500.0, dtype=dtype)
+    wf = _seeded_wavefield(g, dtype)
     dt = 1e-3
     return g, med, wf, dt
 
@@ -171,8 +179,8 @@ def _kernel_fixture(cfg: BenchConfig):
 # ----------------------------------------------------------------------
 # Workloads
 # ----------------------------------------------------------------------
-def bench_kernel_step(cfg: BenchConfig) -> dict:
-    g, med, wf, dt = _kernel_fixture(cfg)
+def bench_kernel_step(cfg: BenchConfig, dtype=np.float64) -> dict:
+    g, med, wf, dt = _kernel_fixture(cfg, dtype)
     kern = VelocityStressKernel(wf, med, dt)
 
     def step():
@@ -183,7 +191,13 @@ def bench_kernel_step(cfg: BenchConfig) -> dict:
     walls, peak = _measure(step, cfg.reps)
     return _result(walls, peak, steps=cfg.steps, points=g.ncells,
                    flops_per_point=stencil_flops_per_point(order=4),
-                   extra={"scratch_pool_bytes": kern.scratch_nbytes()})
+                   extra={"scratch_pool_bytes": kern.scratch_nbytes()},
+                   dtype=dtype)
+
+
+def bench_kernel_step_f32(cfg: BenchConfig) -> dict:
+    """The interior update at single precision — half the bytes per cell."""
+    return bench_kernel_step(cfg, dtype=np.float32)
 
 
 def bench_kernel_blocked(cfg: BenchConfig) -> dict:
@@ -213,13 +227,14 @@ def bench_baseline_kernel(cfg: BenchConfig) -> dict:
                    flops_per_point=stencil_flops_per_point(order=4))
 
 
-def bench_solver_step(cfg: BenchConfig) -> dict:
+def bench_solver_step(cfg: BenchConfig, dtype=np.float64) -> dict:
     g = Grid3D(cfg.n, cfg.n, cfg.n, h=100.0)
     med = Medium.homogeneous(g, vp=4000.0, vs=2300.0, rho=2500.0,
                              qs=50.0, qp=100.0)
     sol = WaveSolver(g, med, SolverConfig(
         absorbing="sponge", sponge_width=max(3, cfg.n // 8),
-        attenuation_band=(0.2, 2.0), stability_check_interval=0))
+        attenuation_band=(0.2, 2.0), stability_check_interval=0,
+        dtype=dtype))
     for name, arr in sol.wf.fields().items():
         rng = np.random.default_rng(hash(name) & 0xFFFF)
         interior(arr)[...] = rng.standard_normal(g.shape) * 1e-3
@@ -231,13 +246,18 @@ def bench_solver_step(cfg: BenchConfig) -> dict:
     return _result(walls, peak, steps=cfg.steps, points=g.ncells,
                    flops_per_point=stencil_flops_per_point(
                        order=4, attenuation=True),
-                   extra={"dt": sol.dt})
+                   extra={"dt": sol.dt}, dtype=dtype)
 
 
-def bench_halo_exchange(cfg: BenchConfig) -> dict:
+def bench_solver_step_f32(cfg: BenchConfig) -> dict:
+    """Full solver step (sponge + attenuation) at single precision."""
+    return bench_solver_step(cfg, dtype=np.float32)
+
+
+def bench_halo_exchange(cfg: BenchConfig, dtype=np.float64) -> dict:
     g = Grid3D(cfg.n, cfg.n, cfg.n, h=100.0)
     decomp = Decomposition3D.auto(g, cfg.ranks)
-    wfs = [_seeded_wavefield(sub.grid) for sub in decomp.subdomains()]
+    wfs = [_seeded_wavefield(sub.grid, dtype) for sub in decomp.subdomains()]
     hxs = [HaloExchange(decomp, r, wfs[r], mode="reduced")
            for r in range(decomp.nranks)]
 
@@ -251,14 +271,23 @@ def bench_halo_exchange(cfg: BenchConfig) -> dict:
         run_spmd(decomp.nranks, program, args=(cfg.rounds,))
 
     walls, peak = _measure(step, cfg.reps)
-    bytes_per_round = sum(halo_bytes_per_step(decomp, r, "reduced")
-                          for r in range(decomp.nranks))
+    itemsize = np.dtype(dtype).itemsize
+    bytes_per_round = sum(
+        halo_bytes_per_step(decomp, r, "reduced", itemsize=itemsize)
+        for r in range(decomp.nranks))
     return _result(walls, peak, steps=cfg.rounds, points=0,
                    flops_per_point=None,
                    extra={"ranks": decomp.nranks,
                           "dims": list(decomp.dims),
                           "bytes_per_round": bytes_per_round,
-                          "pool_bytes": sum(hx.pool_nbytes() for hx in hxs)})
+                          "pool_bytes": sum(hx.pool_nbytes() for hx in hxs)},
+                   dtype=dtype)
+
+
+def bench_halo_exchange_f32(cfg: BenchConfig) -> dict:
+    """Halo rounds over f32 fields — pack buffers and bytes-on-the-wire
+    follow the field dtype, so this moves half the data of the f64 case."""
+    return bench_halo_exchange(cfg, dtype=np.float32)
 
 
 def bench_tracer_overhead(cfg: BenchConfig) -> dict:
@@ -292,7 +321,8 @@ def bench_tracer_overhead(cfg: BenchConfig) -> dict:
 
 
 def _distributed_solver(cfg: BenchConfig, backend: str,
-                        kernel_variant: str = "pooled") -> DistributedWaveSolver:
+                        kernel_variant: str = "pooled",
+                        dtype=np.float64) -> DistributedWaveSolver:
     """One distributed fixture shape shared by all three backends so their
     wall times are directly comparable (sponge + free surface, no PML or
     attenuation, so the procpool run is overlap-eligible)."""
@@ -303,7 +333,8 @@ def _distributed_solver(cfg: BenchConfig, backend: str,
         g, med, nranks=cfg.dist_ranks,
         config=SolverConfig(absorbing="sponge",
                             sponge_width=max(3, n // 8),
-                            stability_check_interval=0),
+                            stability_check_interval=0,
+                            dtype=dtype),
         backend=backend, kernel_variant=kernel_variant)
     sol.add_source(MomentTensorSource(
         position=(n * 50.0, n * 50.0, n * 50.0), moment=np.eye(3) * 1e13,
@@ -313,8 +344,9 @@ def _distributed_solver(cfg: BenchConfig, backend: str,
 
 
 def _bench_distributed(cfg: BenchConfig, backend: str,
-                       kernel_variant: str = "pooled") -> dict:
-    sol = _distributed_solver(cfg, backend, kernel_variant)
+                       kernel_variant: str = "pooled",
+                       dtype=np.float64) -> dict:
+    sol = _distributed_solver(cfg, backend, kernel_variant, dtype)
 
     def step():
         sol.run(cfg.dist_steps)
@@ -334,7 +366,7 @@ def _bench_distributed(cfg: BenchConfig, backend: str,
         extra["hidden_s"] = lp["hidden_s"]
     return _result(walls, peak, steps=cfg.dist_steps, points=points,
                    flops_per_point=stencil_flops_per_point(order=4),
-                   extra=extra)
+                   extra=extra, dtype=dtype)
 
 
 def bench_distributed_sim(cfg: BenchConfig) -> dict:
@@ -358,17 +390,35 @@ def bench_distributed_procpool(cfg: BenchConfig) -> dict:
     return _bench_distributed(cfg, "procpool")
 
 
+def bench_distributed_sim_f32(cfg: BenchConfig) -> dict:
+    """SimMPI backend at single precision (f32 halos + f32 subdomains)."""
+    return _bench_distributed(cfg, "sim", dtype=np.float32)
+
+
 #: name -> workload function; iteration order is report order.
 WORKLOADS = {
     "kernel_step": bench_kernel_step,
+    "kernel_step_f32": bench_kernel_step_f32,
     "kernel_blocked": bench_kernel_blocked,
     "baseline_kernel": bench_baseline_kernel,
     "solver_step": bench_solver_step,
+    "solver_step_f32": bench_solver_step_f32,
     "halo_exchange": bench_halo_exchange,
+    "halo_exchange_f32": bench_halo_exchange_f32,
     "distributed_sim": bench_distributed_sim,
+    "distributed_sim_f32": bench_distributed_sim_f32,
     "distributed_sim_blocked": bench_distributed_sim_blocked,
     "distributed_procpool": bench_distributed_procpool,
     "tracer_overhead": bench_tracer_overhead,
+}
+
+#: f32 workload -> its float64 counterpart; :func:`run_suite` fills
+#: ``extra.speedup_vs_f64`` (wall-min ratio) when both ran.
+F32_PAIRS = {
+    "kernel_step_f32": "kernel_step",
+    "solver_step_f32": "solver_step",
+    "halo_exchange_f32": "halo_exchange",
+    "distributed_sim_f32": "distributed_sim",
 }
 
 
@@ -421,6 +471,15 @@ def run_suite(smoke: bool = False, registry: MetricsRegistry | None = None,
         results["distributed_procpool"]["extra"]["speedup_vs_sim"] = speedup
         if speedup is not None:
             reg.gauge("bench.distributed_procpool.speedup_vs_sim").set(speedup)
+    for f32_name, f64_name in F32_PAIRS.items():
+        if f32_name not in results or f64_name not in results:
+            continue
+        base_min = results[f64_name]["wall_s"]["min"]
+        fast_min = results[f32_name]["wall_s"]["min"]
+        speedup = base_min / fast_min if fast_min > 0 else None
+        results[f32_name].setdefault("extra", {})["speedup_vs_f64"] = speedup
+        if speedup is not None:
+            reg.gauge(f"bench.{f32_name}.speedup_vs_f64").set(speedup)
     return {
         "schema": BENCH_SCHEMA,
         "revision": git_revision(),
@@ -449,18 +508,32 @@ def write_report(report: dict, path: str | None = None) -> str:
 
 
 def validate_report(report: dict) -> None:
-    """Raise ``ValueError`` unless ``report`` matches the repro-bench/1 schema."""
+    """Raise ``ValueError`` unless ``report`` matches the bench schema.
+
+    The current ``repro-bench/2`` schema additionally requires a ``dtype``
+    string per workload and an integer ``host.cpu_count`` — both needed to
+    interpret f32-vs-f64 speedups.  Reports carrying a
+    :data:`LEGACY_SCHEMAS` identifier are accepted without the v2-only
+    fields so committed baselines remain comparable.
+    """
     def need(cond: bool, msg: str) -> None:
         if not cond:
             raise ValueError(f"invalid bench report: {msg}")
 
     need(isinstance(report, dict), "not a mapping")
-    need(report.get("schema") == BENCH_SCHEMA,
-         f"schema != {BENCH_SCHEMA!r}")
+    schema = report.get("schema")
+    need(schema == BENCH_SCHEMA or schema in LEGACY_SCHEMAS,
+         f"schema != {BENCH_SCHEMA!r} (or legacy {LEGACY_SCHEMAS})")
+    v2 = schema == BENCH_SCHEMA
     for key in ("revision", "created", "mode"):
         need(isinstance(report.get(key), str) and report[key],
              f"missing/empty {key!r}")
     need(isinstance(report.get("config"), dict), "missing config")
+    if v2:
+        host = report.get("host")
+        need(isinstance(host, dict), "missing host")
+        need(isinstance(host.get("cpu_count"), int) and host["cpu_count"] > 0,
+             "missing host.cpu_count")
     wl = report.get("workloads")
     need(isinstance(wl, dict) and wl, "missing/empty workloads")
     for name, res in wl.items():
@@ -475,6 +548,9 @@ def validate_report(report: dict) -> None:
         need(isinstance(res.get("peak_tmp_bytes"), int)
              and res["peak_tmp_bytes"] >= 0,
              f"{name}: bad peak_tmp_bytes")
+        if v2:
+            need(isinstance(res.get("dtype"), str) and res["dtype"],
+                 f"{name}: missing dtype")
         for opt in ("gflops", "mcells_per_s"):
             need(res.get(opt) is None or isinstance(res[opt], (int, float)),
                  f"{name}: {opt} neither null nor numeric")
@@ -501,6 +577,11 @@ def format_report(report: dict) -> str:
     if ratio is not None:
         lines.append(f"  null-tracer overhead ratio: {ratio:.3f}x "
                      "(recording tracer / null tracer)")
+    for f32_name in F32_PAIRS:
+        sp = (report["workloads"].get(f32_name, {})
+              .get("extra", {}).get("speedup_vs_f64"))
+        if sp is not None:
+            lines.append(f"  {f32_name} speedup vs float64: {sp:.2f}x")
     pp = report["workloads"].get("distributed_procpool", {}).get("extra", {})
     if pp.get("speedup_vs_sim") is not None:
         eff = pp.get("overlap_efficiency")

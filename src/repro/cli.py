@@ -81,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="distributed execution backend (with --ranks > 1): "
                         "'sim' = cooperative SimMPI scheduler, 'procpool' = "
                         "real worker processes with shared-memory halos")
+    r.add_argument("--dtype", choices=("float32", "float64"),
+                   default="float64",
+                   help="wavefield/material precision; float32 is the "
+                        "production AWP-ODC fast path (half the bytes moved)")
     r.add_argument("--out", type=str, default=None)
 
     d = sub.add_parser("rupture", parents=[common],
@@ -103,6 +107,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="acceptance test against a reference")
     a.add_argument("--update-reference", type=str, default=None)
     a.add_argument("--reference", type=str, default=None)
+    a.add_argument("--precision", action="store_true",
+                   help="gate the float32 fast path against a matched "
+                        "float64 run (waveform L2 + surface PGV error)")
+    a.add_argument("--misfit-tol", type=float, default=None,
+                   help="with --precision: L2 misfit tolerance per waveform")
+    a.add_argument("--pgv-tol", type=float, default=None,
+                   help="with --precision: relative PGV error tolerance")
 
     m8 = sub.add_parser("m8", parents=[common],
                         help="the scaled M8 two-step pipeline")
@@ -119,6 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--workload", action="append", default=None,
                    metavar="NAME", dest="workloads",
                    help="run only this workload (repeatable)")
+    b.add_argument("--dtype", choices=("float32", "float64", "all"),
+                   default="all",
+                   help="restrict the suite to workloads of one precision "
+                        "(default: run both, reporting speedup_vs_f64)")
     b.add_argument("--metrics", action="store_true",
                    help="also print the repro.obs metrics registry report")
     b.add_argument("--compare", nargs=2, default=None,
@@ -191,7 +206,8 @@ def _cmd_run_quake(args) -> int:
     grid = Grid3D(args.n, args.n, max(12, args.n // 2), h=args.h)
     med = Medium.homogeneous(grid, vp=4000.0, vs=2300.0, rho=2500.0)
     pml_width = int(np.clip(args.n // 6, 3, 10))
-    cfg = SolverConfig(absorbing="pml", pml=PMLConfig(width=pml_width))
+    cfg = SolverConfig(absorbing="pml", pml=PMLConfig(width=pml_width),
+                       dtype=np.dtype(args.dtype).type)
     if args.ranks > 1:
         from .parallel.distributed import DistributedWaveSolver
         solver = DistributedWaveSolver(grid, med, nranks=args.ranks,
@@ -273,8 +289,18 @@ def _cmd_perf_report(args) -> int:
 
 
 def _cmd_aval(args) -> int:
-    from .workflow.aval import AcceptanceTest, ReferenceProblem
+    from .workflow.aval import (AcceptanceTest, PrecisionGate,
+                                ReferenceProblem)
     problem = ReferenceProblem()
+    if args.precision:
+        kw = {}
+        if args.misfit_tol is not None:
+            kw["misfit_tol"] = args.misfit_tol
+        if args.pgv_tol is not None:
+            kw["pgv_tol"] = args.pgv_tol
+        report = PrecisionGate(problem=problem, **kw).evaluate()
+        print(report.summary())
+        return 0 if report.passed else 1
     if args.update_reference:
         ref = problem.run()
         np.savez(args.update_reference, **ref)
@@ -331,8 +357,18 @@ def _cmd_bench(args) -> int:
         if regressions and not args.warn_only:
             return 3
         return 0
+    workloads = args.workloads
+    if args.dtype != "all":
+        from .bench import WORKLOADS
+        pool = workloads if workloads is not None else list(WORKLOADS)
+        want_f32 = args.dtype == "float32"
+        workloads = [w for w in pool if w.endswith("_f32") == want_f32]
+        if not workloads:
+            print(f"error: no selected workload matches --dtype {args.dtype}",
+                  file=sys.stderr)
+            return 2
     try:
-        report = run_suite(smoke=args.smoke, workloads=args.workloads)
+        report = run_suite(smoke=args.smoke, workloads=workloads)
     except ValueError as exc:   # e.g. an unknown --workload name
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -125,7 +125,9 @@ class CoarseGrainedAttenuation:
     def _coeffs(self, dt: float) -> tuple[np.ndarray, np.ndarray]:
         """Trapezoidal update coefficients (A, B) for the current dt."""
         if self._dt_coeffs is None or self._dt_coeffs[0] != dt:
-            r = self._tau_x / dt
+            # float(dt) keeps the division a weak-scalar op so the
+            # coefficients inherit tau_x's storage dtype (f32 stays f32).
+            r = self._tau_x / float(dt)
             a = (r - 0.5) / (r + 0.5)
             b = 1.0 / (r + 0.5)
             self._dt_coeffs = (dt, a, b)

@@ -117,7 +117,8 @@ class SpongeLayer:
     def __init__(self, grid, width: int = 20, amp: float = 0.92,
                  damp_top: bool = False,
                  global_shape: tuple[int, int, int] | None = None,
-                 index_origin: tuple[int, int, int] = (0, 0, 0)):
+                 index_origin: tuple[int, int, int] = (0, 0, 0),
+                 dtype=np.float64):
         gshape = global_shape if global_shape is not None else grid.shape
         if width >= min(gshape):
             raise ValueError("sponge width must be smaller than the grid")
@@ -142,9 +143,13 @@ class SpongeLayer:
         if damp_top:
             gz[gshape[2] - width:] = prof[::-1]
         ox, oy, oz = index_origin
-        gx = gx[ox:ox + grid.nx]
-        gy = gy[oy:oy + grid.ny]
-        gz = gz[oz:oz + grid.nz]
+        # Profiles are built in float64 at global positions (so decomposed
+        # runs damp bit-identically to serial ones at every precision), then
+        # stored at the wavefield dtype to keep the taper multiply native.
+        dtype = np.dtype(dtype)
+        gx = gx[ox:ox + grid.nx].astype(dtype)
+        gy = gy[oy:oy + grid.ny].astype(dtype)
+        gz = gz[oz:oz + grid.nz].astype(dtype)
         self.gx, self.gy, self.gz = gx, gy, gz
         self._g3 = (gx[:, None, None] * gy[None, :, None] * gz[None, None, :])
 

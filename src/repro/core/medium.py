@@ -39,9 +39,16 @@ def qp_from_qs(qs: np.ndarray | float) -> np.ndarray | float:
     return 2.0 * np.asarray(qs)
 
 
+def _mean_dtype(arrays: tuple[np.ndarray, ...]) -> np.dtype:
+    """Accumulator dtype for the averaging helpers: preserve a floating input
+    dtype (float32 stays float32); promote everything else to float64."""
+    dtype = np.result_type(*[np.asarray(a).dtype for a in arrays])
+    return dtype if np.issubdtype(dtype, np.floating) else np.dtype(np.float64)
+
+
 def harmonic_mean(*arrays: np.ndarray) -> np.ndarray:
     """Harmonic mean of equal-shape arrays (moduli averaging across cells)."""
-    acc = np.zeros_like(arrays[0], dtype=np.float64)
+    acc = np.zeros_like(arrays[0], dtype=_mean_dtype(arrays))
     for a in arrays:
         acc += 1.0 / a
     return len(arrays) / acc
@@ -49,7 +56,7 @@ def harmonic_mean(*arrays: np.ndarray) -> np.ndarray:
 
 def arithmetic_mean(*arrays: np.ndarray) -> np.ndarray:
     """Arithmetic mean of equal-shape arrays (density averaging)."""
-    acc = np.zeros_like(arrays[0], dtype=np.float64)
+    acc = np.zeros_like(arrays[0], dtype=_mean_dtype(arrays))
     for a in arrays:
         acc += a
     return acc / len(arrays)
@@ -119,6 +126,13 @@ class Medium:
         (the Section IV.B reciprocal-array optimization).
     qs, qp:
         Quality factors at cell centres (unitless).
+    dtype:
+        Storage dtype of every array (base *and* derived).  ``None`` means
+        float64, the repo's verification default; pass ``np.float32`` for the
+        paper's production single-precision configuration.  Derived arrays
+        are recomputed from the coerced base arrays, so conversion commutes
+        with :meth:`subgrid` and the distributed-equals-serial guarantee
+        holds at any precision.
     """
 
     grid: Grid3D
@@ -127,6 +141,7 @@ class Medium:
     rho: np.ndarray = field(repr=False)
     qs: np.ndarray = field(repr=False)
     qp: np.ndarray = field(repr=False)
+    dtype: object = None
     lam2mu: np.ndarray = field(init=False, repr=False)
     mu_xy: np.ndarray = field(init=False, repr=False)
     mu_xz: np.ndarray = field(init=False, repr=False)
@@ -136,15 +151,16 @@ class Medium:
     bz: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
+        self.dtype = np.dtype(np.float64 if self.dtype is None else self.dtype)
         shape = self.grid.padded_shape
         for name in ("lam", "mu", "rho", "qs", "qp"):
-            a = getattr(self, name)
+            a = np.asarray(getattr(self, name), dtype=self.dtype)
             if a.shape == self.grid.shape:
-                a = _pad_edge(np.asarray(a, dtype=np.float64))
-                setattr(self, name, a)
+                a = _pad_edge(a)
             elif a.shape != shape:
                 raise ValueError(f"{name} has shape {a.shape}, expected "
                                  f"{self.grid.shape} or padded {shape}")
+            setattr(self, name, a)
         if np.any(self.rho <= 0):
             raise ValueError("density must be positive everywhere")
         if np.any(self.mu < 0):
@@ -163,11 +179,15 @@ class Medium:
     @classmethod
     def from_velocity_model(cls, grid: Grid3D, vp: np.ndarray, vs: np.ndarray,
                             rho: np.ndarray, qs: np.ndarray | None = None,
-                            qp: np.ndarray | None = None) -> "Medium":
+                            qp: np.ndarray | None = None,
+                            dtype=None) -> "Medium":
         """Build from seismic velocities (m/s) and density (kg/m^3).
 
         If quality factors are omitted they follow the paper's on-the-fly
-        empirical rule (``Qs = 50 Vs[km/s]``, ``Qp = 2 Qs``).
+        empirical rule (``Qs = 50 Vs[km/s]``, ``Qp = 2 Qs``).  Lamé parameters
+        are always derived in float64 and then stored at ``dtype`` (default
+        float64), so a float32 medium is the *rounding* of the float64 one
+        rather than an accumulation of single-precision arithmetic.
         """
         vp = np.asarray(vp, dtype=np.float64)
         vs = np.asarray(vs, dtype=np.float64)
@@ -182,12 +202,12 @@ class Medium:
             qp = np.asarray(qp_from_qs(qs))
         return cls(grid=grid, lam=lam, mu=mu, rho=rho,
                    qs=np.asarray(qs, dtype=np.float64),
-                   qp=np.asarray(qp, dtype=np.float64))
+                   qp=np.asarray(qp, dtype=np.float64), dtype=dtype)
 
     @classmethod
     def homogeneous(cls, grid: Grid3D, vp: float = 6000.0, vs: float = 3464.0,
                     rho: float = 2700.0, qs: float | None = None,
-                    qp: float | None = None) -> "Medium":
+                    qp: float | None = None, dtype=None) -> "Medium":
         """Uniform medium (defaults: crustal granite with Poisson ratio 0.25)."""
         shape = grid.shape
         kw = {}
@@ -197,7 +217,7 @@ class Medium:
             kw["qp"] = np.full(shape, float(qp))
         return cls.from_velocity_model(
             grid, np.full(shape, float(vp)), np.full(shape, float(vs)),
-            np.full(shape, float(rho)), **kw)
+            np.full(shape, float(rho)), dtype=dtype, **kw)
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -242,4 +262,21 @@ class Medium:
             return a[psl].copy()
 
         return Medium(grid=grid, lam=cut(self.lam), mu=cut(self.mu),
-                      rho=cut(self.rho), qs=cut(self.qs), qp=cut(self.qp))
+                      rho=cut(self.rho), qs=cut(self.qs), qp=cut(self.qp),
+                      dtype=self.dtype)
+
+    def astype(self, dtype) -> "Medium":
+        """Return this medium stored at ``dtype`` (self if already there).
+
+        Base arrays are cast elementwise and the derived arrays recomputed
+        from the cast values.  Elementwise casting commutes with
+        :meth:`subgrid`'s window cut, so ``m.astype(d).subgrid(...)`` and
+        ``m.subgrid(...).astype(d)`` produce bitwise-identical media — the
+        property the distributed solver relies on for serial/distributed
+        identity at reduced precision.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == self.dtype:
+            return self
+        return Medium(grid=self.grid, lam=self.lam, mu=self.mu, rho=self.rho,
+                      qs=self.qs, qp=self.qp, dtype=dtype)

@@ -112,6 +112,7 @@ class PML:
                  index_origin: tuple[int, int, int] = (0, 0, 0),
                  cmax: float | None = None):
         self.grid = grid
+        self.dtype = np.dtype(dtype)
         self.config = cfg = config or PMLConfig()
         self._global_shape = (global_shape if global_shape is not None
                               else grid.shape)
@@ -195,8 +196,11 @@ class PML:
                         oshp[other] = -1
                         d = d + p * base[other].reshape(oshp)
             denom = 1.0 + 0.5 * dt * d
-            decay = (1.0 - 0.5 * dt * d) / denom
-            gain = dt / denom
+            # Profiles are evaluated in float64 at global positions (identical
+            # for serial and decomposed runs), then stored at the part dtype
+            # so the update arithmetic never promotes an f32 frame to f64.
+            decay = ((1.0 - 0.5 * dt * d) / denom).astype(self.dtype)
+            gain = (dt / denom).astype(self.dtype)
             out.append((decay, gain))
         self._coeff_cache[key] = out
         return out

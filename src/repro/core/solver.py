@@ -138,10 +138,17 @@ class WaveSolver:
         solver as a subdomain of a larger grid (used by the distributed
         solver); defaults treat the grid as the whole domain."""
         self.grid = grid
-        self.medium = medium
         self.config = cfg = config or SolverConfig()
+        # Coerce the material model to the configured precision so every
+        # kernel operand (fields, moduli, buoyancies) shares one dtype and no
+        # NEP-50 strong-scalar promotion sneaks float64 into an f32 step.
+        if medium.dtype != np.dtype(cfg.dtype):
+            medium = medium.astype(cfg.dtype)
+        self.medium = medium
         vp_ref = global_vp_max if global_vp_max is not None else medium.vp_max
-        self.dt = cfg.dt if cfg.dt is not None else cfl_dt(
+        # Keep dt a python float (weak NEP-50 scalar): an np.float64 dt would
+        # promote every f32 array it multiplies back to double precision.
+        self.dt = float(cfg.dt) if cfg.dt is not None else cfl_dt(
             grid.h, vp_ref, order=cfg.order)
         self.wf = WaveField(grid, dtype=np.dtype(cfg.dtype))
         self.kernel = VelocityStressKernel(self.wf, medium, self.dt, order=cfg.order)
@@ -160,7 +167,8 @@ class WaveSolver:
             self.sponge = SpongeLayer(grid, cfg.sponge_width, cfg.sponge_amp,
                                       damp_top=False,
                                       global_shape=global_shape,
-                                      index_origin=index_origin)
+                                      index_origin=index_origin,
+                                      dtype=cfg.dtype)
         elif cfg.absorbing != "none":
             raise ValueError(f"unknown absorbing boundary: {cfg.absorbing!r}")
         self.attenuation: CoarseGrainedAttenuation | None = None

@@ -215,12 +215,20 @@ class MomentTensorSource:
             return
         vol = wf.grid.h ** 3
         m = self.moment
-        scale = dt * rate / vol
+        scale = float(dt) * rate / vol
         for (a, b), name in _STRESS_OF_INDEX.items():
             if a > b or m[a, b] == 0.0:
                 continue
+            arr = getattr(wf, name)
             idx, w = self._plan[name]
-            getattr(wf, name)[idx[:, 0], idx[:, 1], idx[:, 2]] -= m[a, b] * scale * w
+            if w.dtype != arr.dtype:
+                # Cache the smearing weights at the field dtype: a float64
+                # weight array (or the np.float64 scalar m[a, b], which is
+                # "strong" under NEP 50) would silently promote an f32 update.
+                w = w.astype(arr.dtype)
+                self._plan[name] = (idx, w)
+            coeff = float(m[a, b]) * scale
+            arr[idx[:, 0], idx[:, 1], idx[:, 2]] -= coeff * w
 
 
 @dataclass

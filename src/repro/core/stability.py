@@ -35,7 +35,10 @@ def cfl_dt(h: float, vp_max: float, order: int = 4, safety: float = 0.95) -> flo
     """Largest stable time step for spacing ``h`` and peak P speed ``vp_max``."""
     if h <= 0 or vp_max <= 0:
         raise ValueError("h and vp_max must be positive")
-    return safety * h / (vp_max * np.sqrt(3.0) * _COEFF_SUM[order])
+    # Return a python float: an np.float64 here would be a "strong" NEP-50
+    # scalar and silently promote float32 wavefields wherever dt multiplies
+    # an array (source injection, attenuation coefficients, ...).
+    return float(safety * h / (vp_max * np.sqrt(3.0) * _COEFF_SUM[order]))
 
 
 def courant_number(dt: float, h: float, vp_max: float) -> float:

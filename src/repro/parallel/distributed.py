@@ -158,9 +158,16 @@ class DistributedWaveSolver:
             raise ValueError("sync_comm is a SimMPI modelling mode; the "
                              "procpool backend always uses the ring exchange")
         self.grid = grid
-        self.medium = medium
         self.decomp = decomp
         self.config = cfg = config or SolverConfig()
+        # Convert the *global* medium once, then cut subgrids from it: the
+        # serial WaveSolver coerces the same global arrays, and elementwise
+        # conversion commutes with the window cut, so serial and distributed
+        # runs see bitwise-identical material (and the same vp_max -> dt) at
+        # any precision.
+        if medium.dtype != np.dtype(cfg.dtype):
+            medium = medium.astype(cfg.dtype)
+        self.medium = medium
         if kernel_variant == "blocked":
             if cfg.absorbing == "pml":
                 raise ValueError("kernel_variant='blocked' does not support "
@@ -691,7 +698,7 @@ class DistributedWaveSolver:
     # ------------------------------------------------------------------
     def gather_field(self, name: str) -> np.ndarray:
         """Assemble a global interior field array from all subdomains."""
-        out = np.zeros(self.grid.shape)
+        out = np.zeros(self.grid.shape, dtype=self.solvers[0].wf.dtype)
         for rank, sub in enumerate(self.decomp.subdomains()):
             out[sub.slices] = self.solvers[rank].wf.interior(name)
         return out

@@ -22,7 +22,8 @@ from ..core import (Grid3D, Medium, MomentTensorSource, Receiver,
                     SolverConfig, WaveSolver)
 from ..core.source import gaussian_pulse
 
-__all__ = ["ReferenceProblem", "AcceptanceTest", "AcceptanceReport"]
+__all__ = ["ReferenceProblem", "AcceptanceTest", "AcceptanceReport",
+           "PrecisionGate", "PrecisionReport"]
 
 
 @dataclass
@@ -35,13 +36,14 @@ class ReferenceProblem:
     nsteps: int = 80
     f0: float = 3.0
 
-    def run(self, config: SolverConfig | None = None,
-            solver_factory=None) -> dict[str, np.ndarray]:
-        """Run and return named waveforms (three receivers x vx/vz)."""
+    def default_config(self) -> SolverConfig:
+        return SolverConfig(absorbing="sponge", sponge_width=4,
+                            free_surface=True)
+
+    def _setup(self, config: SolverConfig | None, solver_factory):
         g = Grid3D(self.n, self.n, self.n, h=self.h)
         med = Medium.homogeneous(g, vp=4000.0, vs=2310.0, rho=2500.0)
-        cfg = config or SolverConfig(absorbing="sponge", sponge_width=4,
-                                     free_surface=True)
+        cfg = config or self.default_config()
         solver = (solver_factory or WaveSolver)(g, med, cfg)
         c = self.n * self.h / 2
         solver.add_source(MomentTensorSource(
@@ -51,12 +53,32 @@ class ReferenceProblem:
                 for n, p in (("near", (c + 600.0, c, c)),
                              ("far", (c + 900.0, c + 300.0, c)),
                              ("surface", (c, c, self.n * self.h - 150.0)))]
-        solver.run(self.nsteps)
+        return solver, recs
+
+    @staticmethod
+    def _waveforms(recs) -> dict[str, np.ndarray]:
         out: dict[str, np.ndarray] = {}
         for r in recs:
             for comp in ("vx", "vz"):
                 out[f"{r.name}.{comp}"] = r.series(comp)
         return out
+
+    def run(self, config: SolverConfig | None = None,
+            solver_factory=None) -> dict[str, np.ndarray]:
+        """Run and return named waveforms (three receivers x vx/vz)."""
+        solver, recs = self._setup(config, solver_factory)
+        solver.run(self.nsteps)
+        return self._waveforms(recs)
+
+    def run_with_pgv(self, config: SolverConfig | None = None,
+                     solver_factory=None
+                     ) -> tuple[dict[str, np.ndarray], np.ndarray]:
+        """Like :meth:`run` but also return the surface PGVH map (Fig. 21
+        quantity) so precision gates can compare peak ground velocity."""
+        solver, recs = self._setup(config, solver_factory)
+        recorder = solver.record_surface(dec_time=1)
+        solver.run(self.nsteps)
+        return self._waveforms(recs), recorder.peak_horizontal()
 
 
 @dataclass
@@ -103,3 +125,74 @@ class AcceptanceTest:
         problem' step)."""
         problem = problem or ReferenceProblem()
         return cls(reference=problem.run(), threshold=threshold)
+
+
+# ----------------------------------------------------------------------
+# Precision gate: is the float32 fast path accurate enough to ship?
+# ----------------------------------------------------------------------
+
+@dataclass
+class PrecisionReport:
+    """Result of a matched reduced-precision vs float64 comparison."""
+
+    misfits: dict[str, float]
+    pgv_rel_err: float
+    misfit_tol: float
+    pgv_tol: float
+    dtype: str = "float32"
+
+    @property
+    def passed(self) -> bool:
+        return (all(m <= self.misfit_tol for m in self.misfits.values())
+                and self.pgv_rel_err <= self.pgv_tol)
+
+    @property
+    def worst(self) -> tuple[str, float]:
+        name = max(self.misfits, key=self.misfits.get)
+        return name, self.misfits[name]
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        name, worst = self.worst
+        return (f"aVal precision [{self.dtype}] {status}: worst L2 misfit "
+                f"{worst:.3e} ({name}) vs tol {self.misfit_tol:.1e}; "
+                f"PGV rel err {self.pgv_rel_err:.3e} vs tol "
+                f"{self.pgv_tol:.1e}")
+
+
+@dataclass
+class PrecisionGate:
+    """Gate a reduced-precision solver against a matched float64 run.
+
+    Runs the reference problem twice with configurations identical except
+    for ``dtype``, then checks (a) the per-receiver L2 waveform misfit and
+    (b) the relative error of the surface PGVH map (normalised by the peak
+    float64 PGV so quiet cells cannot blow up the ratio).  Tolerances
+    default to ~10x the misfit a correct float32 pipeline exhibits on this
+    problem — loose enough to be portable, tight enough that any silent
+    float64 contamination *or* genuine accuracy loss trips the gate.
+    """
+
+    problem: ReferenceProblem = field(default_factory=ReferenceProblem)
+    dtype: object = np.float32
+    misfit_tol: float = 5e-3
+    pgv_tol: float = 5e-3
+
+    def _config(self, dtype) -> SolverConfig:
+        base = self.problem.default_config()
+        return SolverConfig(**{**base.__dict__, "dtype": dtype})
+
+    def evaluate(self, solver_factory=None) -> PrecisionReport:
+        ref_wf, ref_pgv = self.problem.run_with_pgv(
+            self._config(np.float64), solver_factory)
+        cand_wf, cand_pgv = self.problem.run_with_pgv(
+            self._config(self.dtype), solver_factory)
+        misfits = {name: l2_misfit(cand_wf[name], ref)
+                   for name, ref in ref_wf.items()}
+        peak = float(np.abs(ref_pgv).max())
+        err = (float(np.abs(cand_pgv.astype(np.float64) - ref_pgv).max())
+               / peak if peak > 0 else 0.0)
+        return PrecisionReport(misfits=misfits, pgv_rel_err=err,
+                               misfit_tol=self.misfit_tol,
+                               pgv_tol=self.pgv_tol,
+                               dtype=np.dtype(self.dtype).name)

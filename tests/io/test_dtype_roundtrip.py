@@ -1,0 +1,105 @@
+"""Dtype survives the I/O stack: float32 in → float32 on disk → float32
+restored, bit-identical.
+
+Checkpoint pickles preserve dtype trivially; what these tests pin is the
+*pipeline* property: a float32 solver's checkpointed state restores into a
+float32 solver without any silent upcast (so a resumed f32 run is bitwise
+identical to an uninterrupted one), and the MPI-IO aggregation path moves
+raw f32 bytes through the virtual file unchanged.
+"""
+
+import numpy as np
+
+from repro.core.grid import Grid3D
+from repro.core.medium import Medium
+from repro.core.solver import SolverConfig, WaveSolver
+from repro.core.source import MomentTensorSource, gaussian_pulse
+from repro.io.aggregation import OutputAggregator
+from repro.io.checkpoint import CheckpointManager
+from repro.io.lustre import LustreModel
+from repro.io.mpiio import VirtualFile
+
+
+def _solver(dtype):
+    g = Grid3D(20, 16, 12, h=100.0)
+    med = Medium.homogeneous(g, vp=4000.0, vs=2310.0, rho=2500.0,
+                             qs=60.0, qp=120.0)
+    sol = WaveSolver(g, med, SolverConfig(
+        absorbing="sponge", sponge_width=3, free_surface=True,
+        dtype=dtype, attenuation_band=(0.2, 2.0),
+        stability_check_interval=0))
+    sol.add_source(MomentTensorSource(
+        position=(1000.0, 800.0, 600.0), moment=np.eye(3) * 1e13,
+        stf=lambda t: gaussian_pulse(np.array([t]), f0=3.0)[0]))
+    return sol
+
+
+class TestCheckpointDtypeRoundTrip:
+    def test_f32_state_restores_f32_bitwise(self, tmp_path):
+        sol = _solver(np.float32)
+        sol.run(6)
+        cm = CheckpointManager(tmp_path)
+        cm.write_epoch(1, {0: sol.state()})
+        _, states = cm.restore_latest([0])
+        st = states[0]
+        for name, arr in st["fields"].items():
+            assert arr.dtype == np.dtype(np.float32), name
+            assert np.array_equal(arr, getattr(sol.wf, name))
+        for name, arr in st.get("attenuation", {}).items():
+            assert arr.dtype == np.dtype(np.float32), name
+
+    def test_resumed_f32_run_is_bitwise_identical(self, tmp_path):
+        """Run 12 steps straight vs checkpoint-at-6 + restore + 6 more."""
+        straight = _solver(np.float32)
+        straight.run(12)
+
+        first = _solver(np.float32)
+        first.run(6)
+        cm = CheckpointManager(tmp_path)
+        cm.write_epoch(1, {0: first.state()})
+
+        resumed = _solver(np.float32)
+        _, states = cm.restore_latest([0])
+        resumed.load_state(states[0])
+        resumed.run(6)
+        for name, arr in straight.wf.fields().items():
+            restored = getattr(resumed.wf, name)
+            assert restored.dtype == arr.dtype == np.dtype(np.float32)
+            assert np.array_equal(arr, restored), name
+
+    def test_f64_state_still_f64(self, tmp_path):
+        sol = _solver(np.float64)
+        sol.run(3)
+        cm = CheckpointManager(tmp_path)
+        cm.write_epoch(1, {0: sol.state()})
+        _, states = cm.restore_latest([0])
+        for name, arr in states[0]["fields"].items():
+            assert arr.dtype == np.dtype(np.float64), name
+
+
+class TestAggregationDtypeRoundTrip:
+    def test_f32_records_round_trip_bitwise(self):
+        rng = np.random.default_rng(3)
+        records = [rng.standard_normal((6, 5)).astype(np.float32)
+                   for _ in range(4)]
+        nbytes = sum(r.nbytes for r in records)
+        vf = VirtualFile(size=nbytes)
+        agg = OutputAggregator(vfile=vf, model=LustreModel(),
+                               flush_interval=len(records))
+        for r in records:
+            agg.record(r)
+        assert agg.flushes == 1  # interval reached -> auto-flush
+        out = vf.as_array(np.float32, (len(records), 6, 5))
+        for got, want in zip(out, records):
+            assert got.dtype == np.dtype(np.float32)
+            assert np.array_equal(got, want)
+
+    def test_mixed_itemsize_accounting(self):
+        """bytes_written follows the record dtype: f32 frames cost half."""
+        frame = np.ones((8, 8))
+        for dtype, expected in ((np.float32, 8 * 8 * 4),
+                                (np.float64, 8 * 8 * 8)):
+            agg = OutputAggregator(vfile=None, model=LustreModel(),
+                                   flush_interval=1)
+            agg.record(frame.astype(dtype))
+            assert agg.bytes_written == expected

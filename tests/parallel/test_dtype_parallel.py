@@ -1,0 +1,142 @@
+"""Float32 halos: pack buffers, shm ring views, and exchanged values all
+follow the wavefield dtype — no upcast anywhere on the communication path.
+
+The paper's production halos move float32 faces (half the bytes of f64 on
+the wire, Section IV.A); these tests pin the reproduction's equivalent:
+HaloExchange buffer pairs inherit the field dtype, FaceRingPool arenas are
+laid out at the requested itemsize, exchanged ghost values are the exact
+f32 interiors of the neighbour, and a distributed f32 run stays bitwise
+identical to the serial f32 run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fd import interior
+from repro.core.grid import ALL_FIELDS, Grid3D, WaveField
+from repro.core.medium import Medium
+from repro.core.solver import SolverConfig, WaveSolver
+from repro.core.source import MomentTensorSource, gaussian_pulse
+from repro.parallel import procpool
+from repro.parallel.decomp import Decomposition3D
+from repro.parallel.distributed import DistributedWaveSolver
+from repro.parallel.halo import HaloExchange, halo_bytes_per_step
+from repro.parallel.simmpi import run_spmd
+
+
+def _make_fields(decomp, dtype, seed=0):
+    rng = np.random.default_rng(seed)
+    glob = {name: rng.standard_normal(decomp.grid.shape).astype(dtype)
+            for name in ALL_FIELDS}
+    wfs = []
+    for sub in decomp.subdomains():
+        wf = WaveField(sub.grid, dtype=np.dtype(dtype))
+        for name in ALL_FIELDS:
+            wf.interior(name)[...] = glob[name][sub.slices]
+        wfs.append(wf)
+    return glob, wfs
+
+
+class TestHaloExchangeF32:
+    def test_pack_buffers_follow_field_dtype(self):
+        g = Grid3D(12, 10, 8, h=1.0)
+        decomp = Decomposition3D(g, 2, 2, 1)
+        _, wfs = _make_fields(decomp, np.float32)
+        for r in range(decomp.nranks):
+            hx = HaloExchange(decomp, r, wfs[r], mode="reduced")
+            for sends in hx._sends.values():
+                for _, _, _, _, pair in sends:
+                    for buf in pair:
+                        assert buf.dtype == np.dtype(np.float32)
+
+    def test_exchanged_ghosts_are_exact_f32_neighbour_values(self):
+        g = Grid3D(12, 10, 8, h=1.0)
+        decomp = Decomposition3D(g, 2, 1, 1)
+        glob, wfs = _make_fields(decomp, np.float32, seed=5)
+        hxs = [HaloExchange(decomp, r, wfs[r], mode="reduced")
+               for r in range(decomp.nranks)]
+
+        def program(comm):
+            yield from hxs[comm.rank].exchange(comm, "velocity")
+            yield from hxs[comm.rank].exchange(comm, "stress")
+
+        run_spmd(decomp.nranks, program)
+        # rank 0's x_hi ghost plane must hold rank 1's first interior plane,
+        # in float32, bit for bit.
+        sub0 = decomp.subdomain(0)
+        from repro.core.fd import NGHOST
+        arr = wfs[0].vx
+        ghost = arr[NGHOST + sub0.grid.shape[0], NGHOST:-NGHOST,
+                    NGHOST:-NGHOST]
+        want = glob["vx"][sub0.ranges[0][1], sub0.slices[1], sub0.slices[2]]
+        assert ghost.dtype == np.dtype(np.float32)
+        assert np.array_equal(ghost, want)
+
+    def test_halo_bytes_honour_itemsize(self):
+        g = Grid3D(12, 10, 8, h=1.0)
+        decomp = Decomposition3D(g, 2, 2, 1)
+        for r in range(decomp.nranks):
+            b64 = halo_bytes_per_step(decomp, r, "reduced")
+            b32 = halo_bytes_per_step(decomp, r, "reduced", itemsize=4)
+            assert b32 * 2 == b64
+
+
+@pytest.mark.skipif(not procpool.procpool_available(),
+                    reason="fork start method unavailable")
+class TestFaceRingPoolF32:
+    def test_ring_views_are_f32(self):
+        g = Grid3D(12, 10, 8, h=1.0)
+        decomp = Decomposition3D(g, 2, 1, 1)
+        pool = procpool.FaceRingPool(decomp, dtype=np.float32)
+        try:
+            assert pool.dtype == np.dtype(np.float32)
+            for ch in pool._channels:
+                for views in ch.slot_views:
+                    for v in views:
+                        assert v.dtype == np.dtype(np.float32)
+        finally:
+            pool.close()
+
+    def test_f32_arena_is_half_the_f64_arena(self):
+        g = Grid3D(12, 10, 8, h=1.0)
+        decomp = Decomposition3D(g, 2, 1, 1)
+        p32 = procpool.FaceRingPool(decomp, dtype=np.float32)
+        try:
+            n32 = sum(nb for r in range(2) for _, nb in
+                      [p32.messages_per_round(r, grp)
+                       for grp in ("velocity", "stress")])
+        finally:
+            p32.close()
+        p64 = procpool.FaceRingPool(decomp)
+        try:
+            n64 = sum(nb for r in range(2) for _, nb in
+                      [p64.messages_per_round(r, grp)
+                       for grp in ("velocity", "stress")])
+        finally:
+            p64.close()
+        assert n32 * 2 == n64
+
+
+class TestDistributedF32Identity:
+    def test_distributed_f32_matches_serial_f32_bitwise(self):
+        g = Grid3D(24, 20, 16, h=100.0)
+        med = Medium.homogeneous(g, vp=4000.0, vs=2310.0, rho=2500.0)
+        cfg = SolverConfig(absorbing="sponge", sponge_width=4,
+                           free_surface=True, dtype=np.float32,
+                           stability_check_interval=0)
+
+        def src():
+            return MomentTensorSource(
+                position=(1200.0, 1000.0, 800.0), moment=np.eye(3) * 1e13,
+                stf=lambda t: gaussian_pulse(np.array([t]), f0=3.0)[0])
+
+        ser = WaveSolver(g, med, cfg)
+        ser.add_source(src())
+        ser.run(8)
+        dist = DistributedWaveSolver(g, med, nranks=4, config=cfg)
+        dist.add_source(src())
+        dist.run(8)
+        for name in ("vx", "vz", "sxx", "syz"):
+            gathered = dist.gather_field(name)
+            assert gathered.dtype == np.dtype(np.float32)
+            assert np.array_equal(interior(getattr(ser.wf, name)), gathered)

@@ -4,9 +4,9 @@ import json
 
 import pytest
 
-from repro.bench import (BENCH_SCHEMA, SMOKE, WORKLOADS, compare_reports,
-                         git_revision, run_suite, validate_report,
-                         write_report)
+from repro.bench import (BENCH_SCHEMA, F32_PAIRS, LEGACY_SCHEMAS, SMOKE,
+                         WORKLOADS, compare_reports, git_revision, run_suite,
+                         validate_report, write_report)
 from repro.cli import main
 from repro.obs.metrics import MetricsRegistry
 
@@ -109,6 +109,66 @@ class TestValidation:
         wl["kernel_step"] = dict(wl["kernel_step"], peak_tmp_bytes=-1)
         with pytest.raises(ValueError, match="peak_tmp_bytes"):
             validate_report(dict(report, workloads=wl))
+
+    def test_rejects_missing_dtype(self, smoke_report):
+        """repro-bench/2 reports must label every workload's precision."""
+        report, _ = smoke_report
+        wl = dict(report["workloads"])
+        entry = dict(wl["kernel_step"])
+        del entry["dtype"]
+        wl["kernel_step"] = entry
+        with pytest.raises(ValueError, match="dtype"):
+            validate_report(dict(report, workloads=wl))
+
+    def test_rejects_missing_cpu_count(self, smoke_report):
+        report, _ = smoke_report
+        host = dict(report["host"])
+        del host["cpu_count"]
+        with pytest.raises(ValueError, match="cpu_count"):
+            validate_report(dict(report, host=host))
+
+    def test_accepts_legacy_schema_without_v2_fields(self, smoke_report):
+        """A committed repro-bench/1 baseline (no dtype, no cpu_count)
+        must still validate so --compare against it keeps working."""
+        report, _ = smoke_report
+        legacy_wl = {name: {k: v for k, v in res.items() if k != "dtype"}
+                     for name, res in report["workloads"].items()}
+        legacy = dict(report, schema=LEGACY_SCHEMAS[0], workloads=legacy_wl,
+                      host={k: v for k, v in report["host"].items()
+                            if k != "cpu_count"})
+        validate_report(legacy)
+
+
+class TestFloat32Workloads:
+    def test_every_workload_labelled_with_dtype(self, smoke_report):
+        report, _ = smoke_report
+        for name, res in report["workloads"].items():
+            want = "float32" if name.endswith("_f32") else "float64"
+            assert res["dtype"] == want, name
+
+    def test_speedup_vs_f64_recorded(self, smoke_report):
+        report, _ = smoke_report
+        for f32_name in F32_PAIRS:
+            sp = report["workloads"][f32_name]["extra"]["speedup_vs_f64"]
+            assert sp is not None and sp > 0
+
+    def test_speedup_gauges_fed(self, smoke_report):
+        _, registry = smoke_report
+        assert registry.gauge(
+            "bench.kernel_step_f32.speedup_vs_f64").value > 0
+
+    def test_f32_peak_temporaries_are_smaller(self, smoke_report):
+        """Half the itemsize -> visibly smaller transient footprint."""
+        report, _ = smoke_report
+        wl = report["workloads"]
+        assert wl["kernel_step_f32"]["peak_tmp_bytes"] < \
+            wl["kernel_step"]["peak_tmp_bytes"]
+
+    def test_f32_halo_moves_half_the_bytes(self, smoke_report):
+        report, _ = smoke_report
+        wl = report["workloads"]
+        assert wl["halo_exchange_f32"]["extra"]["bytes_per_round"] * 2 == \
+            wl["halo_exchange"]["extra"]["bytes_per_round"]
 
 
 class TestDistributedWorkloads:

@@ -61,3 +61,43 @@ class TestAcceptance:
         test = AcceptanceTest.bootstrap(ReferenceProblem(n=12, nsteps=20))
         report = test.evaluate(ReferenceProblem(n=12, nsteps=20).run())
         assert report.passed
+
+
+class TestPrecisionGate:
+    """f32-vs-f64 accuracy gating (the aVal step of the fast-path PR)."""
+
+    def test_float32_passes_default_gate(self):
+        from repro.workflow.aval import PrecisionGate
+        report = PrecisionGate(
+            problem=ReferenceProblem(n=16, nsteps=40)).evaluate()
+        assert report.passed, report.summary()
+        assert report.dtype == "float32"
+        assert 0 < report.worst[1] < report.misfit_tol
+        assert 0 <= report.pgv_rel_err < report.pgv_tol
+        assert "PASS" in report.summary()
+
+    def test_gate_fails_when_tolerance_is_tighter_than_f32(self):
+        """f32 rounding is real: demand f64-level agreement and it trips."""
+        from repro.workflow.aval import PrecisionGate
+        report = PrecisionGate(problem=ReferenceProblem(n=16, nsteps=40),
+                               misfit_tol=1e-12, pgv_tol=1e-12).evaluate()
+        assert not report.passed
+        assert "FAIL" in report.summary()
+
+    def test_float64_against_itself_is_exact(self):
+        from repro.workflow.aval import PrecisionGate
+        report = PrecisionGate(problem=ReferenceProblem(n=16, nsteps=40),
+                               dtype=np.float64).evaluate()
+        assert report.passed
+        assert all(m == 0.0 for m in report.misfits.values())
+        assert report.pgv_rel_err == 0.0
+
+    def test_run_with_pgv_waveforms_match_run(self):
+        """Surface recording must not perturb the simulation."""
+        problem = ReferenceProblem(n=16, nsteps=40)
+        plain = problem.run()
+        with_pgv, pgv = problem.run_with_pgv()
+        assert set(plain) == set(with_pgv)
+        for name in plain:
+            assert np.array_equal(plain[name], with_pgv[name]), name
+        assert pgv.ndim == 2 and pgv.max() > 0
