@@ -44,6 +44,7 @@ import platform
 import subprocess
 import time
 import tracemalloc
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -65,7 +66,8 @@ from .parallel.simmpi import run_spmd
 
 __all__ = ["BENCH_SCHEMA", "LEGACY_SCHEMAS", "BenchConfig", "FULL", "SMOKE",
            "WORKLOADS", "F32_PAIRS", "compare_reports", "git_revision",
-           "run_suite", "write_report", "validate_report"]
+           "run_suite", "seed_solver_fields", "write_report",
+           "validate_report"]
 
 #: Schema identifier written into every report.
 BENCH_SCHEMA = "repro-bench/2"
@@ -168,6 +170,19 @@ def _seeded_wavefield(grid: Grid3D, dtype=np.float64) -> WaveField:
     return wf
 
 
+def seed_solver_fields(wf: WaveField) -> None:
+    """Deterministic per-field initial state for the solver workloads.
+
+    Seeds come from ``zlib.crc32`` of the field name, *not* ``hash()``:
+    Python string hashing is randomised per process (PYTHONHASHSEED), which
+    silently made every bench run time a different workload.
+    """
+    for name, arr in wf.fields().items():
+        rng = np.random.default_rng(zlib.crc32(name.encode()) & 0xFFFF)
+        interior(arr)[...] = rng.standard_normal(
+            interior(arr).shape) * 1e-3
+
+
 def _kernel_fixture(cfg: BenchConfig, dtype=np.float64):
     g = Grid3D(cfg.n, cfg.n, cfg.n, h=100.0)
     med = Medium.homogeneous(g, vp=4000.0, vs=2300.0, rho=2500.0, dtype=dtype)
@@ -235,9 +250,7 @@ def bench_solver_step(cfg: BenchConfig, dtype=np.float64) -> dict:
         absorbing="sponge", sponge_width=max(3, cfg.n // 8),
         attenuation_band=(0.2, 2.0), stability_check_interval=0,
         dtype=dtype))
-    for name, arr in sol.wf.fields().items():
-        rng = np.random.default_rng(hash(name) & 0xFFFF)
-        interior(arr)[...] = rng.standard_normal(g.shape) * 1e-3
+    seed_solver_fields(sol.wf)
 
     def step():
         sol.run(cfg.steps)

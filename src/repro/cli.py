@@ -146,6 +146,33 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--warn-only", action="store_true",
                    help="with --compare: report regressions but exit 0")
 
+    v = sub.add_parser("verify", parents=[common],
+                       help="correctness verification: MMS convergence "
+                            "ladders, cross-configuration equivalence "
+                            "matrix, golden regression snapshots")
+    prof = v.add_mutually_exclusive_group()
+    prof.add_argument("--quick", action="store_true",
+                      help="quick profile (default): short ladders, "
+                           "sim-backend matrix + procpool smoke cell")
+    prof.add_argument("--full", action="store_true",
+                      help="full profile: extended ladders and the complete "
+                           "backend x dtype x variant x decomp matrix")
+    v.add_argument("--only", action="append", default=None,
+                   choices=("mms", "matrix", "golden"), metavar="PILLAR",
+                   help="run only this pillar (repeatable; "
+                        "mms | matrix | golden)")
+    v.add_argument("--update-goldens", action="store_true",
+                   help="regenerate the committed golden snapshots in "
+                        "place (then review `git diff` and commit)")
+    v.add_argument("--json", type=str, default=None, metavar="PATH",
+                   help="also write the full report as schema'd JSON")
+    v.add_argument("--fd-order", type=int, default=4, choices=(2, 4),
+                   help="stencil order under test (2 = the degraded "
+                        "verification stencil, which must FAIL the "
+                        "spatial gate)")
+    v.add_argument("--metrics", action="store_true",
+                   help="also print the repro.obs metrics registry report")
+
     tr = sub.add_parser("trace-report", help="render a saved span trace as a "
                                              "per-rank phase breakdown")
     tr.add_argument("path", type=str, help="JSONL trace from --trace")
@@ -385,6 +412,63 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from .obs import default_registry
+    from .verify import (QUICK_DECOMPS, VerifyReport, build_cells,
+                         check_goldens, plane_wave_check, run_matrix,
+                         spatial_ladder, temporal_ladder, update_goldens)
+
+    if args.update_goldens:
+        for path in update_goldens():
+            print(f"wrote {path}")
+        print("review `git diff src/repro/verify/goldens` and commit.")
+        return 0
+
+    profile = "full" if args.full else "quick"
+    pillars = set(args.only) if args.only else {"mms", "matrix", "golden"}
+    report = VerifyReport(profile=profile)
+    report.skipped = sorted({"mms", "matrix", "golden"} - pillars)
+
+    if "mms" in pillars:
+        spatial_res = ((8, 12, 16, 24, 32) if profile == "full"
+                       else (8, 12, 16, 24))
+        temporal_steps = ((8, 16, 32, 64) if profile == "full"
+                          else (8, 16, 32))
+        report.mms = [
+            spatial_ladder(resolutions=spatial_res, fd_order=args.fd_order),
+            temporal_ladder(step_counts=temporal_steps,
+                            fd_order=args.fd_order),
+        ]
+        report.plane_wave = plane_wave_check(fd_order=args.fd_order)
+
+    if "matrix" in pillars:
+        if profile == "full":
+            cells = build_cells()
+        else:
+            # sim backend across the whole dtype/variant grid, plus one
+            # procpool smoke cell so the fork path is exercised too.
+            cells = (build_cells(backends=("sim",), decomps=QUICK_DECOMPS)
+                     + build_cells(backends=("procpool",),
+                                   dtypes=("float64",),
+                                   variants=("pooled",),
+                                   decomps=((2, 1, 1),)))
+        report.matrix = run_matrix(
+            cells=cells,
+            progress=lambda c: print(f"  cell {c.cell.label}: {c.status}"))
+
+    if "golden" in pillars:
+        report.goldens = check_goldens()
+
+    report.publish_metrics()
+    print(report.summary())
+    if args.json:
+        path = report.write_json(args.json)
+        print(f"wrote {path}")
+    if args.metrics:
+        print(default_registry().report())
+    return 0 if report.passed else 1
+
+
 def _cmd_trace_report(args) -> int:
     from .obs import (PhaseTimeline, read_jsonl, write_chrome_trace)
     spans = read_jsonl(args.path)
@@ -412,6 +496,7 @@ _COMMANDS = {
     "aval": _cmd_aval,
     "m8": _cmd_m8,
     "bench": _cmd_bench,
+    "verify": _cmd_verify,
     "trace-report": _cmd_trace_report,
 }
 

@@ -7,6 +7,7 @@ from .solver import Receiver, SolverConfig, SurfaceRecorder, WaveSolver
 from .source import (
     BodyForceSource,
     FiniteFaultSource,
+    ManufacturedForcing,
     MomentTensorSource,
     SubFault,
     double_couple_strike_slip,
@@ -21,7 +22,8 @@ __all__ = [
     "C1", "C2", "NGHOST",
     "Grid3D", "WaveField", "Medium",
     "WaveSolver", "SolverConfig", "Receiver", "SurfaceRecorder",
-    "MomentTensorSource", "BodyForceSource", "FiniteFaultSource", "SubFault",
+    "MomentTensorSource", "BodyForceSource", "ManufacturedForcing",
+    "FiniteFaultSource", "SubFault",
     "double_couple_strike_slip", "moment_to_magnitude", "magnitude_to_moment",
     "cfl_dt", "max_frequency",
     "PML", "PMLConfig", "FreeSurfaceFS2", "SpongeLayer",

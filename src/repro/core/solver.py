@@ -182,6 +182,8 @@ class WaveSolver:
             self._rate_hook = self.attenuation.rate_hook(self.dt)
         self.moment_sources: list = []
         self.force_sources: list = []
+        #: whole-domain analytic forcings (ManufacturedForcing; repro.verify)
+        self.forcings: list = []
         self.receivers: list[Receiver] = []
         self.surface_recorder: SurfaceRecorder | None = None
         self.t = 0.0
@@ -209,6 +211,16 @@ class WaveSolver:
         else:
             raise TypeError(f"unsupported source type: {type(source).__name__}")
 
+    def add_forcing(self, forcing) -> None:
+        """Attach a whole-domain analytic forcing (the MMS hook).
+
+        ``forcing`` must expose ``bind(grid)``, ``apply_velocity(wf, t, dt)``
+        and ``apply_stress(wf, t, dt)`` — see
+        :class:`repro.core.source.ManufacturedForcing`.
+        """
+        forcing.bind(self.grid)
+        self.forcings.append(forcing)
+
     def add_receiver(self, receiver: Receiver) -> Receiver:
         receiver.bind(self.grid)
         self.receivers.append(receiver)
@@ -224,15 +236,22 @@ class WaveSolver:
     def _step_velocity(self) -> None:
         cfg = self.config
         if self.pml is None and cfg.cache_blocking:
-            # Blocked driver advances velocity and stress together; handled
-            # in step() — this branch never runs.
-            raise AssertionError("blocked stepping bypasses _step_velocity")
+            # Fused velocity+stress blocking is only possible on the step()
+            # fast path; with sources/forcings between the half-steps, run
+            # the split blocked drivers (bitwise identical to pooled).
+            self.kernel.step_blocked_velocity(cfg.kblock, cfg.jblock)
+            return
         for comp in ("vx", "vy", "vz"):
             terms = self.kernel.update_velocity(comp)
             if self.pml is not None:
                 self.pml.update(self.wf, comp, terms, self.dt)
 
     def _step_stress(self) -> None:
+        cfg = self.config
+        if (self.pml is None and cfg.cache_blocking
+                and self.attenuation is None):
+            self.kernel.step_blocked_stress(cfg.kblock, cfg.jblock)
+            return
         hook = self._rate_hook
         for comp in ("sxx", "syy", "szz"):
             terms = self.kernel.update_stress(comp, rate_hook=hook)
@@ -251,7 +270,8 @@ class WaveSolver:
         with tracer.span("solver.step", category="compute"):
             if cfg.cache_blocking and self.pml is None \
                     and self.attenuation is None \
-                    and not self.moment_sources and not self.force_sources:
+                    and not self.moment_sources and not self.force_sources \
+                    and not self.forcings:
                 self.kernel.step_blocked(cfg.kblock, cfg.jblock)
             else:
                 self._step_velocity()
@@ -259,11 +279,15 @@ class WaveSolver:
                     self.free_surface.apply_velocity(self.wf)
                 for src in self.force_sources:
                     src.inject(self.wf, self.t, self.dt)
+                for f in self.forcings:
+                    f.apply_velocity(self.wf, self.t, self.dt)
                 self._step_stress()
                 for src in self.moment_sources:
                     src.inject(self.wf, self.t, self.dt)
                 if self.free_surface is not None:
                     self.free_surface.apply_stress(self.wf)
+                for f in self.forcings:
+                    f.apply_stress(self.wf, self.t, self.dt)
             if self.sponge is not None:
                 self.sponge.apply(self.wf)
         self.t += self.dt

@@ -40,6 +40,7 @@ __all__ = [
     "double_couple_strike_slip",
     "MomentTensorSource",
     "BodyForceSource",
+    "ManufacturedForcing",
     "SubFault",
     "FiniteFaultSource",
 ]
@@ -264,6 +265,162 @@ class BodyForceSource:
             return
         vol = wf.grid.h ** 3
         getattr(wf, self.component)[self._cell] += dt * f / (self._rho_cell * vol)
+
+
+# ----------------------------------------------------------------------
+# Manufactured-solution forcing (the repro.verify MMS hook)
+# ----------------------------------------------------------------------
+
+class ManufacturedForcing:
+    """Whole-domain analytic forcing with exact ghost boundary values.
+
+    This is the method-of-manufactured-solutions hook consumed by
+    :mod:`repro.verify`: given analytic space-time fields, the velocity and
+    stress equations can be driven by arbitrary forcing terms
+
+    .. math::
+
+        \\partial_t v_i = b \\, \\partial_j \\sigma_{ij} + a_i(x, t), \\qquad
+        \\partial_t \\sigma_{ij} = C_{ijkl} \\partial_k v_l + g_{ij}(x, t)
+
+    and the ghost rim of selected components can be overwritten with the
+    exact solution each half-step, turning the subgrid boundary into an
+    exact (time-dependent Dirichlet) condition so interior error is pure
+    discretization error.
+
+    Parameters
+    ----------
+    velocity_forcing:
+        ``comp -> a(x, y, z, t)`` acceleration fields (m/s^2) added to the
+        named velocity components.  Callables receive broadcastable
+        coordinate arrays at the component's *staggered* positions.
+    stress_forcing:
+        ``comp -> g(x, y, z, t)`` stress-rate fields (Pa/s) for stress
+        components.
+    exact:
+        ``comp -> u(x, y, z, t)`` analytic solution fields.  After each
+        half-update the ghost rim of these components is overwritten with
+        the exact value at the field's new time level.
+    domain:
+        ``"interior"`` (default) applies forcing to the interior only;
+        ``"padded"`` applies it over the entire padded array including
+        ghosts (used by spatially-uniform temporal-convergence problems,
+        where it keeps every FD derivative exactly zero).
+
+    Leapfrog timing convention: velocity lives at half-integer time levels,
+    stress at integer levels.  :meth:`apply_velocity` receives ``t`` (=
+    ``solver.t``), the centre of the velocity update interval; stress
+    forcing is evaluated at ``t + dt/2``, the centre of the stress update
+    interval; ghost values are written at each field's *new* level
+    (``t + dt/2`` for velocity, ``t + dt`` for stress).
+    """
+
+    _VELOCITY = ("vx", "vy", "vz")
+
+    def __init__(self, velocity_forcing: dict | None = None,
+                 stress_forcing: dict | None = None,
+                 exact: dict | None = None,
+                 domain: str = "interior"):
+        if domain not in ("interior", "padded"):
+            raise ValueError(f"unknown forcing domain {domain!r}")
+        self.velocity_forcing = dict(velocity_forcing or {})
+        self.stress_forcing = dict(stress_forcing or {})
+        self.exact = dict(exact or {})
+        self.domain = domain
+        self._coords: dict[str, tuple] = {}
+        self._grid: Grid3D | None = None
+
+    def bind(self, grid: Grid3D) -> None:
+        """Cache padded staggered coordinate arrays per referenced field."""
+        self._grid = grid
+        names = (set(self.velocity_forcing) | set(self.stress_forcing)
+                 | set(self.exact))
+        for name in names:
+            if name not in FIELD_OFFSETS:
+                raise ValueError(f"unknown field component {name!r}")
+            offs = FIELD_OFFSETS[name]
+            axes = []
+            for axis, n in enumerate(grid.shape):
+                c = (grid.origin[axis]
+                     + (np.arange(-NGHOST, n + NGHOST) + offs[axis]) * grid.h)
+                shape = [1, 1, 1]
+                shape[axis] = c.size
+                axes.append(c.reshape(shape))
+            self._coords[name] = tuple(axes)
+
+    def _eval(self, name: str, fn, t: float,
+              region: tuple | None = None) -> np.ndarray:
+        """Evaluate ``fn`` at the staggered samples of ``name`` (full padded
+        array, or only the ``region`` sub-box when given)."""
+        x, y, z = self._coords[name]
+        if region is not None:
+            x = x[region[0], :, :]
+            y = y[:, region[1], :]
+            z = z[:, :, region[2]]
+        return fn(x, y, z, t)
+
+    @staticmethod
+    def _rim_slabs(padded_shape: tuple[int, int, int]) -> list[tuple]:
+        """Six disjoint slabs covering the NGHOST-wide ghost rim."""
+        g = NGHOST
+        nxp, nyp, nzp = padded_shape
+        mid_x = slice(g, nxp - g)
+        mid_y = slice(g, nyp - g)
+        full = slice(None)
+        return [
+            (slice(0, g), full, full), (slice(nxp - g, nxp), full, full),
+            (mid_x, slice(0, g), full), (mid_x, slice(nyp - g, nyp), full),
+            (mid_x, mid_y, slice(0, g)), (mid_x, mid_y, slice(nzp - g, nzp)),
+        ]
+
+    def _add_forcing(self, wf: WaveField, forcing: dict, t: float,
+                     dt: float) -> None:
+        for name, fn in forcing.items():
+            arr = getattr(wf, name)
+            if self.domain == "padded":
+                region = (slice(None), slice(None), slice(None))
+            else:
+                region = tuple(slice(NGHOST, n - NGHOST) for n in arr.shape)
+            vals = self._eval(name, fn, t, region)
+            np.add(arr[region], dt * vals, out=arr[region],
+                   casting="same_kind")
+
+    def _impose_ghosts(self, wf: WaveField, names, t: float) -> None:
+        for name in names:
+            fn = self.exact.get(name)
+            if fn is None:
+                continue
+            arr = getattr(wf, name)
+            for slab in self._rim_slabs(arr.shape):
+                arr[slab] = self._eval(name, fn, t, slab)
+
+    def impose_exact(self, wf: WaveField, t_velocity: float,
+                     t_stress: float) -> None:
+        """Overwrite every ``exact`` component (full padded array) with the
+        analytic solution — the initial-condition helper for MMS runs."""
+        if self._grid is None:
+            self.bind(wf.grid)
+        for name, fn in self.exact.items():
+            getattr(wf, name)[...] = self._eval(
+                name, fn, t_velocity if name in self._VELOCITY else t_stress)
+
+    def apply_velocity(self, wf: WaveField, t: float, dt: float) -> None:
+        """Velocity forcing (centred at ``t``) + exact velocity ghosts at
+        the new velocity level ``t + dt/2``."""
+        if self._grid is None:
+            self.bind(wf.grid)
+        self._add_forcing(wf, self.velocity_forcing, t, dt)
+        self._impose_ghosts(
+            wf, [n for n in self.exact if n in self._VELOCITY], t + dt / 2.0)
+
+    def apply_stress(self, wf: WaveField, t: float, dt: float) -> None:
+        """Stress forcing (centred at ``t + dt/2``) + exact stress ghosts at
+        the new stress level ``t + dt``."""
+        if self._grid is None:
+            self.bind(wf.grid)
+        self._add_forcing(wf, self.stress_forcing, t + dt / 2.0, dt)
+        self._impose_ghosts(
+            wf, [n for n in self.exact if n not in self._VELOCITY], t + dt)
 
 
 # ----------------------------------------------------------------------

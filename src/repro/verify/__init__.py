@@ -1,0 +1,36 @@
+"""repro.verify — correctness verification (the aVal discipline, Section III.H).
+
+Three pillars, runnable together via ``repro verify``:
+
+* :mod:`repro.verify.mms` — method-of-manufactured-solutions convergence
+  ladders proving the advertised 4th-order-space / 2nd-order-time
+  accuracy, plus an analytic plane-wave propagation check;
+* :mod:`repro.verify.matrix` — the cross-configuration equivalence matrix
+  (backend × dtype × kernel variant × decomposition), bitwise where
+  promised and PrecisionGate-bounded for float32;
+* :mod:`repro.verify.golden` — committed golden snapshots of a mini
+  kinematic scenario with tolerance-gated comparison and an explicit
+  ``--update-goldens`` refresh path.
+
+:mod:`repro.verify.report` aggregates everything into one pass/fail
+:class:`~repro.verify.report.VerifyReport` with JSON and obs-metrics
+output.  See TESTING.md for theory, tolerances, and workflows.
+"""
+
+from .golden import (GOLDEN_DIR, GOLDEN_NAMES, GOLDEN_SCHEMA, GoldenResult,
+                     check_goldens, load_golden, save_golden, update_goldens)
+from .matrix import (FULL_DECOMPS, QUICK_DECOMPS, CellResult, MatrixCell,
+                     MatrixProblem, MatrixResult, build_cells, run_matrix)
+from .mms import (ConvergenceResult, PlaneWaveCheckResult, Rung, fit_order,
+                  plane_wave_check, spatial_ladder, temporal_ladder)
+from .report import VERIFY_SCHEMA, VerifyReport
+
+__all__ = [
+    "Rung", "ConvergenceResult", "PlaneWaveCheckResult", "fit_order",
+    "spatial_ladder", "temporal_ladder", "plane_wave_check",
+    "MatrixCell", "CellResult", "MatrixResult", "MatrixProblem",
+    "build_cells", "run_matrix", "QUICK_DECOMPS", "FULL_DECOMPS",
+    "GOLDEN_SCHEMA", "GOLDEN_DIR", "GOLDEN_NAMES", "GoldenResult",
+    "check_goldens", "load_golden", "save_golden", "update_goldens",
+    "VERIFY_SCHEMA", "VerifyReport",
+]

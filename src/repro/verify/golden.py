@@ -1,0 +1,257 @@
+"""Golden regression store (repro.verify).
+
+Small committed ``.npz`` snapshots of physics outputs — seismograms, the
+surface PGV map, and rupture-front times of a mini kinematic scenario —
+with schema'd metadata and tolerance-gated comparison.  This is the
+paper's "reference solution" half of aVal made durable: the MMS harness
+proves the discretization order, the matrix proves backend equivalence,
+and the goldens pin the *actual numbers* so an innocent-looking refactor
+cannot drift the physics unnoticed.
+
+Layout: one scenario run feeds three golden files under
+``src/repro/verify/goldens/`` (packaged data, < 1 MB total).  Each file
+stores its arrays plus a ``__meta__`` entry holding a JSON document:
+schema id, scenario parameters, and the comparison tolerances that were
+in force when the golden was written.
+
+Refresh path (after an *intentional* physics change)::
+
+    repro verify --update-goldens          # regenerates in place
+    git diff src/repro/verify/goldens      # review, then commit
+
+Comparison uses ``max|a - b| <= atol + rtol * max|ref|`` per array.  The
+default ``rtol`` (1e-7) is far above cross-platform libm jitter and far
+below any genuine physics regression; regenerating on the same platform
+is bitwise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core import (Grid3D, Medium, Receiver, SolverConfig, WaveSolver,
+                    cfl_dt)
+from ..rupture.kinematic import KinematicRupture
+
+__all__ = ["GOLDEN_SCHEMA", "GOLDEN_DIR", "GOLDEN_NAMES", "GoldenMismatch",
+           "GoldenResult", "run_scenario", "save_golden", "load_golden",
+           "check_goldens", "update_goldens"]
+
+GOLDEN_SCHEMA = "repro-golden/1"
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
+GOLDEN_NAMES = ("kinematic_mini_seismograms", "kinematic_mini_pgv",
+                "kinematic_mini_rupture_front")
+
+#: Default gate: well above libm jitter, well below physics regressions.
+DEFAULT_RTOL = 1e-7
+DEFAULT_ATOL = 0.0
+
+#: The mini kinematic scenario, fixed forever (changing any of these
+#: invalidates the committed goldens — bump the schema if you must).
+SCENARIO = {
+    "shape": [24, 24, 20],
+    "h": 200.0,
+    "nsteps": 60,
+    "vp": 5600.0, "vs": 3200.0, "rho": 2700.0,
+    "fault": {"length": 2000.0, "depth": 1600.0, "spacing": 400.0,
+              "magnitude": 5.5, "hypocenter": [1000.0, 800.0],
+              "rupture_velocity": 2800.0, "rise_time": 0.6,
+              "stf": "triangle"},
+    "receivers": {"near": [3400.0, 2400.0, 2600.0],
+                  "off_axis": [1600.0, 3400.0, 2200.0],
+                  "surface": [2400.0, 2400.0, 3600.0]},
+}
+
+
+def run_scenario() -> dict[str, dict[str, np.ndarray]]:
+    """Run the mini kinematic scenario once; return arrays per golden name.
+
+    A M5.5 kinematic rupture (5x4 subfaults, Denali-like slip) on a
+    vertical plane through a homogeneous half-space, sponge absorber,
+    free surface on; three receivers and the decimated surface PGV map.
+    """
+    sc = SCENARIO
+    grid = Grid3D(*sc["shape"], h=sc["h"])
+    med = Medium.homogeneous(grid, vp=sc["vp"], vs=sc["vs"], rho=sc["rho"])
+    dt = cfl_dt(sc["h"], sc["vp"], order=4, safety=0.5)
+    cfg = SolverConfig(dt=dt, absorbing="sponge", sponge_width=4,
+                       free_surface=True)
+    solver = WaveSolver(grid, med, cfg)
+
+    f = sc["fault"]
+    rupture = KinematicRupture(
+        length=f["length"], depth=f["depth"], spacing=f["spacing"],
+        magnitude=f["magnitude"], hypocenter=tuple(f["hypocenter"]),
+        rupture_velocity=f["rupture_velocity"], rise_time=f["rise_time"],
+        stf=f["stf"])
+    surface_z = (sc["shape"][2] - 1) * sc["h"]
+    fault = rupture.to_finite_fault(
+        origin=(1400.0, 0.0, 0.0), y_plane=sc["shape"][1] * sc["h"] / 2,
+        surface_z=surface_z - 2 * sc["h"], dt=dt)
+    solver.add_source(fault)
+
+    recs = {name: solver.add_receiver(Receiver(position=tuple(p), name=name))
+            for name, p in sc["receivers"].items()}
+    recorder = solver.record_surface(dec_space=1, dec_time=2)
+    solver.run(sc["nsteps"])
+
+    seis = {f"{name}.{comp}": np.asarray(r.data[comp])
+            for name, r in recs.items() for comp in ("vx", "vy", "vz")}
+    return {
+        "kinematic_mini_seismograms": seis,
+        "kinematic_mini_pgv": {"pgvh": recorder.peak_horizontal()},
+        "kinematic_mini_rupture_front": {
+            "rupture_times": rupture.rupture_times(),
+            "slip": np.asarray(rupture.slip)},
+    }
+
+
+# ----------------------------------------------------------------------
+# npz store
+# ----------------------------------------------------------------------
+
+def golden_path(name: str, directory: Path | None = None) -> Path:
+    return (directory or GOLDEN_DIR) / f"{name}.npz"
+
+
+def save_golden(name: str, arrays: dict[str, np.ndarray],
+                directory: Path | None = None,
+                rtol: float = DEFAULT_RTOL,
+                atol: float = DEFAULT_ATOL) -> Path:
+    """Write one golden npz with schema'd ``__meta__`` metadata."""
+    meta = {
+        "schema": GOLDEN_SCHEMA,
+        "name": name,
+        "scenario": SCENARIO,
+        "rtol": rtol,
+        "atol": atol,
+        "arrays": {k: {"shape": list(np.asarray(v).shape),
+                       "dtype": str(np.asarray(v).dtype)}
+                   for k, v in arrays.items()},
+    }
+    path = golden_path(name, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {k: np.asarray(v) for k, v in arrays.items()}
+    payload["__meta__"] = np.array(json.dumps(meta, sort_keys=True))
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_golden(name: str, directory: Path | None = None
+                ) -> tuple[dict[str, np.ndarray], dict]:
+    """Read a golden npz; returns (arrays, meta). Validates the schema."""
+    path = golden_path(name, directory)
+    with np.load(path, allow_pickle=False) as z:
+        if "__meta__" not in z:
+            raise ValueError(f"golden {path} lacks __meta__ metadata")
+        meta = json.loads(str(z["__meta__"]))
+        arrays = {k: z[k] for k in z.files if k != "__meta__"}
+    if meta.get("schema") != GOLDEN_SCHEMA:
+        raise ValueError(f"golden {path} has schema {meta.get('schema')!r}, "
+                         f"expected {GOLDEN_SCHEMA!r}")
+    return arrays, meta
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+
+@dataclass
+class GoldenMismatch:
+    array: str
+    max_abs_err: float
+    bound: float
+    note: str = ""
+
+
+@dataclass
+class GoldenResult:
+    name: str
+    status: str                       #: 'pass' | 'fail' | 'missing'
+    mismatches: list[GoldenMismatch] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return self.status == "pass"
+
+    def summary(self) -> str:
+        if self.status == "pass":
+            return f"golden {self.name} PASS"
+        if self.status == "missing":
+            return (f"golden {self.name} MISSING — run "
+                    f"`repro verify --update-goldens` and commit")
+        if not self.mismatches:
+            return f"golden {self.name} FAIL"
+        worst = max(self.mismatches, key=lambda m: m.max_abs_err)
+        return (f"golden {self.name} FAIL: {worst.array} max|err| "
+                f"{worst.max_abs_err:.3e} > bound {worst.bound:.3e} "
+                f"{worst.note}")
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "status": self.status,
+                "mismatches": [{"array": m.array,
+                                "max_abs_err": float(m.max_abs_err),
+                                "bound": float(m.bound), "note": m.note}
+                               for m in self.mismatches]}
+
+
+def compare_arrays(candidate: dict[str, np.ndarray],
+                   reference: dict[str, np.ndarray],
+                   rtol: float, atol: float) -> list[GoldenMismatch]:
+    """Per-array ``max|a-b| <= atol + rtol * max|ref|`` gate."""
+    out: list[GoldenMismatch] = []
+    for key in sorted(set(reference) | set(candidate)):
+        if key not in candidate:
+            out.append(GoldenMismatch(key, float("inf"), 0.0,
+                                      "absent from candidate"))
+            continue
+        if key not in reference:
+            out.append(GoldenMismatch(key, float("inf"), 0.0,
+                                      "absent from golden"))
+            continue
+        a = np.asarray(candidate[key], dtype=np.float64)
+        b = np.asarray(reference[key], dtype=np.float64)
+        if a.shape != b.shape:
+            out.append(GoldenMismatch(key, float("inf"), 0.0,
+                                      f"shape {a.shape} != {b.shape}"))
+            continue
+        bound = atol + rtol * float(np.abs(b).max()) if b.size else atol
+        err = float(np.abs(a - b).max()) if a.size else 0.0
+        if err > bound:
+            out.append(GoldenMismatch(key, err, bound))
+    return out
+
+
+def check_goldens(directory: Path | None = None,
+                  produced: dict[str, dict[str, np.ndarray]] | None = None
+                  ) -> list[GoldenResult]:
+    """Re-run the scenario and compare against every committed golden.
+
+    ``produced`` lets callers (and tests) inject pre-computed arrays
+    instead of re-running the scenario.
+    """
+    produced = produced if produced is not None else run_scenario()
+    results: list[GoldenResult] = []
+    for name in GOLDEN_NAMES:
+        path = golden_path(name, directory)
+        if not path.exists():
+            results.append(GoldenResult(name, "missing"))
+            continue
+        reference, meta = load_golden(name, directory)
+        mism = compare_arrays(produced[name], reference,
+                              rtol=float(meta.get("rtol", DEFAULT_RTOL)),
+                              atol=float(meta.get("atol", DEFAULT_ATOL)))
+        results.append(GoldenResult(name, "pass" if not mism else "fail",
+                                    mism))
+    return results
+
+
+def update_goldens(directory: Path | None = None) -> list[Path]:
+    """Regenerate every golden in place (`repro verify --update-goldens`)."""
+    produced = run_scenario()
+    return [save_golden(name, arrays, directory)
+            for name, arrays in produced.items()]

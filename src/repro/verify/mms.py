@@ -1,0 +1,317 @@
+"""Method-of-manufactured-solutions convergence harness (repro.verify).
+
+The paper's aVal acceptance tests pin the numerics against *stored*
+references; this module pins them against *analytic* ones.  Two ladders and
+one absolute check:
+
+* :func:`spatial_ladder` — an exact elastic S plane wave (homogeneous
+  medium) run on a grid-refinement ladder with ``dt ∝ h^2``, so both the
+  4th-order spatial and 2nd-order temporal truncation errors scale as
+  ``h^4`` and the observed log-log slope measures the *spatial* order of
+  the production stencil (Eq. 3).  Ghost rims are overwritten with the
+  exact solution every half-step (via
+  :class:`repro.core.source.ManufacturedForcing`), making the boundary an
+  exact Dirichlet condition: interior error is pure discretization error.
+* :func:`temporal_ladder` — a spatially-uniform manufactured field driven
+  entirely by analytic forcing.  Every FD derivative of a uniform field is
+  exactly zero, so the error isolates the leapfrog time integration and
+  source-injection timing; the observed order must be ~2.
+* :func:`plane_wave_check` — one moderately-resolved plane-wave run at a
+  production (CFL-limited) time step, gated on absolute relative error.
+
+All ladders fit the observed order with a least-squares slope of
+``log(error)`` against ``log(h)`` / ``log(dt)`` (the Richardson log-log
+fit) and also report pairwise orders between adjacent rungs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import Grid3D, ManufacturedForcing, Medium, SolverConfig, WaveSolver
+from ..core.stability import cfl_dt
+
+__all__ = ["Rung", "ConvergenceResult", "fit_order", "plane_wave_solution",
+           "spatial_ladder", "temporal_ladder", "plane_wave_check",
+           "PlaneWaveCheckResult"]
+
+
+@dataclass
+class Rung:
+    """One resolution of a refinement ladder."""
+
+    param: float      #: the refined parameter (h in metres, or dt in s)
+    error: float      #: relative L2 error against the analytic solution
+    steps: int
+    dt: float
+
+
+@dataclass
+class ConvergenceResult:
+    """Observed convergence order of one refinement ladder."""
+
+    kind: str                       #: 'spatial' or 'temporal'
+    rungs: list[Rung]
+    observed_order: float           #: least-squares log-log slope
+    pairwise_orders: list[float]    #: order between adjacent rungs
+    required_order: float
+    fd_order: int                   #: the stencil order under test
+
+    @property
+    def passed(self) -> bool:
+        return (np.isfinite(self.observed_order)
+                and self.observed_order >= self.required_order)
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        params = ", ".join(f"{r.param:.4g}" for r in self.rungs)
+        errs = ", ".join(f"{r.error:.3e}" for r in self.rungs)
+        return (f"mms {self.kind} {status}: observed order "
+                f"{self.observed_order:.2f} (required >= "
+                f"{self.required_order:.2f}) over "
+                f"{'h' if self.kind == 'spatial' else 'dt'} = [{params}]; "
+                f"errors [{errs}]")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "fd_order": self.fd_order,
+            "observed_order": float(self.observed_order),
+            "required_order": float(self.required_order),
+            "pairwise_orders": [float(p) for p in self.pairwise_orders],
+            "passed": bool(self.passed),
+            "rungs": [{"param": float(r.param), "error": float(r.error),
+                       "steps": r.steps, "dt": float(r.dt)}
+                      for r in self.rungs],
+        }
+
+
+def fit_order(params: np.ndarray, errors: np.ndarray) -> float:
+    """Least-squares slope of log(error) vs log(param) (Richardson fit)."""
+    params = np.asarray(params, dtype=np.float64)
+    errors = np.asarray(errors, dtype=np.float64)
+    if np.any(errors <= 0) or np.any(params <= 0):
+        return float("nan")
+    return float(np.polyfit(np.log(params), np.log(errors), 1)[0])
+
+
+def _pairwise_orders(params, errors) -> list[float]:
+    out = []
+    for (p0, e0), (p1, e1) in zip(zip(params, errors),
+                                  zip(params[1:], errors[1:])):
+        if e0 > 0 and e1 > 0 and p0 != p1:
+            out.append(float(np.log(e1 / e0) / np.log(p1 / p0)))
+        else:
+            out.append(float("nan"))
+    return out
+
+
+def _rel_l2(num: np.ndarray, exact: np.ndarray) -> float:
+    denom = float(np.sqrt((exact.astype(np.float64) ** 2).sum()))
+    diff = num.astype(np.float64) - exact.astype(np.float64)
+    return float(np.sqrt((diff ** 2).sum())) / denom if denom > 0 else \
+        float(np.sqrt((diff ** 2).sum()))
+
+
+# ----------------------------------------------------------------------
+# Plane-wave manufactured problem (spatial order)
+# ----------------------------------------------------------------------
+
+def plane_wave_solution(amplitude: float, k: float, c: float, rho: float):
+    """Exact S plane wave propagating along y with particle motion along x.
+
+    ``vx(y, t) = A sin(k (y - c t))`` and
+    ``sxy(y, t) = -rho c A sin(k (y - c t))`` solve the homogeneous
+    velocity–stress system exactly (all other components zero).  Returns
+    ``(exact_vx, exact_sxy)`` callables with the ``f(x, y, z, t)``
+    signature of :class:`~repro.core.source.ManufacturedForcing`.
+    """
+    mu_amp = -rho * c * amplitude
+
+    def exact_vx(x, y, z, t):
+        return amplitude * np.sin(k * (y - c * t)) + 0.0 * x + 0.0 * z
+
+    def exact_sxy(x, y, z, t):
+        return mu_amp * np.sin(k * (y - c * t)) + 0.0 * x + 0.0 * z
+
+    return exact_vx, exact_sxy
+
+
+def _run_plane_wave(ny: int, h: float, dt: float, nsteps: int,
+                    fd_order: int, *, n_cross: int = 6,
+                    vs: float = 2000.0, rho: float = 2500.0,
+                    wavelength: float | None = None) -> float:
+    """Run the plane-wave problem; return max relative L2 error (vx, sxy).
+
+    The wave varies only along y, so the cross axes stay at a fixed small
+    extent (their derivatives are exactly zero) and the ladder refines
+    ``ny`` alone — each rung costs O(ny) cells.
+    """
+    length = ny * h
+    lam = wavelength if wavelength is not None else length / 2.0
+    k = 2.0 * np.pi / lam
+    vp = vs * np.sqrt(3.0)
+    grid = Grid3D(n_cross, ny, n_cross, h=h)
+    med = Medium.homogeneous(grid, vp=vp, vs=vs, rho=rho)
+    exact_vx, exact_sxy = plane_wave_solution(1.0, k, vs, rho)
+    forcing = ManufacturedForcing(exact={"vx": exact_vx, "sxy": exact_sxy})
+    solver = WaveSolver(grid, med, SolverConfig(
+        dt=dt, order=fd_order, absorbing="none", free_surface=False,
+        stability_check_interval=0))
+    solver.add_forcing(forcing)
+    forcing.impose_exact(solver.wf, t_velocity=-dt / 2.0, t_stress=0.0)
+    solver.run(nsteps)
+    t_end = nsteps * dt
+    xv, yv, zv = forcing._coords["vx"]
+    xs, ys, zs = forcing._coords["sxy"]
+    g = slice(2, -2)
+    ref_vx = np.broadcast_to(
+        exact_vx(xv, yv, zv, t_end - dt / 2.0), solver.wf.vx.shape)[g, g, g]
+    ref_sxy = np.broadcast_to(
+        exact_sxy(xs, ys, zs, t_end), solver.wf.sxy.shape)[g, g, g]
+    return max(_rel_l2(solver.wf.interior("vx"), ref_vx),
+               _rel_l2(solver.wf.interior("sxy"), ref_sxy))
+
+
+def spatial_ladder(resolutions: tuple[int, ...] = (8, 12, 16, 24),
+                   fd_order: int = 4, required_order: float = 3.5,
+                   base_steps: int = 8, length: float = 4800.0,
+                   vs: float = 2000.0) -> ConvergenceResult:
+    """Grid-refinement ladder for the spatial order of the FD stencil.
+
+    The domain length is fixed and ``ny`` refined, so ``h = length / ny``.
+    The time step scales as ``dt ∝ h^2`` (within CFL at every rung), making
+    the 2nd-order temporal error track ``h^4`` — the measured slope is the
+    spatial order.  ``fd_order=2`` measures the verification stencil (and
+    is the 'deliberately degraded' fixture the harness must flag).
+    """
+    rungs: list[Rung] = []
+    h0 = length / min(resolutions)
+    vp = vs * np.sqrt(3.0)
+    dt0 = cfl_dt(h0, vp, order=fd_order, safety=0.5)
+    t_target = base_steps * dt0
+    for ny in sorted(resolutions):
+        h = length / ny
+        dt = dt0 * (h / h0) ** 2
+        nsteps = max(1, int(round(t_target / dt)))
+        err = _run_plane_wave(ny, h, dt, nsteps, fd_order, vs=vs,
+                              wavelength=length / 2.0)
+        rungs.append(Rung(param=h, error=err, steps=nsteps, dt=dt))
+    params = [r.param for r in rungs]
+    errors = [r.error for r in rungs]
+    return ConvergenceResult(
+        kind="spatial", rungs=rungs,
+        observed_order=fit_order(params, errors),
+        pairwise_orders=_pairwise_orders(params, errors),
+        required_order=required_order, fd_order=fd_order)
+
+
+# ----------------------------------------------------------------------
+# Spatially-uniform manufactured problem (temporal order)
+# ----------------------------------------------------------------------
+
+def _run_uniform(dt: float, nsteps: int, omega: float,
+                 fd_order: int = 4) -> float:
+    """Spatially-uniform MMS: FD derivatives vanish identically, so the
+    error isolates the leapfrog integrator + injection timing."""
+    n = 6
+    grid = Grid3D(n, n, n, h=100.0)
+    med = Medium.homogeneous(grid, vp=4000.0, vs=2300.0, rho=2500.0)
+    a_v, b_s = 1.0, 3.0e4
+
+    def exact_vx(x, y, z, t):
+        return a_v * np.sin(omega * t) + 0.0 * (x + y + z)
+
+    def exact_sxy(x, y, z, t):
+        return b_s * np.cos(omega * t) + 0.0 * (x + y + z)
+
+    def force_vx(x, y, z, t):
+        return a_v * omega * np.cos(omega * t) + 0.0 * (x + y + z)
+
+    def rate_sxy(x, y, z, t):
+        return -b_s * omega * np.sin(omega * t) + 0.0 * (x + y + z)
+
+    init = ManufacturedForcing(exact={"vx": exact_vx, "sxy": exact_sxy})
+    forcing = ManufacturedForcing(velocity_forcing={"vx": force_vx},
+                                  stress_forcing={"sxy": rate_sxy},
+                                  domain="padded")
+    solver = WaveSolver(grid, med, SolverConfig(
+        dt=dt, order=fd_order, absorbing="none", free_surface=False,
+        stability_check_interval=0))
+    solver.add_forcing(forcing)
+    init.bind(grid)
+    init.impose_exact(solver.wf, t_velocity=-dt / 2.0, t_stress=0.0)
+    solver.run(nsteps)
+    t_end = nsteps * dt
+    err_v = abs(float(solver.wf.vx[3, 3, 3])
+                - a_v * np.sin(omega * (t_end - dt / 2.0))) / a_v
+    err_s = abs(float(solver.wf.sxy[3, 3, 3])
+                - b_s * np.cos(omega * t_end)) / b_s
+    return max(err_v, err_s)
+
+
+def temporal_ladder(step_counts: tuple[int, ...] = (8, 16, 32, 64),
+                    required_order: float = 1.9, t_final: float = 0.8,
+                    fd_order: int = 4) -> ConvergenceResult:
+    """dt-refinement ladder for the temporal order of the leapfrog."""
+    omega = 2.0 * np.pi / (2.0 * t_final)
+    rungs: list[Rung] = []
+    for nsteps in sorted(step_counts):
+        dt = t_final / nsteps
+        err = _run_uniform(dt, nsteps, omega, fd_order=fd_order)
+        rungs.append(Rung(param=dt, error=err, steps=nsteps, dt=dt))
+    rungs.sort(key=lambda r: r.param)
+    params = [r.param for r in rungs]
+    errors = [r.error for r in rungs]
+    return ConvergenceResult(
+        kind="temporal", rungs=rungs,
+        observed_order=fit_order(params, errors),
+        pairwise_orders=_pairwise_orders(params, errors),
+        required_order=required_order, fd_order=fd_order)
+
+
+# ----------------------------------------------------------------------
+# Absolute plane-wave accuracy check
+# ----------------------------------------------------------------------
+
+@dataclass
+class PlaneWaveCheckResult:
+    """Absolute accuracy of one CFL-limited plane-wave propagation run."""
+
+    error: float
+    tolerance: float
+    ny: int
+    steps: int
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return self.error <= self.tolerance
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (f"mms plane-wave {status}: rel L2 error {self.error:.3e} "
+                f"(tol {self.tolerance:.1e}) on ny={self.ny}, "
+                f"{self.steps} steps")
+
+    def to_dict(self) -> dict:
+        return {"error": float(self.error), "tolerance": float(self.tolerance),
+                "ny": self.ny, "steps": self.steps,
+                "passed": bool(self.passed)}
+
+
+def plane_wave_check(ny: int = 32, steps: int = 40, tolerance: float = 2e-3,
+                     fd_order: int = 4) -> PlaneWaveCheckResult:
+    """Propagate an analytic plane wave at a production time step and gate
+    the absolute relative error (the 'wave-propagation benchmark')."""
+    length = 4800.0
+    vs = 2000.0
+    h = length / ny
+    vp = vs * np.sqrt(3.0)
+    dt = cfl_dt(h, vp, order=fd_order, safety=0.5)
+    err = _run_plane_wave(ny, h, dt, steps, fd_order, vs=vs,
+                          wavelength=length / 2.0)
+    return PlaneWaveCheckResult(error=err, tolerance=tolerance, ny=ny,
+                                steps=steps)

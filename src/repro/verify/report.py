@@ -1,0 +1,103 @@
+"""Aggregated verification report (repro.verify).
+
+Collects the three pillars — MMS convergence, the equivalence matrix, the
+golden comparisons — into one :class:`VerifyReport` with a single pass /
+fail verdict, a human summary, a schema'd JSON document, and gauges
+published through :mod:`repro.obs.metrics` (so verification results ride
+the same exporters as the performance instrumentation).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..obs import MetricsRegistry, default_registry
+from .golden import GoldenResult
+from .matrix import MatrixResult
+from .mms import ConvergenceResult, PlaneWaveCheckResult
+
+__all__ = ["VERIFY_SCHEMA", "VerifyReport"]
+
+VERIFY_SCHEMA = "repro-verify/1"
+
+
+@dataclass
+class VerifyReport:
+    """Result of one ``repro verify`` invocation."""
+
+    profile: str                                     #: 'quick' | 'full'
+    mms: list[ConvergenceResult] = field(default_factory=list)
+    plane_wave: PlaneWaveCheckResult | None = None
+    matrix: MatrixResult | None = None
+    goldens: list[GoldenResult] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)  #: pillars not run
+
+    @property
+    def passed(self) -> bool:
+        return (all(r.passed for r in self.mms)
+                and (self.plane_wave is None or self.plane_wave.passed)
+                and (self.matrix is None or self.matrix.passed)
+                and all(g.passed for g in self.goldens))
+
+    # -- presentation --------------------------------------------------
+
+    def summary(self) -> str:
+        lines = [f"repro verify [{self.profile}]: "
+                 f"{'PASS' if self.passed else 'FAIL'}"]
+        for r in self.mms:
+            lines.append("  " + r.summary())
+        if self.plane_wave is not None:
+            lines.append("  " + self.plane_wave.summary())
+        if self.matrix is not None:
+            lines.extend("  " + ln
+                         for ln in self.matrix.summary().splitlines())
+        for g in self.goldens:
+            lines.append("  " + g.summary())
+        for name in self.skipped:
+            lines.append(f"  {name}: skipped")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": VERIFY_SCHEMA,
+            "profile": self.profile,
+            "passed": bool(self.passed),
+            "mms": [r.to_dict() for r in self.mms],
+            "plane_wave": (self.plane_wave.to_dict()
+                           if self.plane_wave is not None else None),
+            "matrix": (self.matrix.to_dict()
+                       if self.matrix is not None else None),
+            "goldens": [g.to_dict() for g in self.goldens],
+            "skipped": list(self.skipped),
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True)
+                        + "\n")
+        return path
+
+    # -- obs integration ------------------------------------------------
+
+    def publish_metrics(self, registry: MetricsRegistry | None = None
+                        ) -> None:
+        """Publish headline numbers as gauges on the obs registry."""
+        reg = registry if registry is not None else default_registry()
+        for r in self.mms:
+            reg.gauge(f"verify.mms.{r.kind}_order").set(r.observed_order)
+        if self.plane_wave is not None:
+            reg.gauge("verify.plane_wave.rel_l2").set(self.plane_wave.error)
+        if self.matrix is not None:
+            counts = self.matrix.counts
+            reg.gauge("verify.matrix.cells_pass").set(counts["pass"])
+            reg.gauge("verify.matrix.cells_fail").set(
+                counts["fail"] + counts["error"])
+            if self.matrix.precision is not None:
+                reg.gauge("verify.precision.worst_misfit").set(
+                    self.matrix.precision.worst[1])
+        reg.gauge("verify.goldens.failures").set(
+            sum(1 for g in self.goldens if not g.passed))
+        reg.gauge("verify.passed").set(1.0 if self.passed else 0.0)

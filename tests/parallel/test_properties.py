@@ -1,0 +1,159 @@
+"""Property-based (hypothesis) tests for decomposition and halo exchange.
+
+The example-based tests in ``test_decomp``/``test_halo`` pin specific
+shapes; these properties assert the structural invariants for *arbitrary*
+grid shapes and processor counts:
+
+* a decomposition tiles the global grid exactly — every interior cell is
+  owned by exactly one rank, with no gaps and no overlaps;
+* rank <-> coords is a bijection and ``owner_of_cell`` agrees with the
+  subdomain ranges;
+* a halo exchange round-trips pack/unpack exactly — every exchanged ghost
+  plane is bitwise equal to the neighbour's interior data, and the
+  interior is never touched.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.fd import NGHOST
+from repro.core.grid import ALL_FIELDS, Grid3D, WaveField
+from repro.parallel.decomp import Decomposition3D
+from repro.parallel.halo import GHOST_NEEDS, exchange_halos
+from repro.parallel.simmpi import run_spmd
+
+#: axis extent and ranks-per-axis; assume() trims to valid (>=2-cell) splits
+axis_cells = st.integers(4, 14)
+axis_ranks = st.integers(1, 3)
+
+
+def _decomp(nx, ny, nz, px, py, pz):
+    assume(nx // px >= 2 and ny // py >= 2 and nz // pz >= 2)
+    return Decomposition3D(Grid3D(nx, ny, nz, h=50.0), px, py, pz)
+
+
+class TestDecompositionTiling:
+    @settings(max_examples=40, deadline=None)
+    @given(nx=axis_cells, ny=axis_cells, nz=axis_cells,
+           px=axis_ranks, py=axis_ranks, pz=axis_ranks)
+    def test_subdomains_tile_domain_exactly(self, nx, ny, nz, px, py, pz):
+        """No gaps, no overlaps: every cell covered exactly once."""
+        d = _decomp(nx, ny, nz, px, py, pz)
+        coverage = np.zeros((nx, ny, nz), dtype=np.int32)
+        for sub in d.subdomains():
+            coverage[sub.slices] += 1
+            # the local grid extents must match the claimed ranges
+            assert sub.grid.shape == tuple(b - a for a, b in sub.ranges)
+        assert np.all(coverage == 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(nx=axis_cells, ny=axis_cells, nz=axis_cells,
+           px=axis_ranks, py=axis_ranks, pz=axis_ranks)
+    def test_rank_coords_bijection(self, nx, ny, nz, px, py, pz):
+        d = _decomp(nx, ny, nz, px, py, pz)
+        seen = set()
+        for rank in range(d.nranks):
+            c = d.coords(rank)
+            assert d.rank_of(c) == rank
+            seen.add(c)
+        assert len(seen) == d.nranks
+
+    @settings(max_examples=40, deadline=None)
+    @given(nx=axis_cells, ny=axis_cells, nz=axis_cells,
+           px=axis_ranks, py=axis_ranks, pz=axis_ranks,
+           data=st.data())
+    def test_owner_of_cell_matches_ranges(self, nx, ny, nz, px, py, pz,
+                                          data):
+        d = _decomp(nx, ny, nz, px, py, pz)
+        i = data.draw(st.integers(0, nx - 1))
+        j = data.draw(st.integers(0, ny - 1))
+        k = data.draw(st.integers(0, nz - 1))
+        sub = d.subdomain(d.owner_of_cell(i, j, k))
+        for axis, idx in enumerate((i, j, k)):
+            a, b = sub.ranges[axis]
+            assert a <= idx < b
+
+    @settings(max_examples=40, deadline=None)
+    @given(nx=axis_cells, ny=axis_cells, nz=axis_cells,
+           px=axis_ranks, py=axis_ranks, pz=axis_ranks)
+    def test_neighbor_relation_is_symmetric(self, nx, ny, nz, px, py, pz):
+        """If B is A's x_hi neighbour, then A is B's x_lo neighbour."""
+        d = _decomp(nx, ny, nz, px, py, pz)
+        opposite = {"x_lo": "x_hi", "x_hi": "x_lo", "y_lo": "y_hi",
+                    "y_hi": "y_lo", "z_lo": "z_hi", "z_hi": "z_lo"}
+        for rank in range(d.nranks):
+            for face, other in d.neighbors(rank).items():
+                if other is not None:
+                    assert d.neighbors(other)[opposite[face]] == rank
+
+
+def _seeded_fields(decomp, seed):
+    rng = np.random.default_rng(seed)
+    glob = {name: rng.standard_normal(decomp.grid.shape)
+            for name in ALL_FIELDS}
+    wfs = []
+    for sub in decomp.subdomains():
+        wf = WaveField(sub.grid)
+        for name in ALL_FIELDS:
+            wf.interior(name)[...] = glob[name][sub.slices]
+        wfs.append(wf)
+    return glob, wfs
+
+
+def _check_ghosts(decomp, rank, wf, glob, mode):
+    """Every exchanged ghost plane equals the neighbour's interior data."""
+    sub = decomp.subdomain(rank)
+    nb = decomp.neighbors(rank)
+    for name in ALL_FIELDS:
+        needs = (GHOST_NEEDS[name] if mode == "reduced"
+                 else {a: (NGHOST, NGHOST) for a in range(3)})
+        arr = getattr(wf, name)
+        for axis, (n_low, n_high) in needs.items():
+            a, b = sub.ranges[axis]
+            if nb[("x_lo", "y_lo", "z_lo")[axis]] is not None:
+                for p in range(1, n_low + 1):
+                    sl = [slice(NGHOST, -NGHOST)] * 3
+                    sl[axis] = NGHOST - p
+                    sg = list(sub.slices)
+                    sg[axis] = a - p
+                    assert np.array_equal(arr[tuple(sl)],
+                                          glob[name][tuple(sg)]), \
+                        (name, axis, -p)
+            if nb[("x_hi", "y_hi", "z_hi")[axis]] is not None:
+                for p in range(n_high):
+                    sl = [slice(NGHOST, -NGHOST)] * 3
+                    sl[axis] = NGHOST + sub.grid.shape[axis] + p
+                    sg = list(sub.slices)
+                    sg[axis] = b + p
+                    assert np.array_equal(arr[tuple(sl)],
+                                          glob[name][tuple(sg)]), \
+                        (name, axis, p)
+
+
+class TestHaloRoundTrip:
+    @settings(max_examples=12, deadline=None)
+    @given(nx=axis_cells, ny=axis_cells, nz=axis_cells,
+           px=axis_ranks, py=axis_ranks, pz=axis_ranks,
+           mode=st.sampled_from(["reduced", "full"]),
+           seed=st.integers(0, 2**16))
+    def test_exchange_round_trips_exactly(self, nx, ny, nz, px, py, pz,
+                                          mode, seed):
+        """Pack -> send -> unpack lands the exact neighbour planes in the
+        ghost rim, bitwise, and leaves every interior untouched."""
+        d = _decomp(nx, ny, nz, px, py, pz)
+        glob, wfs = _seeded_fields(d, seed)
+        before = [{n: wf.interior(n).copy() for n in ALL_FIELDS}
+                  for wf in wfs]
+
+        def program(comm):
+            yield from exchange_halos(comm, d, comm.rank, wfs[comm.rank],
+                                      group="all", mode=mode)
+            return None
+
+        run_spmd(d.nranks, program)
+        for rank, wf in enumerate(wfs):
+            for name in ALL_FIELDS:
+                assert np.array_equal(wf.interior(name),
+                                      before[rank][name]), name
+            _check_ghosts(d, rank, wf, glob, mode)

@@ -269,6 +269,93 @@ class TestCompare:
         assert main(["bench", "--compare", str(tmp_path / "a.json"),
                      str(tmp_path / "b.json")]) == 2
 
+    def test_cli_compare_corrupt_json(self, smoke_report, tmp_path):
+        """Unreadable input is a usage error (2), never a regression (3)."""
+        report, _ = smoke_report
+        good = tmp_path / "good.json"
+        write_report(report, str(good))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["bench", "--compare", str(bad), str(good)]) == 2
+        assert main(["bench", "--compare", str(good), str(bad)]) == 2
+
+    def test_cli_compare_invalid_schema(self, smoke_report, tmp_path):
+        report, _ = smoke_report
+        good = tmp_path / "good.json"
+        write_report(report, str(good))
+        alien = tmp_path / "alien.json"
+        alien.write_text(json.dumps({"schema": "not-a-bench-report"}))
+        assert main(["bench", "--compare", str(good), str(alien)]) == 2
+
+
+class TestDeterminism:
+    """Bench workload inputs must not depend on process state (issue: the
+    solver workload seeded its fields from randomised ``hash(name)``)."""
+
+    def test_seed_solver_fields_identical_across_calls(self):
+        from repro.bench import seed_solver_fields
+        from repro.core.grid import ALL_FIELDS, Grid3D, WaveField
+        g = Grid3D(8, 8, 8, h=100.0)
+        a, b = WaveField(g), WaveField(g)
+        seed_solver_fields(a)
+        seed_solver_fields(b)
+        import numpy as np
+        for name in ALL_FIELDS:
+            assert np.array_equal(a.interior(name), b.interior(name)), name
+            assert a.interior(name).any(), name   # genuinely non-zero
+
+    def test_seeding_is_hash_seed_independent(self):
+        """Two processes with different PYTHONHASHSEED must seed the same
+        workload inputs (hash() of a str does not; zlib.crc32 does)."""
+        import os
+        import subprocess
+        import sys
+
+        import repro
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        snippet = (
+            "import hashlib, numpy as np\n"
+            "from repro.bench import seed_solver_fields\n"
+            "from repro.core.grid import ALL_FIELDS, Grid3D, WaveField\n"
+            "wf = WaveField(Grid3D(8, 8, 8, h=100.0))\n"
+            "seed_solver_fields(wf)\n"
+            "h = hashlib.sha256()\n"
+            "for n in ALL_FIELDS: h.update(wf.interior(n).tobytes())\n"
+            "print(h.hexdigest())\n")
+        digests = set()
+        for hash_seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (src_dir, env.get("PYTHONPATH", "")) if p)
+            out = subprocess.run([sys.executable, "-c", snippet], env=env,
+                                 capture_output=True, text=True, check=True)
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1, "workload inputs depend on PYTHONHASHSEED"
+
+    def test_two_suite_runs_identical_workload_inputs(self):
+        """Everything except the timings must be identical across runs."""
+        TIMING_KEYS = {"wall_s", "gflops", "mcells_per_s", "peak_tmp_bytes"}
+
+        def strip(report):
+            out = {}
+            for name, res in report["workloads"].items():
+                entry = {k: v for k, v in res.items()
+                         if k not in TIMING_KEYS}
+                extra = entry.get("extra") or {}
+                entry["extra"] = {
+                    k: v for k, v in extra.items()
+                    if not any(t in k for t in
+                               ("speedup", "overhead", "wall", "_s",
+                                "efficiency"))}
+                out[name] = entry
+            return out
+
+        one = run_suite(smoke=True, registry=MetricsRegistry(),
+                        workloads=["solver_step"])
+        two = run_suite(smoke=True, registry=MetricsRegistry(),
+                        workloads=["solver_step"])
+        assert strip(one) == strip(two)
+
 
 class TestCLI:
     def test_bench_smoke_cli(self, tmp_path, capsys):

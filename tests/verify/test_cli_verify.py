@@ -1,0 +1,72 @@
+"""`repro verify` CLI contract: profiles, pillar selection, JSON report,
+exit codes (0 pass / 1 violation), and obs-metrics publication."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import default_registry
+from repro.verify.report import VERIFY_SCHEMA, VerifyReport
+
+pytestmark = [pytest.mark.verify, pytest.mark.tier1]
+
+
+class TestExitCodes:
+    def test_mms_pillar_passes(self, capsys):
+        assert main(["verify", "--quick", "--only", "mms"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "spatial" in out
+
+    def test_degraded_stencil_exits_nonzero(self, capsys):
+        """Acceptance criterion: substituting the degraded 2nd-order
+        stencil must flip the exit code."""
+        assert main(["verify", "--quick", "--only", "mms",
+                     "--fd-order", "2"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_golden_pillar_passes(self, capsys):
+        assert main(["verify", "--quick", "--only", "golden"]) == 0
+        assert "golden" in capsys.readouterr().out
+
+
+class TestJsonReport:
+    def test_json_report_schema(self, tmp_path, capsys):
+        out = tmp_path / "verify.json"
+        rc = main(["verify", "--quick", "--only", "mms",
+                   "--json", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == VERIFY_SCHEMA
+        assert doc["passed"] is True
+        assert doc["profile"] == "quick"
+        kinds = {m["kind"] for m in doc["mms"]}
+        assert kinds == {"spatial", "temporal"}
+        assert doc["plane_wave"]["passed"] is True
+        assert set(doc["skipped"]) == {"golden", "matrix"}
+
+    def test_metrics_published(self, capsys):
+        main(["verify", "--quick", "--only", "mms"])
+        reg = default_registry()
+        assert reg.gauge("verify.mms.spatial_order").value >= 3.5
+        assert reg.gauge("verify.mms.temporal_order").value >= 1.9
+        assert reg.gauge("verify.passed").value == 1.0
+
+
+class TestReportAggregation:
+    def test_empty_report_passes(self):
+        assert VerifyReport(profile="quick").passed
+
+    def test_any_failing_pillar_fails_report(self):
+        from repro.verify.golden import GoldenResult
+        rep = VerifyReport(profile="quick",
+                           goldens=[GoldenResult("g", "fail")])
+        assert not rep.passed
+        assert "FAIL" in rep.summary()
+
+    def test_write_json_round_trip(self, tmp_path):
+        rep = VerifyReport(profile="full")
+        path = rep.write_json(tmp_path / "r.json")
+        doc = json.loads(path.read_text())
+        assert doc["profile"] == "full"
+        assert doc["matrix"] is None

@@ -1,0 +1,102 @@
+"""Golden regression store tests: the committed snapshots match the current
+code, the comparator has teeth, and the refresh path works."""
+
+import numpy as np
+import pytest
+
+from repro.verify import golden
+
+pytestmark = [pytest.mark.verify, pytest.mark.tier1]
+
+
+@pytest.fixture(scope="module")
+def scenario_arrays():
+    """One scenario run shared by the module (the expensive part)."""
+    return golden.run_scenario()
+
+
+class TestCommittedGoldens:
+    def test_all_goldens_committed_and_passing(self, scenario_arrays):
+        results = golden.check_goldens(produced=scenario_arrays)
+        assert [r.name for r in results] == list(golden.GOLDEN_NAMES)
+        for r in results:
+            assert r.passed, r.summary()
+
+    def test_total_size_under_one_megabyte(self):
+        total = sum(golden.golden_path(n).stat().st_size
+                    for n in golden.GOLDEN_NAMES)
+        assert total < 1_000_000, f"goldens are {total} bytes"
+
+    def test_metadata_schema(self):
+        for name in golden.GOLDEN_NAMES:
+            arrays, meta = golden.load_golden(name)
+            assert meta["schema"] == golden.GOLDEN_SCHEMA
+            assert meta["name"] == name
+            assert set(meta["arrays"]) == set(arrays)
+            for key, spec in meta["arrays"].items():
+                assert list(arrays[key].shape) == spec["shape"]
+
+    def test_signals_are_nontrivial(self, scenario_arrays):
+        """Goldens of a silent run would vacuously pass forever."""
+        seis = scenario_arrays["kinematic_mini_seismograms"]
+        assert all(np.abs(v).max() > 1e-3 for v in seis.values())
+        assert scenario_arrays["kinematic_mini_pgv"]["pgvh"].max() > 1e-2
+
+
+class TestComparator:
+    def test_perturbation_detected(self, scenario_arrays):
+        bad = {k: {a: v.copy() for a, v in d.items()}
+               for k, d in scenario_arrays.items()}
+        bad["kinematic_mini_pgv"]["pgvh"] *= 1.0 + 1e-5
+        results = {r.name: r for r in golden.check_goldens(produced=bad)}
+        assert not results["kinematic_mini_pgv"].passed
+        assert results["kinematic_mini_seismograms"].passed
+
+    def test_missing_array_detected(self, scenario_arrays):
+        bad = {k: dict(d) for k, d in scenario_arrays.items()}
+        del bad["kinematic_mini_rupture_front"]["slip"]
+        results = {r.name: r for r in golden.check_goldens(produced=bad)}
+        r = results["kinematic_mini_rupture_front"]
+        assert not r.passed
+        assert any("absent" in m.note for m in r.mismatches)
+
+    def test_shape_mismatch_detected(self):
+        mism = golden.compare_arrays({"a": np.zeros((2, 3))},
+                                     {"a": np.zeros((3, 2))},
+                                     rtol=1e-7, atol=0.0)
+        assert mism and "shape" in mism[0].note
+
+
+class TestStoreRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        arrays = {"x": np.arange(6.0).reshape(2, 3),
+                  "y": np.float32([1.5, -2.5])}
+        golden.save_golden("kinematic_mini_pgv", arrays, directory=tmp_path)
+        loaded, meta = golden.load_golden("kinematic_mini_pgv",
+                                          directory=tmp_path)
+        for k in arrays:
+            assert np.array_equal(loaded[k], arrays[k])
+            assert loaded[k].dtype == arrays[k].dtype
+        assert meta["rtol"] == golden.DEFAULT_RTOL
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        import json
+        path = golden.golden_path("kinematic_mini_pgv", tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta = {"schema": "repro-golden/999", "name": "kinematic_mini_pgv"}
+        np.savez_compressed(path, pgvh=np.zeros(3),
+                            __meta__=np.array(json.dumps(meta)))
+        with pytest.raises(ValueError, match="schema"):
+            golden.load_golden("kinematic_mini_pgv", directory=tmp_path)
+
+    def test_update_goldens_writes_all(self, tmp_path):
+        paths = golden.update_goldens(directory=tmp_path)
+        assert len(paths) == len(golden.GOLDEN_NAMES)
+        results = golden.check_goldens(directory=tmp_path)
+        assert all(r.passed for r in results)
+
+    def test_missing_golden_reported(self, tmp_path, scenario_arrays):
+        results = golden.check_goldens(directory=tmp_path,
+                                       produced=scenario_arrays)
+        assert all(r.status == "missing" for r in results)
+        assert all(not r.passed for r in results)
