@@ -41,7 +41,6 @@ from __future__ import annotations
 import json
 import os
 import platform
-import subprocess
 import time
 import tracemalloc
 import zlib
@@ -58,6 +57,7 @@ from .core.profiling import stencil_flops_per_point
 from .core.solver import SolverConfig, WaveSolver
 from .core.source import MomentTensorSource, gaussian_pulse
 from .obs.metrics import MetricsRegistry, default_registry
+from .obs.provenance import RunManifest, git_revision
 from .obs.tracer import NULL_TRACER, Tracer, use_tracer
 from .parallel.decomp import Decomposition3D
 from .parallel.distributed import DistributedWaveSolver
@@ -70,13 +70,14 @@ __all__ = ["BENCH_SCHEMA", "LEGACY_SCHEMAS", "BenchConfig", "FULL", "SMOKE",
            "validate_report"]
 
 #: Schema identifier written into every report.
-BENCH_SCHEMA = "repro-bench/2"
+BENCH_SCHEMA = "repro-bench/3"
 
 #: Older schemas still accepted by :func:`validate_report` so committed
 #: baselines (e.g. ``BENCH_seed.json``) keep comparing against new runs.
-#: Legacy reports are exempt from v2-only requirements (per-workload
-#: ``dtype``, ``host.cpu_count``).
-LEGACY_SCHEMAS = ("repro-bench/1",)
+#: Legacy reports are exempt from newer-schema requirements (v2 added
+#: per-workload ``dtype`` and ``host.cpu_count``; v3 added the provenance
+#: ``manifest``).
+LEGACY_SCHEMAS = ("repro-bench/1", "repro-bench/2")
 
 
 @dataclass(frozen=True)
@@ -303,18 +304,59 @@ def bench_halo_exchange_f32(cfg: BenchConfig) -> dict:
     return bench_halo_exchange(cfg, dtype=np.float32)
 
 
-def bench_tracer_overhead(cfg: BenchConfig) -> dict:
-    """Null-tracer vs recording-tracer wall time on the same solver run."""
-    def run_with(tracer) -> list[float]:
+def _overhead_workloads(cfg: BenchConfig) -> dict:
+    """name -> zero-arg step fn; the shapes the tracer-overhead gate covers.
+
+    Each builder returns a fresh fixture so the null and traced runs see
+    identical starting state.
+    """
+    def solver_run():
         g = Grid3D(cfg.n, cfg.n, cfg.n, h=100.0)
         med = Medium.homogeneous(g, vp=4000.0, vs=2300.0, rho=2500.0)
         sol = WaveSolver(g, med, SolverConfig(
             absorbing="none", free_surface=False,
             stability_check_interval=0))
+        return lambda: sol.run(cfg.steps)
+
+    def kernel_step():
+        g, med, wf, dt = _kernel_fixture(cfg)
+        kern = VelocityStressKernel(wf, med, dt)
 
         def step():
-            sol.run(cfg.steps)
+            for _ in range(cfg.steps):
+                kern.step_velocity()
+                kern.step_stress()
+        return step
 
+    def halo_exchange():
+        g = Grid3D(cfg.n, cfg.n, cfg.n, h=100.0)
+        decomp = Decomposition3D.auto(g, cfg.ranks)
+        wfs = [_seeded_wavefield(sub.grid) for sub in decomp.subdomains()]
+        hxs = [HaloExchange(decomp, r, wfs[r], mode="reduced")
+               for r in range(decomp.nranks)]
+
+        def program(comm, rounds):
+            hx = hxs[comm.rank]
+            for _ in range(rounds):
+                yield from hx.exchange(comm, "velocity")
+                yield from hx.exchange(comm, "stress")
+        return lambda: run_spmd(decomp.nranks, program, args=(cfg.rounds,))
+
+    return {"solver_run": solver_run, "kernel_step": kernel_step,
+            "halo_exchange": halo_exchange}
+
+
+def bench_tracer_overhead(cfg: BenchConfig) -> dict:
+    """Null-tracer vs recording-tracer wall time, per workload shape.
+
+    ``extra.overhead_ratio`` is the headline solver-run ratio (what the
+    ``bench.null_tracer_overhead`` gauge and the ``--overhead-budget``
+    compare gate consume); ``extra.per_workload`` breaks the same
+    measurement out per workload shape so a tracing hot spot is
+    attributable to the code path that grew it.
+    """
+    def run_with(builder, tracer) -> list[float]:
+        step = builder()
         # pin the tracer explicitly: under `repro bench --trace` an ambient
         # recording tracer is installed, which must not leak into the
         # "null" side of the comparison
@@ -322,14 +364,27 @@ def bench_tracer_overhead(cfg: BenchConfig) -> dict:
             walls, _ = _measure(step, cfg.reps)
         return walls
 
-    null_walls = run_with(None)
-    traced_walls = run_with(Tracer())
-    ratio = min(traced_walls) / min(null_walls) if min(null_walls) > 0 else 1.0
-    out = _result(null_walls, 0, steps=cfg.steps,
+    builders = _overhead_workloads(cfg)
+    per_workload: dict[str, dict] = {}
+    for name, builder in builders.items():
+        null_walls = run_with(builder, None)
+        traced_walls = run_with(builder, Tracer())
+        ratio = (min(traced_walls) / min(null_walls)
+                 if min(null_walls) > 0 else 1.0)
+        per_workload[name] = {
+            "overhead_ratio": ratio,
+            "null_wall_min_s": float(min(null_walls)),
+            "traced_wall_min_s": float(min(traced_walls)),
+        }
+        if name == "solver_run":
+            headline_null, headline_traced = null_walls, traced_walls
+    ratio = per_workload["solver_run"]["overhead_ratio"]
+    out = _result(headline_null, 0, steps=cfg.steps,
                   points=Grid3D(cfg.n, cfg.n, cfg.n, h=100.0).ncells,
                   flops_per_point=None)
-    out["extra"] = {"traced_wall_s": _wall_stats(traced_walls),
-                    "overhead_ratio": ratio}
+    out["extra"] = {"traced_wall_s": _wall_stats(headline_traced),
+                    "overhead_ratio": ratio,
+                    "per_workload": per_workload}
     return out
 
 
@@ -438,16 +493,8 @@ F32_PAIRS = {
 # ----------------------------------------------------------------------
 # Suite driver, report I/O, validation
 # ----------------------------------------------------------------------
-def git_revision() -> str:
-    """Short git revision of the working tree, or ``"unknown"``."""
-    try:
-        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
-                             capture_output=True, text=True, timeout=10)
-    except OSError:
-        return "unknown"
-    rev = out.stdout.strip()
-    return rev if out.returncode == 0 and rev else "unknown"
-
+# git_revision moved to repro.obs.provenance; re-exported here because the
+# bench report format grew up around it.
 
 def run_suite(smoke: bool = False, registry: MetricsRegistry | None = None,
               workloads: list[str] | None = None) -> dict:
@@ -497,6 +544,7 @@ def run_suite(smoke: bool = False, registry: MetricsRegistry | None = None,
         "schema": BENCH_SCHEMA,
         "revision": git_revision(),
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "manifest": RunManifest.collect(config=cfg).to_dict(),
         "mode": cfg.name,
         "config": {"n": cfg.n, "steps": cfg.steps, "reps": cfg.reps,
                    "ranks": cfg.ranks, "rounds": cfg.rounds,
@@ -523,10 +571,11 @@ def write_report(report: dict, path: str | None = None) -> str:
 def validate_report(report: dict) -> None:
     """Raise ``ValueError`` unless ``report`` matches the bench schema.
 
-    The current ``repro-bench/2`` schema additionally requires a ``dtype``
-    string per workload and an integer ``host.cpu_count`` — both needed to
-    interpret f32-vs-f64 speedups.  Reports carrying a
-    :data:`LEGACY_SCHEMAS` identifier are accepted without the v2-only
+    The current ``repro-bench/3`` schema requires a ``dtype`` string per
+    workload and an integer ``host.cpu_count`` (v2 additions, needed to
+    interpret f32-vs-f64 speedups) plus a provenance ``manifest`` with a
+    canonical ``config_hash`` (the v3 addition).  Reports carrying a
+    :data:`LEGACY_SCHEMAS` identifier are accepted without the newer
     fields so committed baselines remain comparable.
     """
     def need(cond: bool, msg: str) -> None:
@@ -547,6 +596,11 @@ def validate_report(report: dict) -> None:
         need(isinstance(host, dict), "missing host")
         need(isinstance(host.get("cpu_count"), int) and host["cpu_count"] > 0,
              "missing host.cpu_count")
+        manifest = report.get("manifest")
+        need(isinstance(manifest, dict), "missing manifest")
+        need(isinstance(manifest.get("config_hash"), str)
+             and manifest["config_hash"],
+             "missing manifest.config_hash")
     wl = report.get("workloads")
     need(isinstance(wl, dict) and wl, "missing/empty workloads")
     for name, res in wl.items():
@@ -606,13 +660,17 @@ def format_report(report: dict) -> str:
     return "\n".join(lines)
 
 
-def compare_reports(old: dict, new: dict, rel_tol: float = 0.10
-                    ) -> tuple[str, list[str]]:
+def compare_reports(old: dict, new: dict, rel_tol: float = 0.10,
+                    overhead_budget: float = 0.02) -> tuple[str, list[str]]:
     """Diff two bench reports; return ``(text, regressions)``.
 
     A workload regresses when its best-of-reps wall time grew by more than
     ``rel_tol`` (relative).  Gflop/s deltas are reported alongside but only
     wall time gates — the flop model is derived from the same wall numbers.
+    Tracer overhead ratios additionally gate against ``overhead_budget``
+    (2% by default): a ratio above ``1 + budget`` is a regression *unless
+    the baseline already exceeded the budget too* — the gate catches newly
+    grown overhead without failing a noisy-host self-comparison.
     ``regressions`` is empty when nothing got slower; callers turn it into
     an exit code (``repro bench --compare``).
     """
@@ -647,6 +705,35 @@ def compare_reports(old: dict, new: dict, rel_tol: float = 0.10
     for name in old_wl:
         if name not in new_wl:
             lines.append(f"  {name:<24} (dropped — present only in baseline)")
+
+    def overhead_ratios(wl: dict) -> dict[str, float]:
+        extra = wl.get("tracer_overhead", {}).get("extra", {})
+        out: dict[str, float] = {}
+        if isinstance(extra.get("overhead_ratio"), (int, float)):
+            out["overall"] = float(extra["overhead_ratio"])
+        for wname, entry in (extra.get("per_workload") or {}).items():
+            r = (entry or {}).get("overhead_ratio")
+            if isinstance(r, (int, float)):
+                out[wname] = float(r)
+        return out
+
+    new_ratios = overhead_ratios(new_wl)
+    if new_ratios:
+        old_ratios = overhead_ratios(old_wl)
+        limit = 1.0 + overhead_budget
+        lines.append(f"  tracer overhead (budget {overhead_budget:.0%}, "
+                     f"gate ratio {limit:.3f}):")
+        for wname, ratio in new_ratios.items():
+            old_r = old_ratios.get(wname)
+            flag = ""
+            if ratio > limit and (old_r is None or old_r <= limit):
+                flag = "  REGRESSION"
+                regressions.append(
+                    f"tracer_overhead/{wname}: ratio {ratio:.3f} exceeds "
+                    f"budget {limit:.3f}")
+            base = f"{old_r:.3f} -> " if old_r is not None else "(new) "
+            lines.append(f"    {wname:<22} {base}{ratio:.3f}x{flag}")
+
     if not regressions:
         lines.append(f"  no regressions (wall-min tolerance {rel_tol:.0%})")
     return "\n".join(lines), regressions

@@ -19,7 +19,11 @@ is given) writes NumPy artifacts.
 Every subcommand also accepts ``--trace out.jsonl`` (and/or ``--trace-chrome
 out.json``) to record a span trace of the run through :mod:`repro.obs`;
 ``repro trace-report out.jsonl`` renders a saved trace into the Fig.-12-style
-per-rank compute/halo/io breakdown.
+per-rank compute/halo/io breakdown, and ``repro diagnose out.jsonl`` runs the
+critical-path analyzer (imbalance, overlap efficiency, per-rank utilization)
+over the same trace.  ``run-quake --health abort`` arms the physics watchdog
+(NaN/Inf sentinel + amplitude/energy-growth checks); a tripped watchdog exits
+with code 4 after dumping a diagnosis bundle.
 """
 
 from __future__ import annotations
@@ -86,6 +90,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wavefield/material precision; float32 is the "
                         "production AWP-ODC fast path (half the bytes moved)")
     r.add_argument("--out", type=str, default=None)
+    r.add_argument("--health", choices=("off", "warn", "abort"),
+                   default="off",
+                   help="run-health watchdog: strided NaN/Inf sentinel plus "
+                        "amplitude/energy-growth checks every "
+                        "--health-interval steps ('warn' logs, 'abort' dumps "
+                        "a diagnosis bundle and exits 4)")
+    r.add_argument("--health-interval", type=int, default=25, metavar="STEPS",
+                   help="steps between watchdog checks (default 25)")
+    r.add_argument("--diagnosis-dir", type=str, default=None, metavar="DIR",
+                   help="where a tripped watchdog writes its diagnosis "
+                        "bundle (default: diagnosis/ in cwd)")
+    r.add_argument("--inject-nan", type=int, default=None, metavar="STEP",
+                   help="failure-injection teeth test: poison one wavefield "
+                        "cell at this step; the watchdog must trip "
+                        "(implies --health abort unless --health given)")
+    r.add_argument("--stall-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="procpool halo watchdog: abort if any rank waits "
+                        "longer than this on a halo ring semaphore")
 
     d = sub.add_parser("rupture", parents=[common],
                        help="DFR: spontaneous dynamic rupture")
@@ -145,6 +168,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "regressions (default 0.10)")
     b.add_argument("--warn-only", action="store_true",
                    help="with --compare: report regressions but exit 0")
+    b.add_argument("--overhead-budget", type=float, default=0.02,
+                   metavar="FRAC",
+                   help="with --compare: fail when tracer overhead exceeds "
+                        "this fraction of untraced wall time (default 0.02)")
 
     v = sub.add_parser("verify", parents=[common],
                        help="correctness verification: MMS convergence "
@@ -180,6 +207,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also list the N longest spans")
     tr.add_argument("--chrome", type=str, default=None, metavar="PATH",
                     help="convert the trace to Chrome-trace JSON")
+
+    dg = sub.add_parser("diagnose",
+                        help="critical-path analysis of a saved span trace: "
+                             "per-rank compute/comm/IO breakdown, load "
+                             "imbalance, overlap efficiency, critical-path "
+                             "estimate")
+    dg.add_argument("path", type=str, help="JSONL trace from --trace")
+    dg.add_argument("--json", action="store_true",
+                    help="emit the machine-readable diagnosis document")
 
     return p
 
@@ -235,19 +271,55 @@ def _cmd_run_quake(args) -> int:
     pml_width = int(np.clip(args.n // 6, 3, 10))
     cfg = SolverConfig(absorbing="pml", pml=PMLConfig(width=pml_width),
                        dtype=np.dtype(args.dtype).type)
+    args._solver_config = cfg     # picked up by main() for the trace manifest
+
+    health_mode = args.health
+    if health_mode == "off" and args.inject_nan is not None:
+        health_mode = "abort"
+    hcfg = None
+    if health_mode != "off":
+        from .obs.health import HealthConfig
+        hcfg = HealthConfig(check_interval=args.health_interval,
+                            policy=health_mode,
+                            diagnosis_dir=args.diagnosis_dir or "diagnosis",
+                            inject_nan_step=args.inject_nan)
+
     if args.ranks > 1:
         from .parallel.distributed import DistributedWaveSolver
         solver = DistributedWaveSolver(grid, med, nranks=args.ranks,
-                                       config=cfg, backend=args.backend)
+                                       config=cfg, backend=args.backend,
+                                       health=hcfg,
+                                       stall_timeout=args.stall_timeout)
     else:
         solver = WaveSolver(grid, med, cfg)
+        if hcfg is not None:
+            from .obs.health import HealthMonitor
+            from .obs.provenance import RunManifest
+            solver.health = HealthMonitor(
+                hcfg, rank=0,
+                manifest=RunManifest.collect(
+                    config=cfg, dtype=cfg.dtype, backend="serial").to_dict())
     c = args.n * args.h / 2
     solver.add_source(MomentTensorSource(
         position=(c, c, grid.extent[2] / 2),
         moment=double_couple_strike_slip(1e15),
         stf=lambda t: gaussian_pulse(np.array([t]), f0=args.f0)[0]))
     rec = solver.record_surface(dec_time=5)
-    solver.run(args.steps)
+    if hcfg is not None:
+        from .obs.health import HealthError
+        try:
+            solver.run(args.steps)
+        except HealthError as exc:
+            print(f"HEALTH ABORT: {exc}", file=sys.stderr)
+            return 4
+        except RuntimeError as exc:
+            # procpool wraps the worker-side HealthError/HaloStallError
+            if "Health" in str(exc) or "stalled" in str(exc):
+                print(f"HEALTH ABORT: {exc}", file=sys.stderr)
+                return 4
+            raise
+    else:
+        solver.run(args.steps)
     pgv = pgvh_from_frames(rec.frames)
     where = (f" on {args.ranks} ranks ({solver.backend} backend)"
              if args.ranks > 1 else "")
@@ -375,8 +447,9 @@ def _cmd_bench(args) -> int:
             print(f"error: cannot read report: {exc}", file=sys.stderr)
             return 2
         try:
-            text, regressions = compare_reports(old, new,
-                                                rel_tol=args.rel_tol)
+            text, regressions = compare_reports(
+                old, new, rel_tol=args.rel_tol,
+                overhead_budget=args.overhead_budget)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -459,6 +532,10 @@ def _cmd_verify(args) -> int:
     if "golden" in pillars:
         report.goldens = check_goldens()
 
+    from .obs.provenance import RunManifest
+    report.manifest = RunManifest.collect(
+        config={"profile": profile, "pillars": sorted(pillars),
+                "fd_order": args.fd_order}).to_dict()
     report.publish_metrics()
     print(report.summary())
     if args.json:
@@ -487,6 +564,20 @@ def _cmd_trace_report(args) -> int:
     return 0
 
 
+def _cmd_diagnose(args) -> int:
+    from .obs import TraceDiagnosis, read_jsonl, read_manifest
+    spans = read_jsonl(args.path)
+    if not spans:
+        print(f"{args.path}: no spans", file=sys.stderr)
+        return 1
+    diag = TraceDiagnosis(spans, manifest=read_manifest(args.path))
+    if args.json:
+        print(diag.to_json())
+    else:
+        print(diag.report())
+    return 0
+
+
 _COMMANDS = {
     "mesh-extract": _cmd_mesh_extract,
     "partition": _cmd_partition,
@@ -498,6 +589,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "verify": _cmd_verify,
     "trace-report": _cmd_trace_report,
+    "diagnose": _cmd_diagnose,
 }
 
 
@@ -511,17 +603,30 @@ def main(argv: list[str] | None = None) -> int:
         return cmd(args)
 
     from .obs import Tracer, set_tracer, write_chrome_trace, write_jsonl
+    from .obs.events import get_event_log
+    from .obs.provenance import RunManifest
     tracer = Tracer()
     old = set_tracer(tracer)
     try:
         rc = cmd(args)
     finally:
         set_tracer(old)
+    # every exported trace leads with a provenance manifest header;
+    # run-quake stashes its SolverConfig for the canonical hash, other
+    # commands are identified by their (plain-data) CLI namespace.
+    cfg = getattr(args, "_solver_config", None)
+    if cfg is None:
+        cfg = {k: v for k, v in vars(args).items()
+               if not k.startswith("_") and not callable(v)}
+    manifest = RunManifest.collect(
+        config=cfg, backend=getattr(args, "backend", None)).to_dict()
     if trace_path:
-        n = write_jsonl(tracer.spans, trace_path)
+        n = write_jsonl(tracer.spans, trace_path, manifest=manifest)
         print(f"wrote {n} spans to {trace_path}")
     if chrome_path:
-        n = write_chrome_trace(tracer.spans, chrome_path)
+        n = write_chrome_trace(tracer.spans, chrome_path,
+                               events=get_event_log().events,
+                               manifest=manifest)
         print(f"wrote {n} trace events to {chrome_path}")
     return rc
 

@@ -191,6 +191,8 @@ class WaveSolver:
         #: tracer override; None = whatever repro.obs.get_tracer() returns
         #: at step time (the null tracer unless one is installed)
         self.tracer = None
+        #: optional repro.obs.health.HealthMonitor; called after each step
+        self.health = None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -304,6 +306,8 @@ class WaveSolver:
             if not np.isfinite(vmax) or vmax > cfg.stability_limit:
                 raise SimulationDiverged(
                     f"|v|max = {vmax:.3g} at step {self.nstep} (t = {self.t:.3f} s)")
+        if self.health is not None:
+            self.health.on_step(self)
 
     def run(self, nsteps: int, progress=None) -> None:
         """Advance ``nsteps`` steps; ``progress(step, solver)`` if given."""

@@ -22,6 +22,7 @@ __all__ = [
     "required_spacing",
     "points_per_wavelength",
     "courant_number",
+    "max_stable_courant",
 ]
 
 #: Sum of absolute stencil coefficients by order.
@@ -44,6 +45,16 @@ def cfl_dt(h: float, vp_max: float, order: int = 4, safety: float = 0.95) -> flo
 def courant_number(dt: float, h: float, vp_max: float) -> float:
     """Dimensionless Courant number ``vp_max * dt / h``."""
     return vp_max * dt / h
+
+
+def max_stable_courant(order: int = 4) -> float:
+    """Largest stable Courant number for the 3-D staggered scheme.
+
+    ``cfl_dt(h, vp, safety=1.0)`` saturates exactly this bound; the health
+    watchdog compares a run's actual Courant number against it to flag
+    configurations that are doomed before they blow up.
+    """
+    return float(1.0 / (np.sqrt(3.0) * _COEFF_SUM[order]))
 
 
 def max_frequency(h: float, vs_min: float, ppw: float = DEFAULT_PPW) -> float:

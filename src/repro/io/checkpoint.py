@@ -14,6 +14,7 @@ leave partial epochs behind.
 
 from __future__ import annotations
 
+import json
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -54,12 +55,18 @@ class CheckpointManager:
     def _marker(self, epoch: int) -> Path:
         return self.root / f"ckpt_e{epoch:06d}.complete"
 
+    def _manifest_path(self, epoch: int) -> Path:
+        return self.root / f"ckpt_e{epoch:06d}.manifest.json"
+
     def write_epoch(self, epoch: int, states: dict[int, dict],
-                    max_open: int = 650) -> float:
+                    max_open: int = 650, manifest: dict | None = None) -> float:
         """Write one epoch (rank -> state dict); returns modelled seconds.
 
         The epoch is marked complete only after every rank file lands —
-        restart never sees a torn epoch.
+        restart never sees a torn epoch.  ``manifest`` (a
+        :class:`~repro.obs.provenance.RunManifest` dict) is persisted
+        alongside so a restart can prove which configuration produced the
+        checkpoint.
         """
         with get_tracer().span("checkpoint.write", category="io",
                                epoch=epoch, nranks=len(states)):
@@ -75,9 +82,20 @@ class CheckpointManager:
                 digest = md5_digest(np.frombuffer(blob, dtype=np.uint8))
                 self._path(epoch, rank).write_bytes(
                     digest.encode() + b"\n" + blob)
+            if manifest is not None:
+                self._manifest_path(epoch).write_text(
+                    json.dumps(manifest, indent=2, sort_keys=True,
+                               default=str), encoding="utf-8")
             self._marker(epoch).touch()
             self.io_seconds += t
         return t
+
+    def read_manifest(self, epoch: int) -> dict | None:
+        """The provenance manifest written with one epoch, if any."""
+        path = self._manifest_path(epoch)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
 
     # ------------------------------------------------------------------
     def complete_epochs(self) -> list[int]:

@@ -14,7 +14,17 @@ timing):
   ``compute`` / ``halo`` / ``io`` / ``other`` and the Fig.-12-style
   breakdown table;
 * :mod:`repro.obs.export` — JSONL event logs and Chrome-trace (Perfetto)
-  JSON.
+  JSON;
+* :mod:`repro.obs.events` — leveled structured events with a bounded
+  flight-recorder ring buffer and failure diagnosis bundles;
+* :mod:`repro.obs.health` — physics watchdogs (NaN/Inf sentinel,
+  amplitude/growth gates, CFL reference) hooked into the solver loop;
+* :mod:`repro.obs.critpath` — post-hoc trace diagnosis: per-rank
+  breakdowns, load imbalance, overlap efficiency, critical-path estimate
+  (``repro diagnose``);
+* :mod:`repro.obs.provenance` — canonical config hashing and the
+  :class:`RunManifest` attached to bench reports, verify reports, golden
+  snapshots, checkpoints, and trace exports.
 
 Quick use::
 
@@ -35,8 +45,16 @@ from .metrics import (Counter, FlopCounter, Gauge, Histogram,
                       MetricsRegistry, default_registry,
                       stencil_flops_per_point)
 from .timeline import PHASES, PhaseTimeline, classify
-from .export import (read_jsonl, to_chrome_trace, write_chrome_trace,
-                     write_jsonl)
+from .export import (read_jsonl, read_manifest, to_chrome_trace,
+                     write_chrome_trace, write_jsonl)
+from .events import (Event, EventLog, dump_diagnosis_bundle, get_event_log,
+                     read_events_jsonl, set_event_log, use_event_log,
+                     write_events_jsonl)
+from .health import HealthConfig, HealthError, HealthMonitor, field_stats
+from .critpath import TraceDiagnosis
+from .provenance import (MANIFEST_SCHEMA, RunManifest, cache_key,
+                         canonical_config_hash, canonical_state,
+                         git_revision)
 
 __all__ = [
     "Span", "Tracer", "RankTracer", "NullTracer", "NULL_TRACER",
@@ -44,5 +62,12 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "default_registry",
     "FlopCounter", "stencil_flops_per_point",
     "PHASES", "PhaseTimeline", "classify",
-    "read_jsonl", "write_jsonl", "to_chrome_trace", "write_chrome_trace",
+    "read_jsonl", "write_jsonl", "read_manifest",
+    "to_chrome_trace", "write_chrome_trace",
+    "Event", "EventLog", "get_event_log", "set_event_log", "use_event_log",
+    "read_events_jsonl", "write_events_jsonl", "dump_diagnosis_bundle",
+    "HealthConfig", "HealthError", "HealthMonitor", "field_stats",
+    "TraceDiagnosis",
+    "MANIFEST_SCHEMA", "RunManifest", "cache_key", "canonical_config_hash",
+    "canonical_state", "git_revision",
 ]

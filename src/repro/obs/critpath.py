@@ -1,0 +1,184 @@
+"""Critical-path trace diagnosis — the Fig. 11/12 attribution analysis.
+
+The paper's scaling analysis decomposes where rank time goes (compute vs
+communication vs I/O), how unevenly it is distributed (load imbalance),
+and how much communication the IV.C overlap actually hid.
+:class:`TraceDiagnosis` derives all of that post-hoc from a saved JSONL
+span trace (``repro <cmd> --trace out.jsonl``), exposed on the CLI as
+``repro diagnose <trace.jsonl>``.
+
+Definitions (all hand-computable from the spans, and pinned by
+``tests/obs/test_critpath.py`` on a synthetic fixture):
+
+* **per-rank phase seconds** — exclusive (self) time per span classified
+  into ``compute`` / ``halo`` / ``io`` / ``other``
+  (:class:`~repro.obs.timeline.PhaseTimeline` semantics);
+* **busy seconds** — ``compute + io + other`` per rank: everything that is
+  not communication;
+* **comm wait** — per halo-classified span, its ``wait_s`` attr when the
+  instrumentation recorded one (procpool rings report semaphore-blocked
+  time separately from pack/unpack), else the span's exclusive time;
+* **hidden seconds** — spans flagged ``hidden`` (or named ``*.core``, the
+  overlap schedule's in-flight interior updates): compute executed while
+  halos were in transit;
+* **imbalance ratio** — ``max(busy) / mean(busy)`` over ranks (1.0 =
+  perfectly balanced; the paper's Fig. 11 discussion);
+* **overlap efficiency** — ``hidden / (hidden + wait)``: the fraction of
+  the overlap window spent computing rather than blocked;
+* **critical path** — ``max(busy)`` over ranks: the best possible
+  makespan if all communication were perfectly hidden;
+* **balanced path** — ``sum(busy) / nranks``: the further gain available
+  from perfect load balance.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .timeline import PHASES, PhaseTimeline, classify
+from .tracer import Span
+
+__all__ = ["TraceDiagnosis"]
+
+#: spans counted as overlap-hidden compute
+_HIDDEN_SUFFIX = ".core"
+
+
+def _is_hidden(span: Span) -> bool:
+    return bool(span.attrs.get("hidden")) or span.name.endswith(_HIDDEN_SUFFIX)
+
+
+class TraceDiagnosis:
+    """Per-rank attribution and critical-path estimate for one trace."""
+
+    def __init__(self, spans: list[Span], manifest: dict | None = None):
+        self.spans = list(spans)
+        #: provenance (RunManifest dict) read from the trace header, if any
+        self.manifest = manifest
+        self.timeline = PhaseTimeline(self.spans)
+        #: rank -> {phase: exclusive seconds}
+        self.per_rank = {r: self.timeline.phase_seconds(r)
+                         for r in self.timeline.ranks()}
+        #: rank -> seconds of overlap-hidden compute
+        self.hidden: dict[int | None, float] = {r: 0.0 for r in self.per_rank}
+        #: rank -> seconds blocked waiting on communication
+        self.wait: dict[int | None, float] = {r: 0.0 for r in self.per_rank}
+        for sp in self.spans:
+            if _is_hidden(sp):
+                self.hidden[sp.rank] = (self.hidden.get(sp.rank, 0.0)
+                                        + sp.duration)
+            if classify(sp) == "halo":
+                w = sp.attrs.get("wait_s")
+                if w is None:
+                    w = self.timeline_exclusive(sp)
+                self.wait[sp.rank] = self.wait.get(sp.rank, 0.0) + float(w)
+
+    def timeline_exclusive(self, span: Span) -> float:
+        """Exclusive seconds of one span (duration minus direct children)."""
+        child = sum(sp.duration for sp in self.spans
+                    if sp.parent_id == span.span_id)
+        return max(0.0, span.duration - child)
+
+    # -- per-rank quantities ---------------------------------------------
+    def ranks(self) -> list[int | None]:
+        return list(self.per_rank)
+
+    def busy_seconds(self, rank) -> float:
+        b = self.per_rank[rank]
+        return b["compute"] + b["io"] + b["other"]
+
+    def comm_seconds(self, rank) -> float:
+        return self.per_rank[rank]["halo"]
+
+    # -- headline numbers --------------------------------------------------
+    @property
+    def nranks(self) -> int:
+        """Number of integer ranks (the main thread doesn't count)."""
+        return sum(1 for r in self.per_rank if r is not None)
+
+    def _work_ranks(self) -> list[int | None]:
+        """Ranks carrying the distributed work: integer ranks when present,
+        else whatever is there (a serial trace is its own single rank)."""
+        ranks = [r for r in self.per_rank if r is not None]
+        return ranks if ranks else list(self.per_rank)
+
+    @property
+    def imbalance_ratio(self) -> float | None:
+        """max/mean busy seconds over ranks (None without busy time)."""
+        busy = [self.busy_seconds(r) for r in self._work_ranks()]
+        mean = sum(busy) / len(busy) if busy else 0.0
+        return max(busy) / mean if mean > 0 else None
+
+    @property
+    def overlap_efficiency(self) -> float | None:
+        """hidden / (hidden + wait); None when neither was recorded."""
+        hidden = sum(self.hidden.values())
+        wait = sum(self.wait.values())
+        window = hidden + wait
+        return hidden / window if window > 0 else None
+
+    @property
+    def critical_path_s(self) -> float:
+        """Best achievable makespan with perfectly hidden communication."""
+        return max((self.busy_seconds(r) for r in self._work_ranks()),
+                   default=0.0)
+
+    @property
+    def balanced_s(self) -> float:
+        """Makespan with perfect balance *and* perfectly hidden comm."""
+        ranks = self._work_ranks()
+        return (sum(self.busy_seconds(r) for r in ranks) / len(ranks)
+                if ranks else 0.0)
+
+    # -- output ------------------------------------------------------------
+    def to_dict(self) -> dict:
+        def label(r):
+            return "main" if r is None else str(r)
+
+        return {
+            "nranks": self.nranks,
+            "per_rank": {label(r): {
+                **{p: self.per_rank[r][p] for p in PHASES},
+                "busy_s": self.busy_seconds(r),
+                "hidden_s": self.hidden.get(r, 0.0),
+                "wait_s": self.wait.get(r, 0.0),
+            } for r in self.per_rank},
+            "imbalance_ratio": self.imbalance_ratio,
+            "overlap_efficiency": self.overlap_efficiency,
+            "critical_path_s": self.critical_path_s,
+            "balanced_s": self.balanced_s,
+            "nspans": len(self.spans),
+            "manifest": self.manifest,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def headlines(self) -> list[str]:
+        """Human diagnosis lines (the 'what should I look at' summary)."""
+        out: list[str] = []
+        imb = self.imbalance_ratio
+        if imb is not None:
+            flag = "  <-- load imbalance" if imb > 1.25 else ""
+            out.append(f"load imbalance (max/mean busy): {imb:.3f}{flag}")
+        eff = self.overlap_efficiency
+        if eff is not None:
+            flag = "  <-- overlap not hiding comm" if eff < 0.5 else ""
+            out.append(f"overlap efficiency: {eff:.3f}{flag}")
+        out.append(f"critical path (perfect comm overlap): "
+                   f"{self.critical_path_s:.6f} s")
+        out.append(f"balanced lower bound: {self.balanced_s:.6f} s")
+        return out
+
+    def report(self) -> str:
+        """The full text report ``repro diagnose`` prints."""
+        lines = [f"trace diagnosis: {len(self.spans)} spans, "
+                 f"{self.nranks or 1} rank(s)"]
+        if self.manifest:
+            lines.append(f"  config {self.manifest.get('config_hash', '?')[:16]}"
+                         f" @ {self.manifest.get('git_rev', '?')}"
+                         f" on {self.manifest.get('host', '?')}")
+        lines.append(self.timeline.utilization_table())
+        lines.append("")
+        lines.extend(self.headlines())
+        return "\n".join(lines)

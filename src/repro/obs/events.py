@@ -1,0 +1,241 @@
+"""Structured events and the per-rank flight recorder.
+
+Spans (:mod:`repro.obs.tracer`) answer *where did the time go*; events
+answer *what happened* — a stage started, a transfer retried, a watchdog
+tripped.  :class:`EventLog` is a leveled, structured log whose primary sink
+is a bounded ring buffer (the **flight recorder**): always on, costing one
+deque append per emit, holding the last ``capacity`` events so that when a
+run dies the tail of its history is still in memory and can be dumped as a
+diagnosis bundle alongside per-field statistics and the resolved config.
+
+Mirrors the tracer's process-global pattern: instrumented code calls
+``get_event_log().emit(...)``; the default log is a real ring (unlike the
+tracer there is no null variant — events are rare by construction, so the
+recorder can afford to always listen).  Forked procpool workers inherit a
+copy-on-write clone of the ring and dump their own per-rank bundles.
+
+Timestamps: ``t`` is ``time.perf_counter`` so events share a clock axis
+with wall-domain spans (Chrome-trace instant events line up); ``time`` is
+epoch seconds for humans reading the JSONL.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = ["LEVELS", "Event", "EventLog", "get_event_log", "set_event_log",
+           "use_event_log", "write_events_jsonl", "read_events_jsonl",
+           "dump_diagnosis_bundle"]
+
+#: level name -> numeric severity (higher = more severe)
+LEVELS = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+
+#: flight-recorder ring size: deep enough to hold a few hundred health
+#: checks / stage transitions, shallow enough to stay cache-resident
+DEFAULT_CAPACITY = 512
+
+
+@dataclass
+class Event:
+    """One structured event."""
+
+    name: str
+    level: str = "info"          #: debug | info | warn | error
+    t: float = 0.0               #: perf_counter seconds (span clock axis)
+    time: float = 0.0            #: epoch seconds (human axis)
+    rank: int | None = None
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        d: dict[str, Any] = {"event": self.name, "level": self.level,
+                             "t": self.t, "time": self.time}
+        if self.rank is not None:
+            d["rank"] = self.rank
+        if self.attrs:
+            d["attrs"] = self.attrs
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Event":
+        return cls(name=d["event"], level=d.get("level", "info"),
+                   t=float(d.get("t", 0.0)), time=float(d.get("time", 0.0)),
+                   rank=d.get("rank"), attrs=d.get("attrs") or {})
+
+
+class EventLog:
+    """Leveled event log with a bounded ring buffer and optional sinks.
+
+    ``level`` is the *recording* threshold: events below it are dropped at
+    emit time (the emit still costs one dict lookup).  ``sinks`` are called
+    with each recorded :class:`Event` — hook for streaming to a file or a
+    test collector; the ring keeps the tail regardless.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 level: str = "debug", rank: int | None = None):
+        if level not in LEVELS:
+            raise ValueError(f"unknown level {level!r} "
+                             f"(expected one of {sorted(LEVELS)})")
+        self._ring: deque[Event] = deque(maxlen=capacity)
+        self.level = level
+        self.rank = rank
+        self.sinks: list[Callable[[Event], None]] = []
+        #: severity counters (how many warns/errors happened, cheap to poll)
+        self.counts = {name: 0 for name in LEVELS}
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen or 0
+
+    def emit(self, name: str, level: str = "info", rank: int | None = None,
+             **attrs) -> Event | None:
+        """Record one event; returns it, or None when below threshold."""
+        if LEVELS.get(level, 0) < LEVELS[self.level]:
+            return None
+        ev = Event(name=name, level=level, t=time.perf_counter(),
+                   time=time.time(),
+                   rank=self.rank if rank is None else rank, attrs=attrs)
+        self._ring.append(ev)
+        self.counts[level] = self.counts.get(level, 0) + 1
+        for sink in self.sinks:
+            sink(ev)
+        return ev
+
+    # convenience levels -------------------------------------------------
+    def debug(self, name: str, **attrs) -> Event | None:
+        return self.emit(name, level="debug", **attrs)
+
+    def info(self, name: str, **attrs) -> Event | None:
+        return self.emit(name, level="info", **attrs)
+
+    def warn(self, name: str, **attrs) -> Event | None:
+        return self.emit(name, level="warn", **attrs)
+
+    def error(self, name: str, **attrs) -> Event | None:
+        return self.emit(name, level="error", **attrs)
+
+    # queries ------------------------------------------------------------
+    @property
+    def events(self) -> list[Event]:
+        """The ring contents, oldest first."""
+        return list(self._ring)
+
+    def tail(self, n: int | None = None) -> list[Event]:
+        """The last ``n`` events (all when None), oldest first."""
+        evs = list(self._ring)
+        return evs if n is None else evs[-n:]
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.counts = {name: 0 for name in LEVELS}
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+# ----------------------------------------------------------------------
+# Process-global event log (the always-on flight recorder)
+# ----------------------------------------------------------------------
+
+_global_log = EventLog()
+
+
+def get_event_log() -> EventLog:
+    """The process-global event log (a real ring — always listening)."""
+    return _global_log
+
+
+def set_event_log(log: EventLog | None) -> EventLog:
+    """Install ``log`` globally (None = a fresh default ring); returns the
+    previous log."""
+    global _global_log
+    old = _global_log
+    _global_log = EventLog() if log is None else log
+    return old
+
+
+@contextmanager
+def use_event_log(log: EventLog | None):
+    """Temporarily install ``log`` as the process-global event log."""
+    old = set_event_log(log)
+    try:
+        yield get_event_log()
+    finally:
+        set_event_log(old)
+
+
+# ----------------------------------------------------------------------
+# JSONL I/O
+# ----------------------------------------------------------------------
+
+def write_events_jsonl(events, path) -> int:
+    """Write events as one-JSON-object-per-line; returns the event count."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev.to_dict(), default=str) + "\n")
+            n += 1
+    return n
+
+
+def read_events_jsonl(path) -> list[Event]:
+    """Load an events JSONL back (blank/non-event lines are skipped)."""
+    out: list[Event] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        d = json.loads(line)
+        if isinstance(d, dict) and "event" in d:
+            out.append(Event.from_dict(d))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Diagnosis bundle
+# ----------------------------------------------------------------------
+
+def dump_diagnosis_bundle(directory, reason: str,
+                          events: list[Event] | None = None,
+                          field_stats: dict | None = None,
+                          config=None, manifest: dict | None = None,
+                          rank: int | None = None,
+                          extra: dict | None = None) -> Path:
+    """Write a diagnosis bundle; returns the report path.
+
+    The bundle is two files per rank under ``directory``:
+    ``events-r<rank>.jsonl`` (the flight-recorder tail) and
+    ``report-r<rank>.json`` (reason, per-field statistics, the resolved
+    config in canonical form, and the run manifest).  ``rank=None`` labels
+    the files ``main`` — the serial / parent-process case.
+    """
+    from .provenance import canonical_state
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    label = "main" if rank is None else str(rank)
+    if events is None:
+        events = get_event_log().events
+    events_path = directory / f"events-r{label}.jsonl"
+    write_events_jsonl(events, events_path)
+    report = {
+        "reason": reason,
+        "rank": rank,
+        "time": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "events_file": events_path.name,
+        "n_events": len(events),
+        "field_stats": field_stats,
+        "config": canonical_state(config) if config is not None else None,
+        "manifest": manifest,
+    }
+    if extra:
+        report.update(extra)
+    report_path = directory / f"report-r{label}.json"
+    report_path.write_text(json.dumps(report, indent=2, sort_keys=True,
+                                      default=str) + "\n")
+    return report_path

@@ -4,13 +4,18 @@ Two interchange formats:
 
 * **JSONL** — one span per line in the :meth:`Span.to_dict` schema; append-
   friendly, streamable, and what ``repro <cmd> --trace out.jsonl`` writes
-  and ``repro trace-report`` reads back;
+  and ``repro trace-report`` reads back.  An optional header line
+  ``{"manifest": {...}}`` carries the run's provenance manifest
+  (:class:`~repro.obs.provenance.RunManifest`); readers skip any record
+  without a ``"name"`` key, so old tooling keeps working on new traces;
 * **Chrome trace** — the ``chrome://tracing`` / Perfetto ``traceEvents``
   JSON object format: complete events (``"ph": "X"``) with microsecond
   timestamps, one *process* per clock domain (pid 0 = wall clock, pid 1 =
   SimMPI virtual time) and one *thread* per rank, plus metadata events
-  naming them.  Timestamps are re-based per clock domain so both timelines
-  start near zero.
+  naming them.  Structured events from the flight recorder render as
+  instant events (``"ph": "i"``), and the run manifest travels in
+  ``otherData``.  Timestamps are re-based per clock domain so both
+  timelines start near zero.
 """
 
 from __future__ import annotations
@@ -21,17 +26,23 @@ from typing import Iterable
 
 from .tracer import Span
 
-__all__ = ["write_jsonl", "read_jsonl", "to_chrome_trace",
+__all__ = ["write_jsonl", "read_jsonl", "read_manifest", "to_chrome_trace",
            "write_chrome_trace"]
 
 _WALL_PID = 0
 _VIRTUAL_PID = 1
 
 
-def write_jsonl(spans: Iterable[Span], path) -> int:
-    """Write spans as one-JSON-object-per-line; returns the span count."""
+def write_jsonl(spans: Iterable[Span], path, manifest: dict | None = None) -> int:
+    """Write spans as one-JSON-object-per-line; returns the span count.
+
+    When ``manifest`` is given it is written first as a
+    ``{"manifest": {...}}`` header record.
+    """
     n = 0
     with open(path, "w", encoding="utf-8") as fh:
+        if manifest is not None:
+            fh.write(json.dumps({"manifest": manifest}, default=str) + "\n")
         for sp in spans:
             fh.write(json.dumps(sp.to_dict(), default=str) + "\n")
             n += 1
@@ -39,17 +50,48 @@ def write_jsonl(spans: Iterable[Span], path) -> int:
 
 
 def read_jsonl(path) -> list[Span]:
-    """Load a JSONL trace back into spans (blank lines are skipped)."""
+    """Load a JSONL trace back into spans.
+
+    Blank lines and non-span records (the manifest header, or anything
+    else without a ``"name"`` key) are skipped.
+    """
     spans: list[Span] = []
     for line in Path(path).read_text(encoding="utf-8").splitlines():
         line = line.strip()
-        if line:
-            spans.append(Span.from_dict(json.loads(line)))
+        if not line:
+            continue
+        data = json.loads(line)
+        if isinstance(data, dict) and "name" in data:
+            spans.append(Span.from_dict(data))
     return spans
 
 
-def to_chrome_trace(spans: Iterable[Span]) -> dict:
-    """The ``traceEvents`` object Perfetto / chrome://tracing loads."""
+def read_manifest(path) -> dict | None:
+    """The ``{"manifest": ...}`` header of a JSONL trace, if present."""
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        if isinstance(data, dict) and "manifest" in data:
+            return data["manifest"]
+        return None  # first record is a span: no header
+    return None
+
+
+def _clean_args(attrs: dict) -> dict:
+    return {k: v if isinstance(v, (int, float, str, bool)) else str(v)
+            for k, v in attrs.items()}
+
+
+def to_chrome_trace(spans: Iterable[Span], events: Iterable | None = None,
+                    manifest: dict | None = None) -> dict:
+    """The ``traceEvents`` object Perfetto / chrome://tracing loads.
+
+    ``events`` (structured :class:`~repro.obs.events.Event` records or
+    their dicts) become instant events on the wall-clock process; the
+    ``manifest`` dict lands in the document's ``otherData``.
+    """
     spans = list(spans)
     # Re-base each clock domain separately: perf_counter origins are
     # arbitrary and virtual clocks start at 0; both should render near t=0.
@@ -57,7 +99,7 @@ def to_chrome_trace(spans: Iterable[Span]) -> dict:
     for sp in spans:
         t0[sp.domain] = min(t0.get(sp.domain, sp.start), sp.start)
 
-    events: list[dict] = []
+    trace_events: list[dict] = []
     seen: set[tuple[int, int]] = set()
     for sp in spans:
         pid = _WALL_PID if sp.domain == "wall" else _VIRTUAL_PID
@@ -65,9 +107,8 @@ def to_chrome_trace(spans: Iterable[Span]) -> dict:
         args = {"id": sp.span_id}
         if sp.parent_id is not None:
             args["parent"] = sp.parent_id
-        for k, v in sp.attrs.items():
-            args[k] = v if isinstance(v, (int, float, str, bool)) else str(v)
-        events.append({
+        args.update(_clean_args(sp.attrs))
+        trace_events.append({
             "name": sp.name,
             "cat": sp.category,
             "ph": "X",
@@ -78,6 +119,26 @@ def to_chrome_trace(spans: Iterable[Span]) -> dict:
             "args": args,
         })
         seen.add((pid, tid))
+
+    # Structured events: instant markers on the wall-clock process.  Their
+    # ``t`` is perf_counter, the same axis as wall-domain span starts.
+    for ev in (events or []):
+        d = ev if isinstance(ev, dict) else ev.to_dict()
+        rank = d.get("rank")
+        tid = 0 if rank is None else int(rank)
+        args = _clean_args({k: v for k, v in d.items()
+                            if k not in ("event", "t", "rank")})
+        trace_events.append({
+            "name": d.get("event", "event"),
+            "cat": d.get("level", "info"),
+            "ph": "i",
+            "s": "t",  # thread-scoped instant
+            "ts": (float(d.get("t", 0.0)) - t0.get("wall", 0.0)) * 1e6,
+            "pid": _WALL_PID,
+            "tid": tid,
+            "args": args,
+        })
+        seen.add((_WALL_PID, tid))
 
     meta: list[dict] = []
     pids = {pid for pid, _ in seen}
@@ -92,12 +153,17 @@ def to_chrome_trace(spans: Iterable[Span]) -> dict:
         meta.append({"name": "thread_name", "ph": "M", "pid": pid,
                      "tid": tid, "args": {"name": label}})
 
-    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+    doc = {"traceEvents": meta + trace_events, "displayTimeUnit": "ms"}
+    if manifest is not None:
+        doc["otherData"] = {"manifest": manifest}
+    return doc
 
 
-def write_chrome_trace(spans: Iterable[Span], path) -> int:
+def write_chrome_trace(spans: Iterable[Span], path,
+                       events: Iterable | None = None,
+                       manifest: dict | None = None) -> int:
     """Write the Chrome-trace JSON; returns the number of trace events."""
-    doc = to_chrome_trace(spans)
+    doc = to_chrome_trace(spans, events=events, manifest=manifest)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, default=str)
     return len(doc["traceEvents"])

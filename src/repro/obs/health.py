@@ -1,0 +1,228 @@
+"""Run-health watchdogs — detect a sick simulation before it burns its
+wall-clock.
+
+A NaN blow-up in a long run is silent until the final output is garbage;
+the existing per-solver divergence check only looks at the velocity
+maximum every N steps.  :class:`HealthMonitor` is the full physics
+watchdog, hooked into the solver step loop (``solver.health``) and into
+every distributed rank program/worker:
+
+* **NaN/Inf sentinel** — a strided sample over all nine wavefield
+  components every ``check_interval`` steps.  The stride (a prime, so it
+  never beats against grid dimensions) makes the check O(ncells/stride):
+  cheap enough to leave on, dense enough that a spreading NaN region is
+  caught within a check or two of appearing.
+* **Amplitude / energy-growth watchdog** — the velocity maximum is gated
+  against an absolute ceiling and against its own growth rate between
+  checks; a healthy wave field does not grow by orders of magnitude per
+  few dozen steps once it is above the quiet-start floor.
+* **CFL reference** — at bind time the run's Courant number is compared
+  against :func:`repro.core.stability.max_stable_courant`; a dt beyond the
+  stability bound is flagged immediately (warn event) instead of waiting
+  for the inevitable explosion.
+
+On a trip the monitor gathers per-field statistics, dumps the flight
+recorder as a diagnosis bundle (when ``diagnosis_dir`` is set), and then
+either raises :exc:`HealthError` (``policy="abort"`` — the run exits
+nonzero with the bundle on disk) or emits a warning and keeps going
+(``policy="warn"``).
+
+The monitor only ever *reads* wavefields, so an enabled-but-untripped
+monitor leaves serial and distributed results bitwise identical to an
+unmonitored run.  The one deliberate exception is the seeded-NaN
+injection hook (``inject_nan_step``) used by the must-fail teeth test:
+it corrupts one cell so the sentinel can prove it has teeth.
+
+The halo-stall detector lives with the rings it watches:
+:class:`repro.parallel.procpool.FaceRingPool` accepts a ``stall_timeout``
+and raises ``HaloStallError`` when a semaphore wait exceeds it.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field as dc_field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.stability import courant_number, max_stable_courant
+from .events import dump_diagnosis_bundle, get_event_log
+
+__all__ = ["HealthConfig", "HealthError", "HealthMonitor", "field_stats"]
+
+
+class HealthError(RuntimeError):
+    """A health watchdog tripped with ``policy="abort"``."""
+
+
+@dataclass
+class HealthConfig:
+    """Watchdog configuration (shared by serial and distributed runs)."""
+
+    check_interval: int = 25     #: steps between watchdog sweeps
+    sample_stride: int = 1009    #: prime stride of the NaN/Inf sentinel
+    nan_check: bool = True
+    amplitude_limit: float | None = None  #: |v| ceiling; None = solver's
+    #: max allowed vmax ratio between consecutive checks (once above floor)
+    growth_limit: float = 1e6
+    growth_floor: float = 1e-12  #: vmax below this is "quiet start", ungated
+    policy: str = "abort"        #: 'abort' (raise) | 'warn' (keep going)
+    diagnosis_dir: str | None = None  #: dump a bundle here on trip
+    #: test-only seeded-NaN injection (the watchdog teeth test): corrupt
+    #: one cell of ``inject_nan_field`` at this step, rank 0 / serial only
+    inject_nan_step: int | None = None
+    inject_nan_field: str = "vx"
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("abort", "warn"):
+            raise ValueError(f"unknown health policy {self.policy!r} "
+                             "(expected 'abort' or 'warn')")
+        if self.check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+        if self.sample_stride < 1:
+            raise ValueError("sample_stride must be >= 1")
+
+
+def field_stats(wf) -> dict[str, dict]:
+    """Per-component min/max/rms and non-finite counts (full scan)."""
+    out: dict[str, dict] = {}
+    for name, arr in wf.fields().items():
+        a = wf.interior(name)
+        finite = np.isfinite(a)
+        nbad = int(a.size - finite.sum())
+        vals = a[finite] if nbad else a
+        out[name] = {
+            "min": float(vals.min()) if vals.size else 0.0,
+            "max": float(vals.max()) if vals.size else 0.0,
+            "rms": float(np.sqrt(np.mean(vals.astype(np.float64) ** 2)))
+            if vals.size else 0.0,
+            "n_nonfinite": nbad,
+        }
+    return out
+
+
+@dataclass
+class HealthMonitor:
+    """Per-rank (or serial) run-health watchdog.
+
+    Attach with ``solver.health = HealthMonitor(cfg)`` — the solver calls
+    :meth:`on_step` after every step — or let
+    :class:`~repro.parallel.distributed.DistributedWaveSolver` build one
+    per rank from a shared :class:`HealthConfig`.
+    """
+
+    config: HealthConfig = dc_field(default_factory=HealthConfig)
+    rank: int | None = None
+    manifest: dict | None = None
+    checks_run: int = 0
+    tripped: str | None = None   #: reason string after a trip, else None
+    _last_vmax: float | None = None
+    _bound: bool = False
+    _injected: bool = False
+
+    # ------------------------------------------------------------------
+    def bind(self, solver) -> None:
+        """One-time reference checks against the solver's configuration."""
+        self._bound = True
+        order = solver.config.order
+        c = courant_number(solver.dt, solver.grid.h, solver.medium.vp_max)
+        c_max = max_stable_courant(order)
+        log = get_event_log()
+        log.debug("health.bind", rank=self.rank, courant=c,
+                  courant_max=c_max, dt=solver.dt,
+                  interval=self.config.check_interval)
+        if c > c_max:
+            log.warn("health.cfl_violation", rank=self.rank, courant=c,
+                     courant_max=c_max, dt=solver.dt)
+            warnings.warn(
+                f"dt = {solver.dt:.4g} gives Courant number {c:.3f} > "
+                f"stable bound {c_max:.3f} (order {order}); the run will "
+                "diverge", RuntimeWarning, stacklevel=3)
+
+    # ------------------------------------------------------------------
+    def _amplitude_limit(self, solver) -> float:
+        if self.config.amplitude_limit is not None:
+            return self.config.amplitude_limit
+        return solver.config.stability_limit
+
+    def _maybe_inject(self, solver) -> None:
+        cfg = self.config
+        if (cfg.inject_nan_step is None or self._injected
+                or self.rank not in (None, 0)):
+            return
+        if solver.nstep >= cfg.inject_nan_step:
+            arr = getattr(solver.wf, cfg.inject_nan_field)
+            idx = tuple(s // 2 for s in arr.shape)
+            arr[idx] = np.nan
+            self._injected = True
+            get_event_log().warn("health.nan_injected", rank=self.rank,
+                                 step=solver.nstep,
+                                 field=cfg.inject_nan_field)
+
+    def on_step(self, solver) -> None:
+        """Called by the solver after each step; sweeps every interval."""
+        if not self._bound:
+            self.bind(solver)
+        self._maybe_inject(solver)
+        if solver.nstep % self.config.check_interval != 0:
+            return
+        self.check(solver)
+
+    # ------------------------------------------------------------------
+    def check(self, solver) -> None:
+        """One watchdog sweep (read-only over the wavefields)."""
+        cfg = self.config
+        self.checks_run += 1
+        wf = solver.wf
+        if cfg.nan_check:
+            stride = cfg.sample_stride
+            for name, arr in wf.fields().items():
+                sample = arr.ravel()[::stride]
+                if not np.isfinite(sample).all():
+                    self._trip(solver,
+                               f"non-finite values in {name} at step "
+                               f"{solver.nstep} (t = {solver.t:.4g} s)",
+                               kind="nan")
+                    return
+        vmax = wf.max_velocity()
+        limit = self._amplitude_limit(solver)
+        if not np.isfinite(vmax) or vmax > limit:
+            self._trip(solver,
+                       f"|v|max = {vmax:.3g} exceeds limit {limit:.3g} at "
+                       f"step {solver.nstep} (t = {solver.t:.4g} s)",
+                       kind="amplitude", vmax=float(vmax))
+            return
+        last = self._last_vmax
+        if (last is not None and last > cfg.growth_floor
+                and vmax / last > cfg.growth_limit):
+            self._trip(solver,
+                       f"|v|max grew {vmax / last:.3g}x over "
+                       f"{cfg.check_interval} steps at step {solver.nstep} "
+                       f"(growth limit {cfg.growth_limit:.3g})",
+                       kind="growth", vmax=float(vmax),
+                       previous_vmax=float(last))
+            return
+        self._last_vmax = vmax
+        get_event_log().debug("health.check", rank=self.rank,
+                              step=solver.nstep, vmax=float(vmax))
+
+    # ------------------------------------------------------------------
+    def _trip(self, solver, reason: str, kind: str, **attrs) -> None:
+        self.tripped = reason
+        log = get_event_log()
+        log.error(f"health.{kind}", rank=self.rank, step=solver.nstep,
+                  reason=reason, **attrs)
+        stats = field_stats(solver.wf)
+        if self.config.diagnosis_dir:
+            dump_diagnosis_bundle(
+                Path(self.config.diagnosis_dir), reason=reason,
+                events=log.events, field_stats=stats,
+                config=solver.config, manifest=self.manifest,
+                rank=self.rank,
+                extra={"kind": kind, "step": solver.nstep,
+                       "t": solver.t, "checks_run": self.checks_run})
+        if self.config.policy == "abort":
+            raise HealthError(reason)
+        warnings.warn(f"health watchdog: {reason}", RuntimeWarning,
+                      stacklevel=4)

@@ -140,7 +140,7 @@ class Histogram:
         return {"count": float(self.count), "mean": self.mean,
                 "min": self.min, "max": self.max,
                 "p50": self.percentile(50), "p90": self.percentile(90),
-                "p99": self.percentile(99)}
+                "p95": self.percentile(95), "p99": self.percentile(99)}
 
     def __repr__(self) -> str:
         return f"Histogram({self.name}, n={self.count})"

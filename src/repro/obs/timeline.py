@@ -67,6 +67,9 @@ class PhaseTimeline:
         self.per_rank: dict[int | None, dict[str, float]] = {}
         #: rank -> phase -> span count
         self.counts: dict[int | None, dict[str, int]] = {}
+        #: rank -> seconds blocked on communication (``wait_s`` span attrs,
+        #: recorded by the procpool ring endpoints)
+        self.stall: dict[int | None, float] = {}
         for sp in self.spans:
             self_seconds = max(0.0, sp.duration
                                - child_sum.get(sp.span_id, 0.0))
@@ -76,6 +79,10 @@ class PhaseTimeline:
             bucket[phase] += self_seconds
             cnt = self.counts.setdefault(sp.rank, {p: 0 for p in PHASES})
             cnt[phase] += 1
+            wait = sp.attrs.get("wait_s")
+            if wait is not None:
+                self.stall[sp.rank] = (self.stall.get(sp.rank, 0.0)
+                                       + float(wait))
 
     @classmethod
     def from_tracer(cls, tracer: Tracer) -> "PhaseTimeline":
@@ -116,6 +123,26 @@ class PhaseTimeline:
     def top_spans(self, n: int = 10) -> list[Span]:
         return sorted(self.spans, key=lambda sp: sp.duration, reverse=True)[:n]
 
+    def utilization(self, rank: int | None) -> dict[str, float]:
+        """Utilization summary for one rank: busy / comm / stall fractions.
+
+        ``busy`` is everything that is not communication
+        (compute + io + other), ``comm`` is the halo phase, and ``stall``
+        is the semaphore-blocked time the instrumentation recorded in
+        ``wait_s`` span attrs (a *subset* of comm on the procpool backend;
+        zero on traces whose halo spans carry no wait attribution).
+        Fractions are of the rank's total exclusive seconds.
+        """
+        bucket = self.phase_seconds(rank)
+        total = sum(bucket.values())
+        busy = bucket["compute"] + bucket["io"] + bucket["other"]
+        comm = bucket["halo"]
+        stall = self.stall.get(rank, 0.0)
+        if total <= 0:
+            return {"total_s": 0.0, "busy": 0.0, "comm": 0.0, "stall": 0.0}
+        return {"total_s": total, "busy": busy / total, "comm": comm / total,
+                "stall": stall / total}
+
     # -- rendering --------------------------------------------------------
     @staticmethod
     def _rank_label(rank: int | None) -> str:
@@ -143,6 +170,19 @@ class PhaseTimeline:
         if len(self.per_rank) > 1:
             lines.append(rule)
             lines.append(row("all", self.totals()))
+        return "\n".join(lines)
+
+    def utilization_table(self) -> str:
+        """Per-rank utilization rows (busy %, comm %, stall %)."""
+        header = (f"{'rank':>6} {'total[s]':>12} {'busy':>8} {'comm':>8} "
+                  f"{'stall':>8}")
+        lines = ["per-rank utilization (busy = compute+io+other, stall = "
+                 "recorded comm wait)", header, "-" * len(header)]
+        for rank in self.ranks():
+            u = self.utilization(rank)
+            lines.append(f"{self._rank_label(rank):>6} {u['total_s']:>12.6f} "
+                         f"{u['busy'] * 100:>7.1f}% {u['comm'] * 100:>7.1f}% "
+                         f"{u['stall'] * 100:>7.1f}%")
         return "\n".join(lines)
 
     def top_spans_table(self, n: int = 10) -> str:

@@ -49,6 +49,7 @@ from ..core.kernels import RegionUpdater
 from ..core.medium import Medium
 from ..core.solver import Receiver, SolverConfig, SurfaceRecorder, WaveSolver
 from ..core.source import BodyForceSource, FiniteFaultSource, MomentTensorSource
+from ..obs.health import HealthConfig, HealthMonitor
 from ..obs.metrics import default_registry
 from ..obs.tracer import get_tracer
 from .decomp import Decomposition3D
@@ -132,6 +133,17 @@ class DistributedWaveSolver:
         attenuation is configured, or the kernel variant is 'blocked'
         (panel updates are not region-split).  Results are bitwise
         identical either way.
+    health:
+        Optional :class:`~repro.obs.health.HealthConfig`: every rank runs
+        its own :class:`~repro.obs.health.HealthMonitor` (sim backend: in
+        the scheduler process; procpool: inside the forked worker, whose
+        trip propagates to the parent as a worker failure).  The monitors
+        only read wavefields, so results stay bitwise identical to an
+        unmonitored run.
+    stall_timeout:
+        Seconds a procpool halo-ring semaphore wait may block before the
+        worker raises :class:`~repro.parallel.procpool.HaloStallError`
+        (None = wait forever).
     """
 
     def __init__(self, grid: Grid3D, medium: Medium,
@@ -143,7 +155,9 @@ class DistributedWaveSolver:
                  machine=None,
                  backend: str = "sim",
                  kernel_variant: str = "pooled",
-                 overlap: bool = True):
+                 overlap: bool = True,
+                 health: HealthConfig | None = None,
+                 stall_timeout: float | None = None):
         if decomp is None:
             if nranks is None:
                 raise ValueError("pass decomp= or nranks=")
@@ -181,6 +195,13 @@ class DistributedWaveSolver:
         self.backend = backend
         self.kernel_variant = kernel_variant
         self.overlap = overlap
+        self.health_config = health
+        self.stall_timeout = stall_timeout
+        #: one watchdog per rank (sim backend runs them in-process; procpool
+        #: workers inherit them through fork and trip inside the worker)
+        self._health_monitors: list[HealthMonitor] | None = (
+            [HealthMonitor(health, rank=r) for r in range(decomp.nranks)]
+            if health is not None else None)
         self.topology = machine.topology(decomp.nranks) if machine else None
         global_vp = medium.vp_max
         pz = decomp.dims[2]
@@ -366,6 +387,8 @@ class DistributedWaveSolver:
                 return hx.exchange(comm, group)
         locals_ = [loc for (_, _, r, loc) in self._receiver_map if r == rank]
         srec = self._surface_local.get(rank)
+        monitor = (self._health_monitors[rank]
+                   if self._health_monitors is not None else None)
         tracer = comm.tracer
         for _ in range(nsteps):
             # compute spans are wall-clock (wall=True): SimMPI virtual clocks
@@ -400,6 +423,8 @@ class DistributedWaveSolver:
                         loc.record(sol.wf)
             if srec is not None:
                 srec.maybe_record(sol.wf, sol.t)
+            if monitor is not None:
+                monitor.on_step(sol)
 
     def _run_sim(self, nsteps: int, tracer) -> SPMDResult:
         with tracer.span("distributed.run", category="other",
@@ -452,13 +477,15 @@ class DistributedWaveSolver:
         locals_ = [(i, comp, loc) for i, (_, comp, r, loc)
                    in enumerate(self._receiver_map) if r == rank]
         srec = self._surface_local.get(rank)
+        monitor = (self._health_monitors[rank]
+                   if self._health_monitors is not None else None)
         spans: list | None = [] if collect_spans else None
         pack = wait = unpack = hidden = compute_s = 0.0
         t_start = time.perf_counter()
 
-        def span(name, t0, t1):
+        def span(name, t0, t1, category="compute", **attrs):
             if spans is not None:
-                spans.append((name, t0, t1))
+                spans.append((name, t0, t1, category, attrs))
 
         def record_outputs():
             for _, _, loc in locals_:
@@ -476,12 +503,15 @@ class DistributedWaveSolver:
                 t1 = time.perf_counter()
                 compute_s += t1 - t0
                 span("step.velocity", t0, t1)
+                t0 = time.perf_counter()
                 p, w = endpoint.post("velocity", wf)
                 pack += p
                 wait += w
-                w, u = endpoint.complete("velocity", wf)
-                wait += w
+                w2, u = endpoint.complete("velocity", wf)
+                wait += w2
                 unpack += u
+                span("halo.velocity", t0, time.perf_counter(),
+                     category="halo", wait_s=w + w2)
                 t0 = time.perf_counter()
                 if sol.free_surface is not None:
                     sol.free_surface.apply_velocity(wf)
@@ -495,15 +525,20 @@ class DistributedWaveSolver:
                 t1 = time.perf_counter()
                 compute_s += t1 - t0
                 span("step.stress", t0, t1)
+                t0 = time.perf_counter()
                 p, w = endpoint.post("stress", wf)
                 pack += p
                 wait += w
-                w, u = endpoint.complete("stress", wf)
-                wait += w
+                w2, u = endpoint.complete("stress", wf)
+                wait += w2
                 unpack += u
+                span("halo.stress", t0, time.perf_counter(),
+                     category="halo", wait_s=w + w2)
                 sol.t += sol.dt
                 sol.nstep += 1
                 record_outputs()
+                if monitor is not None:
+                    monitor.on_step(sol)
         else:
             # IV.C overlap schedule.  Per-cell update order matches the
             # serial step exactly; only whole-region scheduling moves:
@@ -529,18 +564,24 @@ class DistributedWaveSolver:
                 span("step.velocity.shell" if vel_core_done
                      else "step.velocity", t0, t1)
                 vel_core_done = False
+                t0 = time.perf_counter()
                 p, w = endpoint.post("velocity", wf)
                 pack += p
                 wait += w
+                span("halo.post.velocity", t0, time.perf_counter(),
+                     category="halo", wait_s=w)
                 t0 = time.perf_counter()
                 s_core.step_stress()
                 t1 = time.perf_counter()
                 compute_s += t1 - t0
                 hidden += t1 - t0
-                span("step.stress.core", t0, t1)
+                span("step.stress.core", t0, t1, hidden=True)
+                t0 = time.perf_counter()
                 w, u = endpoint.complete("velocity", wf)
                 wait += w
                 unpack += u
+                span("halo.complete.velocity", t0, time.perf_counter(),
+                     category="halo", wait_s=w)
                 t0 = time.perf_counter()
                 if sol.free_surface is not None:
                     sol.free_surface.apply_velocity(wf)
@@ -555,12 +596,17 @@ class DistributedWaveSolver:
                 t1 = time.perf_counter()
                 compute_s += t1 - t0
                 span("step.stress.shell", t0, t1)
+                t0 = time.perf_counter()
                 p, w = endpoint.post("stress", wf)
                 pack += p
                 wait += w
+                span("halo.post.stress", t0, time.perf_counter(),
+                     category="halo", wait_s=w)
                 sol.t += sol.dt
                 sol.nstep += 1
                 record_outputs()
+                if monitor is not None:
+                    monitor.on_step(sol)
                 if istep < nsteps - 1:
                     t0 = time.perf_counter()
                     v_core.step_velocity()
@@ -568,10 +614,13 @@ class DistributedWaveSolver:
                     t1 = time.perf_counter()
                     compute_s += t1 - t0
                     hidden += t1 - t0
-                    span("step.velocity.core", t0, t1)
+                    span("step.velocity.core", t0, t1, hidden=True)
+                t0 = time.perf_counter()
                 w, u = endpoint.complete("stress", wf)
                 wait += w
                 unpack += u
+                span("halo.complete.stress", t0, time.perf_counter(),
+                     category="halo", wait_s=w)
 
         wall = time.perf_counter() - t_start
         pool = endpoint.pool
@@ -610,7 +659,8 @@ class DistributedWaveSolver:
                                    for r in range(self.decomp.nranks)]
         collect_spans = bool(tracer.enabled)
         pool = procpool.FaceRingPool(self.decomp, mode=self.halo_mode,
-                                     dtype=self.config.dtype)
+                                     dtype=self.config.dtype,
+                                     stall_timeout=self.stall_timeout)
         try:
             endpoints = [pool.endpoint(r)
                          for r in range(self.decomp.nranks)]
@@ -650,9 +700,9 @@ class DistributedWaveSolver:
             agg["compute_s"] += pl["compute_s"]
             agg["wall_s"] += pl["wall"]
             if pl["spans"]:
-                for name, t0, t1 in pl["spans"]:
-                    tracer.record(name, t0, t1, category="compute",
-                                  rank=rank, domain="wall")
+                for name, t0, t1, category, attrs in pl["spans"]:
+                    tracer.record(name, t0, t1, category=category,
+                                  rank=rank, domain="wall", **attrs)
         overlap_on = self._overlap_plans is not None and any(
             p is not None for p in self._overlap_plans)
         window = agg["hidden_s"] + agg["wait_s"]

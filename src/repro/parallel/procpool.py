@@ -59,6 +59,7 @@ from .simmpi import (ANY_SOURCE, ANY_TAG, CommStats, SPMDResult, _BarrierOp,
 
 __all__ = [
     "ProcPoolUnavailable",
+    "HaloStallError",
     "FaceRingPool",
     "RingEndpoint",
     "ensure_available",
@@ -78,6 +79,16 @@ _FACE_ORDER: tuple[tuple[int, int], ...] = (
 
 class ProcPoolUnavailable(RuntimeError):
     """The process-pool backend cannot run in this environment."""
+
+
+class HaloStallError(RuntimeError):
+    """A halo ring semaphore wait exceeded the configured stall timeout.
+
+    Raised inside the stalled worker; :func:`run_workers` propagates it to
+    the parent as a worker failure, so a deadlocked (or wildly imbalanced)
+    exchange aborts the run with a pointer at the stuck channel instead of
+    hanging until the global run timeout.
+    """
 
 
 def ensure_available() -> None:
@@ -138,12 +149,15 @@ class FaceRingPool:
     """
 
     def __init__(self, decomp: Decomposition3D, mode: str = "reduced",
-                 dtype=np.float64):
+                 dtype=np.float64, stall_timeout: float | None = None):
         ensure_available()
         from multiprocessing import shared_memory
         self.decomp = decomp
         self.mode = mode
         self.dtype = np.dtype(dtype)
+        #: seconds a ring semaphore wait may block before HaloStallError
+        #: (None = wait forever, the pre-watchdog behaviour)
+        self.stall_timeout = stall_timeout
         needs = _needs(mode)
         ctx = mp.get_context("fork")
         self._channels: list[_Channel] = []
@@ -262,6 +276,18 @@ class RingEndpoint:
         self._recv = {g: list(pool._recv.get((rank, g), []))
                       for g in ("velocity", "stress")}
 
+    def _acquire(self, sem, ch: _Channel, which: str) -> None:
+        """Semaphore wait bounded by the pool's stall timeout."""
+        timeout = self.pool.stall_timeout
+        if timeout is None:
+            sem.acquire()
+            return
+        if not sem.acquire(timeout=timeout):
+            raise HaloStallError(
+                f"rank {self.rank} stalled > {timeout:.3g} s waiting for "
+                f"'{which}' on channel {ch.src}->{ch.dst} "
+                f"({ch.group}, round {ch.seq})")
+
     def post(self, group: str, wf) -> tuple[float, float]:
         """Pack this rank's ``group`` faces and publish them.
 
@@ -273,7 +299,7 @@ class RingEndpoint:
         pack = wait = 0.0
         for ch in self._send[group]:
             t0 = time.perf_counter()
-            ch.sem_free.acquire()
+            self._acquire(ch.sem_free, ch, "free slot")
             t1 = time.perf_counter()
             wait += t1 - t0
             views = ch.slot_views[ch.seq % RING_DEPTH]
@@ -293,7 +319,7 @@ class RingEndpoint:
         wait = unpack = 0.0
         for ch in self._recv[group]:
             t0 = time.perf_counter()
-            ch.sem_ready.acquire()
+            self._acquire(ch.sem_ready, ch, "neighbour faces")
             t1 = time.perf_counter()
             wait += t1 - t0
             views = ch.slot_views[ch.seq % RING_DEPTH]

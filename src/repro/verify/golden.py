@@ -35,6 +35,7 @@ import numpy as np
 
 from ..core import (Grid3D, Medium, Receiver, SolverConfig, WaveSolver,
                     cfl_dt)
+from ..obs.provenance import RunManifest
 from ..rupture.kinematic import KinematicRupture
 
 __all__ = ["GOLDEN_SCHEMA", "GOLDEN_DIR", "GOLDEN_NAMES", "GoldenMismatch",
@@ -132,6 +133,7 @@ def save_golden(name: str, arrays: dict[str, np.ndarray],
         "arrays": {k: {"shape": list(np.asarray(v).shape),
                        "dtype": str(np.asarray(v).dtype)}
                    for k, v in arrays.items()},
+        "manifest": RunManifest.collect(config=SCENARIO).to_dict(),
     }
     path = golden_path(name, directory)
     path.parent.mkdir(parents=True, exist_ok=True)

@@ -33,6 +33,8 @@ class VerifyReport:
     matrix: MatrixResult | None = None
     goldens: list[GoldenResult] = field(default_factory=list)
     skipped: list[str] = field(default_factory=list)  #: pillars not run
+    #: provenance (RunManifest dict): what code/host produced this verdict
+    manifest: dict | None = None
 
     @property
     def passed(self) -> bool:
@@ -71,6 +73,7 @@ class VerifyReport:
                        if self.matrix is not None else None),
             "goldens": [g.to_dict() for g in self.goldens],
             "skipped": list(self.skipped),
+            "manifest": self.manifest,
         }
 
     def write_json(self, path: str | Path) -> Path:

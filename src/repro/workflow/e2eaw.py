@@ -27,6 +27,7 @@ from typing import Callable
 import numpy as np
 
 from ..io.checksum import ChecksumManifest, md5_digest
+from ..obs.events import get_event_log
 from ..obs.tracer import get_tracer
 
 __all__ = ["StageRecord", "Workflow", "WorkflowError", "TransferService",
@@ -91,14 +92,19 @@ class Workflow:
         """Execute all stages; failed dependencies skip their dependents."""
         context = context if context is not None else {}
         tracer = get_tracer()
+        events = get_event_log()
         for name in self._order():
             fn, deps = self._stages[name]
             rec = self.records[name]
             if any(self.records[d].status != "done" for d in deps):
                 rec.status = "skipped"
+                events.warn("workflow.stage.skipped", stage=name,
+                            blocked_by=[d for d in deps
+                                        if self.records[d].status != "done"])
                 continue
             rec.status = "running"
             rec.started = time.time()
+            events.info("workflow.stage.start", stage=name)
             t0 = time.perf_counter()
             with tracer.span(f"workflow.{name}", category="workflow"):
                 try:
@@ -109,6 +115,12 @@ class Workflow:
                     rec.error = f"{type(exc).__name__}: {exc}"
             rec.wall_seconds = rec.elapsed = time.perf_counter() - t0
             rec.finished = time.time()
+            if rec.status == "failed":
+                events.error("workflow.stage.failed", stage=name,
+                             error=rec.error, wall_s=rec.wall_seconds)
+            else:
+                events.info("workflow.stage.done", stage=name,
+                            wall_s=rec.wall_seconds)
         context["_records"] = self.records
         return context
 
@@ -165,6 +177,9 @@ class TransferService:
             attempts += 1
             seconds += payload.nbytes / self.rate
             if self._rng.random() < self.failure_rate:
+                get_event_log().warn("transfer.attempt_failed", file=name,
+                                     attempt=attempts,
+                                     max_attempts=self.max_attempts)
                 continue  # logged failure; retransfer
             self.destination[name] = np.array(payload, copy=True)
             verified = md5_digest(self.destination[name]) == digest

@@ -112,3 +112,29 @@ class TestSolverIntegration:
         assert epoch == 15
         resumed.run(15)
         assert np.array_equal(ref.wf.interior("vx"), resumed.wf.interior("vx"))
+
+
+class TestManifest:
+    def test_manifest_round_trip(self, tmp_path):
+        cm = CheckpointManager(tmp_path)
+        m = {"config_hash": "a" * 64, "git_rev": "abc1234"}
+        cm.write_epoch(3, _states(), manifest=m)
+        assert cm.read_manifest(3) == m
+        assert (tmp_path / "ckpt_e000003.manifest.json").exists()
+
+    def test_manifest_absent(self, tmp_path):
+        cm = CheckpointManager(tmp_path)
+        cm.write_epoch(1, _states())
+        assert cm.read_manifest(1) is None
+        assert cm.read_manifest(99) is None
+
+    def test_manifest_written_before_complete_marker(self, tmp_path):
+        """A complete epoch must always carry its manifest: the manifest
+        lands before the .complete marker so restore never races it."""
+        import json as _json
+        cm = CheckpointManager(tmp_path)
+        cm.write_epoch(2, _states(), manifest={"k": 1})
+        # the epoch is complete AND the manifest is readable
+        assert 2 in cm.complete_epochs()
+        text = (tmp_path / "ckpt_e000002.manifest.json").read_text()
+        assert _json.loads(text) == {"k": 1}

@@ -1,0 +1,160 @@
+"""Tests for the critical-path trace analyzer.
+
+The synthetic fixture pins every headline number to a hand computation:
+
+4 ranks, for rank r (r = 0..3):
+
+* ``kernel``      compute span, duration ``1.0 + 0.2 r``
+* ``step.core``   compute span, duration 0.25, overlap-hidden (suffix)
+* ``halo.ring``   halo span, duration 0.5, recorded ``wait_s = 0.1 (r+1)``
+
+busy(r)   = 1.0 + 0.2 r + 0.25             -> [1.25, 1.45, 1.65, 1.85]
+imbalance = max/mean = 1.85 / 1.55
+hidden    = 4 * 0.25 = 1.0
+wait      = 0.1 * (1+2+3+4) = 1.0
+overlap   = hidden / (hidden + wait) = 0.5
+critical  = max busy = 1.85
+balanced  = mean busy = 1.55
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (PhaseTimeline, Span, TraceDiagnosis, Tracer,
+                       read_jsonl, read_manifest, write_jsonl)
+
+
+def _fixture_spans():
+    spans = []
+    sid = 0
+    for r in range(4):
+        sid += 1
+        spans.append(Span(name="kernel", category="compute", rank=r,
+                          start=0.0, end=1.0 + 0.2 * r, span_id=sid))
+        sid += 1
+        spans.append(Span(name="step.core", category="compute", rank=r,
+                          start=0.0, end=0.25, span_id=sid))
+        sid += 1
+        spans.append(Span(name="halo.ring", category="halo", rank=r,
+                          start=0.0, end=0.5, span_id=sid,
+                          attrs={"wait_s": 0.1 * (r + 1)}))
+    return spans
+
+
+class TestHandComputed:
+    def setup_method(self):
+        self.diag = TraceDiagnosis(_fixture_spans())
+
+    def test_nranks(self):
+        assert self.diag.nranks == 4
+
+    def test_busy_per_rank(self):
+        for r in range(4):
+            assert self.diag.busy_seconds(r) == pytest.approx(1.25 + 0.2 * r)
+            assert self.diag.comm_seconds(r) == pytest.approx(0.5)
+
+    def test_imbalance_ratio(self):
+        assert self.diag.imbalance_ratio == pytest.approx(1.85 / 1.55)
+
+    def test_overlap_efficiency(self):
+        assert self.diag.overlap_efficiency == pytest.approx(0.5)
+
+    def test_critical_and_balanced_path(self):
+        assert self.diag.critical_path_s == pytest.approx(1.85)
+        assert self.diag.balanced_s == pytest.approx(1.55)
+
+    def test_to_dict_and_json(self):
+        d = self.diag.to_dict()
+        assert d["nranks"] == 4
+        assert d["imbalance_ratio"] == pytest.approx(1.85 / 1.55)
+        assert d["per_rank"]["3"]["busy_s"] == pytest.approx(1.85)
+        assert d["per_rank"]["0"]["hidden_s"] == pytest.approx(0.25)
+        assert d["per_rank"]["0"]["wait_s"] == pytest.approx(0.1)
+        json.loads(self.diag.to_json())  # serializable as-is
+
+    def test_report_renders(self):
+        text = self.diag.report()
+        assert "4 rank(s)" in text
+        assert "load imbalance" in text
+        assert "overlap efficiency" in text
+
+
+class TestEdgeSemantics:
+    def test_hidden_attr_equivalent_to_suffix(self):
+        by_attr = TraceDiagnosis([
+            Span(name="interior", category="compute", rank=0, start=0.0,
+                 end=1.0, span_id=1, attrs={"hidden": True}),
+            Span(name="halo.x", category="halo", rank=0, start=0.0, end=1.0,
+                 span_id=2, attrs={"wait_s": 1.0})])
+        assert by_attr.overlap_efficiency == pytest.approx(0.5)
+
+    def test_wait_falls_back_to_exclusive_halo_time(self):
+        # no wait_s attr: the halo span's exclusive time stands in
+        diag = TraceDiagnosis([
+            Span(name="kernel", category="compute", rank=0, start=0.0,
+                 end=1.0, span_id=1),
+            Span(name="mpi.recv", category="halo", rank=0, start=1.0,
+                 end=1.5, span_id=2)])
+        assert diag.wait[0] == pytest.approx(0.5)
+        assert diag.overlap_efficiency == pytest.approx(0.0)
+
+    def test_no_spans(self):
+        diag = TraceDiagnosis([])
+        assert diag.imbalance_ratio is None
+        assert diag.overlap_efficiency is None
+        assert diag.critical_path_s == 0.0
+        assert diag.balanced_s == 0.0
+
+    def test_serial_trace_is_its_own_rank(self):
+        diag = TraceDiagnosis([Span(name="solver.run", category="compute",
+                                    start=0.0, end=2.0, span_id=1)])
+        assert diag.nranks == 0
+        assert diag.critical_path_s == pytest.approx(2.0)
+        assert diag.imbalance_ratio == pytest.approx(1.0)
+
+    def test_main_thread_excluded_when_ranks_present(self):
+        # an enclosing main-thread span must not dominate the critical path
+        diag = TraceDiagnosis([
+            Span(name="distributed.run", category="other", start=0.0,
+                 end=10.0, span_id=1),
+            Span(name="kernel", category="compute", rank=0, start=0.0,
+                 end=1.0, span_id=2)])
+        assert diag.critical_path_s == pytest.approx(1.0)
+
+    def test_manifest_carried(self):
+        diag = TraceDiagnosis([], manifest={"config_hash": "ff" * 32,
+                                            "git_rev": "abc", "host": "h"})
+        assert diag.to_dict()["manifest"]["git_rev"] == "abc"
+        assert "abc" in TraceDiagnosis(_fixture_spans(),
+                                       manifest=diag.manifest).report()
+
+
+class TestRoundTripThroughJsonl:
+    def test_diagnosis_from_written_trace(self, tmp_path):
+        """Spans -> JSONL (with manifest header) -> TraceDiagnosis."""
+        path = tmp_path / "t.jsonl"
+        write_jsonl(_fixture_spans(), path,
+                    manifest={"config_hash": "a" * 64})
+        spans = read_jsonl(path)
+        diag = TraceDiagnosis(spans, manifest=read_manifest(path))
+        assert diag.imbalance_ratio == pytest.approx(1.85 / 1.55)
+        assert diag.overlap_efficiency == pytest.approx(0.5)
+        assert diag.manifest["config_hash"] == "a" * 64
+
+    def test_utilization_consistent_with_timeline(self):
+        spans = _fixture_spans()
+        tl = PhaseTimeline(spans)
+        diag = TraceDiagnosis(spans)
+        for r in range(4):
+            u = tl.utilization(r)
+            assert u["total_s"] * u["busy"] == pytest.approx(
+                diag.busy_seconds(r))
+
+    def test_live_tracer_trace(self):
+        t = Tracer()
+        with t.span("solver.run"):
+            with t.span("step.velocity", category="compute"):
+                pass
+        diag = TraceDiagnosis(t.spans)
+        assert diag.critical_path_s > 0.0

@@ -1,0 +1,158 @@
+"""Tests for the structured event log / flight recorder."""
+
+import json
+
+import pytest
+
+from repro.obs import (Event, EventLog, dump_diagnosis_bundle, get_event_log,
+                       read_events_jsonl, set_event_log, use_event_log,
+                       write_events_jsonl)
+
+
+class TestEventLog:
+    def test_emit_records_fields(self):
+        log = EventLog()
+        ev = log.info("stage.start", stage="solve")
+        assert ev.name == "stage.start"
+        assert ev.level == "info"
+        assert ev.attrs == {"stage": "solve"}
+        assert ev.t > 0 and ev.time > 0
+        assert log.events == [ev]
+
+    def test_ring_is_bounded(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.info("e", i=i)
+        assert len(log) == 4
+        assert log.capacity == 4
+        # oldest dropped, newest kept, order preserved
+        assert [ev.attrs["i"] for ev in log.events] == [6, 7, 8, 9]
+
+    def test_counts_survive_ring_eviction(self):
+        log = EventLog(capacity=2)
+        for _ in range(5):
+            log.warn("w")
+        assert log.counts["warn"] == 5
+        assert len(log) == 2
+
+    def test_level_threshold_drops_below(self):
+        log = EventLog(level="warn")
+        assert log.debug("d") is None
+        assert log.info("i") is None
+        assert log.warn("w") is not None
+        assert log.error("e") is not None
+        assert len(log) == 2
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(level="loud")
+
+    def test_tail(self):
+        log = EventLog()
+        for i in range(5):
+            log.info("e", i=i)
+        assert [ev.attrs["i"] for ev in log.tail(2)] == [3, 4]
+        assert len(log.tail()) == 5
+
+    def test_sinks_called(self):
+        log = EventLog()
+        seen = []
+        log.sinks.append(seen.append)
+        ev = log.info("x")
+        assert seen == [ev]
+
+    def test_clear(self):
+        log = EventLog()
+        log.info("x")
+        log.clear()
+        assert len(log) == 0
+        assert log.counts["info"] == 0
+
+    def test_rank_default_and_override(self):
+        log = EventLog(rank=3)
+        assert log.info("a").rank == 3
+        assert log.info("b", rank=7).rank == 7
+
+
+class TestGlobalLog:
+    def test_default_is_shared(self):
+        assert get_event_log() is get_event_log()
+
+    def test_use_event_log_restores(self):
+        outer = get_event_log()
+        mine = EventLog()
+        with use_event_log(mine):
+            assert get_event_log() is mine
+            get_event_log().info("inside")
+        assert get_event_log() is outer
+        assert len(mine) == 1
+
+    def test_set_none_installs_fresh(self):
+        old = set_event_log(None)
+        try:
+            assert get_event_log() is not old
+            assert len(get_event_log()) == 0
+        finally:
+            set_event_log(old)
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        log = EventLog()
+        log.info("a", k=1)
+        log.warn("b", rank=2)
+        path = tmp_path / "events.jsonl"
+        n = write_events_jsonl(log.events, path)
+        assert n == 2
+        back = read_events_jsonl(path)
+        assert [ev.to_dict() for ev in back] == [ev.to_dict()
+                                                 for ev in log.events]
+
+    def test_read_skips_non_event_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"manifest": {}}\n\n'
+                        '{"event": "x", "level": "info", "t": 1, "time": 2}\n')
+        back = read_events_jsonl(path)
+        assert len(back) == 1
+        assert back[0].name == "x"
+
+    def test_event_from_dict_defaults(self):
+        ev = Event.from_dict({"event": "x"})
+        assert ev.level == "info"
+        assert ev.attrs == {}
+        assert ev.rank is None
+
+
+class TestDiagnosisBundle:
+    def test_writes_events_and_report(self, tmp_path):
+        log = EventLog()
+        log.error("health.nan", step=50)
+        report_path = dump_diagnosis_bundle(
+            tmp_path / "diag", reason="non-finite vx",
+            events=log.events,
+            field_stats={"vx": {"n_nonfinite": 3}},
+            config={"dt": 0.01}, manifest={"config_hash": "abc"},
+            rank=2, extra={"kind": "nan", "step": 50})
+        assert report_path.name == "report-r2.json"
+        report = json.loads(report_path.read_text())
+        assert report["reason"] == "non-finite vx"
+        assert report["rank"] == 2
+        assert report["kind"] == "nan"
+        assert report["field_stats"]["vx"]["n_nonfinite"] == 3
+        assert report["config"] == {"dt": 0.01}
+        assert report["manifest"] == {"config_hash": "abc"}
+        events_file = tmp_path / "diag" / report["events_file"]
+        assert events_file.name == "events-r2.jsonl"
+        assert len(read_events_jsonl(events_file)) == 1
+
+    def test_rank_none_labels_main(self, tmp_path):
+        path = dump_diagnosis_bundle(tmp_path, reason="r", events=[])
+        assert path.name == "report-rmain.json"
+        assert (tmp_path / "events-rmain.jsonl").exists()
+
+    def test_defaults_to_global_ring(self, tmp_path):
+        with use_event_log(EventLog()):
+            get_event_log().warn("something")
+            path = dump_diagnosis_bundle(tmp_path, reason="r")
+        report = json.loads(path.read_text())
+        assert report["n_events"] == 1

@@ -2,8 +2,9 @@
 
 import json
 
-from repro.obs import (Span, Tracer, read_jsonl, to_chrome_trace,
-                       write_chrome_trace, write_jsonl)
+from repro.obs import (Event, EventLog, Span, Tracer, read_jsonl,
+                       read_manifest, to_chrome_trace, write_chrome_trace,
+                       write_jsonl)
 
 
 def _sample_spans():
@@ -111,3 +112,80 @@ class TestChromeTrace:
         json.dumps(doc)
         ev = next(e for e in doc["traceEvents"] if e["ph"] == "X")
         assert isinstance(ev["args"]["obj"], str)
+
+
+class TestManifestHeader:
+    MANIFEST = {"config_hash": "c" * 64, "git_rev": "abc1234"}
+
+    def test_header_is_first_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        n = write_jsonl(_sample_spans(), path, manifest=self.MANIFEST)
+        assert n == 3   # the header does not count as a span
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {"manifest": self.MANIFEST}
+
+    def test_read_jsonl_skips_header(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        spans = _sample_spans()
+        write_jsonl(spans, path, manifest=self.MANIFEST)
+        back = read_jsonl(path)
+        assert [s.to_dict() for s in back] == [s.to_dict() for s in spans]
+
+    def test_read_manifest_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(_sample_spans(), path, manifest=self.MANIFEST)
+        assert read_manifest(path) == self.MANIFEST
+
+    def test_read_manifest_none_without_header(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(_sample_spans(), path)
+        assert read_manifest(path) is None
+
+    def test_read_manifest_none_for_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert read_manifest(path) is None
+
+
+class TestInstantEvents:
+    def _events(self):
+        log = EventLog()
+        log.info("workflow.stage.start", stage="solve")
+        log.error("health.nan", rank=2, step=50)
+        return log.events
+
+    def test_events_become_instants(self):
+        doc = to_chrome_trace(_sample_spans(), events=self._events())
+        inst = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(inst) == 2
+        for e in inst:
+            assert e["s"] == "t"        # thread-scoped
+            assert e["pid"] == 0        # wall-clock process
+            assert isinstance(e["ts"], float)
+        by_name = {e["name"]: e for e in inst}
+        assert by_name["workflow.stage.start"]["cat"] == "info"
+        assert by_name["workflow.stage.start"]["tid"] == 0
+        assert by_name["health.nan"]["cat"] == "error"
+        assert by_name["health.nan"]["tid"] == 2
+        json.dumps(doc)
+
+    def test_event_dicts_accepted(self):
+        ev = Event(name="x", level="warn", t=1.0, time=2.0).to_dict()
+        doc = to_chrome_trace([], events=[ev])
+        inst = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert inst[0]["name"] == "x"
+
+    def test_event_rank_gets_thread_metadata(self):
+        doc = to_chrome_trace([], events=self._events())
+        threads = {(e["pid"], e["tid"]) for e in doc["traceEvents"]
+                   if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert (0, 2) in threads
+
+    def test_manifest_in_other_data(self, tmp_path):
+        m = {"config_hash": "d" * 64}
+        path = tmp_path / "t.json"
+        write_chrome_trace(_sample_spans(), path, events=self._events(),
+                           manifest=m)
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["manifest"] == m
+        assert any(e["ph"] == "i" for e in doc["traceEvents"])

@@ -1,0 +1,205 @@
+"""Tests for the run-health watchdog.
+
+The two contractual properties:
+
+* **teeth** — an injected NaN must trip the watchdog within one check
+  interval of appearing, abort with :exc:`HealthError`, and leave a
+  diagnosis bundle on disk;
+* **transparency** — an enabled-but-untripped monitor must leave results
+  bitwise identical to an unmonitored run (the monitor only reads).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (Grid3D, Medium, MomentTensorSource, SolverConfig,
+                        WaveSolver)
+from repro.core.source import gaussian_pulse
+from repro.obs import (EventLog, HealthConfig, HealthError, HealthMonitor,
+                       field_stats, use_event_log)
+from repro.parallel.distributed import DistributedWaveSolver
+
+FIELDS = ("vx", "vy", "vz", "sxx", "syy", "szz", "sxy", "sxz", "syz")
+
+
+def _solver(n=16, **cfg_kw):
+    g = Grid3D(n, n, 12, h=100.0)
+    cfg_kw.setdefault("absorbing", "sponge")
+    cfg_kw.setdefault("sponge_width", 4)
+    s = WaveSolver(g, Medium.homogeneous(g), SolverConfig(**cfg_kw))
+    c = n * 100.0 / 2
+    s.add_source(MomentTensorSource(
+        position=(c, c, 600.0), moment=np.eye(3) * 1e13,
+        stf=lambda t: gaussian_pulse(np.array([t]), f0=3.0)[0]))
+    return s
+
+
+class TestConfigValidation:
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            HealthConfig(policy="explode")
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            HealthConfig(check_interval=0)
+
+    def test_bad_stride(self):
+        with pytest.raises(ValueError):
+            HealthConfig(sample_stride=0)
+
+
+class TestFieldStats:
+    def test_counts_nonfinite(self):
+        s = _solver()
+        s.wf.vx[8, 8, 6] = np.nan
+        stats = field_stats(s.wf)
+        assert set(stats) == set(FIELDS)
+        assert stats["vx"]["n_nonfinite"] == 1
+        assert stats["vy"]["n_nonfinite"] == 0
+        for key in ("min", "max", "rms"):
+            assert np.isfinite(stats["vx"][key])
+
+
+class TestTeeth:
+    def test_injected_nan_aborts_within_interval(self, tmp_path):
+        """NaN injected at step 10, interval 5 -> dead by step 15."""
+        s = _solver()
+        cfg = HealthConfig(check_interval=5, inject_nan_step=10,
+                           diagnosis_dir=str(tmp_path / "diag"))
+        s.health = HealthMonitor(cfg, manifest={"config_hash": "x"})
+        with use_event_log(EventLog()):
+            with pytest.raises(HealthError):
+                s.run(60)
+        assert s.nstep <= 15
+        assert s.health.tripped is not None
+        report = json.loads(
+            (tmp_path / "diag" / "report-rmain.json").read_text())
+        assert report["manifest"] == {"config_hash": "x"}
+        assert report["field_stats"]["vx"]["n_nonfinite"] >= 1
+        assert (tmp_path / "diag" / "events-rmain.jsonl").exists()
+
+    def test_warn_policy_keeps_running(self):
+        s = _solver()
+        s.health = HealthMonitor(HealthConfig(check_interval=5,
+                                              inject_nan_step=10,
+                                              policy="warn"))
+        with use_event_log(EventLog()):
+            with pytest.warns(RuntimeWarning):
+                s.run(20)
+        assert s.nstep == 20
+        assert s.health.tripped is not None
+
+    def test_amplitude_trip(self):
+        s = _solver()
+        s.run(2)
+        s.wf.vx[8, 8, 6] = 1e12     # absurd but finite velocity
+        mon = HealthMonitor(HealthConfig(amplitude_limit=1.0))
+        with use_event_log(EventLog()):
+            with pytest.raises(HealthError, match="exceeds limit"):
+                mon.check(s)
+
+    def test_growth_trip(self):
+        s = _solver()
+        s.run(2)
+        mon = HealthMonitor(HealthConfig(growth_limit=10.0))
+        mon._last_vmax = s.wf.max_velocity()
+        s.wf.vx[8, 8, 6] = s.wf.max_velocity() * 100 + 1.0
+        with use_event_log(EventLog()):
+            with pytest.raises(HealthError, match="grew"):
+                mon.check(s)
+
+    def test_quiet_start_not_growth_gated(self):
+        s = _solver()
+        mon = HealthMonitor(HealthConfig(growth_limit=2.0,
+                                         growth_floor=1e-3))
+        mon._last_vmax = 1e-9       # below floor: ungated
+        s.run(2)
+        with use_event_log(EventLog()):
+            mon.check(s)            # must not raise
+        assert mon.tripped is None
+
+    def test_cfl_violation_warns_at_bind(self):
+        s = _solver()
+        bad = _solver()
+        bad.dt = s.dt * 50      # far beyond the stability bound
+        mon = HealthMonitor(HealthConfig())
+        with use_event_log(EventLog()) as log:
+            with pytest.warns(RuntimeWarning, match="Courant"):
+                mon.bind(bad)
+            assert any(ev.name == "health.cfl_violation"
+                       for ev in log.events)
+
+    def test_events_emitted_on_trip(self):
+        s = _solver()
+        cfg = HealthConfig(check_interval=5, inject_nan_step=5)
+        s.health = HealthMonitor(cfg)
+        with use_event_log(EventLog()) as log:
+            with pytest.raises(HealthError):
+                s.run(20)
+            names = {ev.name for ev in log.events}
+        assert "health.nan_injected" in names
+        assert any(n.startswith("health.") and "." in n
+                   for n in names - {"health.nan_injected"})
+
+
+class TestTransparency:
+    def test_serial_bitwise_identical(self):
+        plain = _solver()
+        plain.run(12)
+        watched = _solver()
+        watched.health = HealthMonitor(HealthConfig(check_interval=3))
+        with use_event_log(EventLog()):
+            watched.run(12)
+        assert watched.health.checks_run >= 4
+        assert watched.health.tripped is None
+        for f in FIELDS:
+            assert np.array_equal(getattr(plain.wf, f),
+                                  getattr(watched.wf, f)), f
+
+    @pytest.mark.parametrize("backend", ["sim"])
+    def test_distributed_bitwise_identical(self, backend):
+        def build(health):
+            g = Grid3D(20, 18, 12, h=100.0)
+            med = Medium.homogeneous(g)
+            cfg = SolverConfig(absorbing="sponge", sponge_width=4)
+            s = DistributedWaveSolver(g, med, nranks=4, config=cfg,
+                                      backend=backend, health=health)
+            c = 1000.0
+            s.add_source(MomentTensorSource(
+                position=(c, c, 600.0), moment=np.eye(3) * 1e13,
+                stf=lambda t: gaussian_pulse(np.array([t]), f0=3.0)[0]))
+            return s
+
+        plain = build(None)
+        plain.run(8)
+        watched = build(HealthConfig(check_interval=3))
+        with use_event_log(EventLog()):
+            watched.run(8)
+        for f in FIELDS:
+            assert np.array_equal(plain.gather_field(f),
+                                  watched.gather_field(f)), f
+
+
+class TestMonitorMechanics:
+    def test_checks_follow_interval(self):
+        s = _solver()
+        s.health = HealthMonitor(HealthConfig(check_interval=4))
+        with use_event_log(EventLog()):
+            s.run(12)
+        assert s.health.checks_run == 3
+
+    def test_injection_only_on_rank0_or_serial(self):
+        s = _solver()
+        s.run(1)
+        mon = HealthMonitor(HealthConfig(inject_nan_step=0), rank=2)
+        mon._bound = True
+        mon._maybe_inject(s)
+        assert not mon._injected
+        assert np.isfinite(s.wf.vx).all()
+
+    def test_no_monitor_attribute_by_default(self):
+        s = _solver()
+        assert s.health is None
+        s.run(1)   # the hook must be a no-op without a monitor

@@ -63,7 +63,19 @@ class TestHistogram:
         h = Histogram("h")
         h.observe(1.0)
         assert set(h.summary()) == {"count", "mean", "min", "max",
-                                    "p50", "p90", "p99"}
+                                    "p50", "p90", "p95", "p99"}
+
+    def test_summary_percentiles_match_known_distribution(self):
+        h = Histogram("h")
+        for v in range(1, 101):     # 1..100: pK = K-ish under linear interp
+            h.observe(float(v))
+        s = h.summary()
+        assert s["p50"] == pytest.approx(50.5)
+        assert s["p90"] == pytest.approx(90.1)
+        assert s["p95"] == pytest.approx(95.05)
+        assert s["p99"] == pytest.approx(99.01)
+        assert s["p50"] == h.percentile(50)
+        assert s["p95"] == h.percentile(95)
 
 
 class TestRegistry:

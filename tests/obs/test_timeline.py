@@ -130,3 +130,91 @@ class TestPhaseTimeline:
         table = PhaseTimeline(spans).top_spans_table(5)
         assert "mpi.recv" in table
         assert "halo" in table
+
+
+class TestUtilization:
+    def _spans(self):
+        s1 = _span("kernel", 0.0, 3.0, category="compute", rank=0, span_id=1)
+        s2 = _span("halo.x", 3.0, 4.0, category="halo", rank=0, span_id=2)
+        s2.attrs["wait_s"] = 0.5
+        s3 = _span("ckpt", 0.0, 1.0, category="io", rank=1, span_id=3)
+        return [s1, s2, s3]
+
+    def test_utilization_fractions(self):
+        tl = PhaseTimeline(self._spans())
+        u = tl.utilization(0)
+        assert u["total_s"] == pytest.approx(4.0)
+        assert u["busy"] == pytest.approx(0.75)      # 3 of 4 s computing
+        assert u["comm"] == pytest.approx(0.25)
+        assert u["stall"] == pytest.approx(0.125)    # 0.5 of 4 s blocked
+
+    def test_stall_zero_without_wait_attrs(self):
+        tl = PhaseTimeline(self._spans())
+        u = tl.utilization(1)
+        assert u["busy"] == pytest.approx(1.0)
+        assert u["stall"] == 0.0
+
+    def test_unknown_rank_all_zero(self):
+        u = PhaseTimeline([]).utilization(9)
+        assert u == {"total_s": 0.0, "busy": 0.0, "comm": 0.0, "stall": 0.0}
+
+    def test_stall_accumulates_across_spans(self):
+        a = _span("halo.a", 0, 1, category="halo", rank=0, span_id=1)
+        a.attrs["wait_s"] = 0.25
+        b = _span("halo.b", 1, 2, category="halo", rank=0, span_id=2)
+        b.attrs["wait_s"] = 0.5
+        tl = PhaseTimeline([a, b])
+        assert tl.stall[0] == pytest.approx(0.75)
+
+    def test_utilization_table_renders(self):
+        table = PhaseTimeline(self._spans()).utilization_table()
+        assert "busy" in table and "stall" in table
+        assert "75.0%" in table      # rank 0 busy
+        assert "12.5%" in table      # rank 0 stall
+
+
+class TestProcpoolTrace:
+    """A real multi-rank procpool trace feeds the utilization machinery."""
+
+    def _trace(self, n=16, nranks=4, nsteps=6):
+        import numpy as np
+
+        from repro.core import (Grid3D, Medium, MomentTensorSource,
+                                SolverConfig)
+        from repro.core.source import gaussian_pulse
+        from repro.obs import use_tracer
+        from repro.parallel.distributed import DistributedWaveSolver
+        g = Grid3D(n, n, 12, h=100.0)
+        s = DistributedWaveSolver(
+            g, Medium.homogeneous(g), nranks=nranks,
+            config=SolverConfig(absorbing="sponge", sponge_width=4),
+            backend="procpool")
+        c = n * 100.0 / 2
+        s.add_source(MomentTensorSource(
+            position=(c, c, 600.0), moment=np.eye(3) * 1e13,
+            stf=lambda t: gaussian_pulse(np.array([t]), f0=3.0)[0]))
+        with use_tracer(Tracer()) as t:
+            s.run(nsteps)
+        return t.spans
+
+    def test_worker_spans_carry_rank_category_and_wait(self):
+        from repro.parallel import procpool
+        if not procpool.procpool_available():
+            pytest.skip("fork/shared_memory unavailable")
+        spans = self._trace()
+        tl = PhaseTimeline(spans)
+        worker_ranks = [r for r in tl.ranks() if r is not None]
+        assert worker_ranks == [0, 1, 2, 3]
+        for r in worker_ranks:
+            bucket = tl.phase_seconds(r)
+            assert bucket["compute"] > 0
+            assert bucket["halo"] > 0
+            u = tl.utilization(r)
+            assert 0 < u["busy"] < 1
+            assert u["stall"] >= 0
+        # halo spans carry the semaphore wait attribution
+        halo = [sp for sp in spans if classify(sp) == "halo"
+                and sp.rank is not None]
+        assert halo
+        assert all("wait_s" in sp.attrs for sp in halo)
+        assert PhaseTimeline(spans).utilization_table()

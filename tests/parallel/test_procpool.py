@@ -346,3 +346,64 @@ class TestValidation:
         with pytest.raises(ValueError, match="sync_comm"):
             DistributedWaveSolver(g, _medium(g), nranks=2,
                                   backend="procpool", sync_comm=True)
+
+
+@needs_fork
+class TestHaloStallWatchdog:
+    """stall_timeout bounds ring semaphore waits with HaloStallError."""
+
+    def _pool(self, timeout):
+        g = _grid()
+        return procpool.FaceRingPool(Decomposition3D(g, 2, 1, 1),
+                                     stall_timeout=timeout)
+
+    def test_default_waits_forever(self):
+        pool = self._pool(None)
+        try:
+            assert pool.stall_timeout is None
+        finally:
+            pool.close()
+
+    def test_complete_with_silent_neighbour_raises(self):
+        from repro.core.grid import WaveField
+        pool = self._pool(0.05)
+        try:
+            wf = WaveField(pool.decomp.subdomain(0).grid)
+            with pytest.raises(procpool.HaloStallError,
+                               match="neighbour faces"):
+                pool.endpoint(0).complete("velocity", wf)
+        finally:
+            pool.close()
+
+    def test_post_backpressure_raises_when_ring_full(self):
+        from repro.core.grid import WaveField
+        pool = self._pool(0.05)
+        try:
+            wf = WaveField(pool.decomp.subdomain(0).grid)
+            ep = pool.endpoint(0)
+            with pytest.raises(procpool.HaloStallError, match="free slot"):
+                for _ in range(procpool.RING_DEPTH + 1):
+                    ep.post("velocity", wf)
+        finally:
+            pool.close()
+
+    def test_error_names_the_channel(self):
+        from repro.core.grid import WaveField
+        pool = self._pool(0.01)
+        try:
+            wf = WaveField(pool.decomp.subdomain(1).grid)
+            with pytest.raises(procpool.HaloStallError,
+                               match=r"rank 1 stalled .* 0->1"):
+                pool.endpoint(1).complete("stress", wf)
+        finally:
+            pool.close()
+
+    def test_generous_timeout_run_matches_serial(self, serial_sponge):
+        """A timeout no healthy run hits changes nothing."""
+        ser, r_ser = serial_sponge
+        d, r = _distributed((2, 1, 1), SPONGE_CFG, backend="procpool",
+                            stall_timeout=60.0)
+        _assert_bitwise(d, r, ser, r_ser)
+
+    def test_is_runtime_error(self):
+        assert issubclass(procpool.HaloStallError, RuntimeError)

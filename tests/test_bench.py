@@ -288,6 +288,112 @@ class TestCompare:
         assert main(["bench", "--compare", str(good), str(alien)]) == 2
 
 
+class TestProvenance:
+    def test_report_carries_manifest(self, smoke_report):
+        report, _ = smoke_report
+        m = report["manifest"]
+        assert m["schema"].startswith("repro-manifest/")
+        assert isinstance(m["config_hash"], str) and len(m["config_hash"]) == 64
+        assert m["packages"]["numpy"]
+
+    def test_manifest_required_by_current_schema(self, smoke_report):
+        report, _ = smoke_report
+        stripped = json.loads(json.dumps(report))
+        del stripped["manifest"]
+        with pytest.raises(ValueError, match="manifest"):
+            validate_report(stripped)
+        # ...but legacy baselines without one still validate
+        stripped["schema"] = LEGACY_SCHEMAS[-1]
+        validate_report(stripped)
+
+    def test_manifest_hash_matches_mode_config(self, smoke_report):
+        from repro.obs import canonical_config_hash
+        report, _ = smoke_report
+        assert report["manifest"]["config_hash"] == \
+            canonical_config_hash(SMOKE)
+
+
+class TestOverheadGate:
+    """The tracer-overhead budget is a first-class compare gate, with the
+    asymmetric exemption: a baseline already over budget (noisy host) can
+    never flag its own successor."""
+
+    def _with_ratios(self, report, overall, per=None):
+        doc = json.loads(json.dumps(report))
+        extra = doc["workloads"]["tracer_overhead"]["extra"]
+        extra["overhead_ratio"] = overall
+        for wname, r in (per or {}).items():
+            extra["per_workload"][wname]["overhead_ratio"] = r
+        return doc
+
+    def test_per_workload_breakdown_measured(self, smoke_report):
+        report, _ = smoke_report
+        per = report["workloads"]["tracer_overhead"]["extra"]["per_workload"]
+        assert set(per) == {"solver_run", "kernel_step", "halo_exchange"}
+        for entry in per.values():
+            assert entry["overhead_ratio"] > 0
+            assert entry["null_wall_min_s"] > 0
+            assert entry["traced_wall_min_s"] > 0
+        assert per["solver_run"]["overhead_ratio"] == \
+            report["workloads"]["tracer_overhead"]["extra"]["overhead_ratio"]
+
+    def test_over_budget_flags_regression(self, smoke_report):
+        report, _ = smoke_report
+        old = self._with_ratios(report, 1.00,
+                                per={"solver_run": 1.00, "kernel_step": 1.00,
+                                     "halo_exchange": 1.00})
+        new = self._with_ratios(report, 1.10,
+                                per={"solver_run": 1.10, "kernel_step": 1.00,
+                                     "halo_exchange": 1.00})
+        text, regressions = compare_reports(old, new, overhead_budget=0.02)
+        assert any("tracer_overhead/overall" in r for r in regressions)
+        assert any("tracer_overhead/solver_run" in r for r in regressions)
+        assert not any("halo_exchange" in r for r in regressions)
+        assert "REGRESSION" in text
+
+    def test_within_budget_passes(self, smoke_report):
+        report, _ = smoke_report
+        old = self._with_ratios(report, 1.00)
+        new = self._with_ratios(report, 1.01)
+        _, regressions = compare_reports(old, new, overhead_budget=0.02)
+        assert not any("tracer_overhead" in r for r in regressions)
+
+    def test_budget_parameter_respected(self, smoke_report):
+        report, _ = smoke_report
+        old = self._with_ratios(report, 1.00)
+        new = self._with_ratios(report, 1.04)
+        _, tight = compare_reports(old, new, overhead_budget=0.02)
+        assert any("tracer_overhead" in r for r in tight)
+        _, loose = compare_reports(old, new, overhead_budget=0.10)
+        assert not any("tracer_overhead" in r for r in loose)
+
+    def test_noisy_baseline_exempt(self, smoke_report):
+        """Both sides over budget: the host is noisy, not a regression."""
+        report, _ = smoke_report
+        old = self._with_ratios(report, 1.30)
+        new = self._with_ratios(report, 1.35)
+        _, regressions = compare_reports(old, new, overhead_budget=0.02)
+        assert not any("tracer_overhead" in r for r in regressions)
+
+    def test_self_compare_never_trips(self, smoke_report):
+        """Whatever this host measured, a report never regresses vs itself."""
+        report, _ = smoke_report
+        _, regressions = compare_reports(report, report)
+        assert regressions == []
+
+    def test_legacy_baseline_without_overhead_gates_new(self, smoke_report):
+        """Baseline predates the gate: new ratios are judged on their own."""
+        report, _ = smoke_report
+        old = json.loads(json.dumps(report))
+        del old["workloads"]["tracer_overhead"]
+        old["schema"] = LEGACY_SCHEMAS[-1]
+        new = self._with_ratios(report, 1.50,
+                                per={"solver_run": 1.50, "kernel_step": 1.00,
+                                     "halo_exchange": 1.00})
+        _, regressions = compare_reports(old, new, overhead_budget=0.02)
+        assert any("tracer_overhead/overall" in r for r in regressions)
+
+
 class TestDeterminism:
     """Bench workload inputs must not depend on process state (issue: the
     solver workload seeded its fields from randomised ``hash(name)``)."""

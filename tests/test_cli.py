@@ -191,3 +191,147 @@ class TestTraceReport:
         for rank in range(4):
             assert f"\n     {rank} " in out
         assert "all" in out
+
+
+class TestTraceManifest:
+    def test_trace_leads_with_manifest_header(self, tmp_path):
+        import json
+        trace = tmp_path / "run.jsonl"
+        rc = main(["run-quake", "--n", "16", "--steps", "5",
+                   "--trace", str(trace)])
+        assert rc == 0
+        first = json.loads(trace.read_text().splitlines()[0])
+        assert "manifest" in first
+        m = first["manifest"]
+        assert len(m["config_hash"]) == 64
+        assert m["schema"].startswith("repro-manifest/")
+        from repro.obs import read_manifest
+        assert read_manifest(trace) == m
+
+    def test_manifest_hash_is_solver_config_hash(self, tmp_path):
+        """run-quake stamps the hash of its actual SolverConfig."""
+        from repro.obs import read_manifest
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        main(["run-quake", "--n", "16", "--steps", "2", "--trace", str(a)])
+        main(["run-quake", "--n", "16", "--steps", "4", "--trace", str(b)])
+        # same SolverConfig (steps is not part of it) -> same hash
+        assert (read_manifest(a)["config_hash"]
+                == read_manifest(b)["config_hash"])
+        c = tmp_path / "c.jsonl"
+        main(["run-quake", "--n", "16", "--steps", "2",
+              "--dtype", "float32", "--trace", str(c)])
+        assert (read_manifest(c)["config_hash"]
+                != read_manifest(a)["config_hash"])
+
+    def test_chrome_trace_carries_manifest(self, tmp_path):
+        import json
+        out = tmp_path / "run.json"
+        main(["run-quake", "--n", "16", "--steps", "5",
+              "--trace-chrome", str(out)])
+        doc = json.loads(out.read_text())
+        assert doc["otherData"]["manifest"]["config_hash"]
+
+
+class TestDiagnose:
+    def _trace(self, tmp_path, ranks=1):
+        trace = tmp_path / "run.jsonl"
+        argv = ["run-quake", "--n", "16", "--steps", "8",
+                "--trace", str(trace)]
+        if ranks > 1:
+            argv += ["--ranks", str(ranks), "--backend", "procpool"]
+        assert main(argv) == 0
+        return trace
+
+    def test_diagnose_parses(self):
+        args = build_parser().parse_args(["diagnose", "t.jsonl", "--json"])
+        assert args.command == "diagnose"
+        assert args.json
+
+    def test_reports_on_serial_trace(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        capsys.readouterr()
+        assert main(["diagnose", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace diagnosis" in out
+        assert "critical path" in out
+        assert "per-rank utilization" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+        trace = self._trace(tmp_path)
+        capsys.readouterr()
+        assert main(["diagnose", str(trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["critical_path_s"] > 0
+        assert doc["manifest"]["config_hash"]
+
+    def test_procpool_trace_per_rank(self, tmp_path, capsys):
+        from repro.parallel import procpool
+        if not procpool.procpool_available():
+            pytest.skip("fork/shared_memory unavailable")
+        import json
+        trace = self._trace(tmp_path, ranks=4)
+        capsys.readouterr()
+        assert main(["diagnose", str(trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["nranks"] == 4
+        for r in range(4):
+            rk = doc["per_rank"][str(r)]
+            assert rk["busy_s"] > 0
+            assert rk["wait_s"] >= 0
+        assert doc["imbalance_ratio"] >= 1.0
+
+    def test_empty_trace_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["diagnose", str(empty)]) == 1
+        assert "no spans" in capsys.readouterr().err
+
+
+class TestHealthFlags:
+    def test_inject_nan_exits_4_with_bundle(self, tmp_path, capsys):
+        import json
+        diag = tmp_path / "diag"
+        rc = main(["run-quake", "--n", "16", "--steps", "40",
+                   "--inject-nan", "10", "--health-interval", "5",
+                   "--diagnosis-dir", str(diag)])
+        assert rc == 4
+        assert "HEALTH ABORT" in capsys.readouterr().err
+        report = json.loads((diag / "report-r0.json").read_text())
+        assert report["reason"]
+        assert report["field_stats"]
+        assert report["manifest"]["config_hash"]
+        assert (diag / "events-r0.jsonl").exists()
+
+    def test_inject_nan_procpool_exits_4(self, tmp_path, capsys):
+        from repro.parallel import procpool
+        if not procpool.procpool_available():
+            pytest.skip("fork/shared_memory unavailable")
+        diag = tmp_path / "diag"
+        rc = main(["run-quake", "--n", "16", "--steps", "40",
+                   "--ranks", "2", "--backend", "procpool",
+                   "--inject-nan", "10", "--health-interval", "5",
+                   "--diagnosis-dir", str(diag)])
+        assert rc == 4
+        assert "HEALTH ABORT" in capsys.readouterr().err
+        assert (diag / "report-r0.json").exists()
+
+    def test_warn_policy_completes(self, tmp_path, capsys):
+        with pytest.warns(RuntimeWarning):
+            rc = main(["run-quake", "--n", "16", "--steps", "20",
+                       "--inject-nan", "5", "--health-interval", "5",
+                       "--health", "warn",
+                       "--diagnosis-dir", str(tmp_path / "d")])
+        assert rc == 0
+        assert "PGVH" in capsys.readouterr().out
+
+    def test_healthy_run_matches_unmonitored(self, tmp_path, capsys):
+        """--health abort on a healthy run: same PGV, exit 0."""
+        a = tmp_path / "a.npy"
+        b = tmp_path / "b.npy"
+        assert main(["run-quake", "--n", "16", "--steps", "15",
+                     "--out", str(a)]) == 0
+        assert main(["run-quake", "--n", "16", "--steps", "15",
+                     "--health", "abort", "--out", str(b)]) == 0
+        assert np.array_equal(np.load(a), np.load(b))

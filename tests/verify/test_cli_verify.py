@@ -70,3 +70,24 @@ class TestReportAggregation:
         doc = json.loads(path.read_text())
         assert doc["profile"] == "full"
         assert doc["matrix"] is None
+
+
+class TestReportManifest:
+    def test_manifest_in_to_dict(self):
+        rep = VerifyReport(profile="quick")
+        assert rep.to_dict()["manifest"] is None
+        rep.manifest = {"config_hash": "a" * 64, "git_rev": "abc1234"}
+        assert rep.to_dict()["manifest"]["config_hash"] == "a" * 64
+
+    def test_cli_json_report_carries_manifest(self, tmp_path, capsys):
+        out = tmp_path / "verify.json"
+        assert main(["verify", "--quick", "--only", "mms",
+                     "--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        m = doc["manifest"]
+        assert m["schema"].startswith("repro-manifest/")
+        assert len(m["config_hash"]) == 64
+        from repro.obs.provenance import canonical_config_hash
+        expected = canonical_config_hash(
+            {"profile": "quick", "pillars": ["mms"], "fd_order": 4})
+        assert m["config_hash"] == expected

@@ -100,3 +100,22 @@ class TestStoreRoundTrip:
                                        produced=scenario_arrays)
         assert all(r.status == "missing" for r in results)
         assert all(not r.passed for r in results)
+
+
+class TestGoldenManifest:
+    def test_meta_carries_run_manifest(self, tmp_path):
+        from repro.obs.provenance import canonical_config_hash
+        golden.save_golden("kinematic_mini_pgv",
+                           {"pgvh": np.zeros((2, 2))}, directory=tmp_path)
+        _, meta = golden.load_golden("kinematic_mini_pgv",
+                                     directory=tmp_path)
+        m = meta["manifest"]
+        assert len(m["config_hash"]) == 64
+        assert m["config_hash"] == canonical_config_hash(golden.SCENARIO)
+        assert m["git_rev"]
+
+    def test_committed_goldens_have_manifest(self):
+        for name in golden.GOLDEN_NAMES:
+            _, meta = golden.load_golden(name)
+            assert "manifest" in meta, name
+            assert len(meta["manifest"]["config_hash"]) == 64, name

@@ -148,3 +148,64 @@ class TestEndToEnd:
         assert wf.succeeded()
         assert "pgv" in ingest.ingested
         assert transfer.log[0].verified
+
+
+class TestStageEvents:
+    """Workflow stages narrate themselves through the event log."""
+
+    def _run_mixed(self):
+        from repro.obs import EventLog, use_event_log
+        wf = Workflow()
+        wf.add_stage("good", lambda ctx: 1)
+
+        def boom(ctx):
+            raise RuntimeError("disk on fire")
+
+        wf.add_stage("bad", boom)
+        wf.add_stage("dependent", lambda ctx: 2, after=("bad",))
+        with use_event_log(EventLog()) as log:
+            wf.run()
+        return log.events
+
+    def test_start_and_done_events(self):
+        from repro.obs import EventLog, use_event_log
+        wf = Workflow()
+        wf.add_stage("mesh", lambda ctx: 1)
+        wf.add_stage("solve", lambda ctx: 2, after=("mesh",))
+        with use_event_log(EventLog()) as log:
+            wf.run()
+        names = [(ev.name, ev.attrs.get("stage")) for ev in log.events]
+        assert names == [("workflow.stage.start", "mesh"),
+                         ("workflow.stage.done", "mesh"),
+                         ("workflow.stage.start", "solve"),
+                         ("workflow.stage.done", "solve")]
+        done = [ev for ev in log.events if ev.name == "workflow.stage.done"]
+        assert all(ev.attrs["wall_s"] >= 0 for ev in done)
+        assert all(ev.level == "info" for ev in log.events)
+
+    def test_failed_stage_emits_error_event(self):
+        events = self._run_mixed()
+        failed = [ev for ev in events if ev.name == "workflow.stage.failed"]
+        assert len(failed) == 1
+        assert failed[0].level == "error"
+        assert failed[0].attrs["stage"] == "bad"
+        assert "disk on fire" in failed[0].attrs["error"]
+
+    def test_skipped_stage_names_blockers(self):
+        events = self._run_mixed()
+        skipped = [ev for ev in events if ev.name == "workflow.stage.skipped"]
+        assert len(skipped) == 1
+        assert skipped[0].level == "warn"
+        assert skipped[0].attrs["stage"] == "dependent"
+        assert skipped[0].attrs["blocked_by"] == ["bad"]
+
+    def test_transfer_retries_logged(self):
+        from repro.obs import EventLog, use_event_log
+        svc = TransferService(failure_rate=0.6, max_attempts=10, seed=3)
+        with use_event_log(EventLog()) as log:
+            rec = svc.transfer("vol.bin", np.zeros(100))
+        fails = [ev for ev in log.events
+                 if ev.name == "transfer.attempt_failed"]
+        assert len(fails) == rec.attempts - 1
+        assert all(ev.attrs["file"] == "vol.bin" for ev in fails)
+        assert all(ev.attrs["max_attempts"] == 10 for ev in fails)
