@@ -11,6 +11,11 @@ a free surface.
 Prints the Fig. 19 source statistics, the Fig. 21 site PGVH table, and the
 Fig. 23 rock-site GMPE comparison.
 
+This runs ONE scenario; to fan a whole ensemble of scenario variations
+(magnitudes x hypocenters x slip seeds x precisions x GMPEs) over worker
+processes into a content-addressed product store, use `repro farm` —
+see docs/farm.md.
+
 Run:  python examples/m8_scenario.py        (~2-4 minutes)
 """
 

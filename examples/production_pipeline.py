@@ -8,6 +8,11 @@ E2EaW archival with GridFTP-style retrying transfers and PIPUT ingestion.
 Every arrow in the paper's Fig. 4 component diagram is exercised by real
 code here, with the Lustre model accounting I/O costs.
 
+The solve stage uses the SimMPI virtual-clock backend; the CLI twin
+(`repro run-quake --ranks N`) also offers `--backend procpool` (real OS
+worker processes), `--dtype float32` (the production fast path), and the
+`--health` run watchdogs — see docs/cli.md.
+
 Run:  python examples/production_pipeline.py
 """
 

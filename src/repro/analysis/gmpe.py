@@ -16,6 +16,11 @@ to that.
 
 All medians are returned in cm/s (the papers' PGV unit); magnitudes are
 moment magnitudes; distances are km.
+
+Consumers: the Fig. 23 bench (``benchmarks/test_fig23_gmpe_comparison.py``)
+and the ensemble farm, whose ``gmpe`` axis selects :func:`ba08_pgv` or
+:func:`cb08_pgv` and lands per-job ``ln(sim / median)`` residual grids in
+the product store (axis semantics and product layout: ``docs/farm.md``).
 """
 
 from __future__ import annotations

@@ -26,6 +26,11 @@ Workloads (sizes fixed per mode, see :data:`FULL` / :data:`SMOKE`):
 ``tracer_overhead``
     The same short solver run under the null tracer and a recording
     :class:`~repro.obs.Tracer`; reports the wall-time ratio.
+``farm_mini``
+    A fixed 4-job ensemble through :mod:`repro.farm` (2 worker
+    processes, fresh store per repetition); reports jobs/hour and the
+    rerun cache-hit rate — the throughput axis tracked by
+    EXPERIMENTS.md's scenarios-per-hour protocol.
 
 Every workload reports per-repetition wall times, derived Gflop/s and
 Mcell-updates/s where a flop model applies, and the tracemalloc **peak
@@ -388,6 +393,49 @@ def bench_tracer_overhead(cfg: BenchConfig) -> dict:
     return out
 
 
+def _farm_mini_spec(cfg: BenchConfig):
+    """The pinned 4-job mini ensemble (2 magnitudes x 2 slip seeds)."""
+    from .farm import FarmSpec
+    smoke = cfg.name == "smoke"
+    return FarmSpec(scenario="ShakeOut-K",
+                    nx=16 if smoke else 20,
+                    nsteps=8 if smoke else 16,
+                    axes={"magnitude": [6.5, 7.0], "rupture_seed": [1, 2]})
+
+
+def bench_farm_mini(cfg: BenchConfig) -> dict:
+    """Fixed mini scenario farm: 4 jobs over 2 worker processes.
+
+    Each timed repetition runs the whole ensemble into a fresh store
+    (no cache hits), so the wall time measures true scenario throughput;
+    ``extra`` carries jobs/hour plus the hit rate of a same-store rerun
+    (which must be 1.0 — the resume path's cheap self-check).
+    """
+    import tempfile
+    from .farm import run_farm
+    spec = _farm_mini_spec(cfg)
+    reg = MetricsRegistry()     # keep bench reps out of the global gauges
+    workers = 2
+
+    def step():
+        with tempfile.TemporaryDirectory() as tmp:
+            run_farm(spec, tmp, workers=workers, registry=reg)
+
+    walls, peak = _measure(step, cfg.dist_reps)
+    with tempfile.TemporaryDirectory() as tmp:
+        first = run_farm(spec, tmp, workers=workers, registry=reg)
+        rerun = run_farm(spec, tmp, workers=workers, registry=reg)
+    njobs = first.njobs
+    best = min(walls)
+    return _result(walls, peak, steps=1, points=0, flops_per_point=None,
+                   extra={"jobs": njobs, "workers": workers,
+                          "jobs_per_hour": njobs / best * 3600.0
+                          if best > 0 else None,
+                          "job_wall_p50_s": first.job_wall_percentile(50),
+                          "job_wall_p95_s": first.job_wall_percentile(95),
+                          "rerun_hit_rate": rerun.hit_rate})
+
+
 def _distributed_solver(cfg: BenchConfig, backend: str,
                         kernel_variant: str = "pooled",
                         dtype=np.float64) -> DistributedWaveSolver:
@@ -478,6 +526,7 @@ WORKLOADS = {
     "distributed_sim_blocked": bench_distributed_sim_blocked,
     "distributed_procpool": bench_distributed_procpool,
     "tracer_overhead": bench_tracer_overhead,
+    "farm_mini": bench_farm_mini,
 }
 
 #: f32 workload -> its float64 counterpart; :func:`run_suite` fills

@@ -12,6 +12,7 @@ This module exposes the same operations as subcommands::
     python -m repro aval         [--update-reference ref.npz]
     python -m repro m8           --extent 48 --duration 12
     python -m repro bench        [--smoke] [--out BENCH.json]
+    python -m repro farm         spec.json [--workers N] [--json report.json]
 
 Each subcommand prints a short human-readable report and (where an ``--out``
 is given) writes NumPy artifacts.
@@ -172,6 +173,29 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="FRAC",
                    help="with --compare: fail when tracer overhead exceeds "
                         "this fraction of untraced wall time (default 0.02)")
+
+    fm = sub.add_parser("farm", parents=[common],
+                        help="ensemble engine: expand a FarmSpec into "
+                             "jobs, schedule them over worker processes, "
+                             "land products in a content-addressed store")
+    fm.add_argument("spec", type=str,
+                    help="FarmSpec JSON (schema repro-farm-spec/1; "
+                         "see docs/farm.md)")
+    fm.add_argument("--workers", type=int, default=2, metavar="N",
+                    help="worker processes (1 = in-process; default 2)")
+    fm.add_argument("--store", type=str, default="products", metavar="DIR",
+                    help="product store root (default: products/)")
+    fm.add_argument("--resume", action=argparse.BooleanOptionalAction,
+                    default=True,
+                    help="treat jobs already in the store as cache hits "
+                         "(default on; --no-resume recomputes everything)")
+    fm.add_argument("--max-retries", type=int, default=2, metavar="K",
+                    help="retries per failing job before giving up "
+                         "(default 2)")
+    fm.add_argument("--json", type=str, default=None, metavar="PATH",
+                    help="also write the repro-farm/1 JSON report")
+    fm.add_argument("--metrics", action="store_true",
+                    help="also print the repro.obs metrics registry report")
 
     v = sub.add_parser("verify", parents=[common],
                        help="correctness verification: MMS convergence "
@@ -485,6 +509,42 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_farm(args) -> int:
+    from .farm import FarmSpec, FarmSpecError, ProductStore, run_farm
+    from .obs import default_registry
+    try:
+        spec = FarmSpec.load(args.spec)
+    except FarmSpecError as exc:
+        print(f"error: invalid farm spec: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot read spec: {exc}", file=sys.stderr)
+        return 2
+    store = ProductStore(args.store)
+
+    def progress(res):
+        tag = {"done": "done  ", "cached": "cached",
+               "failed": "FAILED"}[res.status]
+        extra = f" ({res.error})" if res.status == "failed" else ""
+        print(f"  [{res.index}] {tag} {res.label}{extra}")
+
+    report = run_farm(spec, store, workers=args.workers,
+                      resume=args.resume, max_retries=args.max_retries,
+                      progress=progress)
+    print(report.summary())
+    print(f"store: {store.root} ({store.count()} products)")
+    if args.json:
+        try:
+            path = report.write_json(args.json)
+        except OSError as exc:
+            print(f"error: cannot write report: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {path}")
+    if args.metrics:
+        print(default_registry().report())
+    return 0 if report.passed else 1
+
+
 def _cmd_verify(args) -> int:
     from .obs import default_registry
     from .verify import (QUICK_DECOMPS, VerifyReport, build_cells,
@@ -587,6 +647,7 @@ _COMMANDS = {
     "aval": _cmd_aval,
     "m8": _cmd_m8,
     "bench": _cmd_bench,
+    "farm": _cmd_farm,
     "verify": _cmd_verify,
     "trace-report": _cmd_trace_report,
     "diagnose": _cmd_diagnose,

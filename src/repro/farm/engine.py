@@ -1,0 +1,356 @@
+"""The farm engine: schedule ensemble jobs across worker processes.
+
+Complements :mod:`repro.parallel.procpool` (which splits *one* solve
+across ranks) with whole-simulation parallelism: independent jobs fanned
+over OS worker processes, each writing its products straight into the
+content-addressed :class:`~repro.farm.store.ProductStore`.
+
+Behaviour:
+
+* **resume** — jobs whose key is already in the store are cache hits
+  (counted and reported, never recomputed); a farm killed mid-run picks
+  up exactly where its atomic store writes stopped;
+* **bounded retries** — a failing job is resubmitted up to
+  ``max_retries`` times, each retry logged to the structured event log
+  (:mod:`repro.obs.events`); exhausted jobs are reported failed without
+  sinking the rest of the farm;
+* **graceful degradation** — if worker processes are unavailable (no
+  fork/spawn) the engine falls back to in-process execution with a
+  single warning, mirroring the procpool -> SimMPI fallback;
+* **telemetry** — jobs/hour, hit rate, p50/p95 job wall time land in
+  the ``farm.*`` metrics (:mod:`repro.obs.metrics`) and the schema'd
+  ``repro-farm/1`` report.
+
+See ``docs/farm.md`` for the report schema and a worked example.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..obs.events import get_event_log
+from ..obs.metrics import default_registry
+from ..obs.provenance import RunManifest
+from ..obs.tracer import get_tracer
+from .job import FarmJobError, run_job
+from .spec import FarmJob, FarmSpec
+from .store import ProductStore
+
+__all__ = ["FARM_REPORT_SCHEMA", "JobResult", "FarmReport", "run_farm"]
+
+#: Schema identifier of the farm report (``repro farm --json``).
+FARM_REPORT_SCHEMA = "repro-farm/1"
+
+
+@dataclass
+class JobResult:
+    """Outcome of one ensemble member."""
+
+    key: str
+    index: int
+    label: str
+    status: str               #: 'done' | 'cached' | 'failed'
+    attempts: int = 0
+    wall_s: float = 0.0
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {"key": self.key, "index": self.index, "label": self.label,
+                "status": self.status, "attempts": self.attempts,
+                "wall_s": self.wall_s, "error": self.error}
+
+
+@dataclass
+class FarmReport:
+    """Schema'd summary of one farm run (the throughput scoreboard)."""
+
+    spec: dict
+    store: str
+    workers: int
+    results: list[JobResult] = field(default_factory=list)
+    wall_s: float = 0.0
+    manifest: dict = field(default_factory=dict)
+
+    def _count(self, status: str) -> int:
+        return sum(1 for r in self.results if r.status == status)
+
+    @property
+    def njobs(self) -> int:
+        return len(self.results)
+
+    @property
+    def completed(self) -> int:
+        return self._count("done")
+
+    @property
+    def cached(self) -> int:
+        return self._count("cached")
+
+    @property
+    def failed(self) -> int:
+        return self._count("failed")
+
+    @property
+    def retries(self) -> int:
+        return sum(max(0, r.attempts - 1) for r in self.results)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cached / self.njobs if self.njobs else 0.0
+
+    @property
+    def jobs_per_hour(self) -> float:
+        """Landed products (fresh + cached) per hour of farm wall time."""
+        done = self.completed + self.cached
+        return done / (self.wall_s / 3600.0) if self.wall_s > 0 else 0.0
+
+    def job_wall_percentile(self, q: float) -> float:
+        walls = sorted(r.wall_s for r in self.results if r.status == "done")
+        if not walls:
+            return 0.0
+        return float(np.percentile(walls, q))
+
+    @property
+    def passed(self) -> bool:
+        return self.failed == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": FARM_REPORT_SCHEMA,
+            "spec": self.spec,
+            "store": self.store,
+            "workers": self.workers,
+            "njobs": self.njobs,
+            "completed": self.completed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "retries": self.retries,
+            "hit_rate": self.hit_rate,
+            "wall_s": self.wall_s,
+            "jobs_per_hour": self.jobs_per_hour,
+            "job_wall_p50_s": self.job_wall_percentile(50),
+            "job_wall_p95_s": self.job_wall_percentile(95),
+            "manifest": self.manifest,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True)
+                        + "\n")
+        return path
+
+    def summary(self) -> str:
+        lines = [
+            f"farm: {self.njobs} jobs on {self.workers} worker(s), "
+            f"store {self.store}",
+            f"  completed {self.completed}, cached {self.cached} "
+            f"(hit rate {self.hit_rate:.0%}), failed {self.failed}, "
+            f"retries {self.retries}",
+            f"  wall {self.wall_s:.2f} s = "
+            f"{self.jobs_per_hour:,.0f} jobs/hour; job wall "
+            f"p50 {self.job_wall_percentile(50):.3f} s, "
+            f"p95 {self.job_wall_percentile(95):.3f} s",
+        ]
+        for r in self.results:
+            if r.status == "failed":
+                lines.append(f"  FAILED [{r.index}] {r.label}: {r.error} "
+                             f"({r.attempts} attempts)")
+        return "\n".join(lines)
+
+    def publish_metrics(self, registry=None) -> None:
+        reg = registry if registry is not None else default_registry()
+        reg.gauge("farm.jobs_total").set(self.njobs)
+        reg.gauge("farm.jobs_completed").set(self.completed)
+        reg.gauge("farm.jobs_cached").set(self.cached)
+        reg.gauge("farm.jobs_failed").set(self.failed)
+        reg.gauge("farm.hit_rate").set(self.hit_rate)
+        reg.gauge("farm.jobs_per_hour").set(self.jobs_per_hour)
+        hist = reg.histogram("farm.job_wall_s")
+        for r in self.results:
+            if r.status == "done":
+                hist.observe(r.wall_s)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+def _worker_run(job_dict: dict, attempt: int, store_root: str) -> dict:
+    """Run one job in a worker process and land its products.
+
+    Returns a plain-data outcome (never raises) so scheduling failures
+    are always distinguishable from job failures.
+    """
+    job = FarmJob.from_dict(job_dict)
+    t0 = time.perf_counter()
+    try:
+        arrays = run_job(job, attempt=attempt)
+        wall = time.perf_counter() - t0
+        ProductStore(store_root).put(job, arrays, wall_s=wall,
+                                     attempts=attempt)
+        return {"ok": True, "key": job.key(), "wall_s": wall}
+    except Exception as exc:  # noqa: BLE001 - reported to the scheduler
+        return {"ok": False, "key": job.key(),
+                "wall_s": time.perf_counter() - t0,
+                "error": f"{type(exc).__name__}: {exc}"}
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+
+def _run_serial(todo, results, store, max_retries, events, progress) -> None:
+    tracer = get_tracer()
+    for job in todo:
+        res = results[job.index]
+        for attempt in range(1, max_retries + 2):
+            res.attempts = attempt
+            t0 = time.perf_counter()
+            try:
+                with tracer.span(f"farm.job[{job.index}]",
+                                 category="workflow"):
+                    arrays = run_job(job, attempt=attempt)
+                res.wall_s = time.perf_counter() - t0
+                store.put(job, arrays, wall_s=res.wall_s, attempts=attempt)
+                res.status = "done"
+                break
+            except FarmJobError as exc:
+                res.wall_s = time.perf_counter() - t0
+                res.error = str(exc)
+                if attempt <= max_retries:
+                    events.warn("farm.job.retry", key=res.key,
+                                index=job.index, attempt=attempt,
+                                error=res.error)
+                else:
+                    res.status = "failed"
+                    events.error("farm.job.failed", key=res.key,
+                                 index=job.index, attempts=attempt,
+                                 error=res.error)
+        if progress:
+            progress(res)
+
+
+def _run_pool(todo, results, store, workers, max_retries, events,
+              progress) -> bool:
+    """Schedule over a process pool; returns False if no pool available."""
+    import multiprocessing as mp
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:          # pragma: no cover - non-fork platforms
+        try:
+            ctx = mp.get_context("spawn")
+        except ValueError:
+            return False
+    by_index = {j.index: j for j in todo}
+    try:
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=ctx) as pool:
+            pending = {}
+            for job in todo:
+                results[job.index].attempts = 1
+                pending[pool.submit(_worker_run, job.to_dict(), 1,
+                                    str(store.root))] = job.index
+            while pending:
+                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                for fut in done:
+                    index = pending.pop(fut)
+                    job, res = by_index[index], results[index]
+                    try:
+                        out = fut.result()
+                    except Exception as exc:  # worker process died
+                        out = {"ok": False, "key": res.key, "wall_s": 0.0,
+                               "error": f"worker crashed: {exc}"}
+                    res.wall_s = out["wall_s"]
+                    if out["ok"]:
+                        res.status = "done"
+                        if progress:
+                            progress(res)
+                        continue
+                    res.error = out["error"]
+                    if res.attempts <= max_retries:
+                        events.warn("farm.job.retry", key=res.key,
+                                    index=index, attempt=res.attempts,
+                                    error=res.error)
+                        res.attempts += 1
+                        pending[pool.submit(
+                            _worker_run, job.to_dict(), res.attempts,
+                            str(store.root))] = index
+                    else:
+                        res.status = "failed"
+                        events.error("farm.job.failed", key=res.key,
+                                     index=index, attempts=res.attempts,
+                                     error=res.error)
+                        if progress:
+                            progress(res)
+    except (OSError, PermissionError) as exc:  # pragma: no cover
+        warnings.warn(f"farm: worker processes unavailable ({exc}); "
+                      f"falling back to in-process execution",
+                      RuntimeWarning, stacklevel=3)
+        return False
+    return True
+
+
+def run_farm(spec: FarmSpec, store: ProductStore | str | Path,
+             workers: int = 2, resume: bool = True, max_retries: int = 2,
+             progress=None, registry=None) -> FarmReport:
+    """Expand ``spec`` and land every job's products in ``store``.
+
+    ``resume=True`` (the default) treats jobs already present in the
+    store as cache hits; ``resume=False`` recomputes everything
+    (overwriting in place).  ``workers <= 1`` runs in-process — also the
+    automatic fallback when the host cannot start worker processes.
+    ``progress`` is called with each finished :class:`JobResult`.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1 (got {workers})")
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0 (got {max_retries})")
+    store = store if isinstance(store, ProductStore) else ProductStore(store)
+    events = get_event_log()
+    jobs = spec.expand()
+    results = {j.index: JobResult(key=j.key(), index=j.index,
+                                  label=j.label(), status="pending")
+               for j in jobs}
+    todo: list[FarmJob] = []
+    for job in jobs:
+        if resume and store.has(job.key()):
+            results[job.index].status = "cached"
+            if progress:
+                progress(results[job.index])
+        else:
+            todo.append(job)
+    events.info("farm.start", njobs=len(jobs), cached=len(jobs) - len(todo),
+                workers=workers, store=str(store.root))
+
+    t0 = time.perf_counter()
+    with get_tracer().span("farm.run", category="workflow"):
+        if todo:
+            pooled = workers > 1 and _run_pool(
+                todo, results, store, workers, max_retries, events, progress)
+            if not pooled and workers > 1:
+                workers = 1
+            if workers == 1 and any(results[j.index].status == "pending"
+                                    for j in todo):
+                _run_serial([j for j in todo
+                             if results[j.index].status == "pending"],
+                            results, store, max_retries, events, progress)
+    wall = time.perf_counter() - t0
+
+    report = FarmReport(
+        spec=spec.to_dict(), store=str(store.root), workers=workers,
+        results=[results[j.index] for j in jobs], wall_s=wall,
+        manifest=RunManifest.collect(config=spec.to_dict(),
+                                     backend="farm").to_dict())
+    report.publish_metrics(registry)
+    events.info("farm.done", completed=report.completed,
+                cached=report.cached, failed=report.failed,
+                retries=report.retries, wall_s=wall)
+    return report

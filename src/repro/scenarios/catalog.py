@@ -4,6 +4,15 @@ Each :class:`Scenario` records the production run's full-scale facts (for
 the resource calculators and Table 3 bench) and knows how to build a
 *scaled-down* runnable configuration preserving the physics regime: domain
 aspect ratio, source type, frequency band scaled with the mesh.
+
+The catalog feeds three consumers: the Table-3 resource benchmarks, the
+scaled pipelines (:mod:`repro.scenarios.m8`), and the ensemble farm —
+``FarmSpec.scenario`` names a :data:`SCENARIOS` entry and every farm job
+builds its domain via :meth:`Scenario.scaled_grid` (see ``docs/farm.md``).
+The scenario names themselves are part of the farm's cache keys, so they
+are stable identifiers, not display strings.
+
+Codebase context: ``docs/index.md``; CLI entry points: ``docs/cli.md``.
 """
 
 from __future__ import annotations

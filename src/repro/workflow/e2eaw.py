@@ -16,6 +16,15 @@ Components:
 * :class:`IngestionService` — the iRODS/PIPUT analogue: parallel-stream
   ingestion reaching ~177 MB/s aggregated, "more than ten times faster than
   direct use of single iRODS iPUT".
+
+This engine sequences *one* production run end to end (mesh → partition →
+solve → archive; see ``examples/production_pipeline.py``).  Its batch
+counterpart is :mod:`repro.farm`, which schedules *many* independent
+scenario jobs with its own retry/resume machinery and a content-addressed
+product store (``docs/farm.md``).  Both report failures through the
+structured event log (:mod:`repro.obs.events`).
+
+Codebase context: ``docs/index.md``; CLI entry points: ``docs/cli.md``.
 """
 
 from __future__ import annotations

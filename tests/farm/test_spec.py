@@ -1,0 +1,163 @@
+"""FarmSpec expansion, validation, and the cross-process seed contract."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.farm import AXES, FARM_SPEC_SCHEMA, FarmJob, FarmSpec, FarmSpecError
+
+
+def mini_spec(**kw):
+    kw.setdefault("scenario", "ShakeOut-K")
+    kw.setdefault("nx", 16)
+    kw.setdefault("nsteps", 8)
+    return FarmSpec(**kw)
+
+
+class TestExpansion:
+    def test_default_axes_give_one_job(self):
+        spec = mini_spec()
+        assert spec.njobs() == 1
+        jobs = spec.expand()
+        assert len(jobs) == 1
+        assert jobs[0].index == 0
+        assert jobs[0].dtype == "float64"
+        assert jobs[0].gmpe == "ba08"
+
+    def test_cartesian_counts(self):
+        spec = mini_spec(axes={"magnitude": [6.0, 6.5, 7.0],
+                               "rupture_seed": [1, 2],
+                               "dtype": ["float32", "float64"]})
+        assert spec.njobs() == 3 * 2 * 2
+        jobs = spec.expand()
+        assert len(jobs) == 12
+        assert [j.index for j in jobs] == list(range(12))
+
+    def test_all_axes_product(self):
+        spec = mini_spec(axes={"magnitude": [6.5, 7.0],
+                               "hypocenter": [[0.3, 0.4], [0.6, 0.5]],
+                               "rupture_seed": [1, 2, 3],
+                               "dtype": ["float32"],
+                               "gmpe": ["ba08", "cb08"]})
+        assert spec.njobs() == 2 * 2 * 3 * 1 * 2
+        jobs = spec.expand()
+        # expansion order follows AXES order; every tuple is unique
+        assert len({j.key() for j in jobs}) == len(jobs)
+        assert AXES == ("magnitude", "hypocenter", "rupture_seed",
+                        "dtype", "gmpe")
+
+    def test_inject_failures_mapped_by_index_not_in_key(self):
+        spec = mini_spec(axes={"rupture_seed": [1, 2]},
+                         inject_failures={1: 3})
+        jobs = spec.expand()
+        assert jobs[0].inject_failures == 0
+        assert jobs[1].inject_failures == 3
+        clean = mini_spec(axes={"rupture_seed": [1, 2]}).expand()
+        # the teeth knob must not perturb the content address
+        assert [j.key() for j in jobs] == [j.key() for j in clean]
+
+
+class TestValidation:
+    def test_unknown_scenario(self):
+        with pytest.raises(FarmSpecError, match="unknown scenario"):
+            FarmSpec(scenario="nope")
+
+    def test_unknown_axis(self):
+        with pytest.raises(FarmSpecError, match="unknown axes"):
+            mini_spec(axes={"wavelength": [1]})
+
+    def test_bad_dtype(self):
+        with pytest.raises(FarmSpecError, match="dtype"):
+            mini_spec(axes={"dtype": ["float16"]})
+
+    def test_bad_gmpe(self):
+        with pytest.raises(FarmSpecError, match="gmpe"):
+            mini_spec(axes={"gmpe": ["as97"]})
+
+    def test_bad_hypocenter(self):
+        with pytest.raises(FarmSpecError, match="hypocenter"):
+            mini_spec(axes={"hypocenter": [[1.5, 0.5]]})
+
+    def test_empty_axis(self):
+        with pytest.raises(FarmSpecError, match="non-empty"):
+            mini_spec(axes={"magnitude": []})
+
+    def test_nx_floor(self):
+        with pytest.raises(FarmSpecError, match="nx"):
+            mini_spec(nx=4)
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        spec = mini_spec(axes={"magnitude": [6.5, 7.0],
+                               "hypocenter": [[0.3, 0.4]]})
+        path = spec.save(tmp_path / "spec.json")
+        loaded = FarmSpec.load(path)
+        assert loaded.njobs() == spec.njobs()
+        assert ([j.key() for j in loaded.expand()]
+                == [j.key() for j in spec.expand()])
+
+    def test_schema_enforced(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"schema": "repro-farm-spec/99",
+                                 "scenario": "ShakeOut-K"}))
+        with pytest.raises(FarmSpecError, match="schema"):
+            FarmSpec.load(p)
+
+    def test_unknown_keys_rejected(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"scenario": "ShakeOut-K", "nranks": 4}))
+        with pytest.raises(FarmSpecError, match="unknown spec keys"):
+            FarmSpec.load(p)
+
+    def test_not_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{nope")
+        with pytest.raises(FarmSpecError, match="not valid JSON"):
+            FarmSpec.load(p)
+
+    def test_to_dict_carries_schema(self):
+        assert mini_spec().to_dict()["schema"] == FARM_SPEC_SCHEMA
+
+
+class TestDerivedSeed:
+    def test_distinct_per_config(self):
+        jobs = mini_spec(axes={"rupture_seed": [1, 2, 3]}).expand()
+        seeds = [j.derived_seed() for j in jobs]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_index_does_not_enter_seed(self):
+        a = FarmJob(scenario="ShakeOut-K", nx=16, nsteps=8, magnitude=6.5,
+                    hypocenter=(0.35, 0.4), rupture_seed=1,
+                    dtype="float64", gmpe="ba08", index=0)
+        b = FarmJob(scenario="ShakeOut-K", nx=16, nsteps=8, magnitude=6.5,
+                    hypocenter=(0.35, 0.4), rupture_seed=1,
+                    dtype="float64", gmpe="ba08", index=7, inject_failures=2)
+        assert a.derived_seed() == b.derived_seed()
+        assert a.key() == b.key()
+
+    def test_stable_across_processes(self, tmp_path):
+        """A subprocess with a different PYTHONHASHSEED derives the same
+        seed and key — the property multiprocess scheduling relies on."""
+        from pathlib import Path
+
+        import repro
+        job = mini_spec().expand()[0]
+        snippet = (
+            "from repro.farm import FarmSpec\n"
+            "j = FarmSpec(scenario='ShakeOut-K', nx=16, nsteps=8)"
+            ".expand()[0]\n"
+            "print(j.derived_seed(), j.key())\n")
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ,
+                   PYTHONPATH=src + os.pathsep
+                   + os.environ.get("PYTHONPATH", ""),
+                   PYTHONHASHSEED="random")
+        out = subprocess.run([sys.executable, "-c", snippet], env=env,
+                             capture_output=True, text=True, check=True)
+        seed, key = out.stdout.split()
+        assert int(seed) == job.derived_seed()
+        assert key == job.key()

@@ -1,0 +1,112 @@
+"""ProductStore: round-trip, schema checks, and address integrity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.farm import (PRODUCT_SCHEMA, FarmSpec, ProductError, ProductStore)
+from repro.obs.provenance import canonical_config_hash
+
+
+def one_job():
+    return FarmSpec(scenario="ShakeOut-K", nx=16, nsteps=8).expand()[0]
+
+
+def toy_arrays():
+    return {"pgvh": np.arange(12.0).reshape(3, 4),
+            "seis.near.vx": np.linspace(0.0, 1.0, 5, dtype=np.float32)}
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ProductStore(tmp_path / "products")
+        job = one_job()
+        path = store.put(job, toy_arrays(), wall_s=0.25, attempts=2)
+        assert path.exists()
+        assert store.has(job.key())
+        arrays, meta = store.get_job(job)
+        np.testing.assert_array_equal(arrays["pgvh"], toy_arrays()["pgvh"])
+        assert arrays["seis.near.vx"].dtype == np.float32
+        assert meta["schema"] == PRODUCT_SCHEMA
+        assert meta["key"] == job.key()
+        assert meta["attempts"] == 2
+        assert meta["wall_s"] == 0.25
+        assert meta["derived_seed"] == job.derived_seed()
+        assert meta["arrays"]["pgvh"]["shape"] == [3, 4]
+
+    def test_sharded_layout(self, tmp_path):
+        store = ProductStore(tmp_path)
+        job = one_job()
+        path = store.put(job, toy_arrays())
+        key = job.key()
+        assert path == tmp_path / key[:2] / f"{key}.npz"
+        assert store.keys() == [key]
+        assert store.count() == 1
+
+    def test_manifest_hash_matches_fresh_recomputation(self, tmp_path):
+        """The acceptance criterion: the stored manifest's config hash
+        equals a fresh hash of the stored job config, and its 32-char
+        prefix is the file's address."""
+        store = ProductStore(tmp_path)
+        job = one_job()
+        store.put(job, toy_arrays())
+        _, meta = store.get(job.key())
+        fresh = canonical_config_hash(meta["job"])
+        assert meta["manifest"]["config_hash"] == fresh
+        assert fresh[:32] == job.key()
+
+    def test_missing_key(self, tmp_path):
+        with pytest.raises(ProductError, match="no product"):
+            ProductStore(tmp_path).get("ab" + "0" * 30)
+
+    def test_empty_store(self, tmp_path):
+        store = ProductStore(tmp_path / "nothing")
+        assert store.keys() == []
+        assert store.count() == 0
+        assert not store.has("ab" + "0" * 30)
+
+
+class TestIntegrity:
+    def test_address_mismatch_refused(self, tmp_path):
+        """A product whose meta config does not hash to its address is
+        corrupt and must be refused, not silently served."""
+        store = ProductStore(tmp_path)
+        job = one_job()
+        store.put(job, toy_arrays())
+        key = job.key()
+        # graft the file onto a different address
+        fake = "ff" * 16
+        dst = store.path_for(fake)
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        dst.write_bytes(store.path_for(key).read_bytes())
+        with pytest.raises(ProductError, match="not its address"):
+            store.get(fake)
+
+    def test_wrong_schema_refused(self, tmp_path):
+        store = ProductStore(tmp_path)
+        job = one_job()
+        path = store.put(job, toy_arrays())
+        # rewrite with a bogus schema but a matching address
+        with np.load(path, allow_pickle=False) as z:
+            meta = json.loads(str(z["__meta__"]))
+            arrays = {k: z[k] for k in z.files if k != "__meta__"}
+        meta["schema"] = "repro-product/99"
+        arrays["__meta__"] = np.array(json.dumps(meta))
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ProductError, match="schema"):
+            store.get(job.key())
+
+    def test_meta_missing_refused(self, tmp_path):
+        store = ProductStore(tmp_path)
+        key = "ab" + "0" * 30
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(path, x=np.zeros(3))
+        with pytest.raises(ProductError, match="__meta__"):
+            store.get(key)
+
+    def test_no_tmp_droppings_after_put(self, tmp_path):
+        store = ProductStore(tmp_path)
+        store.put(one_job(), toy_arrays())
+        assert list(tmp_path.rglob("*.tmp")) == []

@@ -50,6 +50,16 @@ class TestSuite:
             "overhead_ratio"]
         assert ratio > 0
 
+    def test_farm_mini_throughput(self, smoke_report):
+        """The ensemble workload reports scenario throughput and a
+        perfectly-cached rerun (the resume path's self-check)."""
+        report, _ = smoke_report
+        extra = report["workloads"]["farm_mini"]["extra"]
+        assert extra["jobs"] == 4
+        assert extra["workers"] == 2
+        assert extra["jobs_per_hour"] > 0
+        assert extra["rerun_hit_rate"] == 1.0
+
     def test_metrics_registry_fed(self, smoke_report):
         _, registry = smoke_report
         assert registry.gauge("bench.kernel_step.gflops").value > 0

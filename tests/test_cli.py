@@ -335,3 +335,64 @@ class TestHealthFlags:
         assert main(["run-quake", "--n", "16", "--steps", "15",
                      "--health", "abort", "--out", str(b)]) == 0
         assert np.array_equal(np.load(a), np.load(b))
+
+
+class TestFarm:
+    def _write_spec(self, tmp_path, **kw):
+        import json
+        doc = {"schema": "repro-farm-spec/1", "scenario": "ShakeOut-K",
+               "nx": 16, "nsteps": 4}
+        doc.update(kw)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_parses(self, tmp_path):
+        args = build_parser().parse_args(["farm", "spec.json"])
+        assert args.command == "farm"
+        assert args.workers == 2
+        assert args.resume is True
+        assert args.max_retries == 2
+
+    def test_runs_and_reruns_cached(self, tmp_path, capsys):
+        import json
+        spec = self._write_spec(tmp_path,
+                                axes={"rupture_seed": [1, 2]})
+        store = tmp_path / "products"
+        report = tmp_path / "report.json"
+        rc = main(["farm", str(spec), "--workers", "1",
+                   "--store", str(store), "--json", str(report)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "completed 2" in out
+        assert "2 products" in out
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "repro-farm/1"
+        assert doc["completed"] == 2
+        # second invocation: everything served from the store
+        rc = main(["farm", str(spec), "--workers", "1",
+                   "--store", str(store), "--json", str(report)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cached 2" in out
+        assert "hit rate 100%" in out
+        doc = json.loads(report.read_text())
+        assert doc["cached"] == 2 and doc["completed"] == 0
+
+    def test_missing_spec_exits_2(self, tmp_path, capsys):
+        rc = main(["farm", str(tmp_path / "absent.json")])
+        assert rc == 2
+        assert "cannot read spec" in capsys.readouterr().err
+
+    def test_invalid_spec_exits_2(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path, scenario="nope")
+        rc = main(["farm", str(spec), "--store", str(tmp_path / "s")])
+        assert rc == 2
+        assert "invalid farm spec" in capsys.readouterr().err
+
+    def test_failed_job_exits_1(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path, inject_failures={"0": 99})
+        rc = main(["farm", str(spec), "--workers", "1",
+                   "--max-retries", "0", "--store", str(tmp_path / "s")])
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().out
