@@ -12,6 +12,11 @@ Workloads (sizes fixed per mode, see :data:`FULL` / :data:`SMOKE`):
 ``kernel_step``
     The production :class:`~repro.core.kernels.VelocityStressKernel`
     interior update (the allocation-free hot loop).
+``kernel_step_compiled``
+    The fused JIT sweeps (:mod:`repro.core.compiled`) on the identical
+    fixture; ``extra.speedup_vs_pooled`` against ``kernel_step`` is the
+    headline compiled-backend number, with the one-time JIT cost reported
+    separately as ``extra.jit_compile_s`` (never inside the timed reps).
 ``kernel_blocked``
     The same arithmetic through the cache-blocked k/j-panel driver.
 ``baseline_kernel``
@@ -20,6 +25,11 @@ Workloads (sizes fixed per mode, see :data:`FULL` / :data:`SMOKE`):
 ``solver_step``
     A full :class:`~repro.core.solver.WaveSolver` step with sponge and
     coarse-grained attenuation (boundary + memory-variable cost included).
+``solver_step_compiled``
+    A full solver step through the compiled kernels.  Attenuation is
+    incompatible with the fused variant, so this uses a sponge-only
+    configuration and times an identically-configured pooled twin inside
+    the workload for a like-for-like ``extra.speedup_vs_pooled``.
 ``halo_exchange``
     Pure :class:`~repro.parallel.halo.HaloExchange` rounds over SimMPI
     ranks (no compute), reduced mode.
@@ -53,6 +63,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .core import compiled as compiled_mod
 from .core.fd import interior
 from .core.grid import Grid3D, WaveField
 from .core.kernels import (VelocityStressKernel, baseline_stress_update,
@@ -70,7 +81,8 @@ from .parallel.halo import HaloExchange, halo_bytes_per_step
 from .parallel.simmpi import run_spmd
 
 __all__ = ["BENCH_SCHEMA", "LEGACY_SCHEMAS", "BenchConfig", "FULL", "SMOKE",
-           "WORKLOADS", "F32_PAIRS", "compare_reports", "git_revision",
+           "WORKLOADS", "F32_PAIRS", "COMPILED_PAIRS", "COMPILED_WORKLOADS",
+           "WORKLOAD_VARIANTS", "compare_reports", "git_revision",
            "run_suite", "seed_solver_fields", "write_report",
            "validate_report"]
 
@@ -212,7 +224,8 @@ def bench_kernel_step(cfg: BenchConfig, dtype=np.float64) -> dict:
     walls, peak = _measure(step, cfg.reps)
     return _result(walls, peak, steps=cfg.steps, points=g.ncells,
                    flops_per_point=stencil_flops_per_point(order=4),
-                   extra={"scratch_pool_bytes": kern.scratch_nbytes()},
+                   extra={"scratch_pool_bytes": kern.scratch_nbytes(),
+                          "kernel_variant": "pooled"},
                    dtype=dtype)
 
 
@@ -221,18 +234,53 @@ def bench_kernel_step_f32(cfg: BenchConfig) -> dict:
     return bench_kernel_step(cfg, dtype=np.float32)
 
 
-def bench_kernel_blocked(cfg: BenchConfig) -> dict:
-    g, med, wf, dt = _kernel_fixture(cfg)
-    kern = VelocityStressKernel(wf, med, dt)
+def bench_kernel_step_compiled(cfg: BenchConfig, dtype=np.float64) -> dict:
+    """The fused compiled sweeps on the ``kernel_step`` fixture.
+
+    :func:`run_suite` fills ``extra.speedup_vs_pooled`` (wall-min ratio
+    against ``kernel_step``) when both ran.  The one-time JIT cost is
+    reported as ``extra.jit_compile_s``; the untimed warm-up inside
+    :func:`_measure` guarantees it can never leak into a timed repetition.
+    """
+    g, med, wf, dt = _kernel_fixture(cfg, dtype)
+    stepper = compiled_mod.FusedStepper(wf, med, dt)
 
     def step():
         for _ in range(cfg.steps):
-            kern.step_blocked()
+            stepper.step_velocity()
+            stepper.step_stress()
 
     walls, peak = _measure(step, cfg.reps)
     return _result(walls, peak, steps=cfg.steps, points=g.ncells,
                    flops_per_point=stencil_flops_per_point(order=4),
-                   extra={"scratch_pool_bytes": kern.scratch_nbytes()})
+                   extra={"kernel_variant": "compiled",
+                          "provider": stepper.provider,
+                          "parallel": stepper.parallel,
+                          "jit_compile_s": stepper.compile_seconds,
+                          "jit_cache_hit": stepper.cache_hit},
+                   dtype=dtype)
+
+
+def bench_kernel_step_compiled_f32(cfg: BenchConfig) -> dict:
+    """The fused compiled sweeps at single precision."""
+    return bench_kernel_step_compiled(cfg, dtype=np.float32)
+
+
+def bench_kernel_blocked(cfg: BenchConfig) -> dict:
+    g, med, wf, dt = _kernel_fixture(cfg)
+    kern = VelocityStressKernel(wf, med, dt)
+    scfg = SolverConfig()   # panel sizes come from the config, not literals
+
+    def step():
+        for _ in range(cfg.steps):
+            kern.step_blocked(scfg.kblock, scfg.jblock)
+
+    walls, peak = _measure(step, cfg.reps)
+    return _result(walls, peak, steps=cfg.steps, points=g.ncells,
+                   flops_per_point=stencil_flops_per_point(order=4),
+                   extra={"scratch_pool_bytes": kern.scratch_nbytes(),
+                          "kernel_variant": "blocked",
+                          "kblock": scfg.kblock, "jblock": scfg.jblock})
 
 
 def bench_baseline_kernel(cfg: BenchConfig) -> dict:
@@ -245,7 +293,8 @@ def bench_baseline_kernel(cfg: BenchConfig) -> dict:
 
     walls, peak = _measure(step, cfg.reps)
     return _result(walls, peak, steps=cfg.steps, points=g.ncells,
-                   flops_per_point=stencil_flops_per_point(order=4))
+                   flops_per_point=stencil_flops_per_point(order=4),
+                   extra={"kernel_variant": "baseline"})
 
 
 def bench_solver_step(cfg: BenchConfig, dtype=np.float64) -> dict:
@@ -265,12 +314,54 @@ def bench_solver_step(cfg: BenchConfig, dtype=np.float64) -> dict:
     return _result(walls, peak, steps=cfg.steps, points=g.ncells,
                    flops_per_point=stencil_flops_per_point(
                        order=4, attenuation=True),
-                   extra={"dt": sol.dt}, dtype=dtype)
+                   extra={"dt": sol.dt, "kernel_variant": "pooled"},
+                   dtype=dtype)
 
 
 def bench_solver_step_f32(cfg: BenchConfig) -> dict:
     """Full solver step (sponge + attenuation) at single precision."""
     return bench_solver_step(cfg, dtype=np.float32)
+
+
+def bench_solver_step_compiled(cfg: BenchConfig, dtype=np.float64) -> dict:
+    """Full solver step through the fused compiled kernels.
+
+    The compiled variant forbids attenuation, so this workload is a
+    sponge-only configuration — a *different shape* from ``solver_step``.
+    For an honest ``extra.speedup_vs_pooled`` it times an
+    identically-configured pooled twin inside the workload (same grid,
+    sponge, free surface, initial state) rather than comparing against
+    ``solver_step``'s attenuation-bearing wall times.
+    """
+    def build(variant: str) -> WaveSolver:
+        g = Grid3D(cfg.n, cfg.n, cfg.n, h=100.0)
+        med = Medium.homogeneous(g, vp=4000.0, vs=2300.0, rho=2500.0)
+        sol = WaveSolver(g, med, SolverConfig(
+            absorbing="sponge", sponge_width=max(3, cfg.n // 8),
+            stability_check_interval=0, kernel_variant=variant,
+            dtype=dtype))
+        seed_solver_fields(sol.wf)
+        return sol
+
+    sol = build("compiled")
+    walls, peak = _measure(lambda: sol.run(cfg.steps), cfg.reps)
+    twin = build("pooled")
+    pooled_walls, _ = _measure(lambda: twin.run(cfg.steps), cfg.reps)
+    best, pooled_best = min(walls), min(pooled_walls)
+    fused = sol.fused
+    extra = {
+        "dt": sol.dt,
+        "kernel_variant": sol.kernel_variant,
+        "provider": fused.provider if fused is not None else None,
+        "jit_compile_s": fused.compile_seconds if fused is not None else None,
+        "jit_cache_hit": fused.cache_hit if fused is not None else None,
+        "pooled_wall_min_s": pooled_best,
+        "speedup_vs_pooled": pooled_best / best if best > 0 else None,
+    }
+    points = Grid3D(cfg.n, cfg.n, cfg.n, h=100.0).ncells
+    return _result(walls, peak, steps=cfg.steps, points=points,
+                   flops_per_point=stencil_flops_per_point(order=4),
+                   extra=extra, dtype=dtype)
 
 
 def bench_halo_exchange(cfg: BenchConfig, dtype=np.float64) -> dict:
@@ -511,20 +602,32 @@ def bench_distributed_sim_f32(cfg: BenchConfig) -> dict:
     return _bench_distributed(cfg, "sim", dtype=np.float32)
 
 
+def bench_distributed_procpool_compiled(cfg: BenchConfig) -> dict:
+    """Procpool backend through the fused compiled kernels (IV.C overlap
+    runs with :class:`~repro.core.compiled.FusedRegionStepper` regions).
+    ``extra.speedup_vs_pooled`` against ``distributed_procpool`` is filled
+    by :func:`run_suite` when both ran."""
+    return _bench_distributed(cfg, "procpool", kernel_variant="compiled")
+
+
 #: name -> workload function; iteration order is report order.
 WORKLOADS = {
     "kernel_step": bench_kernel_step,
     "kernel_step_f32": bench_kernel_step_f32,
+    "kernel_step_compiled": bench_kernel_step_compiled,
+    "kernel_step_compiled_f32": bench_kernel_step_compiled_f32,
     "kernel_blocked": bench_kernel_blocked,
     "baseline_kernel": bench_baseline_kernel,
     "solver_step": bench_solver_step,
     "solver_step_f32": bench_solver_step_f32,
+    "solver_step_compiled": bench_solver_step_compiled,
     "halo_exchange": bench_halo_exchange,
     "halo_exchange_f32": bench_halo_exchange_f32,
     "distributed_sim": bench_distributed_sim,
     "distributed_sim_f32": bench_distributed_sim_f32,
     "distributed_sim_blocked": bench_distributed_sim_blocked,
     "distributed_procpool": bench_distributed_procpool,
+    "distributed_procpool_compiled": bench_distributed_procpool_compiled,
     "tracer_overhead": bench_tracer_overhead,
     "farm_mini": bench_farm_mini,
 }
@@ -536,6 +639,46 @@ F32_PAIRS = {
     "solver_step_f32": "solver_step",
     "halo_exchange_f32": "halo_exchange",
     "distributed_sim_f32": "distributed_sim",
+}
+
+#: compiled workload -> its like-for-like pooled counterpart;
+#: :func:`run_suite` fills ``extra.speedup_vs_pooled`` when both ran.
+#: ``solver_step_compiled`` is absent by design — its pooled counterpart
+#: is the attenuation-free twin timed *inside* the workload.
+COMPILED_PAIRS = {
+    "kernel_step_compiled": "kernel_step",
+    "kernel_step_compiled_f32": "kernel_step_f32",
+    "distributed_procpool_compiled": "distributed_procpool",
+}
+
+#: Workloads requiring a JIT provider; :func:`run_suite` drops them (and
+#: records why) on hosts with neither numba nor a C compiler, but raises
+#: when they were requested by name.
+COMPILED_WORKLOADS = frozenset(
+    ("kernel_step_compiled", "kernel_step_compiled_f32",
+     "solver_step_compiled", "distributed_procpool_compiled"))
+
+#: workload -> the kernel variant its hot loop runs (None: no stencil
+#: kernel in the loop).  Drives ``repro bench --kernel-variant``.
+WORKLOAD_VARIANTS = {
+    "kernel_step": "pooled",
+    "kernel_step_f32": "pooled",
+    "kernel_step_compiled": "compiled",
+    "kernel_step_compiled_f32": "compiled",
+    "kernel_blocked": "blocked",
+    "baseline_kernel": "baseline",
+    "solver_step": "pooled",
+    "solver_step_f32": "pooled",
+    "solver_step_compiled": "compiled",
+    "halo_exchange": None,
+    "halo_exchange_f32": None,
+    "distributed_sim": "pooled",
+    "distributed_sim_f32": "pooled",
+    "distributed_sim_blocked": "blocked",
+    "distributed_procpool": "pooled",
+    "distributed_procpool_compiled": "compiled",
+    "tracer_overhead": None,
+    "farm_mini": None,
 }
 
 
@@ -561,6 +704,19 @@ def run_suite(smoke: bool = False, registry: MetricsRegistry | None = None,
     if unknown:
         raise ValueError(f"unknown workloads: {', '.join(unknown)} "
                          f"(available: {', '.join(WORKLOADS)})")
+    compiled_info = compiled_mod.provider_info()
+    skipped: dict[str, str] = {}
+    if not compiled_info["available"]:
+        wanted = sorted(set(selected) & COMPILED_WORKLOADS)
+        if workloads is not None and wanted:
+            # Explicitly requested: refuse loudly rather than skip quietly.
+            raise ValueError(
+                f"workload(s) {', '.join(wanted)} need a compiled provider: "
+                f"{compiled_info['detail']}")
+        for name in wanted:
+            skipped[name] = (f"no compiled provider: "
+                             f"{compiled_info['detail']}")
+        selected = [w for w in selected if w not in COMPILED_WORKLOADS]
     results: dict[str, dict] = {}
     for name in selected:
         results[name] = res = WORKLOADS[name](cfg)
@@ -589,6 +745,20 @@ def run_suite(smoke: bool = False, registry: MetricsRegistry | None = None,
         results[f32_name].setdefault("extra", {})["speedup_vs_f64"] = speedup
         if speedup is not None:
             reg.gauge(f"bench.{f32_name}.speedup_vs_f64").set(speedup)
+    for comp_name, pooled_name in COMPILED_PAIRS.items():
+        if comp_name not in results or pooled_name not in results:
+            continue
+        base_min = results[pooled_name]["wall_s"]["min"]
+        fast_min = results[comp_name]["wall_s"]["min"]
+        speedup = base_min / fast_min if fast_min > 0 else None
+        extra = results[comp_name].setdefault("extra", {})
+        extra["speedup_vs_pooled"] = speedup
+        if speedup is not None:
+            reg.gauge(f"bench.{comp_name}.speedup_vs_pooled").set(speedup)
+    for name in results:
+        jit = (results[name].get("extra") or {}).get("jit_compile_s")
+        if isinstance(jit, (int, float)):
+            reg.gauge(f"bench.{name}.jit_compile_s").set(jit)
     return {
         "schema": BENCH_SCHEMA,
         "revision": git_revision(),
@@ -602,7 +772,9 @@ def run_suite(smoke: bool = False, registry: MetricsRegistry | None = None,
         "host": {"python": platform.python_version(),
                  "numpy": np.__version__,
                  "machine": platform.machine(),
-                 "cpu_count": os.cpu_count()},
+                 "cpu_count": os.cpu_count(),
+                 "compiled": compiled_info},
+        "skipped_workloads": skipped,
         "workloads": results,
     }
 
@@ -698,6 +870,21 @@ def format_report(report: dict) -> str:
               .get("extra", {}).get("speedup_vs_f64"))
         if sp is not None:
             lines.append(f"  {f32_name} speedup vs float64: {sp:.2f}x")
+    for name, res in report["workloads"].items():
+        extra = res.get("extra") or {}
+        sp = extra.get("speedup_vs_pooled")
+        if sp is not None:
+            jit = extra.get("jit_compile_s")
+            prov = extra.get("provider")
+            jit_s = (f", jit {jit:.2f} s"
+                     f"{' (cache hit)' if extra.get('jit_cache_hit') else ''}"
+                     if isinstance(jit, (int, float)) else "")
+            prov_s = f" [{prov}]" if prov else ""
+            lines.append(f"  {name} speedup vs pooled: "
+                         f"{sp:.2f}x{prov_s}{jit_s}")
+    skipped = report.get("skipped_workloads") or {}
+    for name, why in skipped.items():
+        lines.append(f"  {name}: SKIPPED ({why})")
     pp = report["workloads"].get("distributed_procpool", {}).get("extra", {})
     if pp.get("speedup_vs_sim") is not None:
         eff = pp.get("overlap_efficiency")
@@ -716,6 +903,9 @@ def compare_reports(old: dict, new: dict, rel_tol: float = 0.10,
     A workload regresses when its best-of-reps wall time grew by more than
     ``rel_tol`` (relative).  Gflop/s deltas are reported alongside but only
     wall time gates — the flop model is derived from the same wall numbers.
+    Rows whose ``extra.kernel_variant`` differs between the reports (e.g. a
+    pooled baseline against a compiled run) are flagged and excluded from
+    gating — the delta would compare different kernels.
     Tracer overhead ratios additionally gate against ``overhead_budget``
     (2% by default): a ratio above ``1 + budget`` is a regression *unless
     the baseline already exceeded the budget too* — the gate catches newly
@@ -737,6 +927,14 @@ def compare_reports(old: dict, new: dict, rel_tol: float = 0.10,
             lines.append(f"  {name:<24} (new workload, no baseline)")
             continue
         o, n = old_wl[name], new_wl[name]
+        o_var = (o.get("extra") or {}).get("kernel_variant")
+        n_var = (n.get("extra") or {}).get("kernel_variant")
+        if o_var is not None and n_var is not None and o_var != n_var:
+            # e.g. a pooled baseline against a compiled run under the same
+            # workload name — a delta would be meaningless, so don't gate.
+            lines.append(f"  {name:<24} kernel_variant {o_var} -> {n_var}: "
+                         "not like-for-like, skipped")
+            continue
         o_min, n_min = o["wall_s"]["min"], n["wall_s"]["min"]
         delta = (n_min - o_min) / o_min if o_min > 0 else 0.0
         gf = ""

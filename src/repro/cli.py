@@ -90,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
                    default="float64",
                    help="wavefield/material precision; float32 is the "
                         "production AWP-ODC fast path (half the bytes moved)")
+    r.add_argument("--kernel-variant",
+                   choices=("pooled", "blocked", "compiled"),
+                   default="pooled",
+                   help="stencil backend: 'pooled' numpy ufuncs (default), "
+                        "'blocked' cache-tiled sweep, 'compiled' fused JIT "
+                        "kernels (numba or C; falls back to pooled with a "
+                        "warning when no provider is present); non-pooled "
+                        "variants swap the PML boundary for a sponge taper")
     r.add_argument("--out", type=str, default=None)
     r.add_argument("--health", choices=("off", "warn", "abort"),
                    default="off",
@@ -158,6 +166,13 @@ def build_parser() -> argparse.ArgumentParser:
                    default="all",
                    help="restrict the suite to workloads of one precision "
                         "(default: run both, reporting speedup_vs_f64)")
+    b.add_argument("--kernel-variant",
+                   choices=("pooled", "blocked", "compiled", "all"),
+                   default="all",
+                   help="restrict the suite to workloads of one stencil "
+                        "backend (variant-agnostic workloads such as "
+                        "halo_exchange always run); compiled workloads "
+                        "need numba or a C compiler")
     b.add_argument("--metrics", action="store_true",
                    help="also print the repro.obs metrics registry report")
     b.add_argument("--compare", nargs=2, default=None,
@@ -194,6 +209,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default 2)")
     fm.add_argument("--json", type=str, default=None, metavar="PATH",
                     help="also write the repro-farm/1 JSON report")
+    fm.add_argument("--kernel-variant",
+                    choices=("pooled", "blocked", "compiled"), default=None,
+                    help="override the spec's stencil backend for every "
+                         "job; backends are bitwise-equal so cached "
+                         "products from other variants still count as hits")
     fm.add_argument("--metrics", action="store_true",
                     help="also print the repro.obs metrics registry report")
 
@@ -293,8 +313,18 @@ def _cmd_run_quake(args) -> int:
     grid = Grid3D(args.n, args.n, max(12, args.n // 2), h=args.h)
     med = Medium.homogeneous(grid, vp=4000.0, vs=2300.0, rho=2500.0)
     pml_width = int(np.clip(args.n // 6, 3, 10))
-    cfg = SolverConfig(absorbing="pml", pml=PMLConfig(width=pml_width),
-                       dtype=np.dtype(args.dtype).type)
+    if args.kernel_variant == "pooled":
+        cfg = SolverConfig(absorbing="pml", pml=PMLConfig(width=pml_width),
+                           dtype=np.dtype(args.dtype).type)
+    else:
+        # blocked/compiled sweeps forbid PML (split-field updates need the
+        # per-plane hook); use the sponge taper instead and say so.
+        print(f"kernel_variant={args.kernel_variant}: using sponge "
+              f"absorbing boundary (PML needs the pooled sweep)")
+        cfg = SolverConfig(absorbing="sponge",
+                           sponge_width=max(3, pml_width),
+                           kernel_variant=args.kernel_variant,
+                           dtype=np.dtype(args.dtype).type)
     args._solver_config = cfg     # picked up by main() for the trace manifest
 
     health_mode = args.health
@@ -349,6 +379,10 @@ def _cmd_run_quake(args) -> int:
              if args.ranks > 1 else "")
     print(f"ran {args.steps} steps (dt = {solver.dt * 1e3:.2f} ms), "
           f"t = {solver.t:.2f} s{where}")
+    if args.kernel_variant != "pooled":
+        print(f"kernel variant: {solver.kernel_variant}"
+              + ("" if solver.kernel_variant == args.kernel_variant
+                 else f" (requested {args.kernel_variant})"))
     print(f"surface PGVH: max {pgv.max():.3e} m/s")
     if args.out:
         np.save(args.out, pgv)
@@ -491,6 +525,17 @@ def _cmd_bench(args) -> int:
             print(f"error: no selected workload matches --dtype {args.dtype}",
                   file=sys.stderr)
             return 2
+    if args.kernel_variant != "all":
+        from .bench import WORKLOAD_VARIANTS, WORKLOADS
+        pool = workloads if workloads is not None else list(WORKLOADS)
+        # variant-agnostic workloads (halo, tracer, farm) always stay in.
+        workloads = [w for w in pool
+                     if WORKLOAD_VARIANTS.get(w) in (args.kernel_variant,
+                                                     None)]
+        if not workloads:
+            print(f"error: no selected workload matches "
+                  f"--kernel-variant {args.kernel_variant}", file=sys.stderr)
+            return 2
     try:
         report = run_suite(smoke=args.smoke, workloads=workloads)
     except ValueError as exc:   # e.g. an unknown --workload name
@@ -520,6 +565,9 @@ def _cmd_farm(args) -> int:
     except OSError as exc:
         print(f"error: cannot read spec: {exc}", file=sys.stderr)
         return 2
+    if args.kernel_variant is not None:
+        from dataclasses import replace
+        spec = replace(spec, kernel_variant=args.kernel_variant)
     store = ProductStore(args.store)
 
     def progress(res):
@@ -579,11 +627,12 @@ def _cmd_verify(args) -> int:
             cells = build_cells()
         else:
             # sim backend across the whole dtype/variant grid, plus one
-            # procpool smoke cell so the fork path is exercised too.
+            # procpool smoke cell per overlap-capable variant so the fork
+            # path (and the compiled core/shell split) is exercised too.
             cells = (build_cells(backends=("sim",), decomps=QUICK_DECOMPS)
                      + build_cells(backends=("procpool",),
                                    dtypes=("float64",),
-                                   variants=("pooled",),
+                                   variants=("pooled", "compiled"),
                                    decomps=((2, 1, 1),)))
         report.matrix = run_matrix(
             cells=cells,

@@ -1,0 +1,145 @@
+"""Numba implementations of the fused stencil sweeps.
+
+Imported lazily by :mod:`repro.core.compiled` — importing this module
+requires numba.  The kernels live in a real source file (not exec-generated
+code) because ``@njit(cache=True)`` needs one to key its on-disk cache.
+
+Bitwise contract (same as the cbuild provider): every per-cell expression
+replays the pooled numpy ufunc sequence with fixed association order, and
+the constants ``c1``/``c2``/``h``/``dt`` arrive pre-cast to the array dtype
+(numba promotes ``float32 array * float64 scalar`` to float64, unlike
+NEP-50 numpy, so the cast must happen in the python wrapper).  fastmath is
+left off, so LLVM emits strict IEEE ops with no FMA contraction.
+
+``prange`` is a plain ``range`` alias under the serial dispatchers and a
+thread-parallel loop under ``parallel=True``; rows are independent within
+a half-step, so the split is bitwise-safe.
+"""
+
+from __future__ import annotations
+
+from numba import njit, prange
+
+
+def _velocity_impl(vx, vy, vz, sxx, syy, szz, sxy, sxz, syz,
+                   bx, by, bz, c1, c2, h, dt,
+                   x0, x1, y0, y1, z0, z1):
+    for i in prange(x0, x1):
+        for j in range(y0, y1):
+            for k in range(z0, z1):
+                # vx: fwd d/dx sxx, bwd d/dy sxy, bwd d/dz sxz
+                v = vx[i, j, k]
+                t = ((((sxx[i + 1, j, k] * c1) - (sxx[i, j, k] * c1))
+                      + (sxx[i + 2, j, k] * c2))
+                     - (sxx[i - 1, j, k] * c2)) / h
+                t = t * bx[i, j, k]
+                v = v + (t * dt)
+                t = ((((sxy[i, j, k] * c1) - (sxy[i, j - 1, k] * c1))
+                      + (sxy[i, j + 1, k] * c2))
+                     - (sxy[i, j - 2, k] * c2)) / h
+                t = t * bx[i, j, k]
+                v = v + (t * dt)
+                t = ((((sxz[i, j, k] * c1) - (sxz[i, j, k - 1] * c1))
+                      + (sxz[i, j, k + 1] * c2))
+                     - (sxz[i, j, k - 2] * c2)) / h
+                t = t * bx[i, j, k]
+                v = v + (t * dt)
+                vx[i, j, k] = v
+                # vy: bwd d/dx sxy, fwd d/dy syy, bwd d/dz syz
+                v = vy[i, j, k]
+                t = ((((sxy[i, j, k] * c1) - (sxy[i - 1, j, k] * c1))
+                      + (sxy[i + 1, j, k] * c2))
+                     - (sxy[i - 2, j, k] * c2)) / h
+                t = t * by[i, j, k]
+                v = v + (t * dt)
+                t = ((((syy[i, j + 1, k] * c1) - (syy[i, j, k] * c1))
+                      + (syy[i, j + 2, k] * c2))
+                     - (syy[i, j - 1, k] * c2)) / h
+                t = t * by[i, j, k]
+                v = v + (t * dt)
+                t = ((((syz[i, j, k] * c1) - (syz[i, j, k - 1] * c1))
+                      + (syz[i, j, k + 1] * c2))
+                     - (syz[i, j, k - 2] * c2)) / h
+                t = t * by[i, j, k]
+                v = v + (t * dt)
+                vy[i, j, k] = v
+                # vz: bwd d/dx sxz, bwd d/dy syz, fwd d/dz szz
+                v = vz[i, j, k]
+                t = ((((sxz[i, j, k] * c1) - (sxz[i - 1, j, k] * c1))
+                      + (sxz[i + 1, j, k] * c2))
+                     - (sxz[i - 2, j, k] * c2)) / h
+                t = t * bz[i, j, k]
+                v = v + (t * dt)
+                t = ((((syz[i, j, k] * c1) - (syz[i, j - 1, k] * c1))
+                      + (syz[i, j + 1, k] * c2))
+                     - (syz[i, j - 2, k] * c2)) / h
+                t = t * bz[i, j, k]
+                v = v + (t * dt)
+                t = ((((szz[i, j, k + 1] * c1) - (szz[i, j, k] * c1))
+                      + (szz[i, j, k + 2] * c2))
+                     - (szz[i, j, k - 1] * c2)) / h
+                t = t * bz[i, j, k]
+                v = v + (t * dt)
+                vz[i, j, k] = v
+
+
+def _stress_impl(vx, vy, vz, sxx, syy, szz, sxy, sxz, syz,
+                 lam, lam2mu, mu_xy, mu_xz, mu_yz, c1, c2, h, dt,
+                 x0, x1, y0, y1, z0, z1):
+    for i in prange(x0, x1):
+        for j in range(y0, y1):
+            for k in range(z0, z1):
+                # Normal stresses share bwd d/dx vx, d/dy vy, d/dz vz.
+                dvx = ((((vx[i, j, k] * c1) - (vx[i - 1, j, k] * c1))
+                        + (vx[i + 1, j, k] * c2))
+                       - (vx[i - 2, j, k] * c2)) / h
+                dvy = ((((vy[i, j, k] * c1) - (vy[i, j - 1, k] * c1))
+                        + (vy[i, j + 1, k] * c2))
+                       - (vy[i, j - 2, k] * c2)) / h
+                dvz = ((((vz[i, j, k] * c1) - (vz[i, j, k - 1] * c1))
+                        + (vz[i, j, k + 1] * c2))
+                       - (vz[i, j, k - 2] * c2)) / h
+                l2m = lam2mu[i, j, k]
+                lm = lam[i, j, k]
+                sxx[i, j, k] = sxx[i, j, k] + (
+                    (((dvx * l2m) + (dvy * lm)) + (dvz * lm)) * dt)
+                syy[i, j, k] = syy[i, j, k] + (
+                    (((dvx * lm) + (dvy * l2m)) + (dvz * lm)) * dt)
+                szz[i, j, k] = szz[i, j, k] + (
+                    (((dvx * lm) + (dvy * lm)) + (dvz * l2m)) * dt)
+                # sxy: fwd d/dx vy + fwd d/dy vx, scaled by mu_xy
+                t = ((((vy[i + 1, j, k] * c1) - (vy[i, j, k] * c1))
+                      + (vy[i + 2, j, k] * c2))
+                     - (vy[i - 1, j, k] * c2)) / h
+                t = t * mu_xy[i, j, k]
+                u = ((((vx[i, j + 1, k] * c1) - (vx[i, j, k] * c1))
+                      + (vx[i, j + 2, k] * c2))
+                     - (vx[i, j - 1, k] * c2)) / h
+                u = u * mu_xy[i, j, k]
+                sxy[i, j, k] = sxy[i, j, k] + ((t + u) * dt)
+                # sxz: fwd d/dx vz + fwd d/dz vx, scaled by mu_xz
+                t = ((((vz[i + 1, j, k] * c1) - (vz[i, j, k] * c1))
+                      + (vz[i + 2, j, k] * c2))
+                     - (vz[i - 1, j, k] * c2)) / h
+                t = t * mu_xz[i, j, k]
+                u = ((((vx[i, j, k + 1] * c1) - (vx[i, j, k] * c1))
+                      + (vx[i, j, k + 2] * c2))
+                     - (vx[i, j, k - 1] * c2)) / h
+                u = u * mu_xz[i, j, k]
+                sxz[i, j, k] = sxz[i, j, k] + ((t + u) * dt)
+                # syz: fwd d/dy vz + fwd d/dz vy, scaled by mu_yz
+                t = ((((vz[i, j + 1, k] * c1) - (vz[i, j, k] * c1))
+                      + (vz[i, j + 2, k] * c2))
+                     - (vz[i, j - 1, k] * c2)) / h
+                t = t * mu_yz[i, j, k]
+                u = ((((vy[i, j, k + 1] * c1) - (vy[i, j, k] * c1))
+                      + (vy[i, j, k + 2] * c2))
+                     - (vy[i, j, k - 1] * c2)) / h
+                u = u * mu_yz[i, j, k]
+                syz[i, j, k] = syz[i, j, k] + ((t + u) * dt)
+
+
+velocity_serial = njit(cache=True)(_velocity_impl)
+stress_serial = njit(cache=True)(_stress_impl)
+velocity_parallel = njit(cache=True, parallel=True)(_velocity_impl)
+stress_parallel = njit(cache=True, parallel=True)(_stress_impl)

@@ -1,0 +1,611 @@
+"""Compiled fused stencil kernels (``kernel_variant="compiled"``).
+
+The pooled numpy kernels (:mod:`repro.core.kernels`) are allocation-free but
+still traverse memory once per ufunc: one velocity component costs ~15 whole-
+array passes.  The paper's single-CPU story (Section IV.B) is built on *fused*
+sweeps — every term of the update evaluated per cell in one pass so operands
+stay in registers/cache.  This module provides that backend behind the
+existing kernel-variant switch, with two JIT providers:
+
+``numba``
+    ``@njit(cache=True)`` nested-loop kernels, optionally threaded with
+    ``prange`` (``parallel=True`` dispatchers).  Preferred when importable;
+    numba's on-disk cache makes warm starts cheap.
+``cbuild``
+    A tiny C extension generated from the *same* operator tables the numpy
+    kernels use (:data:`~repro.core.kernels._VEL_TERMS` et al.), compiled
+    with the system C compiler (``-O3 -ffp-contract=off``) into a shared
+    library under a content-addressed JIT cache, and bound via ``ctypes``.
+    This keeps the compiled path alive on hosts without numba.
+
+Both providers implement one *scalar expression tree per cell* that replays
+the pooled kernels' exact ufunc sequence (derivative taps scaled and
+accumulated in the same order, ``t*dt`` increments added sequentially), with
+floating-point contraction disabled, so results are **bitwise identical** to
+the pooled kernels at both precisions — the same aVal invariant every other
+optimization layer holds.  Velocity updates read only stresses and stress
+updates read only velocities, so fusing all components into one pass (and
+splitting the pass over threads or regions) cannot change any cell's result.
+
+Fallback contract: when no provider is available, solvers warn **once**
+(``RuntimeWarning``) and run ``pooled`` — which the equivalence matrix runs
+under ``warnings.simplefilter("error")``, so a silent fallback fails the
+cell rather than vacuously passing (mirroring the procpool→SimMPI fallback).
+
+Environment knobs:
+
+``REPRO_COMPILED_PROVIDER``
+    ``numba`` | ``cbuild`` — restrict the provider chain (``none`` disables
+    compiled kernels entirely, forcing the fallback path; used in tests).
+``REPRO_JIT_CACHE``
+    Cache directory for the cbuild shared libraries (default
+    ``~/.cache/repro-jit``).  Numba manages its own cache (honouring
+    ``NUMBA_CACHE_DIR``).
+``CC``
+    C compiler for the cbuild provider (default: first of ``cc``, ``gcc``,
+    ``clang`` on ``PATH``).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import importlib.util
+import os
+import shutil
+import subprocess
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fd import C1, C2, NGHOST
+from .grid import WaveField
+from .kernels import (_SHEAR_MOD, _SHEAR_TERMS, _VEL_BUOYANCY, _VEL_TERMS,
+                      VelocityStressKernel)
+from .medium import Medium
+
+__all__ = [
+    "CompiledUnavailable",
+    "FusedStepper",
+    "FusedRegionStepper",
+    "compiled_available",
+    "ensure_available",
+    "get_kernels",
+    "jit_cache_dir",
+    "provider_info",
+]
+
+#: Provider names in default resolution order.
+PROVIDERS = ("numba", "cbuild")
+
+#: Medium arrays every fused kernel reads.
+_MEDIUM_FIELDS = ("bx", "by", "bz", "lam", "lam2mu",
+                  "mu_xy", "mu_xz", "mu_yz")
+
+
+class CompiledUnavailable(RuntimeError):
+    """No compiled-kernel provider can run on this host."""
+
+
+# ----------------------------------------------------------------------
+# Provider detection
+# ----------------------------------------------------------------------
+def jit_cache_dir() -> str:
+    """Cache directory for cbuild shared libraries."""
+    return os.environ.get("REPRO_JIT_CACHE") or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-jit")
+
+
+def _find_cc() -> str | None:
+    cc = os.environ.get("CC")
+    if cc:
+        return cc if os.path.sep in cc and os.path.exists(cc) \
+            else shutil.which(cc)
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _numba_present() -> bool:
+    try:
+        return importlib.util.find_spec("numba") is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def _provider_chain() -> tuple[str, ...]:
+    """The providers to try, honouring ``REPRO_COMPILED_PROVIDER``."""
+    override = os.environ.get("REPRO_COMPILED_PROVIDER", "").strip().lower()
+    if not override:
+        return PROVIDERS
+    if override in ("none", "off", "0"):
+        return ()
+    if override not in PROVIDERS:
+        raise CompiledUnavailable(
+            f"unknown REPRO_COMPILED_PROVIDER={override!r} "
+            f"(expected one of {', '.join(PROVIDERS)}, or 'none')")
+    return (override,)
+
+
+def _probe(provider: str) -> str | None:
+    """None if ``provider`` looks usable, else a human-readable reason."""
+    if provider == "numba":
+        return None if _numba_present() else "numba not importable"
+    if provider == "cbuild":
+        return None if _find_cc() is not None else \
+            "no C compiler on PATH (cc/gcc/clang) and CC unset"
+    return f"unknown provider {provider!r}"
+
+
+def ensure_available() -> str:
+    """Return the first usable provider name or raise CompiledUnavailable.
+
+    This is a cheap presence probe (importability / compiler on PATH); the
+    actual JIT happens lazily in :func:`get_kernels`, whose failures also
+    raise :class:`CompiledUnavailable` so callers hit one fallback path.
+    """
+    chain = _provider_chain()
+    if not chain:
+        raise CompiledUnavailable(
+            "compiled kernels disabled by REPRO_COMPILED_PROVIDER")
+    reasons = []
+    for provider in chain:
+        reason = _probe(provider)
+        if reason is None:
+            return provider
+        reasons.append(f"{provider}: {reason}")
+    raise CompiledUnavailable("; ".join(reasons))
+
+
+def compiled_available() -> bool:
+    """Whether some compiled-kernel provider looks usable on this host."""
+    try:
+        ensure_available()
+        return True
+    except CompiledUnavailable:
+        return False
+
+
+def provider_info() -> dict:
+    """Host capability record for bench reports (``host.compiled``)."""
+    try:
+        provider = ensure_available()
+        return {"available": True, "provider": provider, "detail": ""}
+    except CompiledUnavailable as exc:
+        return {"available": False, "provider": None, "detail": str(exc)}
+
+
+# ----------------------------------------------------------------------
+# C source generation (cbuild provider)
+# ----------------------------------------------------------------------
+# The generators below emit one scalar expression tree per cell derived from
+# the SAME operator tables the numpy kernels iterate (_VEL_TERMS etc.), so
+# the two formulations cannot drift apart.  Parenthesisation fixes the
+# association order to the pooled ufunc sequence; -ffp-contract=off stops
+# the compiler fusing `a*b + c` into an FMA (gcc defaults to contract=fast,
+# which would change low-order bits).
+
+_STRIDES = ("si", "sj", "1")
+
+
+def _c_off(axis: int, d: int) -> str:
+    """Index expression ``q ± d*stride`` for a tap ``d`` cells along axis."""
+    if d == 0:
+        return "q"
+    stride = _STRIDES[axis]
+    mag = abs(d)
+    term = str(mag) if stride == "1" else \
+        (stride if mag == 1 else f"{mag}*{stride}")
+    return f"q {'+' if d > 0 else '-'} {term}"
+
+
+def _c_deriv(field: str, axis: int, dirn: str) -> str:
+    """The 4th-order staggered derivative as one parenthesised expression.
+
+    Matches fd.diff4_fwd/_bwd's in-place sequence:
+    ``(((p_a*c1 - p_b*c1) + p_c*c2) - p_d*c2) / h``.
+    """
+    taps = (1, 0, 2, -1) if dirn == "f" else (0, -1, 1, -2)
+    a, b, c, d = (f"{field}[{_c_off(axis, t)}]" for t in taps)
+    return (f"(((({a} * c1) - ({b} * c1)) + ({c} * c2)) - ({d} * c2)) / h")
+
+
+def _c_velocity_body() -> str:
+    lines: list[str] = []
+    for comp in ("vx", "vy", "vz"):
+        buoy = _VEL_BUOYANCY[comp]
+        lines.append(f"v = {comp}[q];")
+        for axis, sname, dirn in _VEL_TERMS[comp]:
+            lines.append(f"t = {_c_deriv(sname, axis, dirn)};")
+            lines.append(f"t = t * {buoy}[q];")
+            lines.append("v = v + (t * dt);")
+        lines.append(f"{comp}[q] = v;")
+    return "\n                ".join(lines)
+
+
+def _c_stress_body() -> str:
+    lines = [
+        f"dvx = {_c_deriv('vx', 0, 'b')};",
+        f"dvy = {_c_deriv('vy', 1, 'b')};",
+        f"dvz = {_c_deriv('vz', 2, 'b')};",
+        "l2m = lam2mu[q];",
+        "l = lam[q];",
+        "sxx[q] = sxx[q] + ((((dvx * l2m) + (dvy * l)) + (dvz * l)) * dt);",
+        "syy[q] = syy[q] + ((((dvx * l) + (dvy * l2m)) + (dvz * l)) * dt);",
+        "szz[q] = szz[q] + ((((dvx * l) + (dvy * l)) + (dvz * l2m)) * dt);",
+    ]
+    for comp in ("sxy", "sxz", "syz"):
+        mod = _SHEAR_MOD[comp]
+        (a0, v0, _), (a1, v1, _) = _SHEAR_TERMS[comp]
+        lines += [
+            f"t = {_c_deriv(v0, a0, 'f')};",
+            f"t = t * {mod}[q];",
+            f"u = {_c_deriv(v1, a1, 'f')};",
+            f"u = u * {mod}[q];",
+            f"{comp}[q] = {comp}[q] + ((t + u) * dt);",
+        ]
+    return "\n                ".join(lines)
+
+
+_C_TEMPLATE = """\
+void fused_velocity_{suf}(
+    {real} *restrict vx, {real} *restrict vy, {real} *restrict vz,
+    const {real} *restrict sxx, const {real} *restrict syy,
+    const {real} *restrict szz, const {real} *restrict sxy,
+    const {real} *restrict sxz, const {real} *restrict syz,
+    const {real} *restrict bx, const {real} *restrict by,
+    const {real} *restrict bz,
+    const double h_in, const double dt_in,
+    const long npy, const long npz,
+    const long x0, const long x1, const long y0, const long y1,
+    const long z0, const long z1)
+{{
+    const {real} c1 = ({real})({c1});
+    const {real} c2 = ({real})({c2});
+    const {real} h = ({real})h_in;
+    const {real} dt = ({real})dt_in;
+    const long si = npy * npz;
+    const long sj = npz;
+#pragma omp parallel for schedule(static)
+    for (long i = x0; i < x1; ++i) {{
+        for (long j = y0; j < y1; ++j) {{
+            const long row = i * si + j * sj;
+            for (long k = z0; k < z1; ++k) {{
+                const long q = row + k;
+                {real} t, v;
+                {vel_body}
+            }}
+        }}
+    }}
+}}
+
+void fused_stress_{suf}(
+    const {real} *restrict vx, const {real} *restrict vy,
+    const {real} *restrict vz,
+    {real} *restrict sxx, {real} *restrict syy, {real} *restrict szz,
+    {real} *restrict sxy, {real} *restrict sxz, {real} *restrict syz,
+    const {real} *restrict lam, const {real} *restrict lam2mu,
+    const {real} *restrict mu_xy, const {real} *restrict mu_xz,
+    const {real} *restrict mu_yz,
+    const double h_in, const double dt_in,
+    const long npy, const long npz,
+    const long x0, const long x1, const long y0, const long y1,
+    const long z0, const long z1)
+{{
+    const {real} c1 = ({real})({c1});
+    const {real} c2 = ({real})({c2});
+    const {real} h = ({real})h_in;
+    const {real} dt = ({real})dt_in;
+    const long si = npy * npz;
+    const long sj = npz;
+#pragma omp parallel for schedule(static)
+    for (long i = x0; i < x1; ++i) {{
+        for (long j = y0; j < y1; ++j) {{
+            const long row = i * si + j * sj;
+            for (long k = z0; k < z1; ++k) {{
+                const long q = row + k;
+                {real} t, u, dvx, dvy, dvz, l, l2m;
+                {stress_body}
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def _c_source() -> str:
+    """The full generated C translation unit (both dtypes)."""
+    vel_body = _c_velocity_body()
+    stress_body = _c_stress_body()
+    units = []
+    for real, suf in (("double", "f64"), ("float", "f32")):
+        units.append(_C_TEMPLATE.format(
+            real=real, suf=suf, c1=repr(C1), c2=repr(C2),
+            vel_body=vel_body, stress_body=stress_body))
+    return ("/* generated by repro.core.compiled — fused velocity/stress\n"
+            "   sweeps replaying the pooled numpy ufunc order exactly. */\n\n"
+            + "\n".join(units))
+
+
+def _cbuild_library(parallel: bool) -> tuple[ctypes.CDLL, float, bool]:
+    """Compile (or reuse) the shared library; returns (lib, secs, cache_hit).
+
+    The cache is content-addressed: source + compiler + flags hash to the
+    library filename, so editing the generators or switching compilers
+    naturally invalidates stale entries.
+    """
+    cc = _find_cc()
+    if cc is None:
+        raise CompiledUnavailable(
+            "no C compiler on PATH (cc/gcc/clang) and CC unset")
+    source = _c_source()
+    flags = ["-O3", "-ffp-contract=off", "-fPIC", "-shared"]
+    if parallel:
+        flags.append("-fopenmp")
+    digest = hashlib.sha256(
+        "\0".join([source, cc, " ".join(flags)]).encode()).hexdigest()[:16]
+    cache = jit_cache_dir()
+    so_path = os.path.join(cache, f"fused_{digest}.so")
+    if os.path.exists(so_path):
+        return ctypes.CDLL(so_path), 0.0, True
+    os.makedirs(cache, exist_ok=True)
+    c_path = os.path.join(cache, f"fused_{digest}.c")
+    with open(c_path, "w") as f:
+        f.write(source)
+    tmp_path = so_path + f".tmp{os.getpid()}"
+    t0 = time.perf_counter()
+    proc = subprocess.run([cc, *flags, "-o", tmp_path, c_path],
+                          capture_output=True, text=True)
+    elapsed = time.perf_counter() - t0
+    if proc.returncode != 0:
+        raise CompiledUnavailable(
+            f"C compilation failed ({cc}): {proc.stderr.strip()[-500:]}")
+    os.replace(tmp_path, so_path)  # atomic under concurrent builders
+    return ctypes.CDLL(so_path), elapsed, False
+
+
+def _cbuild_kernels(dtype: np.dtype, parallel: bool):
+    lib, compile_s, cache_hit = _cbuild_library(parallel)
+    suf = "f64" if dtype == np.float64 else "f32"
+    vel_fn = getattr(lib, f"fused_velocity_{suf}")
+    str_fn = getattr(lib, f"fused_stress_{suf}")
+    vel_fn.restype = None
+    str_fn.restype = None
+    vel_fn.argtypes = ([ctypes.c_void_p] * 12 + [ctypes.c_double] * 2
+                       + [ctypes.c_long] * 8)
+    str_fn.argtypes = ([ctypes.c_void_p] * 14 + [ctypes.c_double] * 2
+                       + [ctypes.c_long] * 8)
+
+    def vel(*args):
+        arrays, scalars = args[:12], args[12:]
+        _, npy, npz = arrays[0].shape
+        vel_fn(*(a.ctypes.data for a in arrays), scalars[0], scalars[1],
+               npy, npz, *scalars[2:])
+
+    def stress(*args):
+        arrays, scalars = args[:14], args[14:]
+        _, npy, npz = arrays[0].shape
+        str_fn(*(a.ctypes.data for a in arrays), scalars[0], scalars[1],
+               npy, npz, *scalars[2:])
+
+    return vel, stress, compile_s, cache_hit
+
+
+# ----------------------------------------------------------------------
+# Numba provider
+# ----------------------------------------------------------------------
+def _numba_kernels(dtype: np.dtype, parallel: bool):
+    try:
+        from . import _compiled_numba as nbmod
+    except ImportError as exc:
+        raise CompiledUnavailable(f"numba not importable: {exc}") from exc
+    vel_jit = nbmod.velocity_parallel if parallel else nbmod.velocity_serial
+    str_jit = nbmod.stress_parallel if parallel else nbmod.stress_serial
+    cast = dtype.type
+    c1, c2 = cast(C1), cast(C2)
+
+    def vel(*args):
+        arrays, (h, dt, *bounds) = args[:12], args[12:]
+        vel_jit(*arrays, c1, c2, cast(h), cast(dt), *bounds)
+
+    def stress(*args):
+        arrays, (h, dt, *bounds) = args[:14], args[14:]
+        str_jit(*arrays, c1, c2, cast(h), cast(dt), *bounds)
+
+    # Warm the dispatchers on a minimal fixture so the one-time JIT (or the
+    # on-disk cache load) is accounted here, not inside a timed step.
+    t0 = time.perf_counter()
+    tiny = [np.zeros((5, 5, 5), dtype=dtype) for _ in range(14)]
+    vel(*tiny[:12], 1.0, 0.0, 2, 3, 2, 3, 2, 3)
+    stress(*tiny, 1.0, 0.0, 2, 3, 2, 3, 2, 3)
+    compile_s = time.perf_counter() - t0
+
+    def _hits(fn) -> int:
+        counter = getattr(fn, "_cache_hits", None)
+        try:
+            return sum(counter.values()) if counter else 0
+        except (TypeError, AttributeError):
+            return 0
+
+    cache_hit = (_hits(vel_jit) + _hits(str_jit)) > 0
+    return vel, stress, compile_s, cache_hit
+
+
+# ----------------------------------------------------------------------
+# Kernel resolution (memoized per process)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KernelSet:
+    """A resolved pair of fused sweeps bound to one dtype/provider.
+
+    ``vel(vx..bz, h, dt, x0, x1, y0, y1, z0, z1)`` and
+    ``stress(vx..mu_yz, h, dt, x0..z1)`` update the half-open padded-index
+    box ``[x0,x1)×[y0,y1)×[z0,z1)`` in place.
+    """
+
+    vel: object
+    stress: object
+    provider: str
+    dtype: str
+    parallel: bool
+    compile_seconds: float
+    cache_hit: bool
+
+
+_KERNEL_CACHE: dict[tuple[str, bool, str], KernelSet] = {}
+
+_BUILDERS = {"numba": _numba_kernels, "cbuild": _cbuild_kernels}
+
+
+def get_kernels(dtype, parallel: bool = False,
+                provider: str | None = None) -> KernelSet:
+    """Resolve (JIT-compiling if needed) the fused kernels for ``dtype``.
+
+    Memoized per process: the distributed solver resolves once up front and
+    every rank sub-solver then binds the same compiled functions, so the
+    warn-once fallback contract holds (one resolution, one possible warning).
+    Raises :class:`CompiledUnavailable` when no provider can deliver.
+    """
+    dt = np.dtype(dtype)
+    if dt not in (np.dtype(np.float64), np.dtype(np.float32)):
+        raise CompiledUnavailable(f"unsupported dtype {dt.name} "
+                                  "(float64/float32 only)")
+    chain = (provider,) if provider else _provider_chain()
+    if not chain:
+        raise CompiledUnavailable(
+            "compiled kernels disabled by REPRO_COMPILED_PROVIDER")
+    errors = []
+    for prov in chain:
+        if prov not in _BUILDERS:
+            raise CompiledUnavailable(f"unknown provider {prov!r}")
+        key = (dt.name, parallel, prov)
+        if key in _KERNEL_CACHE:
+            return _KERNEL_CACHE[key]
+        reason = _probe(prov)
+        if reason is not None:
+            errors.append(f"{prov}: {reason}")
+            continue
+        try:
+            vel, stress, compile_s, cache_hit = _BUILDERS[prov](dt, parallel)
+        except CompiledUnavailable as exc:
+            errors.append(f"{prov}: {exc}")
+            continue
+        except Exception as exc:  # noqa: BLE001 - any JIT failure => fallback
+            errors.append(f"{prov}: {type(exc).__name__}: {exc}")
+            continue
+        ks = KernelSet(vel=vel, stress=stress, provider=prov, dtype=dt.name,
+                       parallel=parallel, compile_seconds=compile_s,
+                       cache_hit=cache_hit)
+        _KERNEL_CACHE[key] = ks
+        return ks
+    raise CompiledUnavailable("; ".join(errors))
+
+
+# ----------------------------------------------------------------------
+# Stepper facade (what the solvers hold)
+# ----------------------------------------------------------------------
+class FusedStepper:
+    """Fused velocity/stress sweeps bound to one wavefield and medium.
+
+    The compiled counterpart of :class:`~repro.core.kernels.
+    VelocityStressKernel`: ``step_velocity()``/``step_stress()`` update the
+    whole interior; passing ``region=`` (a tuple of padded-coordinate slices
+    with explicit bounds) restricts the sweep to that box, which is what the
+    IV.C core/shell overlap split uses.  Bitwise identical to the pooled
+    kernels per cell, at both precisions, for any disjoint region cover.
+    """
+
+    def __init__(self, wf: WaveField, medium: Medium, dt: float,
+                 order: int = 4, parallel: bool = False,
+                 provider: str | None = None):
+        if order != 4:
+            raise ValueError("compiled kernels implement the 4th-order "
+                             f"stencil only (got order={order})")
+        missing = [n for n in _MEDIUM_FIELDS if not hasattr(medium, n)]
+        if missing:
+            raise ValueError("medium lacks fused-kernel arrays: "
+                             + ", ".join(missing))
+        if medium.grid.padded_shape != wf.grid.padded_shape:
+            raise ValueError("medium and wavefield grids differ")
+        arrays = [*wf.fields().values(),
+                  *(getattr(medium, n) for n in _MEDIUM_FIELDS)]
+        for a in arrays:
+            if not a.flags.c_contiguous:
+                raise ValueError("fused kernels require C-contiguous arrays")
+        self.wf = wf
+        self.medium = medium
+        self.dt = float(dt)
+        self.h = float(wf.grid.h)
+        self._ks = get_kernels(wf.dtype, parallel=parallel, provider=provider)
+        self.provider = self._ks.provider
+        self.parallel = parallel
+        self.compile_seconds = self._ks.compile_seconds
+        self.cache_hit = self._ks.cache_hit
+        g = wf.grid
+        self._interior = (NGHOST, NGHOST + g.nx, NGHOST, NGHOST + g.ny,
+                          NGHOST, NGHOST + g.nz)
+        self._vel_args = (wf.vx, wf.vy, wf.vz,
+                          wf.sxx, wf.syy, wf.szz, wf.sxy, wf.sxz, wf.syz,
+                          medium.bx, medium.by, medium.bz)
+        self._str_args = (wf.vx, wf.vy, wf.vz,
+                          wf.sxx, wf.syy, wf.szz, wf.sxy, wf.sxz, wf.syz,
+                          medium.lam, medium.lam2mu,
+                          medium.mu_xy, medium.mu_xz, medium.mu_yz)
+        from ..obs.metrics import default_registry
+        default_registry().gauge("compiled.jit_compile_s").set(
+            self.compile_seconds)
+
+    @classmethod
+    def for_kernel(cls, kernel: VelocityStressKernel,
+                   parallel: bool = False,
+                   provider: str | None = None) -> "FusedStepper":
+        """Build a stepper sharing a pooled kernel's bindings (wf, medium,
+        dt, order) — the hook the solvers use."""
+        return cls(kernel.wf, kernel.medium, kernel.dt, order=kernel.order,
+                   parallel=parallel, provider=provider)
+
+    def _bounds(self, region) -> tuple[int, int, int, int, int, int]:
+        if region is None:
+            return self._interior
+        out = []
+        for s in region:
+            if s.start is None or s.stop is None:
+                raise ValueError("region slices need explicit start/stop")
+            out += [s.start, s.stop]
+        return tuple(out)
+
+    def step_velocity(self, region=None) -> None:
+        """Advance vx/vy/vz over the interior (or one region box)."""
+        self._ks.vel(*self._vel_args, self.h, self.dt, *self._bounds(region))
+
+    def step_stress(self, region=None) -> None:
+        """Advance the six stresses over the interior (or one region box)."""
+        self._ks.stress(*self._str_args, self.h, self.dt,
+                        *self._bounds(region))
+
+
+class FusedRegionStepper:
+    """A :class:`FusedStepper` pinned to one region box.
+
+    Drop-in for :class:`~repro.core.kernels.RegionUpdater` in the IV.C
+    overlap plan: same ``step_velocity()``/``step_stress()`` surface, zero
+    per-region scratch (the fused sweeps need none).
+    """
+
+    def __init__(self, stepper: FusedStepper, region: tuple[slice, ...]):
+        for s in region:
+            if s.start is None or s.stop is None:
+                raise ValueError("region slices need explicit start/stop")
+        if any(s.stop - s.start <= 0 for s in region):
+            raise ValueError(f"empty region {region!r}")
+        self.stepper = stepper
+        self.region = region
+
+    def step_velocity(self) -> None:
+        self.stepper.step_velocity(self.region)
+
+    def step_stress(self) -> None:
+        self.stepper.step_stress(self.region)

@@ -20,6 +20,7 @@ solver bitwise.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -51,11 +52,27 @@ class SolverConfig:
     attenuation_band: tuple[float, float] | None = None  #: (f_min, f_max) or None
     n_mechanisms: int = 8
     cache_blocking: bool = False         #: use the blocked kernel driver
-    kblock: int = 16
-    jblock: int = 8
+    kblock: int = 16                     #: blocked-driver panel depth (z cells)
+    jblock: int = 8                      #: blocked-driver panel width (y cells)
+    kernel_variant: str = "pooled"       #: 'pooled' | 'blocked' | 'compiled'
+    compiled_parallel: bool = False      #: thread the compiled sweeps (prange/OpenMP)
     dtype: type = np.float64
     stability_check_interval: int = 50   #: steps between blow-up checks
     stability_limit: float = 1e9         #: max |v| before declaring divergence
+
+    def __post_init__(self) -> None:
+        if self.kernel_variant not in ("pooled", "blocked", "compiled"):
+            raise ValueError(
+                f"unknown kernel_variant {self.kernel_variant!r} "
+                "(expected 'pooled', 'blocked' or 'compiled')")
+        if self.kblock < 1 or self.jblock < 1:
+            raise ValueError(
+                "block sizes must be >= 1 "
+                f"(kblock={self.kblock}, jblock={self.jblock})")
+        if self.kernel_variant == "compiled" and self.order != 4:
+            raise ValueError(
+                "kernel_variant='compiled' implements the 4th-order stencil "
+                f"only (got order={self.order})")
 
 
 @dataclass
@@ -152,6 +169,26 @@ class WaveSolver:
             grid.h, vp_ref, order=cfg.order)
         self.wf = WaveField(grid, dtype=np.dtype(cfg.dtype))
         self.kernel = VelocityStressKernel(self.wf, medium, self.dt, order=cfg.order)
+        #: effective kernel variant (== cfg.kernel_variant unless the
+        #: compiled backend was unavailable and we fell back to pooled)
+        self.kernel_variant = cfg.kernel_variant
+        #: compiled.FusedStepper when the compiled variant is active
+        self.fused = None
+        if cfg.kernel_variant == "compiled":
+            from .compiled import CompiledUnavailable, FusedStepper
+            try:
+                self.fused = FusedStepper.for_kernel(
+                    self.kernel, parallel=cfg.compiled_parallel)
+            except CompiledUnavailable as exc:
+                # Mirror the procpool->SimMPI fallback: warn exactly once and
+                # keep running; the equivalence matrix runs with
+                # warnings-as-errors, so this can never pass a cell silently.
+                warnings.warn(
+                    f"compiled kernel backend unavailable ({exc}); "
+                    "falling back to kernel_variant='pooled'",
+                    RuntimeWarning, stacklevel=2)
+                self.kernel_variant = "pooled"
+        self._blocked = cfg.cache_blocking or self.kernel_variant == "blocked"
         self.free_surface = FreeSurfaceFS2(medium) if cfg.free_surface else None
         self.pml: PML | None = None
         self.sponge: SpongeLayer | None = None
@@ -237,12 +274,19 @@ class WaveSolver:
     # ------------------------------------------------------------------
     def _step_velocity(self) -> None:
         cfg = self.config
-        if self.pml is None and cfg.cache_blocking:
-            # Fused velocity+stress blocking is only possible on the step()
-            # fast path; with sources/forcings between the half-steps, run
-            # the split blocked drivers (bitwise identical to pooled).
-            self.kernel.step_blocked_velocity(cfg.kblock, cfg.jblock)
-            return
+        if self.pml is None:
+            # PML needs the per-axis terms, which only the pooled kernel
+            # produces; fused/blocked variants degrade to pooled under PML.
+            if self.fused is not None:
+                self.fused.step_velocity()
+                return
+            if self._blocked:
+                # Fused velocity+stress blocking is only possible on the
+                # step() fast path; with sources/forcings between the
+                # half-steps, run the split blocked drivers (bitwise
+                # identical to pooled).
+                self.kernel.step_blocked_velocity(cfg.kblock, cfg.jblock)
+                return
         for comp in ("vx", "vy", "vz"):
             terms = self.kernel.update_velocity(comp)
             if self.pml is not None:
@@ -250,10 +294,13 @@ class WaveSolver:
 
     def _step_stress(self) -> None:
         cfg = self.config
-        if (self.pml is None and cfg.cache_blocking
-                and self.attenuation is None):
-            self.kernel.step_blocked_stress(cfg.kblock, cfg.jblock)
-            return
+        if self.pml is None and self.attenuation is None:
+            if self.fused is not None:
+                self.fused.step_stress()
+                return
+            if self._blocked:
+                self.kernel.step_blocked_stress(cfg.kblock, cfg.jblock)
+                return
         hook = self._rate_hook
         for comp in ("sxx", "syy", "szz"):
             terms = self.kernel.update_stress(comp, rate_hook=hook)
@@ -270,11 +317,20 @@ class WaveSolver:
         tracer = self.tracer if self.tracer is not None else get_tracer()
         cfg = self.config
         with tracer.span("solver.step", category="compute"):
-            if cfg.cache_blocking and self.pml is None \
+            # Whole-step fast path: nothing may run between the velocity and
+            # stress halves (the free-surface ghost update included — it must
+            # see the new velocities before stresses are formed).
+            if (self._blocked or self.fused is not None) \
+                    and self.pml is None \
                     and self.attenuation is None \
+                    and self.free_surface is None \
                     and not self.moment_sources and not self.force_sources \
                     and not self.forcings:
-                self.kernel.step_blocked(cfg.kblock, cfg.jblock)
+                if self.fused is not None:
+                    self.fused.step_velocity()
+                    self.fused.step_stress()
+                else:
+                    self.kernel.step_blocked(cfg.kblock, cfg.jblock)
             else:
                 self._step_velocity()
                 if self.free_surface is not None:

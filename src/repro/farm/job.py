@@ -60,7 +60,8 @@ def _build_problem(job: FarmJob):
     dt = cfl_dt(grid.h, _VP, order=4, safety=0.5)
     cfg = SolverConfig(dt=dt, absorbing="sponge", sponge_width=3,
                        free_surface=True, stability_check_interval=0,
-                       dtype=np.dtype(job.dtype).type)
+                       dtype=np.dtype(job.dtype).type,
+                       kernel_variant=job.kernel_variant)
     solver = WaveSolver(grid, med, cfg)
 
     x_extent, y_extent, z_extent = grid.extent

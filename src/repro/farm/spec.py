@@ -51,12 +51,20 @@ class FarmSpecError(ValueError):
 class FarmJob:
     """One fully-resolved ensemble member (a single simulation to run).
 
-    All fields except ``index`` and ``inject_failures`` are
-    physics-affecting and enter :meth:`config` (hence the cache key and
-    the derived seed).  ``index`` is the job's position in the spec
-    expansion; ``inject_failures`` is a test-only knob making the first N
-    attempts raise (the retry-path teeth test) and is deliberately
-    excluded from the key so a retried job lands at the same address.
+    All fields except ``index``, ``inject_failures``, and
+    ``kernel_variant`` are physics-affecting and enter :meth:`config`
+    (hence the cache key and the derived seed).  ``index`` is the job's
+    position in the spec expansion; ``inject_failures`` is a test-only
+    knob making the first N attempts raise (the retry-path teeth test)
+    and is deliberately excluded from the key so a retried job lands at
+    the same address.  ``kernel_variant`` selects the stencil backend
+    (pooled / blocked / compiled) and is excluded from the key because
+    all three are bitwise-equal on the farm problem class (sponge + free
+    surface, no PML/attenuation) — the equivalence-matrix cells in
+    :mod:`repro.verify.matrix` gate that claim at atol=0, so the same
+    spec lands the same product addresses whichever backend computed
+    them.  A variant that ever broke bitwise equality would have to
+    move into :meth:`config`.
     """
 
     scenario: str
@@ -69,6 +77,7 @@ class FarmJob:
     gmpe: str
     index: int = 0
     inject_failures: int = 0
+    kernel_variant: str = "pooled"
 
     def config(self) -> dict:
         """The physics-affecting configuration (enters the cache key)."""
@@ -101,6 +110,7 @@ class FarmJob:
         d = self.config()
         d["index"] = self.index
         d["inject_failures"] = self.inject_failures
+        d["kernel_variant"] = self.kernel_variant
         return d
 
     @classmethod
@@ -112,7 +122,8 @@ class FarmJob:
                    rupture_seed=int(d["rupture_seed"]),
                    dtype=d["dtype"], gmpe=d["gmpe"],
                    index=int(d.get("index", 0)),
-                   inject_failures=int(d.get("inject_failures", 0)))
+                   inject_failures=int(d.get("inject_failures", 0)),
+                   kernel_variant=d.get("kernel_variant", "pooled"))
 
 
 @dataclass(frozen=True)
@@ -122,7 +133,9 @@ class FarmSpec:
     ``axes`` maps axis names (:data:`AXES`) to value lists; omitted axes
     default to a single element.  ``inject_failures`` maps job *index*
     (in expansion order) to a number of initially-failing attempts — a
-    test/teeth knob, not part of any job's identity.
+    test/teeth knob, not part of any job's identity.  ``kernel_variant``
+    picks the stencil backend for every job (it is not an axis: backends
+    are bitwise-equal, so fanning over them would duplicate products).
     """
 
     scenario: str
@@ -130,6 +143,7 @@ class FarmSpec:
     nsteps: int = 48
     axes: dict = field(default_factory=dict)
     inject_failures: dict = field(default_factory=dict)
+    kernel_variant: str = "pooled"
 
     #: per-axis defaults used when an axis is omitted from the spec
     _DEFAULTS = {
@@ -149,6 +163,10 @@ class FarmSpec:
             raise FarmSpecError(f"nx must be >= 8 (got {self.nx})")
         if self.nsteps < 1:
             raise FarmSpecError(f"nsteps must be >= 1 (got {self.nsteps})")
+        if self.kernel_variant not in ("pooled", "blocked", "compiled"):
+            raise FarmSpecError(
+                f"kernel_variant must be 'pooled', 'blocked' or 'compiled' "
+                f"(got {self.kernel_variant!r})")
         unknown = sorted(set(self.axes) - set(AXES))
         if unknown:
             raise FarmSpecError(f"unknown axes: {', '.join(unknown)} "
@@ -191,13 +209,15 @@ class FarmSpec:
                 hypocenter=(float(hyp[0]), float(hyp[1])),
                 rupture_seed=int(seed), dtype=dtype, gmpe=gmpe,
                 index=idx,
-                inject_failures=int(self.inject_failures.get(idx, 0))))
+                inject_failures=int(self.inject_failures.get(idx, 0)),
+                kernel_variant=self.kernel_variant))
         return jobs
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         return {"schema": FARM_SPEC_SCHEMA, "scenario": self.scenario,
                 "nx": self.nx, "nsteps": self.nsteps,
+                "kernel_variant": self.kernel_variant,
                 "axes": {k: [list(v) if isinstance(v, (list, tuple)) else v
                              for v in vals]
                          for k, vals in self.axes.items()}}
@@ -211,7 +231,7 @@ class FarmSpec:
             raise FarmSpecError(f"spec schema {schema!r} != "
                                 f"{FARM_SPEC_SCHEMA!r}")
         known = {"schema", "scenario", "nx", "nsteps", "axes",
-                 "inject_failures"}
+                 "inject_failures", "kernel_variant"}
         unknown = sorted(set(d) - known)
         if unknown:
             raise FarmSpecError(f"unknown spec keys: {', '.join(unknown)}")
@@ -222,7 +242,8 @@ class FarmSpec:
         return cls(scenario=d["scenario"], nx=int(d.get("nx", 24)),
                    nsteps=int(d.get("nsteps", 48)),
                    axes=dict(d.get("axes") or {}),
-                   inject_failures=inject)
+                   inject_failures=inject,
+                   kernel_variant=d.get("kernel_variant", "pooled"))
 
     @classmethod
     def load(cls, path: str | Path) -> "FarmSpec":

@@ -124,15 +124,20 @@ class DistributedWaveSolver:
         (no fork / no POSIX shared memory / spawn failure) the solver warns
         once and falls back to 'sim'.
     kernel_variant:
-        'pooled' (default) — plain interior updates; 'blocked' — the
-        cache-blocked k/j panel driver (bitwise identical; requires no PML
-        and no attenuation).
+        None (default) — inherit ``config.kernel_variant``; or 'pooled' —
+        plain interior updates; 'blocked' — the cache-blocked k/j panel
+        driver; 'compiled' — the fused JIT sweeps
+        (:mod:`repro.core.compiled`).  All bitwise identical; 'blocked'
+        and 'compiled' require no PML and no attenuation.  If no compiled
+        provider is available the solver warns once (``RuntimeWarning``)
+        and every rank runs 'pooled'.
     overlap:
         Overlap interior computation with halo transfers on the procpool
         backend (Section IV.C).  Automatically disabled when PML or
         attenuation is configured, or the kernel variant is 'blocked'
-        (panel updates are not region-split).  Results are bitwise
-        identical either way.
+        (panel updates are not region-split; the 'compiled' variant *is*,
+        via :class:`~repro.core.compiled.FusedRegionStepper`).  Results
+        are bitwise identical either way.
     health:
         Optional :class:`~repro.obs.health.HealthConfig`: every rank runs
         its own :class:`~repro.obs.health.HealthMonitor` (sim backend: in
@@ -154,7 +159,7 @@ class DistributedWaveSolver:
                  sync_comm: bool = False,
                  machine=None,
                  backend: str = "sim",
-                 kernel_variant: str = "pooled",
+                 kernel_variant: str | None = None,
                  overlap: bool = True,
                  health: HealthConfig | None = None,
                  stall_timeout: float | None = None):
@@ -165,15 +170,18 @@ class DistributedWaveSolver:
         if backend not in ("sim", "procpool"):
             raise ValueError(f"unknown backend {backend!r} "
                              "(expected 'sim' or 'procpool')")
-        if kernel_variant not in ("pooled", "blocked"):
+        if kernel_variant is not None \
+                and kernel_variant not in ("pooled", "blocked", "compiled"):
             raise ValueError(f"unknown kernel variant {kernel_variant!r} "
-                             "(expected 'pooled' or 'blocked')")
+                             "(expected 'pooled', 'blocked' or 'compiled')")
         if backend == "procpool" and sync_comm:
             raise ValueError("sync_comm is a SimMPI modelling mode; the "
                              "procpool backend always uses the ring exchange")
         self.grid = grid
         self.decomp = decomp
-        self.config = cfg = config or SolverConfig()
+        cfg = config or SolverConfig()
+        if kernel_variant is None:
+            kernel_variant = cfg.kernel_variant
         # Convert the *global* medium once, then cut subgrids from it: the
         # serial WaveSolver coerces the same global arrays, and elementwise
         # conversion commutes with the window cut, so serial and distributed
@@ -182,13 +190,32 @@ class DistributedWaveSolver:
         if medium.dtype != np.dtype(cfg.dtype):
             medium = medium.astype(cfg.dtype)
         self.medium = medium
-        if kernel_variant == "blocked":
+        if kernel_variant in ("blocked", "compiled"):
             if cfg.absorbing == "pml":
-                raise ValueError("kernel_variant='blocked' does not support "
-                                 "PML (use absorbing='sponge' or 'none')")
+                raise ValueError(f"kernel_variant={kernel_variant!r} does "
+                                 "not support PML (use absorbing='sponge' "
+                                 "or 'none')")
             if cfg.attenuation_band is not None:
-                raise ValueError("kernel_variant='blocked' does not support "
-                                 "attenuation")
+                raise ValueError(f"kernel_variant={kernel_variant!r} does "
+                                 "not support attenuation")
+        if kernel_variant == "compiled":
+            # Resolve availability ONCE here (get_kernels is memoized), so
+            # the fallback warns a single time instead of once per rank
+            # sub-solver, mirroring the procpool->SimMPI contract.
+            from ..core import compiled as _compiled
+            try:
+                _compiled.get_kernels(np.dtype(cfg.dtype),
+                                      parallel=cfg.compiled_parallel)
+            except _compiled.CompiledUnavailable as exc:
+                warnings.warn(
+                    f"compiled kernel backend unavailable ({exc}); "
+                    "falling back to kernel_variant='pooled'",
+                    RuntimeWarning, stacklevel=2)
+                kernel_variant = "pooled"
+        # Sub-solvers inherit the *resolved* variant through their config
+        # (so they never re-warn), and cfg reflects what actually runs.
+        cfg = replace(cfg, kernel_variant=kernel_variant)
+        self.config = cfg
         self.halo_mode = halo_mode
         self.sync_comm = sync_comm
         self.machine = machine
@@ -240,10 +267,11 @@ class DistributedWaveSolver:
     @property
     def overlap_eligible(self) -> bool:
         """Whether the IV.C overlap schedule can preserve bitwise identity
-        with this configuration (no PML, no attenuation, pooled kernels)."""
+        with this configuration (no PML, no attenuation, region-splittable
+        kernels — pooled or compiled)."""
         return (self.config.absorbing != "pml"
                 and self.config.attenuation_band is None
-                and self.kernel_variant == "pooled")
+                and self.kernel_variant in ("pooled", "compiled"))
 
     @property
     def overlap_active(self) -> bool:
@@ -459,12 +487,22 @@ class DistributedWaveSolver:
             return None
         (vcore, vshells) = v
         (score, sshells) = s
-        kern = sol.kernel
+        if self.kernel_variant == "compiled" and sol.fused is not None:
+            from ..core.compiled import FusedRegionStepper
+            fused = sol.fused
+
+            def mk(region):
+                return FusedRegionStepper(fused, region)
+        else:
+            kern = sol.kernel
+
+            def mk(region):
+                return RegionUpdater(kern, region)
         return {
-            "v_core": RegionUpdater(kern, vcore),
-            "v_shells": [RegionUpdater(kern, r) for r in vshells],
-            "s_core": RegionUpdater(kern, score),
-            "s_shells": [RegionUpdater(kern, r) for r in sshells],
+            "v_core": mk(vcore),
+            "v_shells": [mk(r) for r in vshells],
+            "s_core": mk(score),
+            "s_shells": [mk(r) for r in sshells],
         }
 
     def _procpool_worker(self, rank: int, endpoint, nsteps: int,

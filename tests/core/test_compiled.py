@@ -1,0 +1,222 @@
+"""Tests for the compiled fused stencil backend (repro.core.compiled).
+
+The headline contract is bitwise: with any provider (numba or the C
+builder), the fused sweeps must reproduce the pooled numpy kernel at
+atol=0 in both precisions, including when split over regions (the IV.C
+overlap path) and when threaded.  Everything provider-dependent is
+skipped when neither numba nor a C compiler is present; the config
+validation and error paths run everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import compiled
+from repro.core.grid import ALL_FIELDS, Grid3D, WaveField
+from repro.core.kernels import VelocityStressKernel
+from repro.core.medium import Medium
+from repro.core.solver import SolverConfig, WaveSolver
+
+needs_provider = pytest.mark.skipif(
+    not compiled.compiled_available(),
+    reason="no compiled provider (numba or C compiler)")
+
+
+def _random_state(seed=0, shape=(10, 12, 11), dtype=np.float64):
+    g = Grid3D(*shape, h=25.0)
+    rng = np.random.default_rng(seed)
+    vs = rng.uniform(1000.0, 2000.0, g.shape)
+    vp = vs * rng.uniform(1.8, 2.2, g.shape)
+    rho = rng.uniform(2000.0, 3000.0, g.shape)
+    med = Medium.from_velocity_model(g, vp, vs, rho, dtype=dtype)
+    wf = WaveField(g, dtype=dtype)
+    for name in ALL_FIELDS:
+        getattr(wf, name)[...] = rng.standard_normal(
+            g.padded_shape).astype(dtype)
+    return g, med, wf
+
+
+def _assert_fields_equal(wf_a, wf_b):
+    for comp in ALL_FIELDS:
+        a, b = wf_a.interior(comp), wf_b.interior(comp)
+        assert np.array_equal(a, b), comp
+
+
+@needs_provider
+class TestFusedBitwise:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_fused_matches_pooled(self, dtype):
+        g, med, wf = _random_state(1, dtype=dtype)
+        wf2 = wf.copy()
+        dt = dtype(1e-3)
+        pooled = VelocityStressKernel(wf, med, dt)
+        stepper = compiled.FusedStepper(wf2, med, dt)
+        for _ in range(3):
+            pooled.step_velocity()
+            pooled.step_stress()
+            stepper.step_velocity()
+            stepper.step_stress()
+        _assert_fields_equal(wf, wf2)
+        assert wf2.vx.dtype == np.dtype(dtype)
+
+    def test_region_cover_matches_full_sweep(self):
+        """Two region steppers covering the interior == one full sweep
+        (the DistributedWaveSolver core/shell overlap contract)."""
+        g, med, wf = _random_state(2)
+        wf2 = wf.copy()
+        dt = 1e-3
+        full = compiled.FusedStepper(wf, med, dt)
+        other = compiled.FusedStepper(wf2, med, dt)
+        cut = g.nx // 2 + compiled.NGHOST
+        lo = (slice(compiled.NGHOST, cut),
+              slice(compiled.NGHOST, compiled.NGHOST + g.ny),
+              slice(compiled.NGHOST, compiled.NGHOST + g.nz))
+        hi = (slice(cut, compiled.NGHOST + g.nx), lo[1], lo[2])
+        r_lo = compiled.FusedRegionStepper(other, lo)
+        r_hi = compiled.FusedRegionStepper(other, hi)
+        full.step_velocity()
+        r_hi.step_velocity()   # arbitrary order: regions are disjoint
+        r_lo.step_velocity()
+        full.step_stress()
+        r_lo.step_stress()
+        r_hi.step_stress()
+        _assert_fields_equal(wf, wf2)
+
+    def test_parallel_build_matches_serial(self):
+        g, med, wf = _random_state(3)
+        wf2 = wf.copy()
+        dt = 1e-3
+        serial = compiled.FusedStepper(wf, med, dt, parallel=False)
+        par = compiled.FusedStepper(wf2, med, dt, parallel=True)
+        for _ in range(2):
+            serial.step_velocity()
+            serial.step_stress()
+            par.step_velocity()
+            par.step_stress()
+        _assert_fields_equal(wf, wf2)
+
+    def test_kernel_set_memoized(self):
+        a = compiled.get_kernels(np.dtype(np.float64))
+        b = compiled.get_kernels(np.dtype(np.float64))
+        assert a is b
+        assert a.provider in compiled.PROVIDERS
+        assert a.compile_seconds >= 0.0
+
+
+@needs_provider
+class TestSolverCompiledVariant:
+    def _solver(self, variant, dtype=np.float64, **kw):
+        from repro.bench import seed_solver_fields
+        g = Grid3D(20, 20, 16, h=100.0)
+        med = Medium.homogeneous(g, vp=4000.0, vs=2300.0, rho=2500.0,
+                                 dtype=dtype)
+        cfg = SolverConfig(absorbing="sponge", sponge_width=4,
+                           free_surface=True, stability_check_interval=0,
+                           dtype=dtype, kernel_variant=variant, **kw)
+        sol = WaveSolver(g, med, cfg)
+        seed_solver_fields(sol.wf)
+        return sol
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_solver_matches_pooled(self, dtype):
+        a = self._solver("pooled", dtype)
+        b = self._solver("compiled", dtype)
+        assert b.kernel_variant == "compiled"
+        assert b.fused is not None
+        a.run(5)
+        b.run(5)
+        _assert_fields_equal(a.wf, b.wf)
+
+    def test_blocked_matches_pooled_via_config(self):
+        a = self._solver("pooled")
+        b = self._solver("blocked", kblock=5, jblock=3)
+        a.run(4)
+        b.run(4)
+        _assert_fields_equal(a.wf, b.wf)
+
+    def test_compiled_with_attenuation_degrades_to_pooled_stress(self):
+        """Attenuation needs the pooled per-rate hook: the stress half must
+        degrade while the velocity half stays fused, matching the pooled
+        solver bitwise (the hook path itself is shared code)."""
+        a = self._solver("pooled", attenuation_band=(0.2, 2.0))
+        b = self._solver("compiled", attenuation_band=(0.2, 2.0))
+        assert b.fused is not None
+        a.run(3)
+        b.run(3)
+        _assert_fields_equal(a.wf, b.wf)
+
+    def test_distributed_compiled_zero_state_matches_serial(self):
+        """From a shared (zero + source) initial state the distributed
+        compiled run must equal the serial compiled run bitwise."""
+        from repro.core.source import MomentTensorSource, gaussian_pulse
+        from repro.core.source import double_couple_strike_slip
+        from repro.parallel.distributed import DistributedWaveSolver
+        g = Grid3D(20, 20, 16, h=100.0)
+        med = Medium.homogeneous(g, vp=4000.0, vs=2300.0, rho=2500.0)
+        cfg = SolverConfig(absorbing="sponge", sponge_width=4,
+                           free_surface=True, stability_check_interval=0,
+                           kernel_variant="compiled")
+
+        def src():
+            return MomentTensorSource(
+                position=(g.extent[0] / 2, g.extent[1] / 2,
+                          g.extent[2] / 2),
+                moment=double_couple_strike_slip(1e15),
+                stf=lambda t: gaussian_pulse(np.array([t]), f0=2.0)[0])
+
+        serial = WaveSolver(g, med, cfg)
+        serial.add_source(src())
+        dist = DistributedWaveSolver(g, med, nranks=4, config=cfg)
+        assert dist.kernel_variant == "compiled"
+        dist.add_source(src())
+        serial.run(6)
+        dist.run(6)
+        for comp in ("vx", "vy", "vz"):
+            assert np.array_equal(dist.gather_field(comp),
+                                  serial.wf.interior(comp)), comp
+
+
+class TestConfigValidation:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="kernel_variant"):
+            SolverConfig(kernel_variant="vectorized")
+
+    def test_compiled_requires_order_4(self):
+        with pytest.raises(ValueError, match="4th-order"):
+            SolverConfig(kernel_variant="compiled", order=2)
+
+    @pytest.mark.parametrize("kb,jb", [(0, 8), (16, 0), (-1, -1)])
+    def test_nonpositive_blocks_rejected(self, kb, jb):
+        with pytest.raises(ValueError, match="block sizes"):
+            SolverConfig(kblock=kb, jblock=jb)
+
+    def test_provider_info_shape(self):
+        info = compiled.provider_info()
+        assert set(info) == {"available", "provider", "detail"}
+        assert isinstance(info["available"], bool)
+
+    def test_unknown_provider_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED_PROVIDER", "fortran")
+        with pytest.raises(compiled.CompiledUnavailable,
+                           match="REPRO_COMPILED_PROVIDER"):
+            compiled.ensure_available()
+
+    def test_env_disable_fails_cleanly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED_PROVIDER", "none")
+        assert not compiled.compiled_available()
+        with pytest.raises(compiled.CompiledUnavailable):
+            compiled.get_kernels(np.dtype(np.float64))
+
+
+@needs_provider
+class TestFusedStepperValidation:
+    def test_rejects_unsupported_dtype(self):
+        with pytest.raises(compiled.CompiledUnavailable, match="dtype"):
+            compiled.get_kernels(np.dtype(np.float16))
+
+    def test_region_must_be_nonempty(self):
+        g, med, wf = _random_state(7)
+        stepper = compiled.FusedStepper(wf, med, 1e-3)
+        empty = (slice(4, 4), slice(2, 6), slice(2, 6))
+        with pytest.raises(ValueError):
+            compiled.FusedRegionStepper(stepper, empty)

@@ -161,3 +161,61 @@ class TestDerivedSeed:
         seed, key = out.stdout.split()
         assert int(seed) == job.derived_seed()
         assert key == job.key()
+
+
+class TestKernelVariant:
+    """The stencil backend rides along on jobs but stays out of identity:
+    pooled/blocked/compiled are bitwise-equal on the farm problem class,
+    so the same spec must land the same product addresses whichever
+    backend computed them."""
+
+    def test_excluded_from_job_identity(self):
+        base = mini_spec().expand()[0]
+        comp = mini_spec(kernel_variant="compiled").expand()[0]
+        assert comp.kernel_variant == "compiled"
+        assert comp.key() == base.key()
+        assert comp.derived_seed() == base.derived_seed()
+        assert "kernel_variant" not in comp.config()
+
+    def test_job_round_trip_preserves_variant(self):
+        job = mini_spec(kernel_variant="blocked").expand()[0]
+        again = FarmJob.from_dict(job.to_dict())
+        assert again == job
+        assert again.kernel_variant == "blocked"
+
+    def test_spec_round_trip_preserves_variant(self):
+        spec = mini_spec(kernel_variant="compiled")
+        again = FarmSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_spec_json_key_accepted(self):
+        doc = {"schema": FARM_SPEC_SCHEMA, "scenario": "ShakeOut-K",
+               "nx": 16, "nsteps": 8, "kernel_variant": "compiled"}
+        spec = FarmSpec.from_dict(doc)
+        assert spec.kernel_variant == "compiled"
+        assert all(j.kernel_variant == "compiled" for j in spec.expand())
+
+    def test_bad_variant_rejected(self):
+        with pytest.raises(FarmSpecError, match="kernel_variant"):
+            mini_spec(kernel_variant="gpu")
+        with pytest.raises(FarmSpecError, match="kernel_variant"):
+            FarmSpec.from_dict({"schema": FARM_SPEC_SCHEMA,
+                                "scenario": "ShakeOut-K",
+                                "kernel_variant": "gpu"})
+
+    def test_variant_products_land_at_same_address(self, tmp_path):
+        """Cache-hit across backends: a store filled by a pooled run
+        resolves every job of a compiled rerun (the bitwise-equality
+        claim the identity exclusion rests on)."""
+        from repro.core import compiled
+        if not compiled.compiled_available():
+            pytest.skip("no compiled provider")
+        from repro.farm import ProductStore, run_farm
+        spec = mini_spec()
+        store = ProductStore(tmp_path / "store")
+        first = run_farm(spec, store, workers=1)
+        assert first.passed
+        rerun = run_farm(mini_spec(kernel_variant="compiled"), store,
+                         workers=1)
+        assert rerun.passed
+        assert all(r.status == "cached" for r in rerun.results)

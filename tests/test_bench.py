@@ -26,7 +26,11 @@ class TestSuite:
 
     def test_all_workloads_present(self, smoke_report):
         report, _ = smoke_report
-        assert set(report["workloads"]) == set(WORKLOADS)
+        # compiled workloads are dropped (and recorded) on hosts with
+        # neither numba nor a C compiler; ran + skipped covers everything.
+        ran = set(report["workloads"])
+        skipped = set(report.get("skipped_workloads", ()))
+        assert ran | skipped == set(WORKLOADS)
         assert report["mode"] == SMOKE.name
 
     def test_flop_rates_reported_for_kernels(self, smoke_report):
@@ -240,6 +244,22 @@ class TestCompare:
         other = dict(report, mode="full")
         text, _ = compare_reports(report, other)
         assert "WARNING" in text
+
+    def test_kernel_variant_mismatch_not_gated(self, smoke_report):
+        """A pooled baseline must never gate against a compiled run of the
+        same workload name — the rows are different kernels."""
+        report, _ = smoke_report
+        other = json.loads(json.dumps(report))
+        row = other["workloads"]["kernel_step"]
+        row["extra"]["kernel_variant"] = "compiled"
+        ws = row["wall_s"]
+        for k in ("min", "max", "mean", "total"):
+            ws[k] *= 100.0          # would be a huge "regression"...
+        ws["samples"] = [s * 100.0 for s in ws["samples"]]
+        text, regressions = compare_reports(report, other)
+        # ...but the variant mismatch excludes it from gating
+        assert not any("kernel_step " in r for r in regressions)
+        assert "not like-for-like" in text
 
     def test_new_and_dropped_workloads_reported(self, smoke_report):
         report, _ = smoke_report
@@ -483,3 +503,54 @@ class TestCLI:
         printed = capsys.readouterr().out
         assert "kernel_step" in printed
         assert str(out) in printed
+
+
+class TestCompiledWorkloads:
+    """The kernel_variant="compiled" bench column and its row metadata."""
+
+    def test_every_kernel_row_carries_its_variant(self, smoke_report):
+        from repro.bench import WORKLOAD_VARIANTS
+        report, _ = smoke_report
+        for name, variant in WORKLOAD_VARIANTS.items():
+            if variant is None or name not in report["workloads"]:
+                continue
+            extra = report["workloads"][name].get("extra") or {}
+            assert extra.get("kernel_variant") == variant, name
+
+    def test_compiled_speedup_and_jit_cost_reported(self, smoke_report):
+        from repro.bench import COMPILED_PAIRS
+        from repro.core import compiled
+        if not compiled.compiled_available():
+            pytest.skip("no compiled provider")
+        report, _ = smoke_report
+        for name in COMPILED_PAIRS:
+            extra = report["workloads"][name]["extra"]
+            assert extra["speedup_vs_pooled"] > 0
+        solver = report["workloads"]["solver_step_compiled"]["extra"]
+        assert solver["speedup_vs_pooled"] > 0
+        assert solver["jit_compile_s"] >= 0.0
+        assert isinstance(solver["jit_cache_hit"], bool)
+        assert solver["provider"] in ("numba", "cbuild")
+
+    def test_host_reports_compiled_capability(self, smoke_report):
+        report, _ = smoke_report
+        info = report["host"]["compiled"]
+        assert set(info) == {"available", "provider", "detail"}
+        from repro.core import compiled
+        assert info["available"] == compiled.compiled_available()
+
+    def test_explicit_compiled_request_fails_without_provider(
+            self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED_PROVIDER", "none")
+        with pytest.raises(ValueError, match="compiled provider"):
+            run_suite(smoke=True, registry=MetricsRegistry(),
+                      workloads=["kernel_step_compiled"])
+
+    def test_default_suite_skips_quietly_without_provider(self, monkeypatch):
+        from repro.bench import COMPILED_WORKLOADS
+        monkeypatch.setenv("REPRO_COMPILED_PROVIDER", "none")
+        report = run_suite(smoke=True, registry=MetricsRegistry(),
+                           workloads=["kernel_step", "halo_exchange"])
+        # nothing compiled was requested, nothing skipped, no error
+        assert report["skipped_workloads"] == {}
+        assert not (set(report["workloads"]) & COMPILED_WORKLOADS)

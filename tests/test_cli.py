@@ -396,3 +396,64 @@ class TestFarm:
                    "--max-retries", "0", "--store", str(tmp_path / "s")])
         assert rc == 1
         assert "FAILED" in capsys.readouterr().out
+
+
+class TestKernelVariantFlags:
+    """--kernel-variant threading through run-quake, bench, and farm."""
+
+    def test_run_quake_defaults_to_pooled(self):
+        args = build_parser().parse_args(["run-quake"])
+        assert args.kernel_variant == "pooled"
+
+    def test_run_quake_rejects_unknown_variant(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-quake", "--kernel-variant",
+                                       "gpu"])
+
+    @pytest.mark.parametrize("variant", ["blocked", "compiled"])
+    def test_run_quake_variant_matches_default_run(self, tmp_path, capsys,
+                                                   variant):
+        """Non-pooled variants swap PML for a sponge, so compare the two
+        variants against each other (both sponge): bitwise-equal PGV."""
+        from repro.core import compiled
+        if variant == "compiled" and not compiled.compiled_available():
+            pytest.skip("no compiled provider")
+        a = tmp_path / "a.npy"
+        b = tmp_path / "b.npy"
+        assert main(["run-quake", "--n", "20", "--steps", "20",
+                     "--kernel-variant", "blocked", "--out", str(a)]) == 0
+        assert main(["run-quake", "--n", "20", "--steps", "20",
+                     "--kernel-variant", variant, "--out", str(b)]) == 0
+        out = capsys.readouterr().out
+        assert np.array_equal(np.load(a), np.load(b))
+        assert "sponge absorbing boundary" in out
+        assert f"kernel variant: {variant}" in out
+
+    def test_bench_variant_filter_keeps_agnostic_workloads(self):
+        args = build_parser().parse_args(["bench", "--kernel-variant",
+                                          "compiled"])
+        assert args.kernel_variant == "compiled"
+
+    def test_bench_variant_filter_mismatch_errors(self, capsys):
+        rc = main(["bench", "--smoke", "--workload", "kernel_step",
+                   "--kernel-variant", "compiled"])
+        assert rc == 2
+        assert "no selected workload" in capsys.readouterr().err
+
+    def test_bench_pooled_filter_runs_selected(self, tmp_path, capsys):
+        out = tmp_path / "b.json"
+        rc = main(["bench", "--smoke", "--workload", "kernel_step",
+                   "--workload", "kernel_blocked", "--kernel-variant",
+                   "pooled", "--out", str(out)])
+        assert rc == 0
+        import json
+        report = json.loads(out.read_text())
+        assert list(report["workloads"]) == ["kernel_step"]
+
+    def test_farm_override_parses(self):
+        args = build_parser().parse_args(["farm", "spec.json",
+                                          "--kernel-variant", "compiled"])
+        assert args.kernel_variant == "compiled"
+        # default: no override, use the spec's variant
+        args = build_parser().parse_args(["farm", "spec.json"])
+        assert args.kernel_variant is None

@@ -18,13 +18,14 @@ needs_fork = pytest.mark.skipif(not procpool.procpool_available(),
 class TestCellEnumeration:
     def test_full_matrix_covers_every_combination(self):
         cells = build_cells()
-        assert len(cells) == 2 * 2 * 2 * len(FULL_DECOMPS)
+        assert len(cells) == 2 * 2 * 3 * len(FULL_DECOMPS)
         combos = {(c.backend, c.dtype, c.kernel_variant, c.decomp)
                   for c in cells}
         assert len(combos) == len(cells)
         assert {c.backend for c in cells} == {"sim", "procpool"}
         assert {c.dtype for c in cells} == {"float64", "float32"}
-        assert {c.kernel_variant for c in cells} == {"pooled", "blocked"}
+        assert {c.kernel_variant for c in cells} == {"pooled", "blocked",
+                                                     "compiled"}
         # rank counts 1, 2, 4 with an uneven 4-way split included
         assert {c.nranks for c in cells} == {1, 2, 4}
         assert (4, 1, 1) in {c.decomp for c in cells}
@@ -78,8 +79,9 @@ class TestProcpoolCells:
 @pytest.mark.slow
 class TestFullMatrix:
     def test_every_combination_bitwise(self):
-        """All 32 cells: {sim, procpool} x {f64, f32} x {pooled, blocked}
-        x {1, 2, 4-even, 4-uneven ranks} reproduce serial at atol=0."""
+        """All 48 cells: {sim, procpool} x {f64, f32} x {pooled, blocked,
+        compiled} x {1, 2, 4-even, 4-uneven ranks} reproduce serial at
+        atol=0 (compiled cells skip, not fail, where no provider exists)."""
         result = run_matrix()
         assert result.passed, result.summary()
         assert result.counts["fail"] == 0 and result.counts["error"] == 0
