@@ -364,6 +364,103 @@ def bench_solver_step_compiled(cfg: BenchConfig, dtype=np.float64) -> dict:
                    extra=extra, dtype=dtype)
 
 
+def _lts_steps(cfg: BenchConfig) -> int:
+    """Fine substeps per timed LTS repetition: two full x4 macro cycles so
+    every rate group's cadence (and its correction-band traffic) is timed."""
+    return 8 if cfg.name == "full" else 4
+
+
+def bench_solver_step_lts(cfg: BenchConfig) -> dict:
+    """Clustered local time stepping vs global dt on the two-layer basin.
+
+    Twin solvers share the grid, the :func:`~repro.scenarios.catalog.
+    basin_two_layer` medium, dt and the seeded initial state; only the
+    scheduler differs (``lts='auto'`` vs ``'off'``).  The headline
+    ``extra.speedup_vs_global_dt`` is *algorithmic* — the x2/x4 groups
+    simply update fewer cells per fine substep — so it holds on a single
+    core, unlike the process-parallel speedups.
+    ``extra.theoretical_speedup`` is the cell-update-count ceiling.
+    """
+    from .scenarios.catalog import basin_two_layer
+    n = cfg.n
+    steps = _lts_steps(cfg)
+
+    def build(lts) -> WaveSolver:
+        g = Grid3D(n, n, n, h=100.0)
+        sol = WaveSolver(g, basin_two_layer(g), SolverConfig(
+            absorbing="sponge", sponge_width=max(3, n // 8),
+            stability_check_interval=0, lts=lts))
+        seed_solver_fields(sol.wf)
+        return sol
+
+    sol = build("auto")
+    walls, peak = _measure(lambda: sol.run(steps), cfg.reps)
+    twin = build("off")
+    off_walls, _ = _measure(lambda: twin.run(steps), cfg.reps)
+    best, off_best = min(walls), min(off_walls)
+    extra = {
+        "dt": sol.dt,
+        "kernel_variant": "pooled",
+        "rate_map": [list(gr) for gr in sol.lts.rate_map()],
+        "theoretical_speedup": sol.lts.speedup(),
+        "global_dt_wall_min_s": off_best,
+        "speedup_vs_global_dt": off_best / best if best > 0 else None,
+    }
+    return _result(walls, peak, steps=steps, points=n ** 3,
+                   flops_per_point=None, extra=extra)
+
+
+def bench_distributed_procpool_lts(cfg: BenchConfig) -> dict:
+    """LTS through the procpool backend (pz=1 decomposition) vs the same
+    distributed run at global dt.
+
+    Overlap is forced off for *both* twins — LTS always runs the blocking
+    schedule, so disabling it on the global-dt twin isolates the scheduler
+    difference from the IV.C overlap machinery.
+    """
+    from .scenarios.catalog import basin_two_layer
+    n = cfg.dist_n
+    steps = _lts_steps(cfg)
+    dims = (2, 2, 1) if cfg.dist_ranks >= 4 else (2, 1, 1)
+
+    def build(lts) -> DistributedWaveSolver:
+        g = Grid3D(n, n, n, h=100.0)
+        sol = DistributedWaveSolver(
+            g, basin_two_layer(g), decomp=Decomposition3D(g, *dims),
+            config=SolverConfig(absorbing="sponge",
+                                sponge_width=max(3, n // 8),
+                                stability_check_interval=0, lts=lts),
+            backend="procpool", overlap=False)
+        sol.add_source(MomentTensorSource(
+            position=(n * 50.0, n * 50.0, n * 50.0),
+            moment=np.eye(3) * 1e13,
+            stf=lambda t: gaussian_pulse(np.array([t]), f0=3.0)[0],
+            spatial_width=1.5 * 100.0))
+        return sol
+
+    sol = build("auto")
+    walls, peak = _measure(lambda: sol.run(steps), cfg.dist_reps)
+    twin = build("off")
+    off_walls, _ = _measure(lambda: twin.run(steps), cfg.dist_reps)
+    best, off_best = min(walls), min(off_walls)
+    extra = {
+        "ranks": int(np.prod(dims)), "dims": list(dims),
+        "backend": "procpool", "backend_used": sol.backend,
+        "kernel_variant": "pooled",
+        "rate_map": [list(gr) for gr in sol.lts.rate_map()],
+        "theoretical_speedup": sol.lts.speedup(),
+        "global_dt_wall_min_s": off_best,
+        "speedup_vs_global_dt": off_best / best if best > 0 else None,
+    }
+    if sol.last_procpool is not None:
+        lp = sol.last_procpool
+        extra["pack_s"] = lp["pack_s"]
+        extra["wait_s"] = lp["wait_s"]
+        extra["unpack_s"] = lp["unpack_s"]
+    return _result(walls, peak, steps=steps, points=n ** 3,
+                   flops_per_point=None, extra=extra)
+
+
 def bench_halo_exchange(cfg: BenchConfig, dtype=np.float64) -> dict:
     g = Grid3D(cfg.n, cfg.n, cfg.n, h=100.0)
     decomp = Decomposition3D.auto(g, cfg.ranks)
@@ -621,6 +718,7 @@ WORKLOADS = {
     "solver_step": bench_solver_step,
     "solver_step_f32": bench_solver_step_f32,
     "solver_step_compiled": bench_solver_step_compiled,
+    "solver_step_lts": bench_solver_step_lts,
     "halo_exchange": bench_halo_exchange,
     "halo_exchange_f32": bench_halo_exchange_f32,
     "distributed_sim": bench_distributed_sim,
@@ -628,6 +726,7 @@ WORKLOADS = {
     "distributed_sim_blocked": bench_distributed_sim_blocked,
     "distributed_procpool": bench_distributed_procpool,
     "distributed_procpool_compiled": bench_distributed_procpool_compiled,
+    "distributed_procpool_lts": bench_distributed_procpool_lts,
     "tracer_overhead": bench_tracer_overhead,
     "farm_mini": bench_farm_mini,
 }
@@ -670,6 +769,7 @@ WORKLOAD_VARIANTS = {
     "solver_step": "pooled",
     "solver_step_f32": "pooled",
     "solver_step_compiled": "compiled",
+    "solver_step_lts": "pooled",
     "halo_exchange": None,
     "halo_exchange_f32": None,
     "distributed_sim": "pooled",
@@ -677,6 +777,7 @@ WORKLOAD_VARIANTS = {
     "distributed_sim_blocked": "blocked",
     "distributed_procpool": "pooled",
     "distributed_procpool_compiled": "compiled",
+    "distributed_procpool_lts": "pooled",
     "tracer_overhead": None,
     "farm_mini": None,
 }
@@ -755,6 +856,14 @@ def run_suite(smoke: bool = False, registry: MetricsRegistry | None = None,
         extra["speedup_vs_pooled"] = speedup
         if speedup is not None:
             reg.gauge(f"bench.{comp_name}.speedup_vs_pooled").set(speedup)
+    for name in ("solver_step_lts", "distributed_procpool_lts"):
+        ex = (results.get(name) or {}).get("extra") or {}
+        sp = ex.get("speedup_vs_global_dt")
+        if sp is not None:
+            reg.gauge(f"bench.{name}.speedup_vs_global_dt").set(sp)
+        ts = ex.get("theoretical_speedup")
+        if ts is not None:
+            reg.gauge(f"bench.{name}.lts.theoretical_speedup").set(ts)
     for name in results:
         jit = (results[name].get("extra") or {}).get("jit_compile_s")
         if isinstance(jit, (int, float)):

@@ -98,6 +98,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "kernels (numba or C; falls back to pooled with a "
                         "warning when no provider is present); non-pooled "
                         "variants swap the PML boundary for a sponge taper")
+    r.add_argument("--lts", choices=("off", "auto"), default="off",
+                   help="clustered local time stepping: partition the mesh "
+                        "into x1/x2/x4 rate groups from the per-plane CFL "
+                        "bound and advance each at its own dt; switches the "
+                        "medium to the two-layer basin (a homogeneous medium "
+                        "has nothing to cluster) and the boundary to the "
+                        "sponge taper (LTS forbids PML)")
     r.add_argument("--out", type=str, default=None)
     r.add_argument("--health", choices=("off", "warn", "abort"),
                    default="off",
@@ -229,9 +236,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="full profile: extended ladders and the complete "
                            "backend x dtype x variant x decomp matrix")
     v.add_argument("--only", action="append", default=None,
-                   choices=("mms", "matrix", "golden"), metavar="PILLAR",
+                   choices=("mms", "matrix", "golden", "lts"),
+                   metavar="PILLAR",
                    help="run only this pillar (repeatable; "
-                        "mms | matrix | golden)")
+                        "mms | matrix | golden | lts)")
+    v.add_argument("--no-lts-correction", action="store_true",
+                   help="teeth test: run the LTS ladder with the interface "
+                        "time-interpolation disabled; the ladder must FAIL "
+                        "its temporal-order gate")
     v.add_argument("--update-goldens", action="store_true",
                    help="regenerate the committed golden snapshots in "
                         "place (then review `git diff` and commit)")
@@ -311,20 +323,28 @@ def _cmd_run_quake(args) -> int:
     from .core.source import double_couple_strike_slip, gaussian_pulse
     from .analysis.pgv import pgvh_from_frames
     grid = Grid3D(args.n, args.n, max(12, args.n // 2), h=args.h)
-    med = Medium.homogeneous(grid, vp=4000.0, vs=2300.0, rho=2500.0)
+    lts_on = args.lts != "off"
+    if lts_on:
+        from .scenarios import basin_two_layer
+        med = basin_two_layer(grid)
+    else:
+        med = Medium.homogeneous(grid, vp=4000.0, vs=2300.0, rho=2500.0)
     pml_width = int(np.clip(args.n // 6, 3, 10))
-    if args.kernel_variant == "pooled":
+    if args.kernel_variant == "pooled" and not lts_on:
         cfg = SolverConfig(absorbing="pml", pml=PMLConfig(width=pml_width),
                            dtype=np.dtype(args.dtype).type)
     else:
-        # blocked/compiled sweeps forbid PML (split-field updates need the
-        # per-plane hook); use the sponge taper instead and say so.
-        print(f"kernel_variant={args.kernel_variant}: using sponge "
-              f"absorbing boundary (PML needs the pooled sweep)")
+        # blocked/compiled sweeps and LTS forbid PML (split-field updates
+        # need the per-plane hook); use the sponge taper instead and say so.
+        why = (f"lts={args.lts}" if lts_on
+               else f"kernel_variant={args.kernel_variant}")
+        print(f"{why}: using sponge absorbing boundary "
+              f"(PML needs the pooled whole-domain sweep)")
         cfg = SolverConfig(absorbing="sponge",
                            sponge_width=max(3, pml_width),
                            kernel_variant=args.kernel_variant,
-                           dtype=np.dtype(args.dtype).type)
+                           dtype=np.dtype(args.dtype).type,
+                           lts=args.lts)
     args._solver_config = cfg     # picked up by main() for the trace manifest
 
     health_mode = args.health
@@ -340,7 +360,16 @@ def _cmd_run_quake(args) -> int:
 
     if args.ranks > 1:
         from .parallel.distributed import DistributedWaveSolver
-        solver = DistributedWaveSolver(grid, med, nranks=args.ranks,
+        decomp = None
+        if lts_on:
+            # rate groups are global k-slabs, so LTS needs pz = 1; factor
+            # the rank count over x/y only (auto could pick pz > 1).
+            from .parallel.decomp import Decomposition3D
+            py = max(d for d in range(1, int(args.ranks ** 0.5) + 1)
+                     if args.ranks % d == 0)
+            decomp = Decomposition3D(grid, args.ranks // py, py, 1)
+        solver = DistributedWaveSolver(grid, med, decomp=decomp,
+                                       nranks=args.ranks,
                                        config=cfg, backend=args.backend,
                                        health=hcfg,
                                        stall_timeout=args.stall_timeout)
@@ -353,6 +382,16 @@ def _cmd_run_quake(args) -> int:
                 hcfg, rank=0,
                 manifest=RunManifest.collect(
                     config=cfg, dtype=cfg.dtype, backend="serial").to_dict())
+    if lts_on and solver.lts is not None:
+        # pz = 1 when distributed, so the local rate map IS the global one;
+        # the cell counts use the *global* x/y extent (a distributed rank's
+        # own histogram() would only count its subgrid).
+        hist: dict[int, int] = {}
+        for lo, hi, rate in solver.lts.rate_map():
+            hist[rate] = hist.get(rate, 0) + (hi - lo) * grid.nx * grid.ny
+        cells = "  ".join(f"x{r}: {hist[r]:,}" for r in sorted(hist))
+        print(f"local time stepping: {cells} cells; "
+              f"theoretical speedup {solver.lts.speedup():.2f}x")
     c = args.n * args.h / 2
     solver.add_source(MomentTensorSource(
         position=(c, c, grid.extent[2] / 2),
@@ -596,8 +635,9 @@ def _cmd_farm(args) -> int:
 def _cmd_verify(args) -> int:
     from .obs import default_registry
     from .verify import (QUICK_DECOMPS, VerifyReport, build_cells,
-                         check_goldens, plane_wave_check, run_matrix,
-                         spatial_ladder, temporal_ladder, update_goldens)
+                         check_goldens, lts_temporal_ladder,
+                         plane_wave_check, run_matrix, spatial_ladder,
+                         temporal_ladder, update_goldens)
 
     if args.update_goldens:
         for path in update_goldens():
@@ -606,9 +646,10 @@ def _cmd_verify(args) -> int:
         return 0
 
     profile = "full" if args.full else "quick"
-    pillars = set(args.only) if args.only else {"mms", "matrix", "golden"}
+    all_pillars = {"mms", "matrix", "golden", "lts"}
+    pillars = set(args.only) if args.only else set(all_pillars)
     report = VerifyReport(profile=profile)
-    report.skipped = sorted({"mms", "matrix", "golden"} - pillars)
+    report.skipped = sorted(all_pillars - pillars)
 
     if "mms" in pillars:
         spatial_res = ((8, 12, 16, 24, 32) if profile == "full"
@@ -622,18 +663,39 @@ def _cmd_verify(args) -> int:
         ]
         report.plane_wave = plane_wave_check(fd_order=args.fd_order)
 
+    if "lts" in pillars:
+        lts_steps = ((8, 16, 32, 64) if profile == "full"
+                     else (8, 16, 32))
+        report.mms.append(lts_temporal_ladder(
+            step_counts=lts_steps,
+            correction=not args.no_lts_correction))
+
     if "matrix" in pillars:
         if profile == "full":
-            cells = build_cells()
+            # LTS cells hold the distributed scheduler to the serial-LTS
+            # reference bitwise (pz must stay 1 under LTS).
+            cells = (build_cells()
+                     + build_cells(backends=("sim",),
+                                   variants=("pooled", "compiled"),
+                                   decomps=((2, 1, 1), (2, 2, 1)),
+                                   lts="forced")
+                     + build_cells(backends=("procpool",),
+                                   dtypes=("float64",),
+                                   variants=("pooled",),
+                                   decomps=((2, 2, 1),), lts="forced"))
         else:
             # sim backend across the whole dtype/variant grid, plus one
             # procpool smoke cell per overlap-capable variant so the fork
-            # path (and the compiled core/shell split) is exercised too.
+            # path (and the compiled core/shell split) is exercised too,
+            # plus one LTS cell pinning the rate-group scheduler.
             cells = (build_cells(backends=("sim",), decomps=QUICK_DECOMPS)
                      + build_cells(backends=("procpool",),
                                    dtypes=("float64",),
                                    variants=("pooled", "compiled"),
-                                   decomps=((2, 1, 1),)))
+                                   decomps=((2, 1, 1),))
+                     + build_cells(backends=("sim",), dtypes=("float64",),
+                                   variants=("pooled",),
+                                   decomps=((2, 1, 1),), lts="forced"))
         report.matrix = run_matrix(
             cells=cells,
             progress=lambda c: print(f"  cell {c.cell.label}: {c.status}"))
@@ -644,7 +706,8 @@ def _cmd_verify(args) -> int:
     from .obs.provenance import RunManifest
     report.manifest = RunManifest.collect(
         config={"profile": profile, "pillars": sorted(pillars),
-                "fd_order": args.fd_order}).to_dict()
+                "fd_order": args.fd_order,
+                "lts_correction": not args.no_lts_correction}).to_dict()
     report.publish_metrics()
     print(report.summary())
     if args.json:

@@ -14,7 +14,14 @@ from .source import (
     magnitude_to_moment,
     moment_to_magnitude,
 )
-from .stability import cfl_dt, max_frequency
+from .stability import cfl_dt, cfl_dt_map, max_frequency, rate_group_histogram
+from .lts import (
+    LTSScheduler,
+    build_rate_groups,
+    local_cfl_map,
+    plane_cfl_bounds,
+    theoretical_speedup,
+)
 from .pml import PML, PMLConfig
 from .boundary import FreeSurfaceFS2, SpongeLayer
 
@@ -25,6 +32,8 @@ __all__ = [
     "MomentTensorSource", "BodyForceSource", "ManufacturedForcing",
     "FiniteFaultSource", "SubFault",
     "double_couple_strike_slip", "moment_to_magnitude", "magnitude_to_moment",
-    "cfl_dt", "max_frequency",
+    "cfl_dt", "cfl_dt_map", "max_frequency", "rate_group_histogram",
+    "LTSScheduler", "build_rate_groups", "local_cfl_map",
+    "plane_cfl_bounds", "theoretical_speedup",
     "PML", "PMLConfig", "FreeSurfaceFS2", "SpongeLayer",
 ]

@@ -157,6 +157,20 @@ class SpongeLayer:
         for name in ALL_FIELDS:
             interior(getattr(wf, name))[...] *= self._g3
 
+    def slab_taper(self, k_lo: int, k_hi: int, power: int = 1) -> np.ndarray:
+        """Taper for interior k-planes ``[k_lo, k_hi)``, raised to ``power``.
+
+        An LTS rate group damped once per ``rate`` substeps uses
+        ``power=rate`` — identical to damping the held slab every fine
+        substep, since the multiplier commutes with holding.
+        """
+        return self._g3[:, :, k_lo:k_hi] ** power
+
+    def apply_slab(self, wf: WaveField, k_lo: int, k_hi: int,
+                   taper: np.ndarray) -> None:
+        for name in ALL_FIELDS:
+            interior(getattr(wf, name))[:, :, k_lo:k_hi] *= taper
+
     def reflection_estimate(self) -> float:
         """Crude two-way amplitude multiplier through the layer (diagnostic)."""
         return float(np.prod(sponge_profile(self.width, self.amp)) ** 2)

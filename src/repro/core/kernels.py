@@ -304,12 +304,17 @@ class RegionUpdater:
     without them (the distributed solver enforces this).
     """
 
-    def __init__(self, kernel: VelocityStressKernel, region: tuple[slice, ...]):
+    def __init__(self, kernel: VelocityStressKernel, region: tuple[slice, ...],
+                 dt: float | None = None):
         for s in region:
             if s.start is None or s.stop is None:
                 raise ValueError("region slices need explicit start/stop")
         self.kernel = kernel
         self.region = region
+        # Local-time-stepping rate groups integrate their slab with a
+        # multiple of the kernel dt; the default (None) inherits kernel.dt
+        # and is bit-identical to the pre-override behaviour.
+        self.dt = float(kernel.dt if dt is None else dt)
         self.shape = tuple(s.stop - s.start for s in region)
         if any(n <= 0 for n in self.shape):
             raise ValueError(f"empty region {region!r}")
@@ -342,7 +347,7 @@ class RegionUpdater:
             t *= b
         dst = self._wf[comp]
         for t in self._t[:nterms]:
-            np.multiply(t, k.dt, out=self._incr)
+            np.multiply(t, self.dt, out=self._incr)
             dst += self._incr
 
     def update_stress(self, comp: str) -> None:
@@ -374,7 +379,7 @@ class RegionUpdater:
         np.copyto(rate, terms[0])
         for t in terms[1:]:
             rate += t
-        np.multiply(rate, k.dt, out=self._incr)
+        np.multiply(rate, self.dt, out=self._incr)
         self._wf[comp] += self._incr
 
     def step_velocity(self) -> None:

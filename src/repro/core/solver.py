@@ -59,6 +59,9 @@ class SolverConfig:
     dtype: type = np.float64
     stability_check_interval: int = 50   #: steps between blow-up checks
     stability_limit: float = 1e9         #: max |v| before declaring divergence
+    #: local time stepping: 'off' | 'auto' | explicit ((k_lo, k_hi, rate), ...)
+    lts: object = "off"
+    lts_correction: bool = True          #: time-interpolated interface bands
 
     def __post_init__(self) -> None:
         if self.kernel_variant not in ("pooled", "blocked", "compiled"):
@@ -73,6 +76,28 @@ class SolverConfig:
             raise ValueError(
                 "kernel_variant='compiled' implements the 4th-order stencil "
                 f"only (got order={self.order})")
+        if isinstance(self.lts, str):
+            if self.lts not in ("off", "auto"):
+                raise ValueError(
+                    f"lts must be 'off', 'auto' or an explicit rate map "
+                    f"(got {self.lts!r})")
+        else:
+            try:
+                self.lts = tuple((int(lo), int(hi), int(r))
+                                 for lo, hi, r in self.lts)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"lts rate map must be (k_lo, k_hi, rate) triples "
+                    f"(got {self.lts!r})") from exc
+        if self.lts != "off":
+            if self.absorbing not in ("none", "sponge"):
+                raise ValueError(
+                    "lts supports absorbing='none' or 'sponge' only (PML "
+                    "split parts have no per-group cadence)")
+            if self.attenuation_band is not None:
+                raise ValueError(
+                    "lts does not support attenuation (the memory-variable "
+                    "hook assumes one global dt)")
 
 
 @dataclass
@@ -217,6 +242,11 @@ class WaveSolver:
             # dt is fixed for the solver's lifetime, so the hook (and its
             # trapezoidal coefficients) can be built once instead of per step.
             self._rate_hook = self.attenuation.rate_hook(self.dt)
+        #: repro.core.lts.LTSScheduler when local time stepping is active
+        self.lts = None
+        if cfg.lts != "off":
+            from .lts import LTSScheduler
+            self.lts = LTSScheduler(self)
         self.moment_sources: list = []
         self.force_sources: list = []
         #: whole-domain analytic forcings (ManufacturedForcing; repro.verify)
@@ -317,10 +347,14 @@ class WaveSolver:
         tracer = self.tracer if self.tracer is not None else get_tracer()
         cfg = self.config
         with tracer.span("solver.step", category="compute"):
+            if self.lts is not None:
+                # One fine substep: the scheduler updates the rate groups
+                # with nstep % rate == 0 (sponge slabs included).
+                self.lts.substep(self.nstep)
             # Whole-step fast path: nothing may run between the velocity and
             # stress halves (the free-surface ghost update included — it must
             # see the new velocities before stresses are formed).
-            if (self._blocked or self.fused is not None) \
+            elif (self._blocked or self.fused is not None) \
                     and self.pml is None \
                     and self.attenuation is None \
                     and self.free_surface is None \
@@ -346,7 +380,7 @@ class WaveSolver:
                     self.free_surface.apply_stress(self.wf)
                 for f in self.forcings:
                     f.apply_stress(self.wf, self.t, self.dt)
-            if self.sponge is not None:
+            if self.sponge is not None and self.lts is None:
                 self.sponge.apply(self.wf)
         self.t += self.dt
         self.nstep += 1
@@ -368,7 +402,12 @@ class WaveSolver:
     def run(self, nsteps: int, progress=None) -> None:
         """Advance ``nsteps`` steps; ``progress(step, solver)`` if given."""
         tracer = self.tracer if self.tracer is not None else get_tracer()
-        with tracer.span("solver.run", category="other"):
+        attrs = {}
+        if self.lts is not None:
+            # surfaced by `repro diagnose` (TraceDiagnosis.lts_headline)
+            attrs = {"lts_map": str(self.lts.rate_map()),
+                     "lts_speedup": round(self.lts.speedup(), 4)}
+        with tracer.span("solver.run", category="other", **attrs):
             for i in range(nsteps):
                 self.step()
                 if progress is not None:
@@ -393,6 +432,8 @@ class WaveSolver:
         if self.pml is not None:
             st["pml"] = {key: [p.copy() for p in parts]
                          for key, parts in self.pml.parts.items()}
+        if self.lts is not None:
+            st["lts"] = self.lts.state_arrays()
         return st
 
     def load_state(self, st: dict) -> None:
@@ -406,3 +447,5 @@ class WaveSolver:
             for key, parts in st["pml"].items():
                 for dst, src in zip(self.pml.parts[key], parts):
                     dst[...] = src
+        if self.lts is not None:
+            self.lts.load_state(st["lts"])

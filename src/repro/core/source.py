@@ -374,53 +374,103 @@ class ManufacturedForcing:
         ]
 
     def _add_forcing(self, wf: WaveField, forcing: dict, t: float,
-                     dt: float) -> None:
+                     dt: float, region: tuple | None = None) -> None:
         for name, fn in forcing.items():
             arr = getattr(wf, name)
-            if self.domain == "padded":
-                region = (slice(None), slice(None), slice(None))
+            if region is not None:
+                # Caller-restricted box (the LTS scheduler forces each rate
+                # group over its own slab at its own cadence).  Padded-domain
+                # forcings take the box verbatim; interior forcings clip it
+                # to the interior.
+                box = tuple(
+                    slice(s.start if s.start is not None else 0,
+                          s.stop if s.stop is not None else n)
+                    for s, n in zip(region, arr.shape))
+                if self.domain != "padded":
+                    box = tuple(
+                        slice(max(s.start, NGHOST), min(s.stop, n - NGHOST))
+                        for s, n in zip(box, arr.shape))
+            elif self.domain == "padded":
+                box = (slice(None), slice(None), slice(None))
             else:
-                region = tuple(slice(NGHOST, n - NGHOST) for n in arr.shape)
-            vals = self._eval(name, fn, t, region)
-            np.add(arr[region], dt * vals, out=arr[region],
+                box = tuple(slice(NGHOST, n - NGHOST) for n in arr.shape)
+            vals = self._eval(name, fn, t, box)
+            np.add(arr[box], dt * vals, out=arr[box],
                    casting="same_kind")
 
-    def _impose_ghosts(self, wf: WaveField, names, t: float) -> None:
+    @staticmethod
+    def _intersect(slab: tuple, box: tuple, shape: tuple) -> tuple | None:
+        """Intersection of two slice boxes (None = empty)."""
+        out = []
+        for s, b, n in zip(slab, box, shape):
+            lo = max(s.start if s.start is not None else 0,
+                     b.start if b.start is not None else 0)
+            hi = min(s.stop if s.stop is not None else n,
+                     b.stop if b.stop is not None else n)
+            if hi <= lo:
+                return None
+            out.append(slice(lo, hi))
+        return tuple(out)
+
+    def _impose_ghosts(self, wf: WaveField, names, t: float,
+                       box: tuple | None = None) -> None:
         for name in names:
             fn = self.exact.get(name)
             if fn is None:
                 continue
             arr = getattr(wf, name)
             for slab in self._rim_slabs(arr.shape):
+                if box is not None:
+                    slab = self._intersect(slab, box, arr.shape)
+                    if slab is None:
+                        continue
                 arr[slab] = self._eval(name, fn, t, slab)
 
     def impose_exact(self, wf: WaveField, t_velocity: float,
-                     t_stress: float) -> None:
-        """Overwrite every ``exact`` component (full padded array) with the
-        analytic solution — the initial-condition helper for MMS runs."""
+                     t_stress: float, box: tuple | None = None) -> None:
+        """Overwrite every ``exact`` component with the analytic solution —
+        the initial-condition helper for MMS runs.
+
+        ``box`` restricts the imposition to a padded-coordinate sub-box.
+        LTS runs initialise each rate group's velocities at the group's own
+        staggered level ``-rate*dt/2`` by calling this once per group with
+        ``box=group.forcing_region``.
+        """
         if self._grid is None:
             self.bind(wf.grid)
+        sl = box if box is not None else (slice(None),) * 3
         for name, fn in self.exact.items():
-            getattr(wf, name)[...] = self._eval(
-                name, fn, t_velocity if name in self._VELOCITY else t_stress)
+            t = t_velocity if name in self._VELOCITY else t_stress
+            getattr(wf, name)[sl] = self._eval(name, fn, t, sl)
 
-    def apply_velocity(self, wf: WaveField, t: float, dt: float) -> None:
+    def apply_velocity(self, wf: WaveField, t: float, dt: float,
+                       region: tuple | None = None) -> None:
         """Velocity forcing (centred at ``t``) + exact velocity ghosts at
-        the new velocity level ``t + dt/2``."""
-        if self._grid is None:
-            self.bind(wf.grid)
-        self._add_forcing(wf, self.velocity_forcing, t, dt)
-        self._impose_ghosts(
-            wf, [n for n in self.exact if n in self._VELOCITY], t + dt / 2.0)
+        the new velocity level ``t + dt/2``.
 
-    def apply_stress(self, wf: WaveField, t: float, dt: float) -> None:
-        """Stress forcing (centred at ``t + dt/2``) + exact stress ghosts at
-        the new stress level ``t + dt``."""
+        With ``region`` (a padded-coordinate box) both the forcing and the
+        ghost imposition are restricted to that box: rate groups live at
+        different time levels, so each group imposes its own rim portion at
+        its own new level rather than the whole rim at a single time.
+        """
         if self._grid is None:
             self.bind(wf.grid)
-        self._add_forcing(wf, self.stress_forcing, t + dt / 2.0, dt)
+        self._add_forcing(wf, self.velocity_forcing, t, dt, region)
         self._impose_ghosts(
-            wf, [n for n in self.exact if n not in self._VELOCITY], t + dt)
+            wf, [n for n in self.exact if n in self._VELOCITY],
+            t + dt / 2.0, box=region)
+
+    def apply_stress(self, wf: WaveField, t: float, dt: float,
+                     region: tuple | None = None) -> None:
+        """Stress forcing (centred at ``t + dt/2``) + exact stress ghosts at
+        the new stress level ``t + dt`` (restricted to ``region`` when given;
+        see :meth:`apply_velocity`)."""
+        if self._grid is None:
+            self.bind(wf.grid)
+        self._add_forcing(wf, self.stress_forcing, t + dt / 2.0, dt, region)
+        self._impose_ghosts(
+            wf, [n for n in self.exact if n not in self._VELOCITY],
+            t + dt, box=region)
 
 
 # ----------------------------------------------------------------------

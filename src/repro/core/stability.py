@@ -18,7 +18,9 @@ import numpy as np
 
 __all__ = [
     "cfl_dt",
+    "cfl_dt_map",
     "max_frequency",
+    "rate_group_histogram",
     "required_spacing",
     "points_per_wavelength",
     "courant_number",
@@ -36,10 +38,49 @@ def cfl_dt(h: float, vp_max: float, order: int = 4, safety: float = 0.95) -> flo
     """Largest stable time step for spacing ``h`` and peak P speed ``vp_max``."""
     if h <= 0 or vp_max <= 0:
         raise ValueError("h and vp_max must be positive")
+    if not 0.0 < safety <= 1.0:
+        raise ValueError(f"safety must be in (0, 1] (got {safety})")
     # Return a python float: an np.float64 here would be a "strong" NEP-50
     # scalar and silently promote float32 wavefields wherever dt multiplies
     # an array (source injection, attenuation coefficients, ...).
     return float(safety * h / (vp_max * np.sqrt(3.0) * _COEFF_SUM[order]))
+
+
+def cfl_dt_map(h: float, vp_field, order: int = 4,
+               safety: float = 0.95) -> np.ndarray:
+    """Per-cell largest stable time step (vectorized :func:`cfl_dt`).
+
+    ``vp_field`` is an array of P speeds (any shape); the result has the
+    same shape in float64.  The pointwise minimum over the domain equals
+    ``cfl_dt(h, vp_field.max())``; the *spread* between cells is the slack
+    local time stepping (:mod:`repro.core.lts`) converts into rate groups.
+    """
+    if h <= 0:
+        raise ValueError("h must be positive")
+    if not 0.0 < safety <= 1.0:
+        raise ValueError(f"safety must be in (0, 1] (got {safety})")
+    vp = np.asarray(vp_field, dtype=np.float64)
+    if vp.size == 0 or np.any(vp <= 0):
+        raise ValueError("vp_field must be non-empty and positive")
+    return safety * h / (vp * np.sqrt(3.0) * _COEFF_SUM[order])
+
+
+def rate_group_histogram(rate_map) -> dict[int, int]:
+    """Cell counts per LTS rate, from a per-cell (or per-plane) rate array.
+
+    Returns ``{rate: ncells}`` sorted by rate.  The ratio
+    ``N_total / sum(N_r / r)`` over this histogram is the theoretical LTS
+    speedup (every cell of rate ``r`` is swept ``1/r`` as often as a
+    global-dt run would sweep it) — surfaced by ``repro diagnose`` and the
+    run-quake startup banner.
+    """
+    rates = np.asarray(rate_map)
+    if rates.size == 0:
+        raise ValueError("rate_map must be non-empty")
+    values, counts = np.unique(rates, return_counts=True)
+    if np.any(values < 1):
+        raise ValueError("rates must be >= 1")
+    return {int(v): int(c) for v, c in zip(values, counts)}
 
 
 def courant_number(dt: float, h: float, vp_max: float) -> float:

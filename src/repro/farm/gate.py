@@ -1,0 +1,91 @@
+"""LTS identity gate — does local time stepping change farm products?
+
+A farm job's content address must cover everything that changes its
+product arrays.  Local time stepping is *designed* to be a pure perf
+knob — the clustered integrator tracks the global-dt solution to
+temporal-truncation accuracy — but unlike ``kernel_variant`` (bitwise,
+gated at atol=0 by the equivalence matrix) that is a *bounded-misfit*
+claim, so it is checked, not assumed: the ``lts`` axis is excluded from
+product identity only while a measured twin run passes the
+:class:`~repro.workflow.aval.PrecisionGate` PGV tolerance.
+
+The check runs the two-layer basin (the canonical heterogeneous LTS
+medium — a homogeneous medium would collapse to one rate group and prove
+nothing) once with LTS and once at the global dt, and compares the
+surface peak-horizontal-velocity maps peak-normalised, exactly the
+PrecisionGate misfit definition.  If the misfit exceeds the bound the
+gate fails closed: ``lts`` enters the content hash and LTS products get
+their own addresses — the failure mode is cache duplication, never
+serving bytes computed by a scheme that measurably diverged.  (As of
+this writing the measured misfit on the gate problem is a few percent —
+honest O((rate*dt)^2) temporal truncation in the coarse basin slab —
+so the gate does *not* exempt ``lts="auto"``; both branches are pinned
+by tests either way.)
+
+The verdict is memoized per process; it is a deterministic pure-numpy
+computation, so every engine worker reaches the same answer and job keys
+stay process-invariant (the farm determinism contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LTS_GATE_GRID_N", "LTS_GATE_STEPS", "lts_identity_exempt",
+           "lts_pgv_misfit"]
+
+#: Twin-run problem size: big enough for a x1/x2/x4 partition on the
+#: two-layer basin and long enough that the basin wave actually reaches
+#: the surface (a too-short run compares noise against noise and the
+#: peak-normalised misfit is meaningless), small enough that the
+#: once-per-process check stays under a second.
+LTS_GATE_GRID_N = 16
+LTS_GATE_STEPS = 64
+
+_CACHE: dict[str, bool] = {}
+
+
+def _pgvh(grid_n: int, lts) -> np.ndarray:
+    from ..analysis.pgv import pgvh_from_frames
+    from ..core import Grid3D, MomentTensorSource, SolverConfig, WaveSolver
+    from ..core.source import double_couple_strike_slip, gaussian_pulse
+    from ..scenarios.catalog import basin_two_layer
+    grid = Grid3D(grid_n, grid_n, grid_n, h=100.0)
+    med = basin_two_layer(grid)
+    cfg = SolverConfig(absorbing="sponge", sponge_width=4,
+                       stability_check_interval=0, lts=lts)
+    solver = WaveSolver(grid, med, cfg)
+    c = grid_n * 100.0 / 2
+    solver.add_source(MomentTensorSource(
+        position=(c, c, grid.extent[2] * 0.85),
+        moment=double_couple_strike_slip(1e15),
+        stf=lambda t: gaussian_pulse(np.array([t]), f0=2.0)[0]))
+    rec = solver.record_surface(dec_time=2)
+    solver.run(LTS_GATE_STEPS)
+    return pgvh_from_frames(rec.frames)
+
+
+def lts_pgv_misfit(lts="auto") -> float:
+    """Peak-normalised max PGV error of an LTS run vs the global-dt twin."""
+    cand = _pgvh(LTS_GATE_GRID_N, lts)
+    ref = _pgvh(LTS_GATE_GRID_N, "off")
+    peak = float(np.abs(ref).max())
+    if peak == 0.0:
+        return 0.0
+    return float(np.abs(cand.astype(np.float64) - ref).max()) / peak
+
+
+def lts_identity_exempt(lts="auto") -> bool:
+    """True when ``lts`` may be dropped from the farm content hash.
+
+    ``"off"`` is trivially exempt (it is the identity).  Any other value
+    is exempt only while :func:`lts_pgv_misfit` stays within the
+    PrecisionGate PGV tolerance; the verdict is memoized per process.
+    """
+    if lts == "off":
+        return True
+    key = str(lts)
+    if key not in _CACHE:
+        from ..workflow.aval import PrecisionGate
+        _CACHE[key] = lts_pgv_misfit(lts) <= PrecisionGate.pgv_tol
+    return _CACHE[key]

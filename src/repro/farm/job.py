@@ -61,7 +61,8 @@ def _build_problem(job: FarmJob):
     cfg = SolverConfig(dt=dt, absorbing="sponge", sponge_width=3,
                        free_surface=True, stability_check_interval=0,
                        dtype=np.dtype(job.dtype).type,
-                       kernel_variant=job.kernel_variant)
+                       kernel_variant=job.kernel_variant,
+                       lts=job.lts)
     solver = WaveSolver(grid, med, cfg)
 
     x_extent, y_extent, z_extent = grid.extent

@@ -37,10 +37,11 @@ FARM_SPEC_SCHEMA = "repro-farm-spec/1"
 
 #: Axis name -> (element validator, human description).  The expansion is
 #: the cartesian product over these, in this order (job index order).
-AXES = ("magnitude", "hypocenter", "rupture_seed", "dtype", "gmpe")
+AXES = ("magnitude", "hypocenter", "rupture_seed", "dtype", "gmpe", "lts")
 
 _DTYPES = ("float32", "float64")
 _GMPES = ("ba08", "cb08")
+_LTS = ("off", "auto")
 
 
 class FarmSpecError(ValueError):
@@ -64,7 +65,10 @@ class FarmJob:
     :mod:`repro.verify.matrix` gate that claim at atol=0, so the same
     spec lands the same product addresses whichever backend computed
     them.  A variant that ever broke bitwise equality would have to
-    move into :meth:`config`.
+    move into :meth:`config`.  ``lts`` sits between the two regimes:
+    excluded from the key only while the measured LTS-vs-global-dt
+    misfit passes the PrecisionGate bound (see
+    :func:`repro.farm.gate.lts_identity_exempt`), included otherwise.
     """
 
     scenario: str
@@ -78,10 +82,19 @@ class FarmJob:
     index: int = 0
     inject_failures: int = 0
     kernel_variant: str = "pooled"
+    lts: str = "off"
 
     def config(self) -> dict:
-        """The physics-affecting configuration (enters the cache key)."""
-        return {
+        """The physics-affecting configuration (enters the cache key).
+
+        ``lts`` is conditionally identity-relevant: excluded while the
+        measured LTS-vs-global-dt misfit passes the PrecisionGate bound
+        (:func:`repro.farm.gate.lts_identity_exempt` — then an LTS job
+        shares the global-dt job's product address, like the bitwise
+        ``kernel_variant``), included otherwise so a scheme that
+        measurably diverges gets its own addresses.
+        """
+        d = {
             "scenario": self.scenario,
             "nx": self.nx,
             "nsteps": self.nsteps,
@@ -91,6 +104,11 @@ class FarmJob:
             "dtype": self.dtype,
             "gmpe": self.gmpe,
         }
+        if self.lts != "off":
+            from .gate import lts_identity_exempt
+            if not lts_identity_exempt(self.lts):
+                d["lts"] = self.lts
+        return d
 
     def key(self) -> str:
         """Content address of this job's products (32 hex chars)."""
@@ -102,15 +120,17 @@ class FarmJob:
         return zlib.crc32(canonical_json(self.config()).encode()) & 0xFFFFFFFF
 
     def label(self) -> str:
+        tail = f" lts={self.lts}" if self.lts != "off" else ""
         return (f"{self.scenario} Mw{self.magnitude:.1f} "
                 f"hyp({self.hypocenter[0]:.2f},{self.hypocenter[1]:.2f}) "
-                f"seed{self.rupture_seed} {self.dtype} {self.gmpe}")
+                f"seed{self.rupture_seed} {self.dtype} {self.gmpe}{tail}")
 
     def to_dict(self) -> dict:
         d = self.config()
         d["index"] = self.index
         d["inject_failures"] = self.inject_failures
         d["kernel_variant"] = self.kernel_variant
+        d["lts"] = self.lts      # full fidelity even when identity-exempt
         return d
 
     @classmethod
@@ -123,7 +143,8 @@ class FarmJob:
                    dtype=d["dtype"], gmpe=d["gmpe"],
                    index=int(d.get("index", 0)),
                    inject_failures=int(d.get("inject_failures", 0)),
-                   kernel_variant=d.get("kernel_variant", "pooled"))
+                   kernel_variant=d.get("kernel_variant", "pooled"),
+                   lts=d.get("lts", "off"))
 
 
 @dataclass(frozen=True)
@@ -152,6 +173,7 @@ class FarmSpec:
         "rupture_seed": (1,),
         "dtype": ("float64",),
         "gmpe": ("ba08",),
+        "lts": ("off",),
     }
 
     def __post_init__(self) -> None:
@@ -180,6 +202,9 @@ class FarmSpec:
         for g in self.axes.get("gmpe", ()):
             if g not in _GMPES:
                 raise FarmSpecError(f"gmpe axis value {g!r} not in {_GMPES}")
+        for lv in self.axes.get("lts", ()):
+            if lv not in _LTS:
+                raise FarmSpecError(f"lts axis value {lv!r} not in {_LTS}")
         for h in self.axes.get("hypocenter", ()):
             if (not isinstance(h, (list, tuple)) or len(h) != 2
                     or not all(0.0 < float(v) < 1.0 for v in h)):
@@ -201,7 +226,7 @@ class FarmSpec:
     def expand(self) -> list[FarmJob]:
         """The full job list: cartesian product over axes, in axis order."""
         jobs: list[FarmJob] = []
-        for idx, (mag, hyp, seed, dtype, gmpe) in enumerate(product(
+        for idx, (mag, hyp, seed, dtype, gmpe, lts) in enumerate(product(
                 *(self.axis_values(a) for a in AXES))):
             jobs.append(FarmJob(
                 scenario=self.scenario, nx=self.nx, nsteps=self.nsteps,
@@ -210,7 +235,7 @@ class FarmSpec:
                 rupture_seed=int(seed), dtype=dtype, gmpe=gmpe,
                 index=idx,
                 inject_failures=int(self.inject_failures.get(idx, 0)),
-                kernel_variant=self.kernel_variant))
+                kernel_variant=self.kernel_variant, lts=lts))
         return jobs
 
     # ------------------------------------------------------------------

@@ -130,6 +130,22 @@ class TraceDiagnosis:
         return (sum(self.busy_seconds(r) for r in ranks) / len(ranks)
                 if ranks else 0.0)
 
+    @property
+    def lts(self) -> dict | None:
+        """LTS rate-group partition, when the run recorded one.
+
+        ``solver.run`` / ``distributed.run`` spans carry ``lts_map`` (the
+        (k_lo, k_hi, rate) triples as a string) and ``lts_speedup`` (the
+        theoretical cell-update speedup) when local time stepping was on;
+        the manifest only stores a config *hash*, so the spans are the
+        trace's record of the partition.
+        """
+        for sp in self.spans:
+            if "lts_speedup" in sp.attrs:
+                return {"map": sp.attrs.get("lts_map"),
+                        "theoretical_speedup": sp.attrs["lts_speedup"]}
+        return None
+
     # -- output ------------------------------------------------------------
     def to_dict(self) -> dict:
         def label(r):
@@ -149,6 +165,7 @@ class TraceDiagnosis:
             "balanced_s": self.balanced_s,
             "nspans": len(self.spans),
             "manifest": self.manifest,
+            "lts": self.lts,
         }
 
     def to_json(self) -> str:
@@ -168,6 +185,10 @@ class TraceDiagnosis:
         out.append(f"critical path (perfect comm overlap): "
                    f"{self.critical_path_s:.6f} s")
         out.append(f"balanced lower bound: {self.balanced_s:.6f} s")
+        lts = self.lts
+        if lts is not None:
+            out.append(f"local time stepping: map {lts['map']}, theoretical "
+                       f"speedup {lts['theoretical_speedup']:.2f}x")
         return out
 
     def report(self) -> str:

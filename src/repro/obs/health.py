@@ -139,6 +139,20 @@ class HealthMonitor:
                 f"dt = {solver.dt:.4g} gives Courant number {c:.3f} > "
                 f"stable bound {c_max:.3f} (order {order}); the run will "
                 "diverge", RuntimeWarning, stacklevel=3)
+        if getattr(solver, "lts", None) is not None:
+            # Per-rate-group check at each group's own slab dt: 'auto' maps
+            # satisfy this by construction, but a forced map can push a
+            # coarse group past the bound — this warning is the only guard.
+            for gi, (cg, rate) in enumerate(solver.lts.group_courants()):
+                if cg > c_max:
+                    log.warn("health.lts_cfl_violation", rank=self.rank,
+                             group=gi, rate=rate, courant=cg,
+                             courant_max=c_max)
+                    warnings.warn(
+                        f"LTS group {gi} (rate x{rate}) has Courant number "
+                        f"{cg:.3f} > stable bound {c_max:.3f} at its slab "
+                        f"dt; the run will diverge", RuntimeWarning,
+                        stacklevel=3)
 
     # ------------------------------------------------------------------
     def _amplitude_limit(self, solver) -> float:

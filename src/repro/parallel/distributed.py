@@ -190,6 +190,22 @@ class DistributedWaveSolver:
         if medium.dtype != np.dtype(cfg.dtype):
             medium = medium.astype(cfg.dtype)
         self.medium = medium
+        if cfg.lts != "off":
+            if decomp.dims[2] != 1:
+                raise ValueError(
+                    "lts requires a pz=1 decomposition (rate groups are "
+                    f"global k-slabs; got dims={decomp.dims})")
+            if cfg.lts == "auto":
+                # Resolve the partition from the GLOBAL medium once and pass
+                # it down as an explicit map: per-rank 'auto' partitions would
+                # be cut from each rank's local vp distribution and diverge
+                # from the serial schedule.
+                from ..core.lts import build_rate_groups, plane_cfl_bounds
+                from ..core.stability import cfl_dt
+                dt0 = (float(cfg.dt) if cfg.dt is not None
+                       else cfl_dt(grid.h, medium.vp_max, order=cfg.order))
+                cfg = replace(cfg, lts=build_rate_groups(
+                    dt0, plane_cfl_bounds(grid.h, medium, order=cfg.order)))
         if kernel_variant in ("blocked", "compiled"):
             if cfg.absorbing == "pml":
                 raise ValueError(f"kernel_variant={kernel_variant!r} does "
@@ -268,9 +284,12 @@ class DistributedWaveSolver:
     def overlap_eligible(self) -> bool:
         """Whether the IV.C overlap schedule can preserve bitwise identity
         with this configuration (no PML, no attenuation, region-splittable
-        kernels — pooled or compiled)."""
+        kernels — pooled or compiled).  Local time stepping runs the
+        blocking schedule: group activity varies per substep, so a static
+        core/shell split cannot hide the exchanges."""
         return (self.config.absorbing != "pml"
                 and self.config.attenuation_band is None
+                and self.config.lts == "off"
                 and self.kernel_variant in ("pooled", "compiled"))
 
     @property
@@ -278,6 +297,15 @@ class DistributedWaveSolver:
         """Whether the next procpool run will use the overlap schedule."""
         return (self.backend == "procpool" and self.overlap
                 and self.overlap_eligible)
+
+    @property
+    def lts(self):
+        """Rank 0's :class:`~repro.core.lts.LTSScheduler` (None when off).
+
+        Under the pz=1 constraint every rank holds the identical global
+        k-slab partition, so one scheduler answers rate-map questions for
+        the whole run."""
+        return self.solvers[0].lts
 
     # ------------------------------------------------------------------
     # Sources and receivers
@@ -289,6 +317,11 @@ class DistributedWaveSolver:
             return
         if isinstance(source, MomentTensorSource):
             source.bind(self.grid)
+            # LTS group assignment keys off one representative cell; pin the
+            # *global* one so every rank's fragment of the source cloud lands
+            # in the same rate group as the serial run (k is global == local
+            # because LTS enforces pz=1).
+            rep_k = next(iter(source._cells.values()))[2] - NGHOST
             for rank, sub in enumerate(self.decomp.subdomains()):
                 local_plan = {}
                 local_cells = {}
@@ -307,6 +340,7 @@ class DistributedWaveSolver:
                     local = copy.copy(source)
                     local._plan = local_plan
                     local._cells = local_cells
+                    local._lts_kplane = rep_k
                     self.solvers[rank].moment_sources.append(local)
         elif isinstance(source, BodyForceSource):
             i, j, k = self.grid.index_of(*source.position)
@@ -423,6 +457,33 @@ class DistributedWaveSolver:
             # only advance on communication, so measured numpy time is the
             # honest compute cost — the paper's Eq. 7 hybrid of measured
             # kernel time plus modelled alpha + k*beta communication.
+            if sol.lts is not None:
+                # LTS substep: the scheduler owns sources, forcings, free
+                # surface and sponge slabs; the halo exchanges slot between
+                # its phases exactly where the serial substep falls through
+                # them.  Held planes re-send unchanged values (idempotent),
+                # so the plain full-round exchange stays bitwise-correct.
+                i = sol.nstep
+                with tracer.span("step.velocity", category="compute",
+                                 wall=True):
+                    sol.lts.phase_velocity(i)
+                yield from exchange("velocity")
+                with tracer.span("step.stress", category="compute",
+                                 wall=True):
+                    sol.lts.finish_velocity(i)
+                    sol.lts.phase_stress(i)
+                yield from exchange("stress")
+                sol.t += sol.dt
+                sol.nstep += 1
+                if locals_:
+                    with tracer.span("step.record", category="io", wall=True):
+                        for loc in locals_:
+                            loc.record(sol.wf)
+                if srec is not None:
+                    srec.maybe_record(sol.wf, sol.t)
+                if monitor is not None:
+                    monitor.on_step(sol)
+                continue
             with tracer.span("step.velocity", category="compute", wall=True):
                 self._update_velocity(sol)
                 for src in sol.force_sources:
@@ -454,10 +515,20 @@ class DistributedWaveSolver:
             if monitor is not None:
                 monitor.on_step(sol)
 
+    def _lts_attrs(self) -> dict:
+        """Span attributes surfacing the LTS partition in `repro diagnose`.
+
+        pz = 1 (enforced), so rank 0's local rate map IS the global map.
+        """
+        if self.lts is None:
+            return {}
+        return {"lts_map": str(self.lts.rate_map()),
+                "lts_speedup": round(self.lts.speedup(), 4)}
+
     def _run_sim(self, nsteps: int, tracer) -> SPMDResult:
         with tracer.span("distributed.run", category="other",
                          backend="sim", nranks=self.decomp.nranks,
-                         nsteps=nsteps):
+                         nsteps=nsteps, **self._lts_attrs()):
             return run_spmd(self.decomp.nranks, self._rank_program,
                             machine=self.machine, topology=self.topology,
                             args=(nsteps,), tracer=tracer)
@@ -533,11 +604,18 @@ class DistributedWaveSolver:
 
         if plan is None:
             # Blocking schedule: identical ordering to the SimMPI program.
+            # Under LTS the scheduler phases replace the velocity/stress
+            # halves (it owns sources, free surface and sponge slabs); the
+            # full-face exchange every substep re-sends held planes
+            # unchanged, which is idempotent and keeps bitwise identity.
             for _ in range(nsteps):
                 t0 = time.perf_counter()
-                self._update_velocity(sol)
-                for src in sol.force_sources:
-                    src.inject(wf, sol.t, sol.dt)
+                if sol.lts is not None:
+                    sol.lts.phase_velocity(sol.nstep)
+                else:
+                    self._update_velocity(sol)
+                    for src in sol.force_sources:
+                        src.inject(wf, sol.t, sol.dt)
                 t1 = time.perf_counter()
                 compute_s += t1 - t0
                 span("step.velocity", t0, t1)
@@ -551,15 +629,19 @@ class DistributedWaveSolver:
                 span("halo.velocity", t0, time.perf_counter(),
                      category="halo", wait_s=w + w2)
                 t0 = time.perf_counter()
-                if sol.free_surface is not None:
-                    sol.free_surface.apply_velocity(wf)
-                self._update_stress(sol)
-                for src in sol.moment_sources:
-                    src.inject(wf, sol.t, sol.dt)
-                if sol.free_surface is not None:
-                    sol.free_surface.apply_stress(wf)
-                if sol.sponge is not None:
-                    sol.sponge.apply(wf)
+                if sol.lts is not None:
+                    sol.lts.finish_velocity(sol.nstep)
+                    sol.lts.phase_stress(sol.nstep)
+                else:
+                    if sol.free_surface is not None:
+                        sol.free_surface.apply_velocity(wf)
+                    self._update_stress(sol)
+                    for src in sol.moment_sources:
+                        src.inject(wf, sol.t, sol.dt)
+                    if sol.free_surface is not None:
+                        sol.free_surface.apply_stress(wf)
+                    if sol.sponge is not None:
+                        sol.sponge.apply(wf)
                 t1 = time.perf_counter()
                 compute_s += t1 - t0
                 span("step.stress", t0, t1)
@@ -709,7 +791,7 @@ class DistributedWaveSolver:
 
             with tracer.span("distributed.run", category="other",
                              backend="procpool", nranks=self.decomp.nranks,
-                             nsteps=nsteps):
+                             nsteps=nsteps, **self._lts_attrs()):
                 payloads = procpool.run_workers(self.decomp.nranks, target)
         finally:
             pool.close()

@@ -1,9 +1,11 @@
 """Scenario catalog (Table 3) and the scaled M8 pipeline."""
 
-from .catalog import SCENARIOS, Scenario, m8_resource_summary, scenario
+from .catalog import (SCENARIOS, Scenario, basin_two_layer,
+                      m8_resource_summary, scenario)
 from .m8 import M8Config, M8Result, SITE_FRACTIONS, run_m8_scaled
 
 __all__ = [
-    "SCENARIOS", "Scenario", "m8_resource_summary", "scenario",
+    "SCENARIOS", "Scenario", "basin_two_layer", "m8_resource_summary",
+    "scenario",
     "M8Config", "M8Result", "SITE_FRACTIONS", "run_m8_scaled",
 ]

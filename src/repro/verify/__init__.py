@@ -22,12 +22,14 @@ from .golden import (GOLDEN_DIR, GOLDEN_NAMES, GOLDEN_SCHEMA, GoldenResult,
 from .matrix import (FULL_DECOMPS, QUICK_DECOMPS, CellResult, MatrixCell,
                      MatrixProblem, MatrixResult, build_cells, run_matrix)
 from .mms import (ConvergenceResult, PlaneWaveCheckResult, Rung, fit_order,
-                  plane_wave_check, spatial_ladder, temporal_ladder)
+                  lts_temporal_ladder, plane_wave_check, spatial_ladder,
+                  temporal_ladder)
 from .report import VERIFY_SCHEMA, VerifyReport
 
 __all__ = [
     "Rung", "ConvergenceResult", "PlaneWaveCheckResult", "fit_order",
-    "spatial_ladder", "temporal_ladder", "plane_wave_check",
+    "spatial_ladder", "temporal_ladder", "lts_temporal_ladder",
+    "plane_wave_check",
     "MatrixCell", "CellResult", "MatrixResult", "MatrixProblem",
     "build_cells", "run_matrix", "QUICK_DECOMPS", "FULL_DECOMPS",
     "GOLDEN_SCHEMA", "GOLDEN_DIR", "GOLDEN_NAMES", "GoldenResult",

@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core import (Grid3D, Medium, MomentTensorSource, Receiver,
-                    SolverConfig, WaveSolver)
+                    SolverConfig, WaveSolver, cfl_dt)
 from ..core import compiled
 from ..core.source import gaussian_pulse
 from ..parallel import procpool
@@ -75,6 +75,10 @@ class MatrixCell:
     dtype: str                       #: 'float64' | 'float32'
     kernel_variant: str              #: 'pooled' | 'blocked' | 'compiled'
     decomp: tuple[int, int, int]
+    #: 'off', or 'forced' = the fixed two-group ×1/×2 LTS map; LTS cells
+    #: compare against a *serial LTS* reference at the same dt, so the
+    #: bitwise contract covers the rate-group scheduler across backends.
+    lts: str = "off"
 
     @property
     def nranks(self) -> int:
@@ -84,7 +88,8 @@ class MatrixCell:
     @property
     def label(self) -> str:
         return (f"{self.backend}/{self.dtype}/{self.kernel_variant}/"
-                f"{'x'.join(map(str, self.decomp))}")
+                f"{'x'.join(map(str, self.decomp))}"
+                + ("/lts" if self.lts != "off" else ""))
 
 
 @dataclass
@@ -97,7 +102,8 @@ class CellResult:
     def to_dict(self) -> dict:
         return {"backend": self.cell.backend, "dtype": self.cell.dtype,
                 "kernel_variant": self.cell.kernel_variant,
-                "decomp": list(self.cell.decomp), "status": self.status,
+                "decomp": list(self.cell.decomp), "lts": self.cell.lts,
+                "status": self.status,
                 "max_abs_diff": float(self.max_abs_diff),
                 "detail": self.detail}
 
@@ -184,18 +190,31 @@ class MatrixProblem:
     def receiver(self) -> Receiver:
         return Receiver(position=(1500.0, 1200.0, 1100.0))
 
-    def config(self, dtype: str, *, cache_blocking: bool = False
-               ) -> SolverConfig:
+    #: Forced LTS partition of the nz=18 column (the random medium has no
+    #: vertical structure, so 'auto' would put everything at rate 1).
+    LTS_MAP = ((0, 9, 1), (9, 18, 2))
+
+    def lts_dt(self) -> float:
+        """Fine dt for LTS cells: half the global CFL bound, so the forced
+        rate-2 group steps exactly at the bound."""
+        g = self.grid()
+        return 0.5 * cfl_dt(self.h, float(self.medium(g).vp_max))
+
+    def config(self, dtype: str, *, cache_blocking: bool = False,
+               lts: str = "off") -> SolverConfig:
+        kw = {}
+        if lts != "off":
+            kw = {"lts": self.LTS_MAP, "dt": self.lts_dt()}
         return SolverConfig(absorbing="sponge", sponge_width=6,
                             free_surface=True, dtype=np.dtype(dtype).type,
-                            cache_blocking=cache_blocking)
+                            cache_blocking=cache_blocking, **kw)
 
     # -- runs ----------------------------------------------------------
 
-    def run_serial(self, dtype: str) -> tuple[dict, dict]:
+    def run_serial(self, dtype: str, lts: str = "off") -> tuple[dict, dict]:
         """Serial reference run; returns (fields, waveforms)."""
         g = self.grid()
-        solver = WaveSolver(g, self.medium(g), self.config(dtype))
+        solver = WaveSolver(g, self.medium(g), self.config(dtype, lts=lts))
         solver.add_source(self.source())
         rec = solver.add_receiver(self.receiver())
         solver.run(self.nsteps)
@@ -213,7 +232,8 @@ class MatrixProblem:
             warnings.simplefilter("error")
             solver = DistributedWaveSolver(
                 g, self.medium(g), decomp=Decomposition3D(g, *cell.decomp),
-                config=self.config(cell.dtype), backend=cell.backend,
+                config=self.config(cell.dtype, lts=cell.lts),
+                backend=cell.backend,
                 kernel_variant=cell.kernel_variant)
             solver.add_source(self.source())
             rec = solver.add_receiver(self.receiver())
@@ -226,8 +246,8 @@ class MatrixProblem:
 def build_cells(backends=("sim", "procpool"),
                 dtypes=("float64", "float32"),
                 variants=("pooled", "blocked", "compiled"),
-                decomps=FULL_DECOMPS) -> list[MatrixCell]:
-    return [MatrixCell(b, d, v, tuple(dec))
+                decomps=FULL_DECOMPS, lts="off") -> list[MatrixCell]:
+    return [MatrixCell(b, d, v, tuple(dec), lts)
             for b in backends for d in dtypes for v in variants
             for dec in decomps]
 
@@ -280,7 +300,7 @@ def run_matrix(problem: MatrixProblem | None = None,
     have_procpool = procpool.procpool_available()
     have_compiled = compiled.compiled_available()
 
-    references: dict[str, tuple[dict, dict]] = {}
+    references: dict[tuple[str, str], tuple[dict, dict]] = {}
     results: list[CellResult] = []
     for cell in cells:
         if cell.backend == "procpool" and not have_procpool:
@@ -291,9 +311,11 @@ def run_matrix(problem: MatrixProblem | None = None,
                              detail="no compiled provider "
                                     "(numba or C compiler)")
         else:
-            if cell.dtype not in references:
-                references[cell.dtype] = problem.run_serial(cell.dtype)
-            ref_fields, ref_waves = references[cell.dtype]
+            ref_key = (cell.dtype, cell.lts)
+            if ref_key not in references:
+                references[ref_key] = problem.run_serial(cell.dtype,
+                                                         lts=cell.lts)
+            ref_fields, ref_waves = references[ref_key]
             try:
                 fields, waves = problem.run_cell(cell)
             except Exception as exc:  # noqa: BLE001 - reported, not raised

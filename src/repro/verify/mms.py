@@ -34,8 +34,8 @@ from ..core import Grid3D, ManufacturedForcing, Medium, SolverConfig, WaveSolver
 from ..core.stability import cfl_dt
 
 __all__ = ["Rung", "ConvergenceResult", "fit_order", "plane_wave_solution",
-           "spatial_ladder", "temporal_ladder", "plane_wave_check",
-           "PlaneWaveCheckResult"]
+           "spatial_ladder", "temporal_ladder", "lts_temporal_ladder",
+           "plane_wave_check", "PlaneWaveCheckResult"]
 
 
 @dataclass
@@ -267,6 +267,101 @@ def temporal_ladder(step_counts: tuple[int, ...] = (8, 16, 32, 64),
     errors = [r.error for r in rungs]
     return ConvergenceResult(
         kind="temporal", rungs=rungs,
+        observed_order=fit_order(params, errors),
+        pairwise_orders=_pairwise_orders(params, errors),
+        required_order=required_order, fd_order=fd_order)
+
+
+# ----------------------------------------------------------------------
+# LTS interface ladder (temporal order across a rate-group boundary)
+# ----------------------------------------------------------------------
+
+def _run_lts_wave(dt: float, nsteps: int, rate_map, *,
+                  correction: bool = True, nz: int = 24,
+                  fd_order: int = 4) -> float:
+    """LTS error across a forced rate-group interface, one dt rung.
+
+    An exact S plane wave propagates *along z* (particle motion x), so the
+    wave crosses every rate-group interface: ``vx = A sin(k (z - c t))``,
+    ``sxz = -rho c A sin(k (z - c t))``.  The run is repeated with LTS off
+    at the *same* dt and the relative L2 difference of the two solutions is
+    returned (fine-group velocities, whose time levels coincide, plus the
+    full sxz field at ``t_end``).  Measuring LTS *against the serial twin*
+    cancels the shared spatial and temporal truncation error exactly, so
+    the ladder isolates the interface-correction order: ~2 with the
+    time-interpolated corrections, ~1 with them disabled (the must-fail
+    tooth).  Each rate group's velocities are initialised at the group's
+    own staggered level ``-rate*dt/2``.
+    """
+    n, h = 6, 100.0
+    vs, rho = 2000.0, 2500.0
+    vp = vs * np.sqrt(3.0)
+    wavelength = nz * h / 2.0
+    k = 2.0 * np.pi / wavelength
+    amp = 1.0
+    s_amp = -rho * vs * amp
+
+    def exact_vx(x, y, z, t):
+        return amp * np.sin(k * (z - vs * t)) + 0.0 * (x + y)
+
+    def exact_sxz(x, y, z, t):
+        return s_amp * np.sin(k * (z - vs * t)) + 0.0 * (x + y)
+
+    def solve(lts):
+        grid = Grid3D(n, n, nz, h=h)
+        med = Medium.homogeneous(grid, vp=vp, vs=vs, rho=rho)
+        forcing = ManufacturedForcing(
+            exact={"vx": exact_vx, "sxz": exact_sxz})
+        solver = WaveSolver(grid, med, SolverConfig(
+            dt=dt, order=fd_order, absorbing="none", free_surface=False,
+            stability_check_interval=0, lts=lts,
+            lts_correction=correction))
+        solver.add_forcing(forcing)
+        forcing.impose_exact(solver.wf, t_velocity=-dt / 2.0, t_stress=0.0)
+        if solver.lts is not None:
+            for g in solver.lts.groups:
+                forcing.impose_exact(
+                    solver.wf, t_velocity=-g.rate * dt / 2.0, t_stress=0.0,
+                    box=g.forcing_region)
+        solver.run(nsteps)
+        return solver
+
+    ser = solve("off")
+    lts = solve(rate_map)
+    gi = slice(2, -2)
+    # Rate-1 groups share the serial velocity level t_end - dt/2 exactly.
+    fine_k = [slice(2 + lo, 2 + hi) for lo, hi, r in lts.lts.rate_map()
+              if r == 1]
+    err = _rel_l2(lts.wf.sxz[gi, gi, gi], ser.wf.sxz[gi, gi, gi])
+    for ks in fine_k:
+        err = max(err, _rel_l2(lts.wf.vx[gi, gi, ks],
+                               ser.wf.vx[gi, gi, ks]))
+    return err
+
+
+def lts_temporal_ladder(step_counts: tuple[int, ...] = (8, 16, 32, 64),
+                        required_order: float = 1.9, t_final: float = 0.048,
+                        correction: bool = True,
+                        fd_order: int = 4) -> ConvergenceResult:
+    """dt-refinement ladder across a forced ×1/×2 rate-group interface.
+
+    Gates the temporal order of the LTS interface corrections (must stay
+    ~2).  ``correction=False`` is the harness's must-fail tooth: the
+    uncorrected scheme reads neighbour bands at time-lagged levels and
+    degrades to ~1st order, which this ladder must flag.
+    """
+    rate_map = ((0, 12, 1), (12, 24, 2))
+    rungs: list[Rung] = []
+    for nsteps in sorted(step_counts):
+        dt = t_final / nsteps
+        err = _run_lts_wave(dt, nsteps, rate_map, correction=correction,
+                            fd_order=fd_order)
+        rungs.append(Rung(param=dt, error=err, steps=nsteps, dt=dt))
+    rungs.sort(key=lambda r: r.param)
+    params = [r.param for r in rungs]
+    errors = [r.error for r in rungs]
+    return ConvergenceResult(
+        kind="temporal_lts", rungs=rungs,
         observed_order=fit_order(params, errors),
         pairwise_orders=_pairwise_orders(params, errors),
         required_order=required_order, fd_order=fd_order)

@@ -33,6 +33,72 @@ class TestCFL:
         assert c == pytest.approx(6 / (7 * np.sqrt(3)))
         assert c < 1.0
 
+    def test_second_order_coefficient_path(self):
+        # order=2 uses |c1| = 1: dt_max = h / (sqrt(3) vp) at safety = 1
+        dt = stability.cfl_dt(40.0, 6000.0, order=2, safety=1.0)
+        assert dt == pytest.approx(40.0 / (np.sqrt(3) * 6000.0))
+        assert stability.max_stable_courant(2) == pytest.approx(
+            1.0 / np.sqrt(3))
+
+    def test_safety_bounds(self):
+        for bad in (0.0, -0.1, 1.01):
+            with pytest.raises(ValueError, match="safety"):
+                stability.cfl_dt(40.0, 6000.0, safety=bad)
+        # the closed upper end is legal
+        assert stability.cfl_dt(40.0, 6000.0, safety=1.0) > 0
+
+    def test_nonpositive_h_and_vp_raise(self):
+        for h, vp in ((0.0, 5000.0), (-1.0, 5000.0),
+                      (1.0, 0.0), (1.0, -5000.0)):
+            with pytest.raises(ValueError):
+                stability.cfl_dt(h, vp)
+
+    def test_returns_python_float(self):
+        # an np.float64 would be a "strong" NEP-50 scalar and silently
+        # promote float32 wavefields wherever dt multiplies an array
+        dt = stability.cfl_dt(40.0, 6000.0)
+        assert type(dt) is float
+        assert type(stability.max_stable_courant()) is float
+        f32 = np.zeros(3, dtype=np.float32)
+        assert (f32 * dt).dtype == np.float32
+
+
+class TestCFLMap:
+    def test_matches_scalar_pointwise(self):
+        vp = np.array([[4000.0, 6000.0], [800.0, 1600.0]])
+        m = stability.cfl_dt_map(40.0, vp, order=4, safety=0.5)
+        assert m.shape == vp.shape
+        for idx in np.ndindex(vp.shape):
+            assert m[idx] == pytest.approx(
+                stability.cfl_dt(40.0, vp[idx], order=4, safety=0.5))
+
+    def test_domain_min_equals_global_cfl(self):
+        vp = np.array([400.0, 1000.0, 7600.0])
+        m = stability.cfl_dt_map(25.0, vp)
+        assert m.min() == pytest.approx(stability.cfl_dt(25.0, 7600.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stability.cfl_dt_map(0.0, np.ones(3))
+        with pytest.raises(ValueError):
+            stability.cfl_dt_map(1.0, np.array([1.0, -2.0]))
+        with pytest.raises(ValueError):
+            stability.cfl_dt_map(1.0, np.array([]))
+        with pytest.raises(ValueError):
+            stability.cfl_dt_map(1.0, np.ones(3), safety=0.0)
+
+
+class TestRateGroupHistogram:
+    def test_counts(self):
+        hist = stability.rate_group_histogram([1, 1, 2, 4, 4, 4])
+        assert hist == {1: 2, 2: 1, 4: 3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stability.rate_group_histogram([])
+        with pytest.raises(ValueError):
+            stability.rate_group_histogram([1, 0, 2])
+
 
 class TestDispersion:
     def test_m8_parameters_are_self_consistent(self):

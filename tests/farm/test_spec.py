@@ -5,6 +5,7 @@ import os
 import subprocess
 import sys
 
+import numpy as np
 import pytest
 
 from repro.farm import AXES, FARM_SPEC_SCHEMA, FarmJob, FarmSpec, FarmSpecError
@@ -47,7 +48,7 @@ class TestExpansion:
         # expansion order follows AXES order; every tuple is unique
         assert len({j.key() for j in jobs}) == len(jobs)
         assert AXES == ("magnitude", "hypocenter", "rupture_seed",
-                        "dtype", "gmpe")
+                        "dtype", "gmpe", "lts")
 
     def test_inject_failures_mapped_by_index_not_in_key(self):
         spec = mini_spec(axes={"rupture_seed": [1, 2]},
@@ -77,6 +78,10 @@ class TestValidation:
         with pytest.raises(FarmSpecError, match="gmpe"):
             mini_spec(axes={"gmpe": ["as97"]})
 
+    def test_bad_lts(self):
+        with pytest.raises(FarmSpecError, match="lts"):
+            mini_spec(axes={"lts": ["always"]})
+
     def test_bad_hypocenter(self):
         with pytest.raises(FarmSpecError, match="hypocenter"):
             mini_spec(axes={"hypocenter": [[1.5, 0.5]]})
@@ -88,6 +93,62 @@ class TestValidation:
     def test_nx_floor(self):
         with pytest.raises(FarmSpecError, match="nx"):
             mini_spec(nx=4)
+
+
+class TestLTSIdentityGate:
+    """Both directions of the conditional lts identity exemption."""
+
+    def _twin_jobs(self):
+        jobs = mini_spec(axes={"lts": ["off", "auto"]}).expand()
+        assert [j.lts for j in jobs] == ["off", "auto"]
+        return jobs
+
+    def test_exempt_lts_shares_the_global_dt_address(self, monkeypatch):
+        from repro.farm import gate
+        monkeypatch.setitem(gate._CACHE, "auto", True)
+        off, auto = self._twin_jobs()
+        assert "lts" not in auto.config()
+        assert auto.key() == off.key()
+        assert auto.derived_seed() == off.derived_seed()
+
+    def test_failing_gate_puts_lts_in_the_hash(self, monkeypatch):
+        from repro.farm import gate
+        monkeypatch.setitem(gate._CACHE, "auto", False)
+        off, auto = self._twin_jobs()
+        assert auto.config()["lts"] == "auto"
+        assert auto.key() != off.key()
+
+    def test_off_never_enters_the_hash(self):
+        # pre-lts specs must keep their addresses: default jobs' config
+        # has no lts key at all
+        (job,) = mini_spec().expand()
+        assert job.lts == "off"
+        assert "lts" not in job.config()
+
+    def test_to_dict_keeps_lts_even_when_exempt(self, monkeypatch):
+        from repro.farm import gate
+        monkeypatch.setitem(gate._CACHE, "auto", True)
+        _, auto = self._twin_jobs()
+        d = auto.to_dict()
+        assert d["lts"] == "auto"
+        from repro.farm import FarmJob
+        assert FarmJob.from_dict(d) == auto
+
+    def test_gate_measures_real_misfit(self):
+        # the un-mocked verdict: deterministic, and honest about which
+        # side of the PrecisionGate bound the measured misfit lands on
+        from repro.farm import gate
+        from repro.workflow.aval import PrecisionGate
+        gate._CACHE.clear()
+        try:
+            m = gate.lts_pgv_misfit("auto")
+            assert m >= 0.0 and np.isfinite(m)
+            assert gate.lts_identity_exempt("auto") == \
+                (m <= PrecisionGate.pgv_tol)
+            # memoized: second call answers from the cache
+            assert "auto" in gate._CACHE
+        finally:
+            gate._CACHE.clear()
 
 
 class TestRoundTrip:

@@ -158,3 +158,28 @@ class TestRoundTripThroughJsonl:
                 pass
         diag = TraceDiagnosis(t.spans)
         assert diag.critical_path_s > 0.0
+
+
+class TestLTSSurfacing:
+    def _spans_with_lts(self):
+        spans = _fixture_spans()
+        spans.append(Span(name="solver.run", category="other", rank=None,
+                          start=0.0, end=2.0, span_id=99,
+                          attrs={"lts_map": "((0, 8, 1), (8, 16, 2))",
+                                 "lts_speedup": 1.3333}))
+        return spans
+
+    def test_lts_from_run_span_attrs(self):
+        diag = TraceDiagnosis(self._spans_with_lts())
+        assert diag.lts == {"map": "((0, 8, 1), (8, 16, 2))",
+                            "theoretical_speedup": 1.3333}
+        assert diag.to_dict()["lts"] == diag.lts
+        assert any("local time stepping" in line and "1.33x" in line
+                   for line in diag.headlines())
+
+    def test_no_lts_no_headline(self):
+        diag = TraceDiagnosis(_fixture_spans())
+        assert diag.lts is None
+        assert diag.to_dict()["lts"] is None
+        assert not any("local time stepping" in line
+                       for line in diag.headlines())

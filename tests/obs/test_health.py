@@ -131,6 +131,38 @@ class TestTeeth:
             assert any(ev.name == "health.cfl_violation"
                        for ev in log.events)
 
+    def test_lts_group_cfl_violation_warns_at_bind(self):
+        # a forced x4 map over the stiff basement runs that slab at 4x the
+        # stable dt; the per-group check is the only guard for forced maps
+        from repro.scenarios import basin_two_layer
+        g = Grid3D(12, 12, 12, h=100.0)
+        med = basin_two_layer(g)
+        cfg = SolverConfig(absorbing="sponge", sponge_width=3,
+                           stability_check_interval=0, lts=((0, 12, 4),))
+        s = WaveSolver(g, med, cfg)
+        mon = HealthMonitor(HealthConfig())
+        with use_event_log(EventLog()) as log:
+            with pytest.warns(RuntimeWarning, match="LTS group"):
+                mon.bind(s)
+            assert any(ev.name == "health.lts_cfl_violation"
+                       for ev in log.events)
+
+    def test_lts_auto_map_passes_group_check(self):
+        from repro.scenarios import basin_two_layer
+        import warnings as _warnings
+        g = Grid3D(12, 12, 16, h=100.0)
+        med = basin_two_layer(g)
+        cfg = SolverConfig(absorbing="sponge", sponge_width=3,
+                           stability_check_interval=0, lts="auto")
+        s = WaveSolver(g, med, cfg)
+        mon = HealthMonitor(HealthConfig())
+        with use_event_log(EventLog()) as log:
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("error")
+                mon.bind(s)         # auto maps satisfy the bound by design
+            assert not any(ev.name == "health.lts_cfl_violation"
+                           for ev in log.events)
+
     def test_events_emitted_on_trip(self):
         s = _solver()
         cfg = HealthConfig(check_interval=5, inject_nan_step=5)

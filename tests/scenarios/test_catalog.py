@@ -73,3 +73,40 @@ class TestM8Resources:
         assert r["checkpoint_tb"] == pytest.approx(49.0, rel=0.15)
         # ~144K time steps for 360 s
         assert 120_000 < r["timesteps"] < 170_000
+
+
+class TestBasinTwoLayer:
+    def test_contrast_and_orientation(self):
+        import numpy as np
+        from repro.core.fd import interior
+        from repro.core.grid import Grid3D
+        from repro.scenarios.catalog import basin_two_layer
+        grid = Grid3D(8, 8, 20, h=100.0)
+        med = basin_two_layer(grid)
+        vp = interior(med.vp)
+        # soft basin on the free-surface side (high k), stiff basement below
+        assert vp[..., -1].max() == pytest.approx(800.0)    # 2 * vs_basin
+        assert vp[..., 0].min() == pytest.approx(3600.0)    # 2 * vs_basement
+        # vs contrast >= 4x (the satellite requirement)
+        assert 3600.0 / 800.0 >= 4.0
+        # default basin_frac = 0.6: 12 of 20 planes are basin
+        nbasin = int(np.sum(vp[0, 0] == 800.0))
+        assert nbasin == 12
+
+    def test_basin_frac_validation(self):
+        from repro.core.grid import Grid3D
+        from repro.scenarios.catalog import basin_two_layer
+        grid = Grid3D(8, 8, 12, h=100.0)
+        for bad in (0.0, 1.0, -0.2, 1.5):
+            with pytest.raises(ValueError, match="basin_frac"):
+                basin_two_layer(grid, basin_frac=bad)
+
+    def test_every_plane_uniform(self):
+        # each k-plane is homogeneous, so per-plane CFL bounds are exact
+        import numpy as np
+        from repro.core.fd import interior
+        from repro.core.grid import Grid3D
+        from repro.scenarios.catalog import basin_two_layer
+        med = basin_two_layer(Grid3D(6, 6, 10, h=50.0))
+        vp = interior(med.vp)
+        assert np.all(vp == vp[0:1, 0:1, :])

@@ -554,3 +554,38 @@ class TestCompiledWorkloads:
         # nothing compiled was requested, nothing skipped, no error
         assert report["skipped_workloads"] == {}
         assert not (set(report["workloads"]) & COMPILED_WORKLOADS)
+
+
+class TestLTSWorkloads:
+    def test_lts_workloads_registered(self):
+        assert "solver_step_lts" in WORKLOADS
+        assert "distributed_procpool_lts" in WORKLOADS
+
+    def test_solver_step_lts_extra_schema(self, smoke_report):
+        report, registry = smoke_report
+        wl = report["workloads"].get("solver_step_lts")
+        assert wl is not None, "solver_step_lts skipped in smoke mode"
+        ex = wl["extra"]
+        for key in ("dt", "rate_map", "theoretical_speedup",
+                    "global_dt_wall_min_s", "speedup_vs_global_dt"):
+            assert key in ex, key
+        assert ex["theoretical_speedup"] > 1.0
+        assert ex["speedup_vs_global_dt"] > 0.0
+        # the obs gauges the issue names
+        gauges = registry.gauge(
+            "bench.solver_step_lts.speedup_vs_global_dt").value
+        assert gauges == pytest.approx(ex["speedup_vs_global_dt"])
+        assert registry.gauge(
+            "bench.solver_step_lts.lts.theoretical_speedup").value == \
+            pytest.approx(ex["theoretical_speedup"])
+
+    def test_distributed_procpool_lts_extra_schema(self, smoke_report):
+        report, _ = smoke_report
+        wl = report["workloads"].get("distributed_procpool_lts")
+        if wl is None:
+            pytest.skip("procpool unavailable on this host")
+        ex = wl["extra"]
+        for key in ("ranks", "dims", "rate_map", "theoretical_speedup",
+                    "speedup_vs_global_dt"):
+            assert key in ex, key
+        assert ex["dims"][2] == 1    # LTS requires pz = 1

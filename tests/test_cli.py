@@ -63,6 +63,56 @@ class TestRunQuake:
         assert backend in capsys.readouterr().out
 
 
+class TestRunQuakeLTS:
+    def test_banner_and_run(self, capsys):
+        rc = main(["run-quake", "--n", "16", "--steps", "8",
+                   "--lts", "auto"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "local time stepping:" in out
+        assert "theoretical speedup" in out
+        assert "sponge absorbing boundary" in out
+
+    def test_banner_counts_global_cells(self, capsys):
+        rc = main(["run-quake", "--n", "16", "--steps", "4",
+                   "--lts", "auto"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # per-rate counts must sum to the global cell count (16 * 16 * 12)
+        import re
+        counts = [int(c.replace(",", "")) for c in
+                  re.findall(r"x\d+: ([\d,]+)", out)]
+        assert sum(counts) == 16 * 16 * 12
+
+    def test_distributed_lts_matches_serial(self, tmp_path, capsys):
+        serial = tmp_path / "pgv_serial.npy"
+        dist = tmp_path / "pgv_dist.npy"
+        assert main(["run-quake", "--n", "20", "--steps", "12",
+                     "--lts", "auto", "--out", str(serial)]) == 0
+        assert main(["run-quake", "--n", "20", "--steps", "12",
+                     "--lts", "auto", "--ranks", "2",
+                     "--out", str(dist)]) == 0
+        assert np.array_equal(np.load(serial), np.load(dist))
+
+    def test_diagnose_surfaces_lts(self, tmp_path, capsys):
+        trace = tmp_path / "lts.jsonl"
+        assert main(["run-quake", "--n", "16", "--steps", "6",
+                     "--lts", "auto", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["diagnose", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "local time stepping: map" in out
+
+    def test_off_runs_unchanged(self, tmp_path):
+        # --lts off must be the exact pre-LTS run (PML + homogeneous)
+        a, b = tmp_path / "a.npy", tmp_path / "b.npy"
+        assert main(["run-quake", "--n", "16", "--steps", "8",
+                     "--out", str(a)]) == 0
+        assert main(["run-quake", "--n", "16", "--steps", "8",
+                     "--lts", "off", "--out", str(b)]) == 0
+        assert np.array_equal(np.load(a), np.load(b))
+
+
 class TestRupture:
     def test_reports_magnitude(self, capsys):
         rc = main(["rupture", "--strike", "24", "--depth", "10",

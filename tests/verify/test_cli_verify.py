@@ -29,6 +29,18 @@ class TestExitCodes:
         assert main(["verify", "--quick", "--only", "golden"]) == 0
         assert "golden" in capsys.readouterr().out
 
+    def test_lts_pillar_passes(self, capsys):
+        assert main(["verify", "--quick", "--only", "lts"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "temporal_lts" in out
+
+    def test_disabled_lts_correction_exits_nonzero(self, capsys):
+        """Acceptance criterion: the ladder must have teeth — dropping
+        the interface correction flips the exit code."""
+        assert main(["verify", "--quick", "--only", "lts",
+                     "--no-lts-correction"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
 
 class TestJsonReport:
     def test_json_report_schema(self, tmp_path, capsys):
@@ -43,7 +55,7 @@ class TestJsonReport:
         kinds = {m["kind"] for m in doc["mms"]}
         assert kinds == {"spatial", "temporal"}
         assert doc["plane_wave"]["passed"] is True
-        assert set(doc["skipped"]) == {"golden", "matrix"}
+        assert set(doc["skipped"]) == {"golden", "matrix", "lts"}
 
     def test_metrics_published(self, capsys):
         main(["verify", "--quick", "--only", "mms"])
@@ -89,5 +101,6 @@ class TestReportManifest:
         assert len(m["config_hash"]) == 64
         from repro.obs.provenance import canonical_config_hash
         expected = canonical_config_hash(
-            {"profile": "quick", "pillars": ["mms"], "fd_order": 4})
+            {"profile": "quick", "pillars": ["mms"], "fd_order": 4,
+             "lts_correction": True})
         assert m["config_hash"] == expected

@@ -115,3 +115,27 @@ class TestFailureDetection:
                                              detail="field vx")])
         assert not res.passed
         assert "FAIL" in res.summary()
+
+
+class TestLTSCells:
+    def test_forced_lts_cell_bitwise_vs_serial_lts(self):
+        cells = build_cells(backends=("sim",), dtypes=("float64",),
+                            variants=("pooled",), decomps=((2, 1, 1),),
+                            lts="forced")
+        result = run_matrix(cells=cells, precision_gate=False)
+        assert result.passed, result.summary()
+        for c in result.cells:
+            assert c.status == "pass" and c.max_abs_diff == 0.0
+            assert c.cell.label.endswith("/lts")
+            assert c.to_dict()["lts"] == "forced"
+
+    def test_lts_references_keyed_separately_from_off(self):
+        # an LTS cell and an off cell in one run must not share references
+        cells = (build_cells(backends=("sim",), dtypes=("float64",),
+                             variants=("pooled",), decomps=((2, 1, 1),))
+                 + build_cells(backends=("sim",), dtypes=("float64",),
+                               variants=("pooled",), decomps=((2, 1, 1),),
+                               lts="forced"))
+        result = run_matrix(cells=cells, precision_gate=False)
+        assert result.passed, result.summary()
+        assert [c.cell.lts for c in result.cells] == ["off", "forced"]
