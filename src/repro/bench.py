@@ -624,6 +624,81 @@ def bench_farm_mini(cfg: BenchConfig) -> dict:
                           "rerun_hit_rate": rerun.hit_rate})
 
 
+def _service_query_set(cfg: BenchConfig):
+    """The pinned 6-query batch over 4 unique configs (docs/service.md).
+
+    Four distinct scenario configurations (2 magnitudes x 2 slip seeds,
+    mirroring :func:`_farm_mini_spec`) plus two repeat queries that only
+    differ in serving shape — a site extraction and a different product
+    of an already-listed config — so the cold pass itself exercises the
+    coalescing path (cold hit rate 2/6).
+    """
+    from .service import Query
+    smoke = cfg.name == "smoke"
+    base = dict(scenario="ShakeOut-K",
+                nx=16 if smoke else 20,
+                nsteps=8 if smoke else 16)
+    queries = [Query(magnitude=m, rupture_seed=s, **base)
+               for m in (6.5, 7.0) for s in (1, 2)]
+    queries.append(Query(magnitude=6.5, rupture_seed=1, site=(0.5, 0.6),
+                         **base))
+    queries.append(Query(magnitude=7.0, rupture_seed=2, product="pgv_gm",
+                         **base))
+    return queries
+
+
+def bench_service_query(cfg: BenchConfig) -> dict:
+    """Hazard-service query serving: cold fill, then warm cache-first reps.
+
+    One untimed cold batch lands the 4 unique products in a store
+    (``extra.cold_hit_rate``, ``cold_jobs_scheduled``); each timed rep
+    then serves the same 6-query batch against that warm store through a
+    fresh service.  ``extra.hit_rate`` (which must be 1.0 — every query
+    answered without scheduling a job) and the p50/p95/p99 query-latency
+    columns are the regression surface ``--compare`` gates on.
+    """
+    import tempfile
+    from .farm import ProductStore
+    from .service import HazardService, ServiceConfig
+    queries = _service_query_set(cfg)
+    scfg = ServiceConfig(workers=2, backoff_s=0.0)
+    warm_stats = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ProductStore(tmp)
+        t0 = time.perf_counter()
+        with HazardService(store, scfg,
+                           registry=MetricsRegistry()) as svc:
+            for t in [svc.submit(q) for q in queries]:
+                svc.fetch(t)
+            cold = svc.stats()
+        cold_wall = time.perf_counter() - t0
+
+        def step():
+            # fresh service + registry per rep: the percentiles describe
+            # one warm batch, not an accumulation across reps
+            with HazardService(store, scfg,
+                               registry=MetricsRegistry()) as warm_svc:
+                for t in [warm_svc.submit(q) for q in queries]:
+                    warm_svc.fetch(t)
+                warm_stats["last"] = warm_svc.stats()
+
+        walls, peak = _measure(step, cfg.dist_reps)
+    warm = warm_stats["last"]
+    best = min(walls)
+    return _result(walls, peak, steps=1, points=0, flops_per_point=None,
+                   extra={"queries": len(queries),
+                          "unique_jobs": len({q.key() for q in queries}),
+                          "cold_hit_rate": cold.hit_rate,
+                          "cold_jobs_scheduled": cold.jobs_scheduled,
+                          "cold_wall_s": cold_wall,
+                          "hit_rate": warm.hit_rate,
+                          "latency_p50_s": warm.latency_p50_s,
+                          "latency_p95_s": warm.latency_p95_s,
+                          "latency_p99_s": warm.latency_p99_s,
+                          "queries_per_s": len(queries) / best
+                          if best > 0 else None})
+
+
 def _distributed_solver(cfg: BenchConfig, backend: str,
                         kernel_variant: str = "pooled",
                         dtype=np.float64) -> DistributedWaveSolver:
@@ -729,6 +804,7 @@ WORKLOADS = {
     "distributed_procpool_lts": bench_distributed_procpool_lts,
     "tracer_overhead": bench_tracer_overhead,
     "farm_mini": bench_farm_mini,
+    "service_query": bench_service_query,
 }
 
 #: f32 workload -> its float64 counterpart; :func:`run_suite` fills
@@ -780,6 +856,7 @@ WORKLOAD_VARIANTS = {
     "distributed_procpool_lts": "pooled",
     "tracer_overhead": None,
     "farm_mini": None,
+    "service_query": None,
 }
 
 
@@ -864,6 +941,12 @@ def run_suite(smoke: bool = False, registry: MetricsRegistry | None = None,
         ts = ex.get("theoretical_speedup")
         if ts is not None:
             reg.gauge(f"bench.{name}.lts.theoretical_speedup").set(ts)
+    sq = (results.get("service_query") or {}).get("extra") or {}
+    if isinstance(sq.get("hit_rate"), (int, float)):
+        reg.gauge("bench.service_query.hit_rate").set(sq["hit_rate"])
+        for col in ("latency_p50_s", "latency_p95_s", "latency_p99_s"):
+            if isinstance(sq.get(col), (int, float)):
+                reg.gauge(f"bench.service_query.{col}").set(sq[col])
     for name in results:
         jit = (results[name].get("extra") or {}).get("jit_compile_s")
         if isinstance(jit, (int, float)):
@@ -994,6 +1077,13 @@ def format_report(report: dict) -> str:
     skipped = report.get("skipped_workloads") or {}
     for name, why in skipped.items():
         lines.append(f"  {name}: SKIPPED ({why})")
+    sq = report["workloads"].get("service_query", {}).get("extra", {})
+    if sq.get("hit_rate") is not None:
+        lines.append(
+            f"  service_query: hit rate {sq['hit_rate']:.0%} warm "
+            f"({sq.get('cold_hit_rate', 0):.0%} cold), latency "
+            f"p50 {sq.get('latency_p50_s', 0) * 1e3:.2f} ms, "
+            f"p99 {sq.get('latency_p99_s', 0) * 1e3:.2f} ms")
     pp = report["workloads"].get("distributed_procpool", {}).get("extra", {})
     if pp.get("speedup_vs_sim") is not None:
         eff = pp.get("overlap_efficiency")
@@ -1012,6 +1102,10 @@ def compare_reports(old: dict, new: dict, rel_tol: float = 0.10,
     A workload regresses when its best-of-reps wall time grew by more than
     ``rel_tol`` (relative).  Gflop/s deltas are reported alongside but only
     wall time gates — the flop model is derived from the same wall numbers.
+    Workloads carrying a numeric ``extra.hit_rate`` in *both* reports
+    (``service_query``) additionally gate on any hit-rate drop, with no
+    tolerance: the warm batch is deterministic, so a lower rate means the
+    cache-first path broke, not that the host was noisy.
     Rows whose ``extra.kernel_variant`` differs between the reports (e.g. a
     pooled baseline against a compiled run) are flagged and excluded from
     gating — the delta would compare different kernels.
@@ -1058,6 +1152,18 @@ def compare_reports(old: dict, new: dict, rel_tol: float = 0.10,
                                f"{n_min * 1e3:.2f} ms ({delta:+.1%})")
         lines.append(f"  {name:<24} {o_min * 1e3:9.2f} -> {n_min * 1e3:9.2f} "
                      f"ms ({delta:+.1%}){gf}{flag}")
+        o_hr = (o.get("extra") or {}).get("hit_rate")
+        n_hr = (n.get("extra") or {}).get("hit_rate")
+        if isinstance(o_hr, (int, float)) and isinstance(n_hr, (int, float)):
+            # cache hit-rate gates absolutely: any drop is a caching bug
+            # (the warm batch is deterministic), not wall-clock noise.
+            hr_flag = ""
+            if n_hr < o_hr - 1e-9:
+                hr_flag = "  REGRESSION"
+                regressions.append(f"{name}: hit_rate {o_hr:.3f} -> "
+                                   f"{n_hr:.3f}")
+            lines.append(f"  {name:<24} hit_rate {o_hr:.3f} -> "
+                         f"{n_hr:.3f}{hr_flag}")
     for name in old_wl:
         if name not in new_wl:
             lines.append(f"  {name:<24} (dropped — present only in baseline)")

@@ -13,6 +13,8 @@ This module exposes the same operations as subcommands::
     python -m repro m8           --extent 48 --duration 12
     python -m repro bench        [--smoke] [--out BENCH.json]
     python -m repro farm         spec.json [--workers N] [--json report.json]
+    python -m repro query        requests.json --store products
+    python -m repro serve        spool/ --store products [--watch]
 
 Each subcommand prints a short human-readable report and (where an ``--out``
 is given) writes NumPy artifacts.
@@ -223,6 +225,52 @@ def build_parser() -> argparse.ArgumentParser:
                          "products from other variants still count as hits")
     fm.add_argument("--metrics", action="store_true",
                     help="also print the repro.obs metrics registry report")
+
+    qy = sub.add_parser("query", parents=[common],
+                        help="hazard service, batch mode: serve a "
+                             "request file cache-first over the farm "
+                             "(schema repro-service-requests/1)")
+    qy.add_argument("requests", type=str,
+                    help="request JSON (schema repro-service-requests/1; "
+                         "see docs/service.md)")
+    qy.add_argument("--store", type=str, default="products", metavar="DIR",
+                    help="product store root (default: products/)")
+    qy.add_argument("--workers", type=int, default=2, metavar="N",
+                    help="service worker threads (default 2)")
+    qy.add_argument("--max-retries", type=int, default=2, metavar="K",
+                    help="retries per failing job before the query is "
+                         "reported failed (default 2)")
+    qy.add_argument("--backoff", type=float, default=0.05, metavar="SECONDS",
+                    help="base of the exponential retry backoff "
+                         "(default 0.05)")
+    qy.add_argument("--timeout", type=float, default=600.0, metavar="SECONDS",
+                    help="per-query fetch timeout (default 600)")
+    qy.add_argument("--json", type=str, default=None, metavar="PATH",
+                    help="also write the repro-service/1 JSON report")
+    qy.add_argument("--metrics", action="store_true",
+                    help="also print the repro.obs metrics registry report")
+
+    sv = sub.add_parser("serve", parents=[common],
+                        help="hazard service, spool mode: answer every "
+                             "pending request file in a directory "
+                             "(writes <stem>.response.json next to each)")
+    sv.add_argument("spool", type=str,
+                    help="directory of request JSON files to answer")
+    sv.add_argument("--store", type=str, default="products", metavar="DIR",
+                    help="product store root (default: products/)")
+    sv.add_argument("--workers", type=int, default=2, metavar="N",
+                    help="service worker threads (default 2)")
+    sv.add_argument("--max-retries", type=int, default=2, metavar="K",
+                    help="retries per failing job before a query is "
+                         "reported failed (default 2)")
+    sv.add_argument("--backoff", type=float, default=0.05, metavar="SECONDS",
+                    help="base of the exponential retry backoff "
+                         "(default 0.05)")
+    sv.add_argument("--watch", action="store_true",
+                    help="keep polling the spool instead of exiting after "
+                         "one sweep (Ctrl-C to stop)")
+    sv.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                    help="with --watch: seconds between sweeps (default 1)")
 
     v = sub.add_parser("verify", parents=[common],
                        help="correctness verification: MMS convergence "
@@ -632,6 +680,75 @@ def _cmd_farm(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_query(args) -> int:
+    from .farm import ProductStore
+    from .obs import default_registry
+    from .service import (RequestError, ServiceConfig, load_requests,
+                          run_batch)
+    try:
+        requests = load_requests(args.requests)
+    except RequestError as exc:
+        print(f"error: invalid request file: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot read requests: {exc}", file=sys.stderr)
+        return 2
+    cfg = ServiceConfig(workers=args.workers, max_retries=args.max_retries,
+                        backoff_s=args.backoff,
+                        fetch_timeout_s=args.timeout)
+    report = run_batch(requests, ProductStore(args.store), config=cfg,
+                       registry=default_registry())
+    print(report.summary())
+    if args.json:
+        try:
+            path = report.write_json(args.json)
+        except OSError as exc:
+            print(f"error: cannot write report: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {path}")
+    if args.metrics:
+        print(default_registry().report())
+    return 0 if report.passed else 1
+
+
+def _cmd_serve(args) -> int:
+    import time as _time
+    from pathlib import Path
+    from .farm import ProductStore
+    from .service import ServiceConfig, response_path, serve_spool
+    spool = Path(args.spool)
+    if not spool.is_dir():
+        print(f"error: spool {spool} is not a directory", file=sys.stderr)
+        return 2
+    cfg = ServiceConfig(workers=args.workers, max_retries=args.max_retries,
+                        backoff_s=args.backoff)
+    store = ProductStore(args.store)
+    failed = 0
+    answered = 0
+    try:
+        while True:
+            for path, report, error in serve_spool(spool, store, config=cfg):
+                answered += 1
+                if error is not None:
+                    failed += 1
+                    print(f"  {path.name}: INVALID ({error})")
+                else:
+                    failed += 0 if report.passed else 1
+                    tag = "ok" if report.passed else "FAILED"
+                    s = report.stats
+                    print(f"  {path.name}: {tag} — {len(report.results)} "
+                          f"queries, hit rate {s.hit_rate:.1%} -> "
+                          f"{response_path(path).name}")
+            if not args.watch:
+                break
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    print(f"served {answered} request file(s) from {spool} "
+          f"({failed} failed)")
+    return 0 if failed == 0 else 1
+
+
 def _cmd_verify(args) -> int:
     from .obs import default_registry
     from .verify import (QUICK_DECOMPS, VerifyReport, build_cells,
@@ -760,6 +877,8 @@ _COMMANDS = {
     "m8": _cmd_m8,
     "bench": _cmd_bench,
     "farm": _cmd_farm,
+    "query": _cmd_query,
+    "serve": _cmd_serve,
     "verify": _cmd_verify,
     "trace-report": _cmd_trace_report,
     "diagnose": _cmd_diagnose,

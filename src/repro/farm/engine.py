@@ -43,7 +43,8 @@ from .job import FarmJobError, run_job
 from .spec import FarmJob, FarmSpec
 from .store import ProductStore
 
-__all__ = ["FARM_REPORT_SCHEMA", "JobResult", "FarmReport", "run_farm"]
+__all__ = ["FARM_REPORT_SCHEMA", "JobResult", "FarmReport", "execute_job",
+           "run_farm"]
 
 #: Schema identifier of the farm report (``repro farm --json``).
 FARM_REPORT_SCHEMA = "repro-farm/1"
@@ -207,33 +208,63 @@ def _worker_run(job_dict: dict, attempt: int, store_root: str) -> dict:
 # Scheduler
 # ----------------------------------------------------------------------
 
-def _run_serial(todo, results, store, max_retries, events, progress) -> None:
+def execute_job(job, store: ProductStore, max_retries: int = 2,
+                backoff_s: float = 0.0, events=None,
+                event_prefix: str = "farm", runner=None) -> JobResult:
+    """Run one job to completion with bounded retries; return its handle.
+
+    This is the shared job-handle return path: the farm's in-process
+    scheduler and the hazard service's background workers
+    (:mod:`repro.service.service`) both execute jobs through it, so retry
+    accounting, event names (``<prefix>.job.retry`` / ``.failed``), span
+    labels, and store writes stay identical across the two front ends.
+
+    ``backoff_s`` is the base of an exponential backoff slept between
+    failing attempts (attempt *k* waits ``backoff_s * 2**(k-1)``); the
+    farm scheduler keeps it at 0 (its jobs fail deterministically, so
+    waiting buys nothing), the service defaults it on.  ``runner``
+    substitutes the job body (signature of :func:`~repro.farm.job.
+    run_job`) — the seam the service's test harness uses to count and
+    fault-inject executions without running real simulations.
+    """
+    events = events if events is not None else get_event_log()
+    runner = runner if runner is not None else run_job
     tracer = get_tracer()
+    res = JobResult(key=job.key(), index=job.index, label=job.label(),
+                    status="pending")
+    for attempt in range(1, max_retries + 2):
+        res.attempts = attempt
+        t0 = time.perf_counter()
+        try:
+            with tracer.span(f"{event_prefix}.job[{job.index}]",
+                             category="workflow"):
+                arrays = runner(job, attempt=attempt)
+            res.wall_s = time.perf_counter() - t0
+            store.put(job, arrays, wall_s=res.wall_s, attempts=attempt)
+            res.status = "done"
+            break
+        except FarmJobError as exc:
+            res.wall_s = time.perf_counter() - t0
+            res.error = str(exc)
+            if attempt <= max_retries:
+                delay = backoff_s * (2.0 ** (attempt - 1))
+                events.warn(f"{event_prefix}.job.retry", key=res.key,
+                            index=job.index, attempt=attempt,
+                            backoff_s=delay, error=res.error)
+                if delay > 0:
+                    time.sleep(delay)
+            else:
+                res.status = "failed"
+                events.error(f"{event_prefix}.job.failed", key=res.key,
+                             index=job.index, attempts=attempt,
+                             error=res.error)
+    return res
+
+
+def _run_serial(todo, results, store, max_retries, events, progress) -> None:
     for job in todo:
-        res = results[job.index]
-        for attempt in range(1, max_retries + 2):
-            res.attempts = attempt
-            t0 = time.perf_counter()
-            try:
-                with tracer.span(f"farm.job[{job.index}]",
-                                 category="workflow"):
-                    arrays = run_job(job, attempt=attempt)
-                res.wall_s = time.perf_counter() - t0
-                store.put(job, arrays, wall_s=res.wall_s, attempts=attempt)
-                res.status = "done"
-                break
-            except FarmJobError as exc:
-                res.wall_s = time.perf_counter() - t0
-                res.error = str(exc)
-                if attempt <= max_retries:
-                    events.warn("farm.job.retry", key=res.key,
-                                index=job.index, attempt=attempt,
-                                error=res.error)
-                else:
-                    res.status = "failed"
-                    events.error("farm.job.failed", key=res.key,
-                                 index=job.index, attempts=attempt,
-                                 error=res.error)
+        results[job.index] = res = execute_job(
+            job, store, max_retries=max_retries, events=events)
         if progress:
             progress(res)
 

@@ -136,6 +136,14 @@ class Histogram:
         frac = pos - lo
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
+    def percentiles(self, qs=(50, 90, 95, 99)) -> dict[str, float]:
+        """``{"p50": ..., ...}`` for each requested percentile.
+
+        Empty histograms report 0.0 everywhere, matching
+        :meth:`percentile`.
+        """
+        return {f"p{q:g}": self.percentile(q) for q in qs}
+
     def summary(self) -> dict[str, float]:
         return {"count": float(self.count), "mean": self.mean,
                 "min": self.min, "max": self.max,

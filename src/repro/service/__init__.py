@@ -1,0 +1,41 @@
+"""repro.service — cache-first hazard-product serving (ROADMAP item 3).
+
+Queries (:class:`Query`) resolve to farm content addresses; the
+:class:`HazardService` answers hits from the
+:class:`~repro.farm.store.ProductStore`, coalesces concurrent identical
+misses into one farm job, and schedules the rest into a bounded
+background queue with retries/backoff.  Batch request files and spool
+directories (:mod:`repro.service.batch`) are the offline/CI front door;
+``repro query`` / ``repro serve`` expose them on the CLI.  See
+docs/service.md.
+"""
+
+from .batch import (REQUESTS_SCHEMA, SERVICE_REPORT_SCHEMA, BatchReport,
+                    Request, RequestError, load_requests, pending_requests,
+                    response_path, run_batch, serve_spool)
+from .query import MAP_PRODUCTS, PRODUCTS, Query, QueryError
+from .service import (HazardService, QueryResult, QueryTicket,
+                      ServiceConfig, ServiceError, ServiceStats)
+
+__all__ = [
+    "MAP_PRODUCTS",
+    "PRODUCTS",
+    "Query",
+    "QueryError",
+    "HazardService",
+    "QueryResult",
+    "QueryTicket",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceStats",
+    "REQUESTS_SCHEMA",
+    "SERVICE_REPORT_SCHEMA",
+    "BatchReport",
+    "Request",
+    "RequestError",
+    "load_requests",
+    "pending_requests",
+    "response_path",
+    "run_batch",
+    "serve_spool",
+]

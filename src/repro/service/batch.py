@@ -1,0 +1,234 @@
+"""Batch request files and spool serving — the no-network front door.
+
+CI (and any offline client) talks to the service through JSON files
+instead of sockets:
+
+* a **request file** (``repro-service-requests/1``) lists queries;
+  ``repro query requests.json --store DIR`` serves the whole batch in
+  one process and writes a schema'd report
+  (``repro-service/1``) with per-row status/latency and the summary
+  hit-rate + p50/p95/p99;
+* a **spool directory** (``repro serve SPOOL --store DIR``) is the
+  daemon-shaped variant: every ``*.json`` request file lacking a
+  ``<stem>.response.json`` sibling is served and answered in place.
+  One sweep by default (CI-safe); ``--watch`` polls.
+
+``run_batch`` submits *all* tickets before fetching any, so duplicate
+queries inside one file coalesce naturally — the batch is the simplest
+concurrency harness the service has.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.provenance import RunManifest
+from .query import Query, QueryError
+from .service import (HazardService, QueryResult, ServiceConfig,
+                      ServiceError, ServiceStats)
+
+__all__ = ["REQUESTS_SCHEMA", "SERVICE_REPORT_SCHEMA", "BatchReport",
+           "Request", "RequestError", "load_requests", "response_path",
+           "run_batch", "serve_spool"]
+
+#: Schema identifier expected at the top of a request JSON document.
+REQUESTS_SCHEMA = "repro-service-requests/1"
+
+#: Schema identifier written at the top of a batch/spool response.
+SERVICE_REPORT_SCHEMA = "repro-service/1"
+
+
+class RequestError(ValueError):
+    """A request document is malformed (schema, keys, query fields)."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One query plus its (test-only) fault-injection count."""
+
+    query: Query
+    inject_failures: int = 0
+
+
+def load_requests(path: str | Path) -> list[Request]:
+    """Read and validate a ``repro-service-requests/1`` document."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as exc:
+        raise RequestError(f"{path}: not valid JSON ({exc})") from None
+    if not isinstance(doc, dict):
+        raise RequestError(f"{path}: request document is not a JSON object")
+    schema = doc.get("schema", REQUESTS_SCHEMA)
+    if schema != REQUESTS_SCHEMA:
+        raise RequestError(f"{path}: request schema {schema!r} != "
+                           f"{REQUESTS_SCHEMA!r}")
+    unknown = sorted(set(doc) - {"schema", "requests"})
+    if unknown:
+        raise RequestError(f"{path}: unknown keys: {', '.join(unknown)}")
+    entries = doc.get("requests")
+    if not isinstance(entries, list) or not entries:
+        raise RequestError(f"{path}: 'requests' must be a non-empty list")
+    requests = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise RequestError(f"{path}: request[{i}] is not an object")
+        entry = dict(entry)
+        inject = int(entry.pop("inject_failures", 0))
+        try:
+            requests.append(Request(query=Query.from_dict(entry),
+                                    inject_failures=inject))
+        except QueryError as exc:
+            raise RequestError(f"{path}: request[{i}]: {exc}") from None
+    return requests
+
+
+@dataclass
+class BatchReport:
+    """Schema'd outcome of serving one request batch."""
+
+    store: str
+    results: list = field(default_factory=list)   # row dicts
+    stats: ServiceStats | None = None
+    wall_s: float = 0.0
+    manifest: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return all(r["status"] == "ok" for r in self.results)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for r in self.results if r["status"] != "ok")
+
+    def to_dict(self) -> dict:
+        return {"schema": SERVICE_REPORT_SCHEMA, "store": self.store,
+                "results": self.results,
+                "stats": self.stats.to_dict() if self.stats else {},
+                "wall_s": self.wall_s, "manifest": self.manifest}
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True)
+                        + "\n")
+        return path
+
+    def summary(self) -> str:
+        s = self.stats
+        lines = [f"service batch: {len(self.results)} queries against "
+                 f"{self.store}"]
+        for r in self.results:
+            what = (f"= {r['value']:.6g}" if r.get("value") is not None
+                    else f"{r.get('shape')} {r.get('dtype')}"
+                    if r.get("shape") is not None else "")
+            err = f"  [{r['error']}]" if r.get("error") else ""
+            lines.append(
+                f"  [{r['index']}] {r['status']:<6} {r['source']:<9} "
+                f"{r['product']:<14} {r['latency_s'] * 1e3:8.2f} ms "
+                f"{what}{err}")
+        if s is not None:
+            lines.append(
+                f"  hit rate {s.hit_rate:.1%} "
+                f"({s.store_hits} hits + {s.coalesced} coalesced / "
+                f"{s.queries}); {s.jobs_scheduled} jobs, "
+                f"{s.retries} retries, {s.jobs_failed} failed; latency "
+                f"p50 {s.latency_p50_s * 1e3:.2f} ms, "
+                f"p95 {s.latency_p95_s * 1e3:.2f} ms, "
+                f"p99 {s.latency_p99_s * 1e3:.2f} ms")
+        lines.append(f"  wall {self.wall_s:.2f} s — "
+                     + ("all served" if self.passed
+                        else f"{self.failed} FAILED"))
+        return "\n".join(lines)
+
+
+def _row(index: int, req: Request, res: QueryResult) -> dict:
+    row = {"index": index, "key": res.key, "status": res.status,
+           "source": res.source, "product": req.query.product,
+           "site": list(req.query.site) if req.query.site else None,
+           "latency_s": res.latency_s, "attempts": res.attempts,
+           "value": None, "shape": None, "dtype": None, "error": res.error}
+    if isinstance(res.data, np.ndarray):
+        row["shape"] = list(res.data.shape)
+        row["dtype"] = str(res.data.dtype)
+    elif res.data is not None:
+        row["value"] = float(res.data)
+    return row
+
+
+def run_batch(requests: list[Request], store, config: ServiceConfig
+              | None = None, registry: MetricsRegistry | None = None,
+              runner=None) -> BatchReport:
+    """Serve one batch: submit everything, then fetch in order.
+
+    A fresh :class:`MetricsRegistry` is used unless one is passed, so
+    the report's latency percentiles describe *this* batch only.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    t0 = time.perf_counter()
+    with HazardService(store, config=config, registry=registry,
+                       runner=runner) as svc:
+        tickets = [svc.submit(r.query, inject_failures=r.inject_failures)
+                   for r in requests]
+        rows = []
+        for i, (req, ticket) in enumerate(zip(requests, tickets)):
+            try:
+                res = svc.fetch(ticket)
+            except ServiceError as exc:     # fetch timeout
+                res = QueryResult(
+                    query=req.query, key=ticket.key, status="failed",
+                    source=ticket.source, data=None,
+                    latency_s=time.perf_counter() - ticket.t0,
+                    attempts=0, error=str(exc))
+            rows.append(_row(i, req, res))
+        stats = svc.stats()
+    return BatchReport(
+        store=str(svc.store.root), results=rows, stats=stats,
+        wall_s=time.perf_counter() - t0,
+        manifest=RunManifest.collect(
+            config={"requests": [r.query.to_dict() for r in requests]},
+            backend="service").to_dict())
+
+
+# -- spool serving -----------------------------------------------------
+def response_path(request_path: str | Path) -> Path:
+    p = Path(request_path)
+    return p.with_name(p.stem + ".response.json")
+
+
+def pending_requests(spool: str | Path) -> list[Path]:
+    """Unanswered ``*.json`` request files in the spool, sorted."""
+    return sorted(
+        p for p in Path(spool).glob("*.json")
+        if not p.name.endswith(".response.json")
+        and not response_path(p).exists())
+
+
+def serve_spool(spool: str | Path, store, config: ServiceConfig
+                | None = None, runner=None) -> list[tuple[Path, BatchReport
+                                                          | None, str | None]]:
+    """One sweep: answer every pending request file in place.
+
+    Returns ``(request_path, report_or_None, error_or_None)`` per file;
+    malformed request files get an error response written (so they are
+    not retried forever) and a ``None`` report.
+    """
+    out = []
+    for path in pending_requests(spool):
+        try:
+            requests = load_requests(path)
+        except RequestError as exc:
+            response_path(path).write_text(json.dumps(
+                {"schema": SERVICE_REPORT_SCHEMA, "error": str(exc)},
+                indent=2) + "\n")
+            out.append((path, None, str(exc)))
+            continue
+        report = run_batch(requests, store, config=config, runner=runner)
+        report.write_json(response_path(path))
+        out.append((path, report, None))
+    return out

@@ -1,0 +1,379 @@
+"""HazardService — cache-first hazard-product serving over the farm.
+
+The millions-of-users story from ROADMAP item 3: users ask for hazard
+*products* (a PGV value at a site, a shaking-map tile), not raw
+simulations.  The service resolves every :class:`~repro.service.query.
+Query` to its farm content address and then follows a strict
+cache-first discipline inside one lock:
+
+1. **coalesce** — an identical query is already being computed: attach
+   to the in-flight job (N concurrent identical queries cost one
+   simulation);
+2. **hit** — the :class:`~repro.farm.store.ProductStore` already holds
+   the address: answer immediately;
+3. **miss** — register a new in-flight job and schedule it into a
+   *bounded* background queue drained by daemon worker threads.
+
+The lock covers only the dict/store checks; the potentially blocking
+``queue.put`` (backpressure when ``queue_depth`` jobs are waiting)
+happens after release, so a full queue can never deadlock workers that
+need the lock to retire finished jobs.
+
+Workers execute jobs through the farm's own
+:func:`~repro.farm.engine.execute_job` with ``event_prefix="service"``,
+so failures retry with exponential backoff and emit
+``service.job.retry`` / ``service.job.failed`` into the flight
+recorder exactly like farm jobs do.  Query latency (submit → result
+available) lands in the ``service.query.latency_s`` histogram; scalar
+state is mirrored to ``service.*`` gauges after every transition.
+
+Lifecycle: ``submit() -> QueryTicket``, ``poll(ticket)``,
+``fetch(ticket) -> QueryResult`` (or ``request()`` for the synchronous
+round trip).  See docs/service.md.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+
+from ..farm.engine import JobResult, execute_job
+from ..farm.store import ProductStore
+from ..obs.events import get_event_log
+from ..obs.metrics import MetricsRegistry, default_registry
+from .query import Query
+
+__all__ = ["HazardService", "QueryResult", "QueryTicket", "ServiceConfig",
+           "ServiceError", "ServiceStats"]
+
+
+class ServiceError(RuntimeError):
+    """A query cannot be served (closed service, fetch timeout)."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Serving knobs; validation mirrors the farm CLI bounds."""
+
+    workers: int = 2
+    queue_depth: int = 32
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    fetch_timeout_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1 (got {self.workers})")
+        if self.queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1 (got {self.queue_depth})")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0 (got {self.max_retries})")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0 (got {self.backoff_s})")
+
+
+class _InflightJob:
+    """One scheduled simulation plus everyone waiting on it."""
+
+    __slots__ = ("key", "farm_job", "done", "status", "attempts", "error",
+                 "waiters")
+
+    def __init__(self, key: str, farm_job):
+        self.key = key
+        self.farm_job = farm_job
+        self.done = threading.Event()
+        self.status = "queued"          # queued | running | done | failed
+        self.attempts = 0
+        self.error: str | None = None
+        self.waiters: list[float] = []  # submit-time perf_counter stamps
+
+
+@dataclass(frozen=True)
+class QueryTicket:
+    """Handle returned by :meth:`HazardService.submit`.
+
+    ``source`` records how the query was resolved at submit time:
+    ``hit`` (store already had it), ``miss`` (this ticket scheduled the
+    job), or ``coalesced`` (attached to a job another ticket scheduled).
+    """
+
+    query: Query
+    key: str
+    source: str
+    t0: float
+    job: _InflightJob | None
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Terminal answer for one ticket."""
+
+    query: Query
+    key: str
+    status: str                 # ok | failed
+    source: str                 # hit | miss | coalesced
+    data: object                # ndarray, float (site query), or None
+    latency_s: float
+    attempts: int
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Snapshot of the service counters (also mirrored to gauges)."""
+
+    queries: int
+    store_hits: int
+    coalesced: int
+    jobs_scheduled: int
+    jobs_completed: int
+    jobs_failed: int
+    retries: int
+    hit_rate: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "queries": self.queries, "store_hits": self.store_hits,
+            "coalesced": self.coalesced,
+            "jobs_scheduled": self.jobs_scheduled,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed, "retries": self.retries,
+            "hit_rate": self.hit_rate,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p95_s": self.latency_p95_s,
+            "latency_p99_s": self.latency_p99_s,
+        }
+
+
+class HazardService:
+    """Submit → poll → fetch serving front over a product store.
+
+    ``runner`` substitutes the per-attempt job body (the
+    :func:`~repro.farm.job.run_job` signature) — the stress/fault test
+    harness injects counting and failing runners here without paying
+    for real simulations.  Use as a context manager or call
+    :meth:`close`; workers are daemon threads either way.
+    """
+
+    def __init__(self, store: ProductStore | str, config: ServiceConfig
+                 | None = None, registry: MetricsRegistry | None = None,
+                 runner=None):
+        self.store = store if isinstance(store, ProductStore) \
+            else ProductStore(store)
+        self.config = config if config is not None else ServiceConfig()
+        self.registry = registry if registry is not None \
+            else default_registry()
+        self._runner = runner
+        self._events = get_event_log()
+        self._lock = threading.Lock()
+        self._inflight: dict[str, _InflightJob] = {}
+        self._queue: queue.Queue = queue.Queue(
+            maxsize=self.config.queue_depth)
+        self._closed = False
+        self._latency = self.registry.histogram("service.query.latency_s")
+        self._queries = 0
+        self._store_hits = 0
+        self._coalesced = 0
+        self._scheduled = 0
+        self._completed = 0
+        self._failed = 0
+        self._retries = 0
+        self._threads = [
+            threading.Thread(target=self._worker,
+                             name=f"hazard-service-{i}", daemon=True)
+            for i in range(self.config.workers)]
+        for t in self._threads:
+            t.start()
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "HazardService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting queries and (by default) drain the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for t in self._threads:
+                t.join()
+
+    # -- submit --------------------------------------------------------
+    def submit(self, query: Query, inject_failures: int = 0) -> QueryTicket:
+        """Resolve a query cache-first; returns a ticket immediately.
+
+        ``inject_failures`` is the farm's teeth knob threaded through:
+        the first N attempts of the scheduled job raise, exercising the
+        retry path (it never enters the cache key).  Blocks only when
+        the job queue is full (bounded backpressure).
+        """
+        t0 = time.perf_counter()
+        farm_job = query.to_job(inject_failures=inject_failures)
+        key = farm_job.key()
+        enqueue = None
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service is closed")
+            self._queries += 1
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self._coalesced += 1
+                inflight.waiters.append(t0)
+                ticket = QueryTicket(query=query, key=key,
+                                     source="coalesced", t0=t0, job=inflight)
+            elif self.store.has(key):
+                self._store_hits += 1
+                ticket = QueryTicket(query=query, key=key, source="hit",
+                                     t0=t0, job=None)
+            else:
+                job = _InflightJob(key, farm_job)
+                job.waiters.append(t0)
+                self._inflight[key] = job
+                self._scheduled += 1
+                enqueue = job
+                ticket = QueryTicket(query=query, key=key, source="miss",
+                                     t0=t0, job=job)
+        if enqueue is not None:
+            self._events.info("service.query.miss", key=key,
+                              product=query.product)
+            self._queue.put(enqueue)    # may block: bounded backpressure
+        elif ticket.source == "hit":
+            self._latency.observe(time.perf_counter() - t0)
+            self._events.info("service.query.hit", key=key,
+                              product=query.product)
+        else:
+            self._events.info("service.query.coalesced", key=key,
+                              product=query.product)
+        self._publish()
+        return ticket
+
+    # -- poll / fetch --------------------------------------------------
+    def poll(self, ticket: QueryTicket) -> str:
+        """``hit`` | ``pending`` | ``done`` | ``failed`` (non-blocking)."""
+        if ticket.job is None:
+            return "hit"
+        status = ticket.job.status
+        return "pending" if status in ("queued", "running") else status
+
+    def fetch(self, ticket: QueryTicket, timeout: float | None = None) \
+            -> QueryResult:
+        """Block until the ticket's job lands, then serve from the store.
+
+        Failed jobs yield ``status="failed"`` results (never raise) so a
+        batch can report every row; only a *timeout* raises
+        :class:`ServiceError` — a hung job is an operational problem,
+        not an answer.
+        """
+        timeout = self.config.fetch_timeout_s if timeout is None else timeout
+        job = ticket.job
+        if job is not None:
+            if not job.done.wait(timeout):
+                raise ServiceError(
+                    f"query {ticket.key}: no result after {timeout:g} s "
+                    f"(job status {job.status!r})")
+            if job.status == "failed":
+                return QueryResult(
+                    query=ticket.query, key=ticket.key, status="failed",
+                    source=ticket.source, data=None,
+                    latency_s=time.perf_counter() - ticket.t0,
+                    attempts=job.attempts, error=job.error)
+        arrays, _meta = self.store.get(ticket.key)
+        data = ticket.query.extract(arrays)
+        return QueryResult(
+            query=ticket.query, key=ticket.key, status="ok",
+            source=ticket.source, data=data,
+            latency_s=time.perf_counter() - ticket.t0,
+            attempts=job.attempts if job is not None else 0)
+
+    def request(self, query: Query, inject_failures: int = 0,
+                timeout: float | None = None) -> QueryResult:
+        """Synchronous submit + fetch."""
+        return self.fetch(self.submit(query, inject_failures=inject_failures),
+                          timeout=timeout)
+
+    # -- stats ---------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Served-without-new-compute fraction: (hits + coalesced)/queries."""
+        with self._lock:
+            return ((self._store_hits + self._coalesced) / self._queries
+                    if self._queries else 0.0)
+
+    def stats(self) -> ServiceStats:
+        pct = self._latency.percentiles((50, 95, 99))
+        with self._lock:
+            served = self._store_hits + self._coalesced
+            return ServiceStats(
+                queries=self._queries, store_hits=self._store_hits,
+                coalesced=self._coalesced, jobs_scheduled=self._scheduled,
+                jobs_completed=self._completed, jobs_failed=self._failed,
+                retries=self._retries,
+                hit_rate=served / self._queries if self._queries else 0.0,
+                latency_p50_s=pct["p50"], latency_p95_s=pct["p95"],
+                latency_p99_s=pct["p99"])
+
+    def _publish(self) -> None:
+        s = self.stats()
+        g = self.registry.gauge
+        g("service.queries").set(s.queries)
+        g("service.store_hits").set(s.store_hits)
+        g("service.coalesced").set(s.coalesced)
+        g("service.jobs_scheduled").set(s.jobs_scheduled)
+        g("service.jobs_failed").set(s.jobs_failed)
+        g("service.retries").set(s.retries)
+        g("service.hit_rate").set(s.hit_rate)
+
+    # -- worker loop ---------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            job.status = "running"
+            try:
+                res = execute_job(
+                    job.farm_job, self.store,
+                    max_retries=self.config.max_retries,
+                    backoff_s=self.config.backoff_s,
+                    events=self._events, event_prefix="service",
+                    runner=self._runner)
+            except Exception as exc:   # store I/O etc. — never hang waiters
+                res = JobResult(
+                    key=job.key, index=job.farm_job.index,
+                    label=job.farm_job.label(), status="failed", attempts=1,
+                    error=f"{type(exc).__name__}: {exc}")
+                self._events.error("service.job.failed", key=job.key,
+                                   error=res.error)
+            now = time.perf_counter()
+            with self._lock:
+                self._inflight.pop(job.key, None)
+                job.attempts = res.attempts
+                self._retries += max(0, res.attempts - 1)
+                if res.status == "done":
+                    job.status = "done"
+                    self._completed += 1
+                    for t0 in job.waiters:
+                        self._latency.observe(now - t0)
+                else:
+                    job.status = "failed"
+                    job.error = res.error
+                    self._failed += 1
+            job.done.set()
+            self._publish()

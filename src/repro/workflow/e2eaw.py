@@ -55,6 +55,7 @@ class StageRecord:
     wall_seconds: float = 0.0   #: measured stage duration
     started: float | None = None    #: epoch seconds (time.time) at start
     finished: float | None = None   #: epoch seconds at end
+    attempts: int = 0           #: executions of the stage body (>= 1 if run)
     result: object = None
     error: str | None = None
 
@@ -64,21 +65,28 @@ class Workflow:
 
     Stages are callables ``stage(context) -> result``; ``context`` is a
     shared dict where stages deposit products for their dependents (the
-    partition -> solve -> archive chain of Fig. 10).
+    partition -> solve -> archive chain of Fig. 10).  A stage registered
+    with ``retries=K`` gets K re-executions after a raising attempt
+    (``workflow.stage.retry`` events, exponential ``backoff_s`` base) —
+    the paper's transfer-recovery semantics applied to any stage, and
+    the same bounded-retry contract as farm jobs and service queries.
     """
 
     def __init__(self) -> None:
-        self._stages: dict[str, tuple[Callable, tuple[str, ...]]] = {}
+        self._stages: dict[str, tuple[Callable, tuple[str, ...], int,
+                                      float]] = {}
         self.records: dict[str, StageRecord] = {}
 
-    def add_stage(self, name: str, fn: Callable, after: tuple[str, ...] = ()
-                  ) -> None:
+    def add_stage(self, name: str, fn: Callable, after: tuple[str, ...] = (),
+                  retries: int = 0, backoff_s: float = 0.0) -> None:
         if name in self._stages:
             raise ValueError(f"duplicate stage {name!r}")
         for dep in after:
             if dep not in self._stages:
                 raise ValueError(f"stage {name!r} depends on unknown {dep!r}")
-        self._stages[name] = (fn, tuple(after))
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0 (got {retries})")
+        self._stages[name] = (fn, tuple(after), int(retries), float(backoff_s))
         self.records[name] = StageRecord(name=name)
 
     def _order(self) -> list[str]:
@@ -103,7 +111,7 @@ class Workflow:
         tracer = get_tracer()
         events = get_event_log()
         for name in self._order():
-            fn, deps = self._stages[name]
+            fn, deps, retries, backoff_s = self._stages[name]
             rec = self.records[name]
             if any(self.records[d].status != "done" for d in deps):
                 rec.status = "skipped"
@@ -116,12 +124,24 @@ class Workflow:
             events.info("workflow.stage.start", stage=name)
             t0 = time.perf_counter()
             with tracer.span(f"workflow.{name}", category="workflow"):
-                try:
-                    rec.result = fn(context)
-                    rec.status = "done"
-                except Exception as exc:  # noqa: BLE001 - recorded, not hidden
-                    rec.status = "failed"
-                    rec.error = f"{type(exc).__name__}: {exc}"
+                for attempt in range(1, retries + 2):
+                    rec.attempts = attempt
+                    try:
+                        rec.result = fn(context)
+                        rec.status = "done"
+                        rec.error = None
+                        break
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        rec.error = f"{type(exc).__name__}: {exc}"
+                        if attempt <= retries:
+                            delay = backoff_s * (2.0 ** (attempt - 1))
+                            events.warn("workflow.stage.retry", stage=name,
+                                        attempt=attempt, backoff_s=delay,
+                                        error=rec.error)
+                            if delay > 0:
+                                time.sleep(delay)
+                        else:
+                            rec.status = "failed"
             rec.wall_seconds = rec.elapsed = time.perf_counter() - t0
             rec.finished = time.time()
             if rec.status == "failed":

@@ -52,6 +52,17 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("h").percentile(101)
 
+    def test_percentiles_batch(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        pct = h.percentiles((50, 95, 99))
+        assert set(pct) == {"p50", "p95", "p99"}
+        assert pct["p50"] == h.percentile(50)
+        assert pct["p95"] == h.percentile(95)
+        # default quantile set matches the summary() convention
+        assert set(h.percentiles()) == {"p50", "p90", "p95", "p99"}
+
     def test_empty_histogram(self):
         h = Histogram("h")
         assert h.percentile(50) == 0.0

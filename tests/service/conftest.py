@@ -1,0 +1,64 @@
+"""Shared fixtures for the hazard-service tests.
+
+``make_fake_runner`` builds a drop-in replacement for
+:func:`repro.farm.job.run_job` that honours the ``inject_failures``
+contract (attempt <= inject_failures raises) and produces small
+deterministic product bundles — so the concurrency/fault harness runs in
+milliseconds while exercising the exact store/retry/coalescing paths the
+real simulations go through.  The runner counts executions per job key
+under a lock, which is what the one-job-per-unique-hash assertions read.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.farm import FarmJobError
+from repro.obs.metrics import MetricsRegistry
+from repro.service import MAP_PRODUCTS, Query
+
+
+def make_fake_runner(delay_s: float = 0.0, gate: threading.Event
+                     | None = None):
+    """A fake job body; ``runner.counts`` maps key -> executions.
+
+    ``delay_s`` sleeps inside every execution (forces submit overlap in
+    the stress tests); ``gate`` blocks every execution until the test
+    sets it (fully deterministic coalescing windows).
+    """
+    counts: dict[str, int] = {}
+    lock = threading.Lock()
+
+    def runner(job, attempt: int = 1):
+        with lock:
+            counts[job.key()] = counts.get(job.key(), 0) + 1
+        if gate is not None:
+            gate.wait()
+        if delay_s:
+            time.sleep(delay_s)
+        if attempt <= job.inject_failures:
+            raise FarmJobError(
+                f"injected failure {attempt}/{job.inject_failures} "
+                f"for job {job.key()}")
+        n = job.nx
+        rng = np.random.default_rng(job.derived_seed())
+        arrays = {name: rng.random((n, n)) for name in MAP_PRODUCTS}
+        arrays["rupture_times"] = rng.random((4, 4))
+        return arrays
+
+    runner.counts = counts
+    return runner
+
+
+def mini_query(**overrides) -> Query:
+    kw = dict(scenario="ShakeOut-K", nx=16, nsteps=4)
+    kw.update(overrides)
+    return Query(**kw)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    """A fresh registry so latency/gauge assertions see one test only."""
+    return MetricsRegistry()

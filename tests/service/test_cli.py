@@ -1,0 +1,138 @@
+"""CLI contract for ``repro query`` / ``repro serve``.
+
+Real (tiny) simulations: nx=16, nsteps=2 jobs keep each miss in the
+tens of milliseconds.  Exit codes follow the documented contract:
+0 all served, 1 any query failed, 2 bad input.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+REQS = {
+    "schema": "repro-service-requests/1",
+    "requests": [
+        {"scenario": "ShakeOut-K", "nx": 16, "nsteps": 2,
+         "magnitude": 6.5},
+        {"scenario": "ShakeOut-K", "nx": 16, "nsteps": 2,
+         "magnitude": 6.5, "product": "pgvh", "site": [0.5, 0.5]},
+    ],
+}
+
+
+def _write(path, doc):
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+class TestQueryCommand:
+    def test_cold_then_warm(self, tmp_path, capsys):
+        reqs = _write(tmp_path / "r.json", REQS)
+        store = str(tmp_path / "store")
+        out_json = tmp_path / "report.json"
+        rc = main(["query", reqs, "--store", store,
+                   "--json", str(out_json)])
+        assert rc == 0
+        cold = capsys.readouterr().out
+        assert "miss" in cold
+        doc = json.loads(out_json.read_text())
+        assert doc["schema"] == "repro-service/1"
+        assert [r["status"] for r in doc["results"]] == ["ok", "ok"]
+        assert doc["stats"]["jobs_scheduled"] == 1   # site query coalesced
+
+        rc = main(["query", reqs, "--store", store])
+        assert rc == 0
+        warm = capsys.readouterr().out
+        assert "hit rate 100.0%" in warm
+
+    def test_injected_failure_retries_to_success(self, tmp_path, capsys):
+        doc = {"schema": "repro-service-requests/1",
+               "requests": [{"scenario": "ShakeOut-K", "nx": 16,
+                             "nsteps": 2, "magnitude": 7.0,
+                             "inject_failures": 1}]}
+        reqs = _write(tmp_path / "r.json", doc)
+        rc = main(["query", reqs, "--store", str(tmp_path / "s"),
+                   "--backoff", "0.001"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 retries" in out
+
+    def test_zero_retries_exits_nonzero(self, tmp_path, capsys):
+        doc = {"schema": "repro-service-requests/1",
+               "requests": [{"scenario": "ShakeOut-K", "nx": 16,
+                             "nsteps": 2, "magnitude": 7.0,
+                             "inject_failures": 1}]}
+        reqs = _write(tmp_path / "r.json", doc)
+        rc = main(["query", reqs, "--store", str(tmp_path / "s"),
+                   "--max-retries", "0"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "injected failure" in out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        rc = main(["query", str(tmp_path / "nope.json"),
+                   "--store", str(tmp_path / "s")])
+        assert rc == 2
+
+    @pytest.mark.parametrize("doc, msg", [
+        ({"schema": "wrong/1", "requests": [{"scenario": "ShakeOut-K"}]},
+         "request schema"),
+        ({"schema": "repro-service-requests/1", "requests": []},
+         "non-empty list"),
+        ({"schema": "repro-service-requests/1",
+          "requests": [{"scenario": "ShakeOut-K", "tile": 9}]},
+         "unknown query keys"),
+        ({"schema": "repro-service-requests/1", "stuff": 1,
+          "requests": [{"scenario": "ShakeOut-K"}]}, "unknown keys"),
+    ])
+    def test_malformed_requests_exit_2(self, tmp_path, capsys, doc, msg):
+        reqs = _write(tmp_path / "r.json", doc)
+        rc = main(["query", reqs, "--store", str(tmp_path / "s")])
+        assert rc == 2
+        assert msg in capsys.readouterr().err
+
+    def test_metrics_flag_prints_service_gauges(self, tmp_path, capsys):
+        reqs = _write(tmp_path / "r.json", REQS)
+        rc = main(["query", reqs, "--store", str(tmp_path / "s"),
+                   "--metrics"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "service.hit_rate" in out
+        assert "service.query.latency_s" in out
+
+
+class TestServeCommand:
+    def test_spool_sweep_writes_responses(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        _write(spool / "a.json", REQS)
+        rc = main(["serve", str(spool), "--store", str(tmp_path / "s")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "a.json: ok" in out
+        resp = json.loads((spool / "a.response.json").read_text())
+        assert resp["schema"] == "repro-service/1"
+        assert all(r["status"] == "ok" for r in resp["results"])
+
+        # second sweep: nothing pending, still exit 0
+        rc = main(["serve", str(spool), "--store", str(tmp_path / "s")])
+        assert rc == 0
+        assert "served 0 request file(s)" in capsys.readouterr().out
+
+    def test_invalid_request_file_answered_and_nonzero(self, tmp_path,
+                                                       capsys):
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        (spool / "bad.json").write_text("{not json")
+        rc = main(["serve", str(spool), "--store", str(tmp_path / "s")])
+        assert rc == 1
+        assert "INVALID" in capsys.readouterr().out
+        resp = json.loads((spool / "bad.response.json").read_text())
+        assert "error" in resp
+
+    def test_missing_spool_exits_2(self, tmp_path, capsys):
+        rc = main(["serve", str(tmp_path / "nope"),
+                   "--store", str(tmp_path / "s")])
+        assert rc == 2

@@ -1,0 +1,86 @@
+"""Latency-gate tests: percentile exactness feeding the service columns.
+
+Seeds deterministic durations into the ``service.query.latency_s``
+histogram and asserts the p50/p95/p99 the service reports are *exactly*
+the numpy linear-interpolation percentiles — the numbers the
+``service_query`` bench row and the ``--compare`` gate are built on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+from .conftest import make_fake_runner, mini_query
+
+DURATIONS = [0.001 * k for k in range(1, 101)]   # 1..100 ms, shuffled below
+
+
+class TestHistogramPercentiles:
+    def test_exactness_against_numpy(self):
+        h = Histogram("t")
+        rng = np.random.default_rng(7)
+        samples = rng.permutation(DURATIONS)
+        for v in samples:
+            h.observe(v)
+        for q in (50, 95, 99):
+            assert h.percentile(q) == pytest.approx(
+                np.percentile(DURATIONS, q), rel=0, abs=1e-15)
+
+    def test_small_sample_interpolation(self):
+        h = Histogram("t")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.percentile(50) == 2.5      # the documented convention
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 4.0
+
+    def test_percentiles_convenience(self):
+        h = Histogram("t")
+        for v in DURATIONS:
+            h.observe(v)
+        pct = h.percentiles((50, 95, 99))
+        assert set(pct) == {"p50", "p95", "p99"}
+        assert pct["p50"] == h.percentile(50)
+        assert pct["p99"] == h.percentile(99)
+
+    def test_empty_histogram_reports_zero(self):
+        h = Histogram("t")
+        assert h.percentiles((50, 99)) == {"p50": 0.0, "p99": 0.0}
+
+
+class TestServiceStatsPercentiles:
+    def test_stats_report_the_seeded_histogram(self, tmp_path):
+        """Bypass the wall clock: seed the latency histogram directly and
+        check stats() surfaces the exact percentiles."""
+        from repro.service import HazardService, ServiceConfig
+
+        registry = MetricsRegistry()
+        with HazardService(tmp_path, ServiceConfig(backoff_s=0.0),
+                           registry=registry,
+                           runner=make_fake_runner()) as svc:
+            hist = registry.get("service.query.latency_s")
+            for v in DURATIONS:
+                hist.observe(v)
+            stats = svc.stats()
+        assert stats.latency_p50_s == pytest.approx(
+            np.percentile(DURATIONS, 50), abs=1e-15)
+        assert stats.latency_p95_s == pytest.approx(
+            np.percentile(DURATIONS, 95), abs=1e-15)
+        assert stats.latency_p99_s == pytest.approx(
+            np.percentile(DURATIONS, 99), abs=1e-15)
+
+    def test_batch_report_carries_percentiles(self, tmp_path):
+        from repro.service import Request, ServiceConfig, run_batch
+
+        reqs = [Request(mini_query()), Request(mini_query()),
+                Request(mini_query(site=(0.5, 0.5)))]
+        report = run_batch(reqs, tmp_path,
+                           config=ServiceConfig(backoff_s=0.0),
+                           runner=make_fake_runner())
+        doc = report.to_dict()
+        assert doc["schema"] == "repro-service/1"
+        for col in ("latency_p50_s", "latency_p95_s", "latency_p99_s"):
+            assert isinstance(doc["stats"][col], float)
+        assert doc["stats"]["latency_p99_s"] >= doc["stats"]["latency_p50_s"]
+        assert all(isinstance(r["latency_s"], float) for r in doc["results"])

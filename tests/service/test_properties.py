@@ -1,0 +1,101 @@
+"""Hypothesis properties for query → hash resolution.
+
+The serving layer is only correct if identity is: any two requests that
+*mean* the same configuration must resolve to the same content address
+(one store entry), however the request was spelled — dict key order,
+int-vs-float numerics, list-vs-tuple pairs, product/site decorations.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.service import PRODUCTS, Query  # noqa: E402
+
+from .conftest import make_fake_runner, mini_query  # noqa: E402
+
+magnitudes = st.sampled_from([6.0, 6.5, 7.0, 7.5, 8.0])
+seeds = st.integers(1, 5)
+dtypes = st.sampled_from(["float32", "float64"])
+gmpes = st.sampled_from(["ba08", "cb08"])
+products = st.sampled_from(PRODUCTS)
+fractions = st.floats(0.05, 0.95)
+
+
+def _base_dict(mag, seed, dtype, gmpe, fx, fy):
+    return {"scenario": "ShakeOut-K", "nx": 16, "nsteps": 4,
+            "magnitude": mag, "rupture_seed": seed, "dtype": dtype,
+            "gmpe": gmpe, "hypocenter": [fx, fy]}
+
+
+class TestHashResolution:
+    @settings(max_examples=50, deadline=None)
+    @given(mag=magnitudes, seed=seeds, dtype=dtypes, gmpe=gmpes,
+           fx=fractions, fy=fractions, data=st.data())
+    def test_dict_order_permutations_hash_identically(
+            self, mag, seed, dtype, gmpe, fx, fy, data):
+        d = _base_dict(mag, seed, dtype, gmpe, fx, fy)
+        items = data.draw(st.permutations(sorted(d.items())))
+        shuffled = dict(items)
+        assert Query.from_dict(shuffled).key() == Query.from_dict(d).key()
+
+    @settings(max_examples=50, deadline=None)
+    @given(mag=st.sampled_from([6, 7, 8]), seed=seeds)
+    def test_int_vs_float_spellings_hash_identically(self, mag, seed):
+        as_int = Query.from_dict(_base_dict(mag, seed, "float64", "ba08",
+                                            0.35, 0.4))
+        as_float = Query.from_dict(_base_dict(float(mag), seed, "float64",
+                                              "ba08", 0.35, 0.4))
+        assert as_int.key() == as_float.key()
+        assert as_int == as_float
+
+    @settings(max_examples=50, deadline=None)
+    @given(mag=magnitudes, seed=seeds, product=products, data=st.data())
+    def test_product_and_site_never_change_the_key(self, mag, seed,
+                                                   product, data):
+        base = mini_query(magnitude=mag, rupture_seed=seed)
+        kwargs = {"product": product}
+        if product in ("pgvh", "pgv_gm", "peak_vz", "gmpe_residual",
+                       "gmpe_r_km") and data.draw(st.booleans()):
+            kwargs["site"] = (data.draw(fractions), data.draw(fractions))
+        assert mini_query(magnitude=mag, rupture_seed=seed,
+                          **kwargs).key() == base.key()
+
+    @settings(max_examples=30, deadline=None)
+    @given(m1=magnitudes, m2=magnitudes, s1=seeds, s2=seeds)
+    def test_keys_collide_iff_configs_equal(self, m1, m2, s1, s2):
+        q1 = mini_query(magnitude=m1, rupture_seed=s1)
+        q2 = mini_query(magnitude=m2, rupture_seed=s2)
+        assert (q1.key() == q2.key()) == ((m1, s1) == (m2, s2))
+
+
+class TestOneStoreEntryPerHash:
+    @settings(max_examples=10, deadline=None)
+    @given(mag=magnitudes, data=st.data())
+    def test_same_hash_queries_share_one_store_entry(self, tmp_path_factory,
+                                                     mag, data):
+        """Serve several same-hash spellings; the store must hold ONE
+        entry and the runner must have executed ONE job."""
+        from repro.farm import ProductStore
+        from repro.obs.metrics import MetricsRegistry
+        from repro.service import HazardService, ServiceConfig
+
+        tmp = tmp_path_factory.mktemp("prop-store")
+        spellings = [
+            mini_query(magnitude=mag),
+            mini_query(magnitude=mag, product="pgv_gm"),
+            Query.from_dict(dict(data.draw(st.permutations(sorted(
+                _base_dict(mag, 1, "float64", "ba08", 0.35, 0.4).items()))))),
+        ]
+        assert len({q.key() for q in spellings}) == 1
+        runner = make_fake_runner()
+        with HazardService(tmp, ServiceConfig(backoff_s=0.0),
+                           registry=MetricsRegistry(),
+                           runner=runner) as svc:
+            for q in spellings:
+                assert svc.request(q).ok
+        assert sum(runner.counts.values()) == 1
+        assert ProductStore(tmp).count() == 1

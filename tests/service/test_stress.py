@@ -1,0 +1,158 @@
+"""Concurrency stress: M submitter threads, one farm job per unique hash.
+
+The issue's acceptance criterion: under >= 4 concurrent submitters of
+overlapping query sets, the service must schedule exactly one farm job
+per unique config hash (coalescing), leave the store uncorrupted (every
+key re-``get()``s cleanly, which re-derives and checks the content
+hash), and land a final hit rate of exactly ``(M*Q - unique) / (M*Q)``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.farm import ProductStore
+from repro.service import HazardService, Query, ServiceConfig
+
+from .conftest import make_fake_runner, mini_query
+
+M = 4   # submitter threads
+
+
+def _overlapping_query_sets():
+    """M per-thread query lists drawn from 5 unique configs.
+
+    Every thread shares the 4-config core; product/site variations are
+    sprinkled in deliberately — they must NOT create extra jobs.
+    """
+    core = [mini_query(magnitude=m, rupture_seed=s)
+            for m in (6.5, 7.0) for s in (1, 2)]
+    sets = []
+    for t in range(M):
+        qs = list(core)
+        qs.append(mini_query(magnitude=6.5, rupture_seed=1,
+                             product="pgv_gm"))
+        qs.append(mini_query(magnitude=7.0, rupture_seed=2,
+                             site=(0.25, 0.75)))
+        qs.append(mini_query(magnitude=8.0))    # 5th unique config
+        sets.append(qs)
+    return sets
+
+
+class TestConcurrentSubmitters:
+    def test_one_job_per_unique_hash(self, tmp_path, registry):
+        sets = _overlapping_query_sets()
+        unique = {q.key() for qs in sets for q in qs}
+        total = sum(len(qs) for qs in sets)
+        runner = make_fake_runner(delay_s=0.02)  # force submit overlap
+        results: dict[int, list] = {}
+        errors: list[BaseException] = []
+        cfg = ServiceConfig(workers=3, backoff_s=0.0)
+        with HazardService(tmp_path, cfg, registry=registry,
+                           runner=runner) as svc:
+            barrier = threading.Barrier(M)
+
+            def submitter(tid: int, queries) -> None:
+                try:
+                    barrier.wait()
+                    tickets = [svc.submit(q) for q in queries]
+                    results[tid] = [svc.fetch(t) for t in tickets]
+                except BaseException as exc:   # surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=submitter, args=(t, qs))
+                       for t, qs in enumerate(sets)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not any(t.is_alive() for t in threads)
+            stats = svc.stats()
+        assert not errors, errors
+
+        # exactly one execution per unique config hash — the coalescing
+        # guarantee, measured at the runner
+        assert runner.counts == {k: 1 for k in unique}
+        assert stats.jobs_scheduled == len(unique)
+        assert stats.jobs_completed == len(unique)
+        assert stats.jobs_failed == 0
+
+        # every query answered
+        assert all(len(results[t]) == len(sets[t]) for t in range(M))
+        assert all(r.ok for rs in results.values() for r in rs)
+
+        # exact hit-rate arithmetic: everything beyond the unique set was
+        # served without compute
+        assert stats.queries == total
+        assert stats.store_hits + stats.coalesced == total - len(unique)
+        assert stats.hit_rate == pytest.approx(
+            (total - len(unique)) / total)
+
+        # no store corruption: re-get every key (get() re-derives the
+        # content hash and refuses a mismatch)
+        store = ProductStore(tmp_path)
+        assert store.count() == len(unique)
+        for key in store.keys():
+            arrays, meta = store.get(key)
+            assert meta["key"] == key
+            assert arrays["pgvh"].shape == (16, 16)
+
+    def test_identical_answers_across_threads(self, tmp_path, registry):
+        """Coalesced and computed paths must serve bitwise-equal data."""
+        q = mini_query()
+        runner = make_fake_runner(delay_s=0.02)
+        out: list = []
+        with HazardService(tmp_path, ServiceConfig(backoff_s=0.0),
+                           registry=registry, runner=runner) as svc:
+            barrier = threading.Barrier(M)
+
+            def submitter() -> None:
+                barrier.wait()
+                out.append(svc.request(q))
+
+            threads = [threading.Thread(target=submitter)
+                       for _ in range(M)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        assert len(out) == M
+        ref = out[0].data
+        for r in out[1:]:
+            np.testing.assert_array_equal(r.data, ref)
+        assert runner.counts == {q.key(): 1}
+
+
+@pytest.mark.slow
+class TestRealRunnerStress:
+    def test_concurrent_submitters_over_real_sims(self, tmp_path, registry):
+        """2 threads x 2 real-simulation queries over 2 unique configs."""
+        queries = [Query(scenario="ShakeOut-K", nx=16, nsteps=2,
+                         magnitude=m) for m in (6.5, 7.0)]
+        results: list = []
+        lock = threading.Lock()
+        with HazardService(tmp_path, ServiceConfig(backoff_s=0.0),
+                           registry=registry) as svc:
+            barrier = threading.Barrier(2)
+
+            def submitter() -> None:
+                barrier.wait()
+                tickets = [svc.submit(q) for q in queries]
+                fetched = [svc.fetch(t) for t in tickets]
+                with lock:
+                    results.extend(fetched)
+
+            threads = [threading.Thread(target=submitter) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not any(t.is_alive() for t in threads)
+            stats = svc.stats()
+        assert len(results) == 4 and all(r.ok for r in results)
+        assert stats.jobs_scheduled == 2     # two unique configs
+        store = ProductStore(tmp_path)
+        assert store.count() == 2
+        for key in store.keys():
+            store.get(key)

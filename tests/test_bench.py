@@ -211,6 +211,41 @@ class TestDistributedWorkloads:
         assert extra["kernel_variant"] == "blocked"
 
 
+class TestServiceQuery:
+    def test_warm_rerun_is_fully_cached(self, smoke_report):
+        """The timed steps replay the batch over a warm store: every
+        query must be answered without compute (hit rate exactly 1)."""
+        report, _ = smoke_report
+        extra = report["workloads"]["service_query"]["extra"]
+        assert extra["hit_rate"] == 1.0
+        assert extra["queries"] == 6
+        assert extra["unique_jobs"] == 4
+
+    def test_cold_pass_scheduled_only_unique_jobs(self, smoke_report):
+        report, _ = smoke_report
+        extra = report["workloads"]["service_query"]["extra"]
+        assert extra["cold_jobs_scheduled"] == extra["unique_jobs"]
+        # 6 queries / 4 unique configs -> 2 answered without compute
+        assert extra["cold_hit_rate"] == pytest.approx(2 / 6)
+        assert extra["cold_wall_s"] > 0
+
+    def test_latency_columns_present(self, smoke_report):
+        report, registry = smoke_report
+        extra = report["workloads"]["service_query"]["extra"]
+        for col in ("latency_p50_s", "latency_p95_s", "latency_p99_s"):
+            assert isinstance(extra[col], float) and extra[col] >= 0
+        assert extra["latency_p99_s"] >= extra["latency_p50_s"]
+        assert extra["queries_per_s"] > 0
+        assert registry.gauge("bench.service_query.hit_rate").value == 1.0
+        assert registry.gauge(
+            "bench.service_query.latency_p99_s").value >= 0
+
+    def test_formatted_line(self, smoke_report):
+        from repro.bench import format_report
+        report, _ = smoke_report
+        assert "service_query: hit rate 100% warm" in format_report(report)
+
+
 class TestCompare:
     def test_identical_reports_no_regression(self, smoke_report):
         report, _ = smoke_report
@@ -260,6 +295,30 @@ class TestCompare:
         # ...but the variant mismatch excludes it from gating
         assert not any("kernel_step " in r for r in regressions)
         assert "not like-for-like" in text
+
+    def test_hit_rate_drop_flags_regression(self, smoke_report, tmp_path):
+        """Any drop in service hit rate gates absolutely — no rel-tol."""
+        report, _ = smoke_report
+        worse = json.loads(json.dumps(report))
+        worse["workloads"]["service_query"]["extra"]["hit_rate"] = 0.5
+        text, regressions = compare_reports(report, worse)
+        assert any("hit_rate" in r for r in regressions)
+        assert "REGRESSION" in text
+        # rel-tol loosens wall gates but never the hit-rate gate
+        _, regressions = compare_reports(report, worse, rel_tol=10.0)
+        assert any("hit_rate" in r for r in regressions)
+
+        base = tmp_path / "old.json"
+        cur = tmp_path / "new.json"
+        write_report(report, str(base))
+        cur.write_text(json.dumps(worse))
+        assert main(["bench", "--compare", str(base), str(cur)]) == 3
+
+    def test_equal_hit_rate_not_gated(self, smoke_report):
+        report, _ = smoke_report
+        same = json.loads(json.dumps(report))
+        _, regressions = compare_reports(report, same)
+        assert not any("hit_rate" in r for r in regressions)
 
     def test_new_and_dropped_workloads_reported(self, smoke_report):
         report, _ = smoke_report

@@ -112,9 +112,11 @@ class TestCliDocsHonesty:
         from repro.farm import FARM_REPORT_SCHEMA, FARM_SPEC_SCHEMA, \
             PRODUCT_SCHEMA
         from repro.obs.provenance import MANIFEST_SCHEMA
+        from repro.service import REQUESTS_SCHEMA, SERVICE_REPORT_SCHEMA
         from repro.verify.report import VERIFY_SCHEMA
         for schema in (BENCH_SCHEMA, VERIFY_SCHEMA, FARM_SPEC_SCHEMA,
-                       FARM_REPORT_SCHEMA, PRODUCT_SCHEMA, MANIFEST_SCHEMA):
+                       FARM_REPORT_SCHEMA, PRODUCT_SCHEMA, MANIFEST_SCHEMA,
+                       REQUESTS_SCHEMA, SERVICE_REPORT_SCHEMA):
             assert schema in self.CLI_MD, (
                 f"schema {schema!r} emitted by the code but not in "
                 f"docs/cli.md's schema table")

@@ -60,6 +60,73 @@ class TestWorkflowDag:
             wf.add_stage("b", lambda ctx: 1, after=("nope",))
 
 
+class TestStageRetries:
+    @staticmethod
+    def _flaky(fail_times: int):
+        calls = {"n": 0}
+
+        def fn(ctx):
+            calls["n"] += 1
+            if calls["n"] <= fail_times:
+                raise RuntimeError(f"transient {calls['n']}")
+            return "ok"
+
+        return fn, calls
+
+    def test_flaky_stage_recovers(self):
+        fn, calls = self._flaky(2)
+        wf = Workflow()
+        wf.add_stage("flaky", fn, retries=2)
+        wf.run()
+        rec = wf.records["flaky"]
+        assert rec.status == "done" and rec.result == "ok"
+        assert rec.attempts == 3 and calls["n"] == 3
+        assert rec.error is None
+        assert wf.succeeded()
+
+    def test_retry_events_carry_backoff(self):
+        from repro.obs import EventLog, use_event_log
+        fn, _ = self._flaky(2)
+        wf = Workflow()
+        wf.add_stage("flaky", fn, retries=2, backoff_s=0.01)
+        with use_event_log(EventLog()) as log:
+            wf.run()
+        retries = [ev for ev in log.events
+                   if ev.name == "workflow.stage.retry"]
+        assert [ev.attrs["attempt"] for ev in retries] == [1, 2]
+        assert [ev.attrs["backoff_s"] for ev in retries] == [0.01, 0.02]
+        assert all(ev.level == "warn" for ev in retries)
+        assert all(ev.attrs["stage"] == "flaky" for ev in retries)
+        assert "transient 1" in retries[0].attrs["error"]
+
+    def test_exhausted_retries_fail_the_stage(self):
+        fn, calls = self._flaky(5)
+        wf = Workflow()
+        wf.add_stage("flaky", fn, retries=1)
+        wf.add_stage("dependent", lambda ctx: 1, after=("flaky",))
+        wf.run()
+        rec = wf.records["flaky"]
+        assert rec.status == "failed" and rec.attempts == 2
+        assert "transient 2" in rec.error
+        assert calls["n"] == 2
+        assert wf.records["dependent"].status == "skipped"
+        assert not wf.succeeded()
+
+    def test_default_is_single_attempt(self):
+        fn, calls = self._flaky(1)
+        wf = Workflow()
+        wf.add_stage("flaky", fn)
+        wf.run()
+        assert wf.records["flaky"].status == "failed"
+        assert wf.records["flaky"].attempts == 1
+        assert calls["n"] == 1
+
+    def test_negative_retries_rejected(self):
+        wf = Workflow()
+        with pytest.raises(ValueError, match="retries"):
+            wf.add_stage("a", lambda ctx: 1, retries=-1)
+
+
 class TestTransferService:
     def test_reliable_transfer(self):
         svc = TransferService()
